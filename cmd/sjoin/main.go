@@ -1,0 +1,211 @@
+// Command sjoin runs a single spatial intersection join between two of
+// the built-in datasets and prints the run statistics: result
+// cardinality, per-phase I/O and CPU, replication and duplicate counts,
+// and the simulated total runtime under the paper's cost model.
+//
+// Usage:
+//
+//	sjoin [-r la_rr] [-s la_st] [-rfile data.tsv] [-sfile data.tsv]
+//	      [-n 20000] [-p 1] [-seed 1]
+//	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
+//	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-plan] [-v]
+//
+// -mem is the memory budget in "paper megabytes" (20-byte KPEs), so
+// -mem 2.5 reproduces the paper's standard LA-join budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/estimate"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/plan"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/shj"
+	"spatialjoin/internal/sssj"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tsv"
+)
+
+func dataset(name string, seed int64, n int, p float64) ([]geom.KPE, error) {
+	var ds datagen.Dataset
+	switch name {
+	case "la_rr":
+		ds = datagen.LARR(seed, n)
+	case "la_st":
+		ds = datagen.LAST(seed+1, n)
+	case "cal_st":
+		ds = datagen.CALST(seed+2, n)
+	case "uniform":
+		return datagen.Uniform(seed+3, n, 0.01), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (have la_rr, la_st, cal_st, uniform)", name)
+	}
+	if p > 1 {
+		return datagen.Scale(ds.KPEs, p), nil
+	}
+	return ds.KPEs, nil
+}
+
+func main() {
+	rName := flag.String("r", "la_rr", "left relation (la_rr, la_st, cal_st, uniform)")
+	sName := flag.String("s", "la_st", "right relation")
+	rFile := flag.String("rfile", "", "load left relation from a TSV file (id xl yl xh yh) instead of -r")
+	sFile := flag.String("sfile", "", "load right relation from a TSV file instead of -s")
+	n := flag.Int("n", 20000, "rectangles per relation")
+	p := flag.Float64("p", 1, "edge scale factor, as in LA_RR(p)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	method := flag.String("method", "pbsm", "join method: pbsm, s3j, sssj or shj")
+	alg := flag.String("alg", "", "internal algorithm: list, trie or nested (default per method)")
+	dup := flag.String("dup", "rpm", "PBSM duplicate removal: rpm or sort")
+	mode := flag.String("mode", "replicate", "S3J mode: replicate or original")
+	memMB := flag.Float64("mem", 2.5, "memory budget in paper MB (20-byte KPEs)")
+	parallel := flag.Int("parallel", 1, "concurrent partition-pair joins (PBSM only)")
+	doPlan := flag.Bool("plan", false, "print the analytic cost ranking and pick the cheapest method")
+	verbose := flag.Bool("v", false, "print each result pair")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "sjoin: %v\n", err)
+		os.Exit(1)
+	}
+
+	load := func(path, name string, seedOff int64) []geom.KPE {
+		if path != "" {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			ks, err := tsv.Read(f)
+			if err != nil {
+				fail(err)
+			}
+			return tsv.Normalize(ks)
+		}
+		ks, err := dataset(name, *seed+seedOff, *n, *p)
+		if err != nil {
+			fail(err)
+		}
+		return ks
+	}
+	R := load(*rFile, *rName, 0)
+	S := load(*sFile, *sName, 100)
+	rLabel, sLabel := *rName, *sName
+	if *rFile != "" {
+		rLabel = *rFile
+	}
+	if *sFile != "" {
+		sLabel = *sFile
+	}
+
+	cfg := core.Config{
+		Method:       core.Method(*method),
+		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of 40-byte KPEs
+		Algorithm:    sweep.Kind(*alg),
+		PBSMParallel: *parallel,
+	}
+	switch *dup {
+	case "rpm":
+		cfg.PBSMDup = pbsm.DupRPM
+	case "sort":
+		cfg.PBSMDup = pbsm.DupSort
+	default:
+		fail(fmt.Errorf("unknown -dup %q", *dup))
+	}
+	switch *mode {
+	case "replicate":
+		cfg.S3JMode = s3j.ModeReplicate
+	case "original":
+		cfg.S3JMode = s3j.ModeOriginal
+	default:
+		fail(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	if *doPlan {
+		w := plan.Workload{
+			NR: len(R), NS: len(S),
+			SampleR: estimate.Sample(R, 1000, 1),
+			SampleS: estimate.Sample(S, 1000, 2),
+			Memory:  cfg.Memory,
+		}
+		fmt.Println("plan      predicted I/O cost per method:")
+		ranked := plan.Rank(w, plan.DefaultDevice)
+		for _, p := range ranked {
+			fmt.Printf("  %-5s %10.0f units  (%.1f passes, %.2fx replication)\n",
+				p.Method, p.IOUnits, p.Passes, p.Replication)
+		}
+		cfg.Method = ranked[0].Method
+		fmt.Printf("          choosing %s\n", cfg.Method)
+	}
+
+	res, err := core.Join(R, S, cfg, func(pr geom.Pair) {
+		if *verbose {
+			fmt.Printf("%d\t%d\n", pr.R, pr.S)
+		}
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("join      %s ⋈ %s (%d x %d rectangles, p=%g)\n", rLabel, sLabel, len(R), len(S), *p)
+	fmt.Printf("method    %s", res.Method)
+	switch res.Method {
+	case core.PBSM:
+		fmt.Printf(" (dup=%s)", *dup)
+	case core.S3J:
+		fmt.Printf(" (mode=%s)", *mode)
+	}
+	fmt.Printf(", memory %.2f paper-MB\n", *memMB)
+	fmt.Printf("results   %d\n", res.Results)
+	fmt.Printf("I/O       %d reads, %d writes, %d pages in, %d pages out, %.0f cost units\n",
+		res.IO.ReadRequests, res.IO.WriteRequests, res.IO.PagesRead, res.IO.PagesWritten, res.IO.CostUnits)
+	fmt.Printf("time      cpu %.3fs + simulated I/O %.3fs = total %.3fs\n",
+		res.CPU.Seconds(), res.IOTime.Seconds(), res.Total.Seconds())
+
+	if st := res.PBSMStats; st != nil {
+		fmt.Printf("pbsm      P=%d NT=%d, replication %.2fx, raw results %d (suppressed %d), repartitions %d, tests %d\n",
+			st.P, st.NT, st.ReplicationRate(len(R), len(S)),
+			st.RawResults, st.RawResults-st.Results, st.Repartitions, st.Tests)
+		for ph := pbsm.PhasePartition; ph <= pbsm.PhaseDup; ph++ {
+			fmt.Printf("  %-12s cpu %.3fs, io %.0f units\n",
+				ph, st.PhaseCPU[ph].Seconds(), st.PhaseIO[ph].CostUnits)
+		}
+		fmt.Printf("  first result after %.3fs cpu, %.0f io units\n",
+			st.FirstResultCPU.Seconds(), st.FirstResultIO)
+	}
+	if st := res.S3JStats; st != nil {
+		fmt.Printf("s3j       replication %.2fx, raw results %d (suppressed %d), sort runs %d (+%d merge passes), tests %d, max resident %d B\n",
+			st.ReplicationRate(len(R), len(S)), st.RawResults, st.RawResults-st.Results,
+			st.SortRuns, st.MergePasses, st.Tests, st.MaxResident)
+		for ph := s3j.PhasePartition; ph <= s3j.PhaseJoin; ph++ {
+			fmt.Printf("  %-12s cpu %.3fs, io %.0f units\n",
+				ph, st.PhaseCPU[ph].Seconds(), st.PhaseIO[ph].CostUnits)
+		}
+		fmt.Printf("  level files R: %v\n", st.LevelRecordsR)
+		fmt.Printf("  level files S: %v\n", st.LevelRecordsS)
+	}
+	if st := res.SSSJStats; st != nil {
+		fmt.Printf("sssj      sort runs %d (+%d merge passes), tests %d, sweep high-water %d rects\n",
+			st.SortRuns, st.MergePasses, st.Tests, st.MaxResident)
+		for ph := sssj.PhaseSort; ph <= sssj.PhaseSweep; ph++ {
+			fmt.Printf("  %-12s cpu %.3fs, io %.0f units\n",
+				ph, st.PhaseCPU[ph].Seconds(), st.PhaseIO[ph].CostUnits)
+		}
+		fmt.Printf("  first result after %.3fs cpu, %.0f io units\n",
+			st.FirstResultCPU.Seconds(), st.FirstResultIO)
+	}
+	if st := res.SHJStats; st != nil {
+		fmt.Printf("shj       %d buckets, probe replication %.2fx, orphans %d, tests %d\n",
+			st.Buckets, st.ReplicationRateS(len(S)), st.Orphans, st.Tests)
+		for ph := shj.PhaseBuild; ph <= shj.PhaseJoin; ph++ {
+			fmt.Printf("  %-16s cpu %.3fs, io %.0f units\n",
+				ph, st.PhaseCPU[ph].Seconds(), st.PhaseIO[ph].CostUnits)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// GIS overlay: the paper's motivating workload. Join a river/railway
+// layer against a street layer of the same region — the filter step of a
+// map-overlay query ("which streets cross a river or railway line?") —
+// and compare the two join methods the paper studies on identical data.
+//
+// The datasets mirror the LA_RR and LA_ST TIGER extracts of the paper's
+// Table 1 (synthetic, same cardinality profile and coverage).
+//
+// Run with:
+//
+//	go run ./examples/gisoverlay [-n 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/sweep"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "rectangles per layer")
+	flag.Parse()
+
+	rivers := datagen.LARR(1, *n)
+	streets := datagen.LAST(2, *n)
+	fmt.Printf("layer %-6s %7d MBRs, coverage %.3f\n",
+		rivers.Name, len(rivers.KPEs), datagen.Coverage(rivers.KPEs))
+	fmt.Printf("layer %-6s %7d MBRs, coverage %.3f\n\n",
+		streets.Name, len(streets.KPEs), datagen.Coverage(streets.KPEs))
+
+	// A memory budget around half the input size, like the paper's 2.5 MB
+	// for the LA joins.
+	memory := int64(len(rivers.KPEs)+len(streets.KPEs)) * geom.KPESize / 2
+
+	// A 5 µs page-transfer time rescales the paper's 1996 disk to today's
+	// CPU speed so the CPU-vs-I/O balance of the published experiments is
+	// preserved (see DESIGN.md).
+	const transfer = 5 * time.Microsecond
+
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PBSM + RPM + trie sweep (paper's best)", core.Config{
+			Method: core.PBSM, Memory: memory, Algorithm: sweep.TrieKind, Transfer: transfer,
+		}},
+		{"PBSM + RPM + list sweep (classic internal)", core.Config{
+			Method: core.PBSM, Memory: memory, Algorithm: sweep.ListKind, Transfer: transfer,
+		}},
+		{"S3J with replication (paper's S3J)", core.Config{
+			Method: core.S3J, Memory: memory, S3JMode: s3j.ModeReplicate, Transfer: transfer,
+		}},
+		{"S3J original (Koudas & Sevcik)", core.Config{
+			Method: core.S3J, Memory: memory, S3JMode: s3j.ModeOriginal, Transfer: transfer,
+		}},
+	}
+
+	fmt.Printf("%-45s %10s %12s %12s %10s\n",
+		"configuration", "results", "I/O units", "cand.tests", "total")
+	for _, c := range configs {
+		var crossings int64
+		res, err := core.Join(rivers.KPEs, streets.KPEs, c.cfg, func(geom.Pair) {
+			crossings++
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tests := int64(0)
+		if res.PBSMStats != nil {
+			tests = res.PBSMStats.Tests
+		} else if res.S3JStats != nil {
+			tests = res.S3JStats.Tests
+		}
+		fmt.Printf("%-45s %10d %12.0f %12d %10v\n",
+			c.name, crossings, res.IO.CostUnits, tests, res.Total.Round(1000000))
+	}
+
+	fmt.Println("\nEvery configuration returns the identical, duplicate-free result set;")
+	fmt.Println("they differ in I/O pattern and in how many candidate pairs they test.")
+}

@@ -1,0 +1,62 @@
+// Highdim: the paper's future work, running. §6 announces "a
+// generalization of our work for multidimensional similarity joins
+// [KS 98]" — this example performs epsilon similarity self-joins over
+// point sets in 3 to 6 dimensions with the d-dimensional grid join and
+// the generalized Reference Point Method (each result pair reported by
+// exactly one grid cell, no matter how many cells the expanded boxes
+// straddle).
+//
+// Run with:
+//
+//	go run ./examples/highdim [-n 5000] [-eps 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"spatialjoin/internal/multidim"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "points per relation")
+	eps := flag.Float64("eps", 0.1, "similarity threshold (L2)")
+	flag.Parse()
+
+	fmt.Printf("%-6s %10s %12s %14s %12s %10s\n",
+		"dim", "pairs", "raw (dup+)", "cand.tests", "replicas", "time")
+	for dim := 3; dim <= 6; dim++ {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		mk := func() []multidim.Item {
+			items := make([]multidim.Item, *n)
+			for i := range items {
+				p := make([]float64, dim)
+				for d := range p {
+					p[d] = rng.Float64()
+				}
+				items[i] = multidim.Item{ID: uint64(i), Box: multidim.Box{Lo: p, Hi: p}}
+			}
+			return items
+		}
+		R := mk()
+		// Cells per axis shrink with dimension to keep the cell count sane.
+		cells := []int{0, 0, 0, 8, 6, 4, 3}[dim]
+		t0 := time.Now()
+		var found int64
+		st, err := multidim.SimilarityJoin(R, R, dim, cells, *eps, func(multidim.Pair) {
+			found++
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %10d %12d %14d %12d %10v\n",
+			dim, found, st.RawResults, st.Tests, st.CopiesS, time.Since(t0).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nThe reference point assigns every similar pair to exactly one cell in")
+	fmt.Println("any dimensionality; raw results exceed reported pairs exactly by the")
+	fmt.Println("duplicates that replication created.")
+}

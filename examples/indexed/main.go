@@ -1,0 +1,84 @@
+// Indexed: the three classes of spatial-join algorithms.
+//
+// The paper's introduction classifies spatial joins by index
+// availability: an index on both relations (the R-tree join of
+// Brinkhoff, Kriegel & Seeger), on one relation (index nested loop /
+// seeded trees), or on none (PBSM, S³J, SSSJ, the spatial hash join —
+// the class the paper improves). This example runs one representative of
+// each class on the same data and shows the trade: pre-built indices
+// join fastest, but when the inputs are intermediate results of other
+// operators — the scenario motivating the paper — no index exists and
+// the partition-based methods win by not having to build one.
+//
+// Run with:
+//
+//	go run ./examples/indexed [-n 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rtree"
+	"spatialjoin/internal/sweep"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "rectangles per relation")
+	flag.Parse()
+
+	rivers := datagen.LARR(1, *n).KPEs
+	streets := datagen.LAST(2, *n).KPEs
+	memory := int64(len(rivers)+len(streets)) * geom.KPESize / 2
+
+	fmt.Printf("%-38s %10s %12s %12s\n", "configuration", "results", "cand.tests", "time")
+
+	// Class 3 — no index: PBSM with the paper's improvements, under the
+	// full I/O cost model (5 µs/page, see DESIGN.md).
+	var count int64
+	res, err := core.Join(rivers, streets, core.Config{
+		Method:    core.PBSM,
+		Memory:    memory,
+		Algorithm: sweep.TrieKind,
+		Transfer:  5 * time.Microsecond,
+	}, func(geom.Pair) { count++ })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-38s %10d %12d %12v\n",
+		"no index: PBSM (RPM, trie)", count, res.PBSMStats.Tests, res.Total.Round(time.Millisecond))
+
+	// Class 2 — index on one relation: bulk-load an R-tree on the rivers
+	// (charge the build), stream the streets against it.
+	t0 := time.Now()
+	tr := rtree.Bulk(rivers, 0, 0)
+	build := time.Since(t0)
+	t0 = time.Now()
+	count = 0
+	rtree.IndexNestedLoop(tr, streets, func(geom.KPE, geom.KPE) { count++ })
+	fmt.Printf("%-38s %10d %12s %12v\n",
+		"index on one: R-tree + nested loop", count, "-",
+		(build + time.Since(t0)).Round(time.Millisecond))
+
+	// Class 1 — index on both relations: two pre-existing R-trees,
+	// synchronized traversal. Build time shown separately: in the class's
+	// premise the trees already exist.
+	t0 = time.Now()
+	ts := rtree.Bulk(streets, 0, 0)
+	build = time.Since(t0)
+	t0 = time.Now()
+	count = 0
+	tests := rtree.Join(tr, ts, func(geom.KPE, geom.KPE) { count++ })
+	fmt.Printf("%-38s %10d %12d %12v (+%v build)\n",
+		"index on both: R-tree join", count, tests,
+		time.Since(t0).Round(time.Millisecond), build.Round(time.Millisecond))
+
+	fmt.Println("\nWith indices in place the R-tree join is hard to beat — but when the")
+	fmt.Println("join inputs come out of other operators, building the trees first is")
+	fmt.Println("part of the bill, and the no-index methods of the paper take over.")
+}

@@ -1,0 +1,54 @@
+// Nearby: an epsilon-distance join ("distance within"), the similarity
+// join predicate the paper's introduction names beside intersection and
+// its conclusions mark as future work.
+//
+// The pipeline reuses everything the intersection join built: the filter
+// step runs the ordinary PBSM+RPM join with one side's MBRs expanded by
+// epsilon (a conservative superset of the Euclidean eps-pairs), and the
+// refinement step tests exact segment distances. Think "which streets
+// run within 50 m of a river" — the classic buffer query of a spatial
+// DBMS.
+//
+// Run with:
+//
+//	go run ./examples/nearby [-n 15000] [-eps 0.002]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/refine"
+)
+
+func main() {
+	n := flag.Int("n", 15000, "segments per layer")
+	eps := flag.Float64("eps", 0.002, "distance threshold in data-space units")
+	flag.Parse()
+
+	rivers := datagen.LARR(1, *n)
+	streets := datagen.LAST(2, *n)
+	tr := refine.NewTable(rivers.Geometries())
+	ts := refine.NewTable(streets.Geometries())
+	cfg := core.Recommend(*n, *n, int64(2**n)*geom.KPESize/2)
+
+	fmt.Printf("%-12s %12s %12s %12s %10s\n",
+		"epsilon", "candidates", "within-eps", "false pos.", "fp rate")
+	for _, e := range []float64{0, *eps, *eps * 5, *eps * 25} {
+		st, _, err := refine.JoinWithin(tr, ts, e, cfg, func(geom.Pair) {})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.5f %12d %12d %12d %9.1f%%\n",
+			e, st.Candidates, st.Results, st.FalsePositives, 100*st.FalsePositiveRate())
+	}
+
+	fmt.Println("\nEpsilon zero degenerates to the plain intersection join; growing")
+	fmt.Println("epsilon admits more pairs, and the MBR-expansion filter stays")
+	fmt.Println("conservative — no true neighbor is ever lost, the refinement step")
+	fmt.Println("discards the rest using exact segment distances.")
+}

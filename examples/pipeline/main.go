@@ -1,0 +1,77 @@
+// Pipeline: why on-line duplicate removal matters inside an operator
+// tree (§3.1 of the paper).
+//
+// A spatial join rarely runs alone: its output feeds further operators —
+// a refinement step testing exact geometry, a selection, another join.
+// Under the open-next-close operator model, a downstream operator pulls
+// results one at a time. With the paper's Reference Point Method, PBSM
+// streams its first results as soon as the first partition pair is
+// joined; the original PBSM must finish the *entire* join and externally
+// sort the whole candidate set before the first tuple can flow.
+//
+// This example builds a two-operator pipeline — spatial join feeding a
+// "refinement" consumer that only needs the first k matches — and shows
+// how much of the join each variant has to execute before those k
+// results appear.
+//
+// Run with:
+//
+//	go run ./examples/pipeline [-n 20000] [-k 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "rectangles per relation")
+	k := flag.Int("k", 100, "matches the downstream operator needs")
+	flag.Parse()
+
+	rivers := datagen.LARR(1, *n).KPEs
+	streets := datagen.LAST(2, *n).KPEs
+	memory := int64(len(rivers)+len(streets)) * geom.KPESize / 8 // force many partitions
+
+	for _, variant := range []struct {
+		name string
+		dup  pbsm.DupMethod
+	}{
+		{"PBSM + Reference Point Method (pipelined)", pbsm.DupRPM},
+		{"original PBSM (blocking final sort)", pbsm.DupSort},
+	} {
+		it := core.Open(rivers, streets, core.Config{
+			Method:  core.PBSM,
+			Memory:  memory,
+			PBSMDup: variant.dup,
+		})
+		// The downstream operator: pull k tuples, then stop.
+		got := 0
+		for got < *k {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			got++
+		}
+		it.Close()
+		if err := it.Err(); err != nil {
+			log.Fatal(err)
+		}
+		st := it.Result().PBSMStats
+		fmt.Printf("%s\n", variant.name)
+		fmt.Printf("  first result after  %8.0f I/O cost units, %v CPU\n",
+			st.FirstResultIO, st.FirstResultCPU.Round(100000))
+		fmt.Printf("  delivered %d/%d requested results\n\n", got, *k)
+	}
+
+	fmt.Println("The RPM variant hands the operator tree its first tuples after joining")
+	fmt.Println("one partition pair; the original variant pays the whole partition +")
+	fmt.Println("join + external sort pipeline before result one. Kernel approximations")
+	fmt.Println("in the refinement step (§3.2.1) profit the same way.")
+}

@@ -1,0 +1,86 @@
+// Refinement: the two-step architecture end to end.
+//
+// Spatial joins run in two steps [Ore 86]: the *filter* step joins MBRs
+// (everything this library's join methods do) and the *refinement* step
+// tests the exact geometries of the surviving candidates. This example
+// runs the full pipeline twice:
+//
+//  1. Line data (rivers ⋈ streets): diagonal segments whose MBRs overlap
+//     often do not actually cross — the false-positive rate of the filter
+//     step is substantial, which is why refinement exists.
+//  2. Parcel data (convex polygons): objects with interiors can carry a
+//     kernel (inner) approximation [BKSS 94]; when two kernels overlap
+//     the pair is a hit without any exact test — and because the filter
+//     step eliminates duplicates on-line with the Reference Point Method,
+//     these confirmed results stream out of the operator tree
+//     immediately (§3.2.1 of the paper).
+//
+// Run with:
+//
+//	go run ./examples/refinement [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/refine"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "objects per relation")
+	flag.Parse()
+
+	// Part 1: segments.
+	rivers := datagen.LARR(1, *n)
+	streets := datagen.LAST(2, *n)
+	tr := refine.NewTable(rivers.Geometries())
+	ts := refine.NewTable(streets.Geometries())
+	cfg := core.Config{Memory: int64(2**n) * geom.KPESize / 2}
+
+	var hits int64
+	st, res, err := refine.Join(tr, ts, cfg, false, func(geom.Pair) { hits++ })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rivers x streets (line segments, %d x %d)\n", *n, *n)
+	fmt.Printf("  filter-step candidates   %8d   (%.0f I/O units, %v)\n",
+		st.Candidates, res.IO.CostUnits, res.Total.Round(1000000))
+	fmt.Printf("  exact intersections      %8d\n", st.Results)
+	fmt.Printf("  false-positive rate      %8.1f%%  (why a refinement step exists)\n\n",
+		100*st.FalsePositiveRate())
+
+	// Part 2: polygons with kernels.
+	_, polyR := datagen.Parcels(3, *n)
+	_, polyS := datagen.Parcels(4, *n)
+	gr := make([]exact.Geometry, len(polyR))
+	for i, p := range polyR {
+		gr[i] = p
+	}
+	gs := make([]exact.Geometry, len(polyS))
+	for i, p := range polyS {
+		gs[i] = p
+	}
+	pr, ps := refine.NewTable(gr), refine.NewTable(gs)
+
+	for _, kernels := range []bool{false, true} {
+		st, _, err := refine.Join(pr, ps, cfg, kernels, func(geom.Pair) {})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "exact tests only      "
+		if kernels {
+			mode = "with kernel approx.   "
+		}
+		fmt.Printf("parcels x parcels, %s results %7d, kernel accepts %7d, exact tests %7d\n",
+			mode, st.Results, st.KernelAccepts, st.ExactTests)
+	}
+	fmt.Println("\nKernel approximations confirm intersections without exact geometry;")
+	fmt.Println("with RPM's on-line duplicate removal those hits leave the filter step")
+	fmt.Println("immediately instead of waiting behind a duplicate-removal sort.")
+}

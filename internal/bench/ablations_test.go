@@ -1,0 +1,83 @@
+package bench
+
+import "testing"
+
+func TestAblationTilesShapes(t *testing.T) {
+	s := testSuite()
+	rows, tab := RunAblationTiles(s)
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Replication < 1 {
+			t.Fatalf("replication rate below 1: %g", r.Replication)
+		}
+	}
+	if tab.Title == "" || len(tab.Rows) != len(rows) {
+		t.Fatal("table not populated")
+	}
+}
+
+func TestAblationTuneShapes(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunAblationTune(s)
+	first, last := rows[0], rows[len(rows)-1]
+	if last.P <= first.P {
+		t.Fatalf("larger t must raise P: %d -> %d", first.P, last.P)
+	}
+	if last.Repartitions > first.Repartitions {
+		t.Fatalf("larger t must not need more repartitioning: %d -> %d",
+			first.Repartitions, last.Repartitions)
+	}
+}
+
+func TestAblationCurveShapes(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunAblationCurve(s)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 curves")
+	}
+	// §4.4.2: identical results, tests and I/O for both curves.
+	if rows[0].Results != rows[1].Results {
+		t.Fatalf("curves disagree on results: %d vs %d", rows[0].Results, rows[1].Results)
+	}
+	if rows[0].Tests != rows[1].Tests {
+		t.Fatalf("curves disagree on tests: %d vs %d", rows[0].Tests, rows[1].Tests)
+	}
+	if rows[0].IOUnits != rows[1].IOUnits {
+		t.Fatalf("curves disagree on I/O: %g vs %g", rows[0].IOUnits, rows[1].IOUnits)
+	}
+}
+
+func TestAblationTrieDepthShapes(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunAblationTrieDepth(s)
+	// A deep trie must test far less than the shallowest one, and the
+	// curve must flatten once the resolution exceeds the data.
+	shallow, deep := rows[0], rows[len(rows)-1]
+	if deep.Tests*2 >= shallow.Tests {
+		t.Fatalf("deep trie must cut tests: depth %d %d tests vs depth %d %d tests",
+			shallow.Depth, shallow.Tests, deep.Depth, deep.Tests)
+	}
+	mid := rows[len(rows)-2]
+	diff := float64(deep.Tests-mid.Tests) / float64(mid.Tests)
+	if diff > 0.2 || diff < -0.2 {
+		t.Fatalf("test counts must flatten at high depth: %d vs %d", mid.Tests, deep.Tests)
+	}
+}
+
+func TestAblationLevelsShapes(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunAblationLevels(s)
+	coarse, fine := rows[0], rows[len(rows)-1]
+	if fine.Tests >= coarse.Tests {
+		t.Fatalf("deeper grids must cut candidate tests: %d -> %d", coarse.Tests, fine.Tests)
+	}
+	if fine.Replication < coarse.Replication {
+		t.Fatalf("deeper grids must not reduce replication: %g -> %g",
+			coarse.Replication, fine.Replication)
+	}
+	if fine.IOUnits < coarse.IOUnits {
+		t.Fatalf("deeper grids must not reduce I/O: %g -> %g", coarse.IOUnits, fine.IOUnits)
+	}
+}

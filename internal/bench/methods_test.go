@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+func TestMethodsComparisonAllAgree(t *testing.T) {
+	s := testSuite()
+	rows, tab := RunMethods(s, J1)
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 methods, got %d", len(rows))
+	}
+	// Every method computes the same duplicate-free result set, so the
+	// cardinalities must be identical across all eight rows.
+	want := rows[0].Results
+	if want <= 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rows {
+		if r.Results != want {
+			t.Fatalf("%s disagrees: %d results, want %d", r.Name, r.Results, want)
+		}
+	}
+	// The no-index methods must charge I/O; the index-based ones run in
+	// memory by construction.
+	for _, r := range rows {
+		switch r.Class {
+		case "no index":
+			if r.IOUnits <= 0 {
+				t.Errorf("%s: no I/O charged", r.Name)
+			}
+		default:
+			if r.IOUnits != 0 {
+				t.Errorf("%s: unexpected I/O %g", r.Name, r.IOUnits)
+			}
+		}
+	}
+	if len(tab.Rows) != len(rows) {
+		t.Fatal("table incomplete")
+	}
+}

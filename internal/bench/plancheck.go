@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/estimate"
+	"spatialjoin/internal/plan"
+	"spatialjoin/internal/s3j"
+)
+
+// PlanRow compares the analytic I/O prediction of internal/plan with the
+// measured cost for one method.
+type PlanRow struct {
+	Method    core.Method
+	Predicted float64
+	Measured  float64
+}
+
+// Ratio returns predicted / measured.
+func (r PlanRow) Ratio() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return r.Predicted / r.Measured
+}
+
+// RunPlanCheck validates the cost model of internal/plan against
+// measured runs of join J1 at the standard memory fraction — the
+// optimizer-facing counterpart of Table 3.
+func RunPlanCheck(s *Suite) ([]PlanRow, *Table) {
+	R, S := s.Inputs(J1)
+	mem := MemFrac(R, S, LAMemFrac)
+	w := plan.Workload{
+		NR: len(R), NS: len(S),
+		SampleR: estimate.Sample(R, 1000, s.Seed+41),
+		SampleS: estimate.Sample(S, 1000, s.Seed+42),
+		Memory:  mem,
+	}
+	preds := map[core.Method]plan.Prediction{
+		core.PBSM: plan.PBSM(w, plan.DefaultDevice),
+		core.S3J:  plan.S3J(w, plan.DefaultDevice),
+		core.SSSJ: plan.SSSJ(w, plan.DefaultDevice),
+	}
+	var rows []PlanRow
+	for _, m := range []core.Method{core.PBSM, core.S3J, core.SSSJ} {
+		cfg := core.Config{Method: m, Memory: mem}
+		if m == core.S3J {
+			cfg.S3JMode = s3j.ModeReplicate
+		}
+		res := s.runCore(R, S, cfg)
+		rows = append(rows, PlanRow{
+			Method:    m,
+			Predicted: preds[m].IOUnits,
+			Measured:  res.IO.CostUnits,
+		})
+	}
+	t := &Table{
+		Title:  "Plan check: analytic I/O predictions vs measured (join J1)",
+		Note:   "internal/plan ranks methods for inputs without statistics (§3.2.3); tests require ratios within 2x",
+		Header: []string{"method", "predicted units", "measured units", "ratio"},
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.Method), fmt.Sprintf("%.0f", r.Predicted),
+			fmt.Sprintf("%.0f", r.Measured), fmt.Sprintf("%.2f", r.Ratio()))
+	}
+	return rows, t
+}

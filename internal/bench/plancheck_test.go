@@ -1,0 +1,17 @@
+package bench
+
+import "testing"
+
+func TestPlanCheckWithinFactorTwo(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunPlanCheck(s)
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 methods, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if ratio := r.Ratio(); ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: prediction off by %.2fx (pred %.0f, meas %.0f)",
+				r.Method, ratio, r.Predicted, r.Measured)
+		}
+	}
+}

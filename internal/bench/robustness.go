@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/sweep"
+)
+
+// RobustnessRow runs one method on one data distribution. The paper
+// evaluates real road data only; this sensitivity sweep (beyond the
+// paper) checks that the methods' relative order survives uniform,
+// clustered and diagonally-correlated inputs — the latter being the
+// classic stress case for equidistant grids.
+type RobustnessRow struct {
+	Distribution string
+	Method       string
+	Results      int64
+	Tests        int64
+	IOUnits      float64
+	Total        time.Duration
+}
+
+// RunRobustness joins each distribution with itself at the standard
+// memory fraction under the three principal methods. n ≤ 0 selects
+// 40,000 rectangles per dataset.
+func RunRobustness(s *Suite, n int) ([]RobustnessRow, *Table) {
+	if n <= 0 {
+		n = 40000
+	}
+	distributions := []struct {
+		name string
+		ks   []geom.KPE
+	}{
+		{"uniform", datagen.Uniform(s.Seed+11, n, 0.002)},
+		{"clustered", datagen.LAST(s.Seed+12, n).KPEs},
+		{"diagonal", datagen.Diagonal(s.Seed+13, n, 0.002)},
+		{"gaussian", datagen.Gaussian(s.Seed+14, n, 0.002)},
+	}
+	methods := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PBSM(trie)", core.Config{Method: core.PBSM, Algorithm: sweep.TrieKind}},
+		{"PBSM(list)", core.Config{Method: core.PBSM, Algorithm: sweep.ListKind}},
+		{"S3J(repl)", core.Config{Method: core.S3J, S3JMode: s3j.ModeReplicate}},
+	}
+
+	var rows []RobustnessRow
+	for _, d := range distributions {
+		mem := MemFrac(d.ks, d.ks, LAMemFrac)
+		for _, m := range methods {
+			cfg := m.cfg
+			cfg.Memory = mem
+			res := s.runCore(d.ks, d.ks, cfg)
+			tests := int64(0)
+			if res.PBSMStats != nil {
+				tests = res.PBSMStats.Tests
+			} else if res.S3JStats != nil {
+				tests = res.S3JStats.Tests
+			}
+			rows = append(rows, RobustnessRow{
+				Distribution: d.name,
+				Method:       m.name,
+				Results:      res.Results,
+				Tests:        tests,
+				IOUnits:      res.IO.CostUnits,
+				Total:        res.Total,
+			})
+		}
+	}
+	t := &Table{
+		Title:  "Robustness: self-joins across data distributions (beyond the paper)",
+		Note:   "all methods must agree on result counts per distribution; diagonal data stresses equidistant grids",
+		Header: []string{"distribution", "method", "results", "cand.tests", "I/O units", "total (s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Distribution, r.Method, fint(r.Results), fint(r.Tests),
+			fmt.Sprintf("%.0f", r.IOUnits), fsec(r.Total))
+	}
+	return rows, t
+}

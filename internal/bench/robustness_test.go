@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestRobustnessAllMethodsAgreePerDistribution(t *testing.T) {
+	s := testSuite()
+	rows, _ := RunRobustness(s, 1500)
+	if len(rows) != 12 {
+		t.Fatalf("expected 4 distributions x 3 methods = 12 rows, got %d", len(rows))
+	}
+	byDist := map[string][]RobustnessRow{}
+	for _, r := range rows {
+		byDist[r.Distribution] = append(byDist[r.Distribution], r)
+	}
+	for dist, rs := range byDist {
+		for _, r := range rs[1:] {
+			if r.Results != rs[0].Results {
+				t.Fatalf("%s: %s returned %d results, %s returned %d",
+					dist, r.Method, r.Results, rs[0].Method, rs[0].Results)
+			}
+		}
+		if rs[0].Results == 0 {
+			t.Fatalf("%s: no results — dataset too sparse", dist)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package core is the public facade of the spatial-join library. It wires
+// together the two partition-based join methods the paper studies — PBSM
+// (Patel & DeWitt) and S³J (Koudas & Sevcik) — with the improvements of
+// Dittrich & Seeger (ICDE 2000): Reference-Point-Method duplicate
+// elimination, selectable internal plane-sweep algorithms, and S³J data
+// replication.
+//
+// The entry points are Join (callback-driven, pipelined) and Open (an
+// open-next-close iterator in the sense of Graefe's operator model, so a
+// spatial join can sit inside an operator tree and produce results
+// incrementally — one of the paper's core arguments for on-line duplicate
+// removal).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/sfc"
+	"spatialjoin/internal/shj"
+	"spatialjoin/internal/sssj"
+	"spatialjoin/internal/sweep"
+)
+
+// Method selects the join algorithm.
+type Method string
+
+const (
+	// PBSM is the Partition Based Spatial-Merge Join.
+	PBSM Method = "pbsm"
+	// S3J is the Size Separation Spatial Join.
+	S3J Method = "s3j"
+	// SSSJ is the Scalable Sweeping-Based Spatial Join [APR+ 98].
+	SSSJ Method = "sssj"
+	// SHJ is the Spatial Hash Join of Lo & Ravishankar [LR 96].
+	SHJ Method = "shj"
+)
+
+// Config selects and tunes a spatial join. The zero value is not valid:
+// Memory must be positive. All other fields have sensible defaults.
+type Config struct {
+	// Method is the join algorithm; default PBSM.
+	Method Method
+	// Memory is the main-memory budget in bytes available to the join
+	// (the M of the paper). Required.
+	Memory int64
+	// Algorithm is the internal in-memory join algorithm. Defaults: list
+	// sweep for PBSM, nested loops for S³J — each method's best general
+	// choice per §3.2.2 and §4.4.1.
+	Algorithm sweep.Kind
+
+	// PBSMDup selects PBSM's duplicate-elimination strategy; default
+	// DupRPM (the paper's improvement). Ignored for S³J.
+	PBSMDup pbsm.DupMethod
+	// PBSMTuneFactor, PBSMTilesPerPartition and PBSMMaxRecurse tune
+	// PBSM's partitioning; zero values select the package defaults.
+	PBSMTuneFactor        float64
+	PBSMTilesPerPartition int
+	PBSMMaxRecurse        int
+	// PBSMParallel joins this many partition pairs concurrently (< 2 =
+	// sequential). The result set is unchanged; emission order is not.
+	PBSMParallel int
+
+	// S3JMode selects original or replicated S³J; default ModeReplicate
+	// (the paper's improvement). Ignored for PBSM.
+	S3JMode s3j.Mode
+	// S3JLevels is the number of grid levels; zero selects the default.
+	S3JLevels int
+	// Curve is the locational-code curve for S³J; default Peano.
+	Curve sfc.Curve
+
+	// Disk supplies the simulated device; nil creates a fresh default
+	// disk per join. Provide one to share cost accounting across calls.
+	Disk *diskio.Disk
+	// PageSize, PT and Transfer configure the fresh disk when Disk is
+	// nil; zero values select the diskio defaults.
+	PageSize int
+	PT       float64
+	Transfer time.Duration
+	// BufPages is the sequential I/O buffer size in pages; zero selects
+	// the default.
+	BufPages int
+}
+
+func (c *Config) method() Method {
+	if c.Method == "" {
+		return PBSM
+	}
+	return c.Method
+}
+
+func (c *Config) disk() *diskio.Disk {
+	if c.Disk != nil {
+		return c.Disk
+	}
+	return diskio.NewDisk(c.PageSize, c.PT, c.Transfer)
+}
+
+func (c *Config) algorithm() sweep.Kind {
+	if c.Algorithm != "" {
+		return c.Algorithm
+	}
+	switch c.method() {
+	case S3J:
+		return sweep.NestedLoopsKind
+	case SSSJ:
+		return sweep.TrieKind
+	default:
+		return sweep.ListKind
+	}
+}
+
+// Result reports what a join did: result cardinality, I/O activity,
+// measured CPU time, and the simulated total runtime in the cost model of
+// §2 (CPU + positioning/transfer time of all intermediate I/O; reading
+// the inputs and writing the output are free).
+type Result struct {
+	Method  Method
+	Results int64
+
+	IO  diskio.Stats
+	CPU time.Duration
+	// IOTime is the simulated time of the charged I/O.
+	IOTime time.Duration
+	// Total is CPU + IOTime, the figure the paper plots as runtime.
+	Total time.Duration
+
+	// PBSMStats is populated when Method == PBSM.
+	PBSMStats *pbsm.Stats
+	// S3JStats is populated when Method == S3J.
+	S3JStats *s3j.Stats
+	// SSSJStats is populated when Method == SSSJ.
+	SSSJStats *sssj.Stats
+	// SHJStats is populated when Method == SHJ.
+	SHJStats *shj.Stats
+}
+
+// Join computes the spatial intersection join of R and S in the filter
+// step sense: every pair of KPEs with intersecting rectangles is
+// delivered to emit exactly once. The inputs are not modified.
+func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
+	if cfg.Memory <= 0 {
+		return Result{}, fmt.Errorf("core: Config.Memory must be positive, got %d", cfg.Memory)
+	}
+	disk := cfg.disk()
+	before := disk.Stats()
+	res := Result{Method: cfg.method()}
+
+	switch res.Method {
+	case PBSM:
+		st, err := pbsm.Join(R, S, pbsm.Config{
+			Disk:              disk,
+			Memory:            cfg.Memory,
+			Algorithm:         cfg.algorithm(),
+			Dup:               cfg.PBSMDup,
+			TuneFactor:        cfg.PBSMTuneFactor,
+			TilesPerPartition: cfg.PBSMTilesPerPartition,
+			MaxRecurse:        cfg.PBSMMaxRecurse,
+			Parallel:          cfg.PBSMParallel,
+			BufPages:          cfg.BufPages,
+		}, emit)
+		if err != nil {
+			return Result{}, err
+		}
+		res.PBSMStats = &st
+		res.Results = st.Results
+		res.CPU = st.TotalCPU()
+	case S3J:
+		st, err := s3j.Join(R, S, s3j.Config{
+			Disk:      disk,
+			Memory:    cfg.Memory,
+			Mode:      cfg.S3JMode,
+			Algorithm: cfg.algorithm(),
+			Curve:     cfg.Curve,
+			Levels:    cfg.S3JLevels,
+			BufPages:  cfg.BufPages,
+		}, emit)
+		if err != nil {
+			return Result{}, err
+		}
+		res.S3JStats = &st
+		res.Results = st.Results
+		res.CPU = st.TotalCPU()
+	case SSSJ:
+		st, err := sssj.Join(R, S, sssj.Config{
+			Disk:      disk,
+			Memory:    cfg.Memory,
+			Algorithm: cfg.algorithm(),
+			BufPages:  cfg.BufPages,
+		}, emit)
+		if err != nil {
+			return Result{}, err
+		}
+		res.SSSJStats = &st
+		res.Results = st.Results
+		res.CPU = st.TotalCPU()
+	case SHJ:
+		st, err := shj.Join(R, S, shj.Config{
+			Disk:      disk,
+			Memory:    cfg.Memory,
+			Algorithm: cfg.algorithm(),
+			BufPages:  cfg.BufPages,
+		}, emit)
+		if err != nil {
+			return Result{}, err
+		}
+		res.SHJStats = &st
+		res.Results = st.Results
+		res.CPU = st.TotalCPU()
+	default:
+		return Result{}, fmt.Errorf("core: unknown method %q", cfg.Method)
+	}
+
+	res.IO = disk.Stats().Sub(before)
+	res.IOTime = disk.CostTime(res.IO.CostUnits)
+	res.Total = res.CPU + res.IOTime
+	return res, nil
+}
+
+// Collect runs Join and gathers all result pairs in memory, convenient
+// for small joins and tests.
+func Collect(R, S []geom.KPE, cfg Config) ([]geom.Pair, Result, error) {
+	var pairs []geom.Pair
+	res, err := Join(R, S, cfg, func(p geom.Pair) { pairs = append(pairs, p) })
+	return pairs, res, err
+}
+
+// Iterator delivers join results one at a time through the
+// open-next-close interface [Gra 93], allowing the join to feed an
+// operator tree. With PBSM+RPM (and S³J) the first result arrives as soon
+// as the first partition pair is joined; with the original PBSM
+// (DupSort), Next blocks until the final sort phase begins output — the
+// pipelining difference §3.1 of the paper describes.
+type Iterator struct {
+	pairs  chan geom.Pair
+	done   chan struct{}
+	result Result
+	err    error
+	fin    chan struct{}
+}
+
+// Open starts the join and returns an iterator over its results. Close
+// must be called to release the producing goroutine.
+func Open(R, S []geom.KPE, cfg Config) *Iterator {
+	it := &Iterator{
+		pairs: make(chan geom.Pair, 64),
+		done:  make(chan struct{}),
+		fin:   make(chan struct{}),
+	}
+	go func() {
+		defer close(it.fin)
+		defer close(it.pairs)
+		res, err := Join(R, S, cfg, func(p geom.Pair) {
+			select {
+			case it.pairs <- p:
+			case <-it.done:
+				// Consumer closed early: discard remaining results.
+			}
+		})
+		it.result, it.err = res, err
+	}()
+	return it
+}
+
+// Next returns the next result pair; ok is false when the join has
+// finished or failed (check Err).
+func (it *Iterator) Next() (p geom.Pair, ok bool) {
+	p, ok = <-it.pairs
+	return p, ok
+}
+
+// Close releases the iterator. It is safe to call at any time, also
+// before exhausting the results.
+func (it *Iterator) Close() {
+	select {
+	case <-it.done:
+	default:
+		close(it.done)
+	}
+	// Drain so the producer can finish.
+	for range it.pairs {
+	}
+	<-it.fin
+}
+
+// Err returns the join error, valid after the iterator is exhausted or
+// closed.
+func (it *Iterator) Err() error {
+	<-it.fin
+	return it.err
+}
+
+// Result returns the run statistics, valid after the iterator is
+// exhausted or closed.
+func (it *Iterator) Result() Result {
+	<-it.fin
+	return it.result
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/sweep"
+)
+
+// naiveJoin is the quadratic ground-truth oracle.
+func naiveJoin(R, S []geom.KPE) []geom.Pair {
+	var out []geom.Pair
+	for _, r := range R {
+		for _, s := range S {
+			if r.Rect.Intersects(s.Rect) {
+				out = append(out, geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+// checkJoin runs cfg on (R, S) and compares the result set against the
+// oracle, also asserting duplicate-freeness.
+func checkJoin(t *testing.T, R, S []geom.KPE, cfg Config) Result {
+	t.Helper()
+	want := naiveJoin(R, S)
+	got, res, err := Collect(R, S, cfg)
+	if err != nil {
+		t.Fatalf("Join failed: %v", err)
+	}
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v in response set", p)
+		}
+		seen[p] = true
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if res.Results != int64(len(want)) {
+		t.Fatalf("Result.Results = %d, want %d", res.Results, len(want))
+	}
+	return res
+}
+
+// configsUnderTest enumerates every method/algorithm/dup-mode combination
+// the library offers.
+func configsUnderTest(memory int64) []Config {
+	var cfgs []Config
+	for _, alg := range []sweep.Kind{sweep.NestedLoopsKind, sweep.ListKind, sweep.TrieKind} {
+		for _, dup := range []pbsm.DupMethod{pbsm.DupRPM, pbsm.DupSort} {
+			cfgs = append(cfgs, Config{Method: PBSM, Memory: memory, Algorithm: alg, PBSMDup: dup})
+		}
+		for _, mode := range []s3j.Mode{s3j.ModeOriginal, s3j.ModeReplicate} {
+			cfgs = append(cfgs, Config{Method: S3J, Memory: memory, Algorithm: alg, S3JMode: mode})
+		}
+		cfgs = append(cfgs, Config{Method: SHJ, Memory: memory, Algorithm: alg})
+		if alg != sweep.NestedLoopsKind { // SSSJ sweeps the whole space: no nested loops
+			cfgs = append(cfgs, Config{Method: SSSJ, Memory: memory, Algorithm: alg})
+		}
+	}
+	return cfgs
+}
+
+func configName(c Config) string {
+	switch c.Method {
+	case S3J:
+		return fmt.Sprintf("s3j/%s/%s", c.S3JMode, c.Algorithm)
+	case SSSJ, SHJ:
+		return fmt.Sprintf("%s/%s", c.Method, c.Algorithm)
+	default:
+		return fmt.Sprintf("pbsm/%s/%s", c.PBSMDup, c.Algorithm)
+	}
+}
+
+func TestAllMethodsMatchOracleSmall(t *testing.T) {
+	R := datagen.Uniform(1, 300, 0.05)
+	S := datagen.Uniform(2, 300, 0.05)
+	for _, cfg := range configsUnderTest(8 * 1024) { // tiny memory: forces partitioning
+		cfg := cfg
+		t.Run(configName(cfg), func(t *testing.T) {
+			checkJoin(t, R, S, cfg)
+		})
+	}
+}
+
+func TestAllMethodsMatchOracleClustered(t *testing.T) {
+	R := datagen.LARR(7, 800).KPEs
+	S := datagen.LAST(8, 800).KPEs
+	for _, cfg := range configsUnderTest(16 * 1024) {
+		cfg := cfg
+		t.Run(configName(cfg), func(t *testing.T) {
+			checkJoin(t, R, S, cfg)
+		})
+	}
+}
+
+func TestSelfJoinMatchesOracle(t *testing.T) {
+	R := datagen.Uniform(3, 400, 0.03)
+	for _, cfg := range configsUnderTest(8 * 1024) {
+		cfg := cfg
+		t.Run(configName(cfg), func(t *testing.T) {
+			checkJoin(t, R, R, cfg)
+		})
+	}
+}
+
+func TestLargeMemorySinglePartition(t *testing.T) {
+	R := datagen.Uniform(4, 200, 0.05)
+	S := datagen.Uniform(5, 200, 0.05)
+	for _, cfg := range configsUnderTest(64 << 20) { // everything fits in memory
+		cfg := cfg
+		t.Run(configName(cfg), func(t *testing.T) {
+			checkJoin(t, R, S, cfg)
+		})
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	R := datagen.Uniform(6, 50, 0.05)
+	for _, cfg := range configsUnderTest(8 * 1024) {
+		cfg := cfg
+		t.Run(configName(cfg), func(t *testing.T) {
+			checkJoin(t, nil, R, cfg)
+			checkJoin(t, R, nil, cfg)
+			checkJoin(t, nil, nil, cfg)
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Join(nil, nil, Config{}, func(geom.Pair) {}); err == nil {
+		t.Fatal("want error for zero Memory")
+	}
+	if _, err := Join(nil, nil, Config{Memory: 1 << 20, Method: "bogus"}, func(geom.Pair) {}); err == nil {
+		t.Fatal("want error for unknown method")
+	}
+}
+
+func TestIteratorDeliversAllResults(t *testing.T) {
+	R := datagen.Uniform(9, 300, 0.05)
+	S := datagen.Uniform(10, 300, 0.05)
+	want := naiveJoin(R, S)
+	it := Open(R, S, Config{Method: PBSM, Memory: 8 * 1024})
+	var got []geom.Pair
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	it.Close()
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if r := it.Result(); r.Results != int64(len(want)) {
+		t.Fatalf("Result.Results = %d, want %d", r.Results, len(want))
+	}
+}
+
+func TestIteratorWorksForEveryMethod(t *testing.T) {
+	R := datagen.Uniform(15, 200, 0.05)
+	S := datagen.Uniform(16, 200, 0.05)
+	want := int64(len(naiveJoin(R, S)))
+	for _, m := range []Method{PBSM, S3J, SSSJ, SHJ} {
+		it := Open(R, S, Config{Method: m, Memory: 8 * 1024})
+		var n int64
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		it.Close()
+		if err := it.Err(); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if n != want {
+			t.Fatalf("%s: iterator yielded %d, want %d", m, n, want)
+		}
+	}
+}
+
+func TestIteratorEarlyClose(t *testing.T) {
+	R := datagen.Uniform(11, 500, 0.08)
+	S := datagen.Uniform(12, 500, 0.08)
+	it := Open(R, S, Config{Method: PBSM, Memory: 8 * 1024})
+	if _, ok := it.Next(); !ok {
+		t.Fatal("expected at least one result")
+	}
+	it.Close() // must not deadlock
+	if err := it.Err(); err != nil {
+		t.Fatalf("unexpected error after early close: %v", err)
+	}
+}
+
+func TestStatsArePopulated(t *testing.T) {
+	R := datagen.Uniform(13, 400, 0.05)
+	S := datagen.Uniform(14, 400, 0.05)
+
+	_, res, err := Collect(R, S, Config{Method: PBSM, Memory: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PBSMStats == nil || res.S3JStats != nil {
+		t.Fatal("PBSM result must carry PBSMStats only")
+	}
+	if res.PBSMStats.P < 2 {
+		t.Fatalf("expected multiple partitions at 8KB memory, got P=%d", res.PBSMStats.P)
+	}
+	if res.IO.PagesWritten == 0 || res.IO.PagesRead == 0 {
+		t.Fatal("partitioned join must perform I/O")
+	}
+	if res.Total < res.IOTime || res.Total < res.CPU {
+		t.Fatal("Total must dominate both components")
+	}
+
+	_, res, err = Collect(R, S, Config{Method: S3J, Memory: 8 * 1024, S3JMode: s3j.ModeReplicate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S3JStats == nil || res.PBSMStats != nil {
+		t.Fatal("S3J result must carry S3JStats only")
+	}
+	if res.S3JStats.CopiesR <= int64(len(R))/2 {
+		t.Fatalf("implausible replication count %d", res.S3JStats.CopiesR)
+	}
+}

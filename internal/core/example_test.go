@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/s3j"
+)
+
+// The minimal join: two tiny relations, PBSM with the Reference Point
+// Method (the default), results delivered through a callback.
+func ExampleJoin() {
+	R := []geom.KPE{
+		{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.4, 0.4)},
+		{ID: 2, Rect: geom.NewRect(0.6, 0.6, 0.9, 0.9)},
+	}
+	S := []geom.KPE{
+		{ID: 10, Rect: geom.NewRect(0.3, 0.3, 0.7, 0.7)}, // touches both
+		{ID: 11, Rect: geom.NewRect(0.0, 0.8, 0.1, 0.9)}, // touches neither
+	}
+	var pairs []geom.Pair
+	_, err := core.Join(R, S, core.Config{Memory: 1 << 20}, func(p geom.Pair) {
+		pairs = append(pairs, p)
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+	for _, p := range pairs {
+		fmt.Printf("%d-%d\n", p.R, p.S)
+	}
+	// Output:
+	// 1-10
+	// 2-10
+}
+
+// Selecting S³J with the paper's replication improvement instead of
+// PBSM; the result set is identical, only the processing differs.
+func ExampleJoin_s3j() {
+	R := []geom.KPE{{ID: 1, Rect: geom.NewRect(0.2, 0.2, 0.5, 0.5)}}
+	S := []geom.KPE{{ID: 2, Rect: geom.NewRect(0.4, 0.4, 0.8, 0.8)}}
+	res, err := core.Join(R, S, core.Config{
+		Method:  core.S3J,
+		S3JMode: s3j.ModeReplicate,
+		Memory:  1 << 20,
+	}, func(p geom.Pair) {
+		fmt.Printf("%d intersects %d\n", p.R, p.S)
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("results:", res.Results)
+	// Output:
+	// 1 intersects 2
+	// results: 1
+}
+
+// Pulling results through the open-next-close iterator, the operator
+// interface of Graefe that the paper's on-line duplicate removal keeps
+// unblocked.
+func ExampleOpen() {
+	R := []geom.KPE{{ID: 1, Rect: geom.NewRect(0, 0, 1, 1)}}
+	S := []geom.KPE{
+		{ID: 5, Rect: geom.NewRect(0.1, 0.1, 0.2, 0.2)},
+		{ID: 6, Rect: geom.NewRect(0.7, 0.7, 0.8, 0.8)},
+	}
+	it := core.Open(R, S, core.Config{Memory: 1 << 20})
+	defer it.Close()
+	n := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	fmt.Println("pairs:", n)
+	// Output:
+	// pairs: 2
+}
+
+// Recommend encodes the paper's conclusions: PBSM with the sweep-line
+// structure chosen by the memory-to-input ratio.
+func ExampleRecommend() {
+	cfg := core.Recommend(100000, 100000, 64<<20)
+	fmt.Println(cfg.Method, cfg.Algorithm)
+	cfg = core.Recommend(100000, 100000, 1<<20)
+	fmt.Println(cfg.Method, cfg.Algorithm)
+	// Output:
+	// pbsm trie
+	// pbsm list
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+)
+
+// Recommend returns a Config following the operational conclusions of
+// the paper's §5 and §6 for a join of nr × ns KPEs under a memory budget
+// of m bytes:
+//
+//   - PBSM with the Reference Point Method is the method of choice
+//     ("our best version of PBSM still outperforms S³J on the average by
+//     a factor of two").
+//   - The internal algorithm follows Figure 5's crossover: the classic
+//     list-based Plane Sweep Intersection-Test while partitions stay
+//     small (memory under ~30 % of the input size), the trie-based sweep
+//     once partitions grow — including the everything-in-memory case,
+//     where the list degenerates (§3.2.2).
+//
+// Callers with unusual constraints (minimal resident footprint during
+// the join phase, strictly bounded replication) can still pick S³J with
+// replication manually; Recommend optimizes for total runtime.
+func Recommend(nr, ns int, m int64) Config {
+	cfg := Config{
+		Method: PBSM,
+		Memory: m,
+	}
+	inputBytes := int64(nr+ns) * geom.KPESize
+	if inputBytes > 0 && float64(m) >= 0.3*float64(inputBytes) {
+		cfg.Algorithm = sweep.TrieKind
+	} else {
+		cfg.Algorithm = sweep.ListKind
+	}
+	return cfg
+}

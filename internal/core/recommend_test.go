@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+)
+
+func TestRecommendFollowsFigure5Crossover(t *testing.T) {
+	const n = 10000
+	input := int64(2*n) * geom.KPESize
+	small := Recommend(n, n, input/10) // 10% of input: small partitions
+	if small.Algorithm != sweep.ListKind {
+		t.Fatalf("small memory must pick the list sweep, got %s", small.Algorithm)
+	}
+	large := Recommend(n, n, input) // everything fits
+	if large.Algorithm != sweep.TrieKind {
+		t.Fatalf("large memory must pick the trie sweep, got %s", large.Algorithm)
+	}
+	for _, cfg := range []Config{small, large} {
+		if cfg.Method != PBSM {
+			t.Fatalf("the paper's conclusion is PBSM, got %s", cfg.Method)
+		}
+		if cfg.Memory <= 0 {
+			t.Fatal("memory must be carried through")
+		}
+	}
+}
+
+func TestRecommendedConfigActuallyRuns(t *testing.T) {
+	R := datagen.Uniform(1, 400, 0.05)
+	S := datagen.Uniform(2, 400, 0.05)
+	for _, m := range []int64{4 << 10, 4 << 20} {
+		cfg := Recommend(len(R), len(S), m)
+		checkJoin(t, R, S, cfg)
+	}
+}
+
+func TestRecommendDegenerate(t *testing.T) {
+	cfg := Recommend(0, 0, 1<<20)
+	if cfg.Method != PBSM || cfg.Algorithm == "" {
+		t.Fatalf("degenerate inputs must still yield a valid config: %+v", cfg)
+	}
+}

@@ -1,0 +1,387 @@
+// Package datagen synthesizes the datasets of the paper's experiments
+// (Table 1). The original evaluation used TIGER/Line extracts — railways
+// and rivers of Los Angeles (LA_RR), streets of Los Angeles (LA_ST) and
+// streets of California (CAL_ST) — which are not redistributable here, so
+// the generators reproduce the properties the join algorithms actually
+// depend on: the published cardinalities, the published coverage (sum of
+// rectangle areas over the data-space area), the MBR shape mix of line
+// data (short axis-aligned street segments vs. longer meandering
+// river/rail polylines), and the clustered spatial skew of road networks.
+//
+// The (p)-scaled variants LA_RR(p)/LA_ST(p) grow both edges of every
+// rectangle by the factor p around its center, exactly the
+// transformation of §2, so coverage grows quadratically in p.
+//
+// All generators are deterministic for a given seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+)
+
+// Published properties of the paper's datasets (Table 1).
+const (
+	LARRCount     = 128971
+	LARRCoverage  = 0.22
+	LASTCount     = 131461
+	LASTCoverage  = 0.03
+	CALSTCount    = 1888012
+	CALSTCoverage = 0.12
+)
+
+// Dataset is a named relation of KPEs together with the exact line
+// geometry each MBR bounds. KPEs[i].Rect is always Segments[i].MBR(), so
+// the refinement step (package refine) can test the true geometry behind
+// every filter-step candidate.
+type Dataset struct {
+	Name     string
+	KPEs     []geom.KPE
+	Segments []exact.Segment
+}
+
+// Geometries returns the exact geometries as the interface slice the
+// refinement tables consume.
+func (d Dataset) Geometries() []exact.Geometry {
+	out := make([]exact.Geometry, len(d.Segments))
+	for i, s := range d.Segments {
+		out[i] = s
+	}
+	return out
+}
+
+// Coverage returns the sum of rectangle areas divided by the area of the
+// MBR of all rectangles, the measure of Table 1.
+func Coverage(ks []geom.KPE) float64 {
+	if len(ks) == 0 {
+		return 0
+	}
+	var sum float64
+	mbr := ks[0].Rect
+	for _, k := range ks {
+		sum += k.Rect.Area()
+		mbr = mbr.Union(k.Rect)
+	}
+	if a := mbr.Area(); a > 0 {
+		return sum / a
+	}
+	return 0
+}
+
+// Scale applies the paper's (p)-transformation: both edges of every
+// rectangle grow by the factor p around the center, clamped to the unit
+// space. IDs are preserved.
+func Scale(ks []geom.KPE, p float64) []geom.KPE {
+	out := make([]geom.KPE, len(ks))
+	for i, k := range ks {
+		out[i] = geom.KPE{ID: k.ID, Rect: k.Rect.Scale(p)}
+	}
+	return out
+}
+
+// LARR generates an LA_RR-like dataset with n rectangles: meandering
+// polyline chains (rivers, railways) with relatively long, often diagonal
+// segments, calibrated to coverage ≈ 0.22. n ≤ 0 selects the published
+// cardinality.
+func LARR(seed int64, n int) Dataset {
+	if n <= 0 {
+		n = LARRCount
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ks, segs := polylines(rng, n, polylineConfig{
+		chains:   n / 220, // long chains: rivers cross the region
+		step:     0.004,   // mean segment length
+		stepVar:  0.5,
+		turn:     0.35,  // radians std-dev per step: meander
+		restarts: 0.004, // chance a chain jumps elsewhere
+	})
+	calibrate(ks, segs, LARRCoverage)
+	return Dataset{Name: "LA_RR", KPEs: ks, Segments: segs}
+}
+
+// LAST generates an LA_ST-like dataset with n rectangles: dense clusters
+// of short, mostly axis-aligned street segments, calibrated to coverage
+// ≈ 0.03. n ≤ 0 selects the published cardinality.
+func LAST(seed int64, n int) Dataset {
+	if n <= 0 {
+		n = LASTCount
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ks, segs := streets(rng, n, streetConfig{
+		clusters: 60,
+		spread:   0.06,
+		seg:      0.0012,
+	})
+	calibrate(ks, segs, LASTCoverage)
+	return Dataset{Name: "LA_ST", KPEs: ks, Segments: segs}
+}
+
+// CALST generates a CAL_ST-like dataset with n rectangles: street
+// clusters strung along corridors across a larger region, calibrated to
+// coverage ≈ 0.12. n ≤ 0 selects the published cardinality (1.9 million
+// rectangles); pass a smaller n for scaled-down experiments.
+func CALST(seed int64, n int) Dataset {
+	if n <= 0 {
+		n = CALSTCount
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ks, segs := streets(rng, n, streetConfig{
+		clusters: 400,
+		spread:   0.025,
+		seg:      0.0009,
+	})
+	calibrate(ks, segs, CALSTCoverage)
+	return Dataset{Name: "CAL_ST", KPEs: ks, Segments: segs}
+}
+
+// Uniform generates n rectangles with centers uniform in the unit square
+// and edges uniform in (0, maxEdge]; useful for tests and
+// micro-benchmarks rather than paper experiments.
+func Uniform(seed int64, n int, maxEdge float64) []geom.KPE {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]geom.KPE, n)
+	for i := range ks {
+		w := rng.Float64() * maxEdge
+		h := rng.Float64() * maxEdge
+		cx := rng.Float64()
+		cy := rng.Float64()
+		ks[i] = geom.KPE{
+			ID:   uint64(i),
+			Rect: geom.Rect{XL: cx - w/2, YL: cy - h/2, XH: cx + w/2, YH: cy + h/2}.ClampUnit(),
+		}
+	}
+	return ks
+}
+
+type polylineConfig struct {
+	chains   int
+	step     float64
+	stepVar  float64
+	turn     float64
+	restarts float64
+}
+
+// polylines emits segments (and their MBRs) along meandering chains.
+func polylines(rng *rand.Rand, n int, cfg polylineConfig) ([]geom.KPE, []exact.Segment) {
+	if cfg.chains < 1 {
+		cfg.chains = 1
+	}
+	perChain := n / cfg.chains
+	ks := make([]geom.KPE, 0, n)
+	segs := make([]exact.Segment, 0, n)
+	id := uint64(0)
+	for len(ks) < n {
+		x, y := rng.Float64(), rng.Float64()
+		dir := rng.Float64() * 2 * math.Pi
+		for c := 0; c < perChain && len(ks) < n; c++ {
+			if rng.Float64() < cfg.restarts {
+				x, y = rng.Float64(), rng.Float64()
+				dir = rng.Float64() * 2 * math.Pi
+			}
+			dir += rng.NormFloat64() * cfg.turn
+			l := cfg.step * (1 + cfg.stepVar*rng.NormFloat64())
+			if l < cfg.step*0.1 {
+				l = cfg.step * 0.1
+			}
+			nx := x + math.Cos(dir)*l
+			ny := y + math.Sin(dir)*l
+			// Reflect at the region boundary to keep chains inside.
+			if nx < 0 || nx > 1 {
+				dir = math.Pi - dir
+				nx = x
+			}
+			if ny < 0 || ny > 1 {
+				dir = -dir
+				ny = y
+			}
+			s := exact.Segment{A: geom.Point{X: x, Y: y}, B: geom.Point{X: nx, Y: ny}}
+			ks = append(ks, geom.KPE{ID: id, Rect: s.MBR()})
+			segs = append(segs, s)
+			id++
+			x, y = nx, ny
+		}
+	}
+	return ks, segs
+}
+
+type streetConfig struct {
+	clusters int
+	spread   float64
+	seg      float64
+}
+
+// streets emits short, mostly axis-aligned segments (and their MBRs)
+// around town centers whose sizes follow a heavy-tailed distribution.
+func streets(rng *rand.Rand, n int, cfg streetConfig) ([]geom.KPE, []exact.Segment) {
+	type town struct {
+		x, y, spread float64
+		weight       float64
+	}
+	towns := make([]town, cfg.clusters)
+	var totalW float64
+	for i := range towns {
+		w := math.Pow(rng.Float64(), 2.5) // few big towns, many small ones
+		towns[i] = town{
+			x:      rng.Float64(),
+			y:      rng.Float64(),
+			spread: cfg.spread * (0.3 + rng.Float64()),
+			weight: w,
+		}
+		totalW += w
+	}
+	ks := make([]geom.KPE, 0, n)
+	segs := make([]exact.Segment, 0, n)
+	for id := uint64(0); len(ks) < n; id++ {
+		// Pick a town proportionally to weight.
+		t := towns[len(towns)-1]
+		pick := rng.Float64() * totalW
+		for i := range towns {
+			pick -= towns[i].weight
+			if pick <= 0 {
+				t = towns[i]
+				break
+			}
+		}
+		cx := t.x + rng.NormFloat64()*t.spread
+		cy := t.y + rng.NormFloat64()*t.spread
+		l := cfg.seg * (0.5 + rng.ExpFloat64())
+		// Streets follow the grid with occasional diagonals; a small
+		// perpendicular jitter keeps MBR areas positive.
+		var dx, dy float64
+		switch rng.Intn(10) {
+		case 0, 1: // diagonal connector
+			a := rng.Float64() * 2 * math.Pi
+			dx, dy = math.Cos(a)*l, math.Sin(a)*l
+		case 2, 3, 4, 5: // east-west block
+			dx, dy = l, l*0.12*rng.Float64()
+		default: // north-south block
+			dx, dy = l*0.12*rng.Float64(), l
+		}
+		s := exact.Segment{A: geom.Point{X: cx, Y: cy}, B: geom.Point{X: cx + dx, Y: cy + dy}}
+		r := s.MBR()
+		if r.Area() == 0 || r.XL < 0 || r.XH > 1 || r.YL < 0 || r.YH > 1 {
+			continue
+		}
+		ks = append(ks, geom.KPE{ID: id, Rect: r})
+		segs = append(segs, s)
+	}
+	// Reassign dense IDs (some draws were rejected).
+	for i := range ks {
+		ks[i].ID = uint64(i)
+	}
+	return ks, segs
+}
+
+// calibrate rescales every segment around its midpoint so the dataset's
+// coverage matches the target, iterating to absorb boundary clamping.
+// Rectangles are rebuilt from the scaled segments, preserving the
+// invariant KPEs[i].Rect == Segments[i].MBR().
+func calibrate(ks []geom.KPE, segs []exact.Segment, target float64) {
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	for iter := 0; iter < 4; iter++ {
+		cur := Coverage(ks)
+		if cur <= 0 {
+			return
+		}
+		f := math.Sqrt(target / cur)
+		if math.Abs(f-1) < 0.01 {
+			return
+		}
+		for i := range segs {
+			mx := (segs[i].A.X + segs[i].B.X) / 2
+			my := (segs[i].A.Y + segs[i].B.Y) / 2
+			segs[i].A.X = clamp(mx + (segs[i].A.X-mx)*f)
+			segs[i].A.Y = clamp(my + (segs[i].A.Y-my)*f)
+			segs[i].B.X = clamp(mx + (segs[i].B.X-mx)*f)
+			segs[i].B.Y = clamp(my + (segs[i].B.Y-my)*f)
+			ks[i].Rect = segs[i].MBR()
+		}
+	}
+}
+
+// Parcels generates n convex land parcels (buildings, lots, lakes)
+// clustered around town centers, returning their MBR KPEs and exact
+// polygons with matching indices. Parcels exercise the refinement step's
+// kernel approximations: unlike line segments they have interiors, so a
+// kernel-kernel test can confirm intersections without exact geometry.
+func Parcels(seed int64, n int) ([]geom.KPE, []exact.Polygon) {
+	rng := rand.New(rand.NewSource(seed))
+	type town struct{ x, y, spread float64 }
+	towns := make([]town, 40)
+	for i := range towns {
+		towns[i] = town{rng.Float64(), rng.Float64(), 0.02 + 0.05*rng.Float64()}
+	}
+	ks := make([]geom.KPE, 0, n)
+	polys := make([]exact.Polygon, 0, n)
+	jitter := make([]float64, 8)
+	for len(ks) < n {
+		t := towns[rng.Intn(len(towns))]
+		cx := t.x + rng.NormFloat64()*t.spread
+		cy := t.y + rng.NormFloat64()*t.spread
+		radius := 0.0015 * (0.5 + rng.ExpFloat64())
+		verts := 3 + rng.Intn(6)
+		for j := 0; j < verts; j++ {
+			jitter[j] = rng.Float64()
+		}
+		p := exact.RegularPolygon(geom.Point{X: cx, Y: cy}, radius, verts, jitter[:verts])
+		mbr := p.MBR()
+		if p.Validate() != nil || mbr.XL < 0 || mbr.YL < 0 || mbr.XH > 1 || mbr.YH > 1 {
+			continue
+		}
+		ks = append(ks, geom.KPE{ID: uint64(len(ks)), Rect: mbr})
+		polys = append(polys, p)
+	}
+	return ks, polys
+}
+
+// Gaussian generates n rectangles whose centers cluster around a single
+// normal blob (a monocentric city), with edge lengths around avgEdge.
+// Useful for sensitivity experiments beyond the paper's road datasets.
+func Gaussian(seed int64, n int, avgEdge float64) []geom.KPE {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]geom.KPE, 0, n)
+	for len(ks) < n {
+		cx := 0.5 + rng.NormFloat64()*0.15
+		cy := 0.5 + rng.NormFloat64()*0.15
+		w := avgEdge * (0.5 + rng.ExpFloat64())
+		h := avgEdge * (0.5 + rng.ExpFloat64())
+		r := geom.NewRect(cx-w/2, cy-h/2, cx+w/2, cy+h/2)
+		if r.XL < 0 || r.YL < 0 || r.XH > 1 || r.YH > 1 {
+			continue
+		}
+		ks = append(ks, geom.KPE{ID: uint64(len(ks)), Rect: r})
+	}
+	return ks
+}
+
+// Diagonal generates n rectangles strung along the main diagonal (a
+// correlated distribution): the worst case for equidistant grids, since
+// most tiles stay empty while diagonal tiles overflow.
+func Diagonal(seed int64, n int, avgEdge float64) []geom.KPE {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]geom.KPE, 0, n)
+	for len(ks) < n {
+		t := rng.Float64()
+		cx := t + rng.NormFloat64()*0.03
+		cy := t + rng.NormFloat64()*0.03
+		w := avgEdge * (0.5 + rng.ExpFloat64())
+		h := avgEdge * (0.5 + rng.ExpFloat64())
+		r := geom.NewRect(cx-w/2, cy-h/2, cx+w/2, cy+h/2)
+		if r.XL < 0 || r.YL < 0 || r.XH > 1 || r.YH > 1 {
+			continue
+		}
+		ks = append(ks, geom.KPE{ID: uint64(len(ks)), Rect: r})
+	}
+	return ks
+}

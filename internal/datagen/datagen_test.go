@@ -1,0 +1,242 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func checkDataset(t *testing.T, ds Dataset, wantN int, wantCov float64) {
+	t.Helper()
+	if len(ds.KPEs) != wantN {
+		t.Fatalf("%s: %d rects, want %d", ds.Name, len(ds.KPEs), wantN)
+	}
+	cov := Coverage(ds.KPEs)
+	if math.Abs(cov-wantCov)/wantCov > 0.15 {
+		t.Fatalf("%s: coverage %.4f, want ≈%.4f", ds.Name, cov, wantCov)
+	}
+	ids := make(map[uint64]bool, len(ds.KPEs))
+	for _, k := range ds.KPEs {
+		if !k.Rect.Valid() {
+			t.Fatalf("%s: invalid rect %v", ds.Name, k.Rect)
+		}
+		if k.Rect.XL < 0 || k.Rect.XH > 1 || k.Rect.YL < 0 || k.Rect.YH > 1 {
+			t.Fatalf("%s: rect %v escapes unit square", ds.Name, k.Rect)
+		}
+		if ids[k.ID] {
+			t.Fatalf("%s: duplicate ID %d", ds.Name, k.ID)
+		}
+		ids[k.ID] = true
+	}
+}
+
+func TestLARRProperties(t *testing.T) {
+	checkDataset(t, LARR(1, 5000), 5000, LARRCoverage)
+}
+
+func TestLASTProperties(t *testing.T) {
+	checkDataset(t, LAST(1, 5000), 5000, LASTCoverage)
+}
+
+func TestCALSTProperties(t *testing.T) {
+	checkDataset(t, CALST(1, 8000), 8000, CALSTCoverage)
+}
+
+func TestPublishedCardinalitiesAreDefault(t *testing.T) {
+	// Generating the full datasets is too slow for a unit test; just
+	// check the constants match Table 1 of the paper.
+	if LARRCount != 128971 || LASTCount != 131461 || CALSTCount != 1888012 {
+		t.Fatal("published cardinalities changed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := LAST(42, 1000)
+	b := LAST(42, 1000)
+	if len(a.KPEs) != len(b.KPEs) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.KPEs {
+		if a.KPEs[i] != b.KPEs[i] {
+			t.Fatalf("nondeterministic at %d: %v != %v", i, a.KPEs[i], b.KPEs[i])
+		}
+	}
+	c := LAST(43, 1000)
+	same := true
+	for i := range a.KPEs {
+		if a.KPEs[i] != c.KPEs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestScaleGrowsCoverageQuadratically(t *testing.T) {
+	ds := LAST(7, 4000)
+	base := Coverage(ds.KPEs)
+	for _, p := range []float64{2, 3} {
+		scaled := Scale(ds.KPEs, p)
+		cov := Coverage(scaled)
+		want := base * p * p
+		// Boundary clamping shaves some area; allow 25% slack.
+		if cov < want*0.75 || cov > want*1.05 {
+			t.Errorf("Scale(%g): coverage %.4f, want ≈%.4f", p, cov, want)
+		}
+		for i, k := range scaled {
+			if k.ID != ds.KPEs[i].ID {
+				t.Fatal("Scale must preserve IDs")
+			}
+		}
+	}
+}
+
+func TestScaleDoesNotMutateInput(t *testing.T) {
+	ds := LAST(8, 500)
+	orig := append([]geom.KPE(nil), ds.KPEs...)
+	Scale(ds.KPEs, 3)
+	for i := range orig {
+		if ds.KPEs[i] != orig[i] {
+			t.Fatal("Scale mutated its input")
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ks := Uniform(1, 1000, 0.05)
+	if len(ks) != 1000 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	for _, k := range ks {
+		if !k.Rect.Valid() || k.Rect.Width() > 0.05 || k.Rect.Height() > 0.05 {
+			t.Fatalf("bad uniform rect %v", k.Rect)
+		}
+	}
+}
+
+func TestCoverageEdgeCases(t *testing.T) {
+	if Coverage(nil) != 0 {
+		t.Error("empty coverage must be 0")
+	}
+	one := []geom.KPE{{Rect: geom.NewRect(0.2, 0.2, 0.4, 0.4)}}
+	// A single rect covers 100% of its own MBR.
+	if c := Coverage(one); math.Abs(c-1) > 1e-12 {
+		t.Errorf("single-rect coverage = %g, want 1", c)
+	}
+	point := []geom.KPE{{Rect: geom.NewRect(0.5, 0.5, 0.5, 0.5)}}
+	if Coverage(point) != 0 {
+		t.Error("degenerate MBR coverage must be 0")
+	}
+}
+
+func TestJoinSelectivityGrowsWithP(t *testing.T) {
+	// Table 2 of the paper: the number of results of LA_RR(p) ⋈ LA_ST(p)
+	// grows superlinearly in p. Verify the shape on scaled-down data.
+	rr := LARR(10, 3000).KPEs
+	st := LAST(11, 3000).KPEs
+	count := func(p float64) int {
+		r2 := Scale(rr, p)
+		s2 := Scale(st, p)
+		n := 0
+		for _, a := range r2 {
+			for _, b := range s2 {
+				if a.Rect.Intersects(b.Rect) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	c1, c2, c4 := count(1), count(2), count(4)
+	if !(c1 < c2 && c2 < c4) {
+		t.Fatalf("result counts must grow with p: %d, %d, %d", c1, c2, c4)
+	}
+	if c4 < c1*3 {
+		t.Fatalf("growth too weak: J(1)=%d J(4)=%d", c1, c4)
+	}
+}
+
+func TestStreetsAreSmallerThanRivers(t *testing.T) {
+	rr := LARR(12, 3000).KPEs
+	st := LAST(13, 3000).KPEs
+	avg := func(ks []geom.KPE) float64 {
+		var s float64
+		for _, k := range ks {
+			s += math.Max(k.Rect.Width(), k.Rect.Height())
+		}
+		return s / float64(len(ks))
+	}
+	if avg(st) >= avg(rr) {
+		t.Fatalf("street segments (%g) must be smaller than river segments (%g)", avg(st), avg(rr))
+	}
+}
+
+func TestGaussianAndDiagonal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ks   []geom.KPE
+	}{
+		{"gaussian", Gaussian(1, 2000, 0.003)},
+		{"diagonal", Diagonal(2, 2000, 0.003)},
+	} {
+		if len(tc.ks) != 2000 {
+			t.Fatalf("%s: %d rects", tc.name, len(tc.ks))
+		}
+		for _, k := range tc.ks {
+			if !k.Rect.Valid() || k.Rect.XL < 0 || k.Rect.XH > 1 || k.Rect.YL < 0 || k.Rect.YH > 1 {
+				t.Fatalf("%s: bad rect %v", tc.name, k.Rect)
+			}
+		}
+	}
+	// Diagonal data concentrates near x == y.
+	offDiag := 0
+	for _, k := range Diagonal(3, 2000, 0.003) {
+		c := k.Rect.Center()
+		if math.Abs(c.X-c.Y) > 0.2 {
+			offDiag++
+		}
+	}
+	if offDiag > 100 {
+		t.Fatalf("diagonal data too spread out: %d far off the diagonal", offDiag)
+	}
+}
+
+func TestSegmentsMatchMBRs(t *testing.T) {
+	// The refinement invariant: every KPE rect is exactly its segment's MBR.
+	for _, ds := range []Dataset{LARR(20, 3000), LAST(21, 3000), CALST(22, 3000)} {
+		if len(ds.Segments) != len(ds.KPEs) {
+			t.Fatalf("%s: %d segments for %d KPEs", ds.Name, len(ds.Segments), len(ds.KPEs))
+		}
+		for i := range ds.KPEs {
+			if ds.KPEs[i].Rect != ds.Segments[i].MBR() {
+				t.Fatalf("%s: KPE %d rect %v != segment MBR %v",
+					ds.Name, i, ds.KPEs[i].Rect, ds.Segments[i].MBR())
+			}
+		}
+		g := ds.Geometries()
+		if len(g) != len(ds.Segments) {
+			t.Fatalf("%s: Geometries() wrong length", ds.Name)
+		}
+	}
+}
+
+func TestParcels(t *testing.T) {
+	ks, polys := Parcels(1, 1500)
+	if len(ks) != 1500 || len(polys) != 1500 {
+		t.Fatalf("parcels: %d KPEs, %d polys", len(ks), len(polys))
+	}
+	for i := range ks {
+		if err := polys[i].Validate(); err != nil {
+			t.Fatalf("parcel %d invalid: %v", i, err)
+		}
+		if ks[i].Rect != polys[i].MBR() {
+			t.Fatalf("parcel %d: rect != polygon MBR", i)
+		}
+		if _, ok := polys[i].Kernel(); !ok {
+			t.Fatalf("parcel %d: convex polygon must have a kernel", i)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package diskio simulates the secondary-storage model of §2 of the
+// paper. Data is transferred between main memory and disk in pages of
+// fixed size; a request for n contiguous pages costs PT + n
+// page-transfer units, where PT is the ratio of positioning time to
+// transfer time. Reading the join inputs and writing the final output are
+// free of charge in the paper's model, so only intermediate files
+// (partitions, level files, sort runs) are created on a Disk.
+//
+// Files are held in memory; the simulation is about *accounting*, not
+// persistence. Every read and write request is charged to the Disk's
+// counters, and the accumulated cost converts to simulated seconds via
+// the configured page-transfer time.
+//
+// Cost accounting and the file directory are guarded by a mutex, so
+// multiple goroutines may read distinct files concurrently (the parallel
+// join phase of PBSM relies on this). Concurrent writers to the SAME
+// file are not supported.
+package diskio
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Default model parameters. PT=20 with a 0.5 ms page-transfer time models
+// a 10 ms average positioning time, in the ballpark of the 2 GB Seagate
+// disk of the paper's testbed.
+const (
+	DefaultPageSize = 8192
+	DefaultPT       = 20.0
+	DefaultTransfer = 500 * time.Microsecond
+)
+
+// Disk is a simulated disk device. The zero value is not usable; call
+// NewDisk.
+type Disk struct {
+	pageSize int
+	pt       float64
+	transfer time.Duration
+
+	mu    sync.Mutex
+	stats Stats
+	files map[string]*File
+	seq   int
+}
+
+// Stats aggregates the I/O activity charged to a Disk.
+type Stats struct {
+	ReadRequests  int64   // positioned read requests
+	WriteRequests int64   // positioned write requests
+	PagesRead     int64   // total pages transferred in
+	PagesWritten  int64   // total pages transferred out
+	CostUnits     float64 // sum of PT + n over all requests
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadRequests += other.ReadRequests
+	s.WriteRequests += other.WriteRequests
+	s.PagesRead += other.PagesRead
+	s.PagesWritten += other.PagesWritten
+	s.CostUnits += other.CostUnits
+}
+
+// Sub returns s minus other, useful for per-phase deltas.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		ReadRequests:  s.ReadRequests - other.ReadRequests,
+		WriteRequests: s.WriteRequests - other.WriteRequests,
+		PagesRead:     s.PagesRead - other.PagesRead,
+		PagesWritten:  s.PagesWritten - other.PagesWritten,
+		CostUnits:     s.CostUnits - other.CostUnits,
+	}
+}
+
+// NewDisk creates a Disk with the given page size in bytes, positioning
+// ratio pt, and per-page transfer time. Non-positive arguments select the
+// package defaults.
+func NewDisk(pageSize int, pt float64, transfer time.Duration) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pt <= 0 {
+		pt = DefaultPT
+	}
+	if transfer <= 0 {
+		transfer = DefaultTransfer
+	}
+	return &Disk{
+		pageSize: pageSize,
+		pt:       pt,
+		transfer: transfer,
+		files:    make(map[string]*File),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// PT returns the positioning-to-transfer ratio of the cost model.
+func (d *Disk) PT() float64 { return d.pt }
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters without touching file contents.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// SimTime converts the accumulated cost units into simulated wall time.
+func (d *Disk) SimTime() time.Duration { return d.CostTime(d.Stats().CostUnits) }
+
+// CostTime converts a cost-unit count into simulated wall time.
+func (d *Disk) CostTime(units float64) time.Duration {
+	return time.Duration(units * float64(d.transfer))
+}
+
+// Create makes a new empty file. An empty name generates a unique one.
+// Creating over an existing name truncates it.
+func (d *Disk) Create(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if name == "" {
+		d.seq++
+		name = fmt.Sprintf("tmp-%d", d.seq)
+	}
+	f := &File{d: d, name: name}
+	d.files[name] = f
+	return f
+}
+
+// Remove deletes a file and releases its memory. Removing is free of
+// charge (directory operations are outside the cost model).
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// Open returns an existing file by name, or nil if absent.
+func (d *Disk) Open(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.files[name]
+}
+
+// pages returns the number of pages needed for n bytes.
+func (d *Disk) pages(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64((n + d.pageSize - 1) / d.pageSize)
+}
+
+func (d *Disk) chargeRead(bytes int) {
+	p := d.pages(bytes)
+	if p == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.stats.ReadRequests++
+	d.stats.PagesRead += p
+	d.stats.CostUnits += d.pt + float64(p)
+	d.mu.Unlock()
+}
+
+func (d *Disk) chargeWrite(bytes int) {
+	p := d.pages(bytes)
+	if p == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.stats.WriteRequests++
+	d.stats.PagesWritten += p
+	d.stats.CostUnits += d.pt + float64(p)
+	d.mu.Unlock()
+}
+
+// File is a simulated on-disk file: a byte sequence plus cost accounting.
+// Use NewWriter and NewReader for buffered sequential access, or ReadAt
+// for positioned reads (each ReadAt is one positioned request).
+type File struct {
+	d    *Disk
+	name string
+	data []byte
+}
+
+// Name returns the file's name on its Disk.
+func (f *File) Name() string { return f.name }
+
+// Len returns the file length in bytes.
+func (f *File) Len() int { return len(f.data) }
+
+// Pages returns the file length in pages (rounded up).
+func (f *File) Pages() int64 { return f.d.pages(len(f.data)) }
+
+// ReadAt copies len(p) bytes starting at off into p and charges one
+// positioned read request. It returns the number of bytes copied, which
+// is less than len(p) only at end of file.
+func (f *File) ReadAt(p []byte, off int64) int {
+	if off < 0 || off >= int64(len(f.data)) {
+		return 0
+	}
+	n := copy(p, f.data[off:])
+	f.d.chargeRead(n)
+	return n
+}
+
+// Bytes exposes the raw contents for zero-cost inspection in tests.
+func (f *File) Bytes() []byte { return f.data }
+
+// Writer buffers sequential appends to a File, flushing whole buffers as
+// single positioned write requests of contiguous pages. The buffer size
+// is what the join algorithms account against their memory budget.
+type Writer struct {
+	f   *File
+	buf []byte
+	n   int
+}
+
+// NewWriter returns a Writer with a buffer of bufPages pages (minimum 1).
+func (f *File) NewWriter(bufPages int) *Writer {
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	return &Writer{f: f, buf: make([]byte, bufPages*f.d.pageSize)}
+}
+
+// Write appends p, flushing as buffers fill. It always succeeds.
+func (w *Writer) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(w.buf[w.n:], p)
+		w.n += n
+		p = p[n:]
+		if w.n == len(w.buf) {
+			w.flush()
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flush() {
+	if w.n == 0 {
+		return
+	}
+	w.f.data = append(w.f.data, w.buf[:w.n]...)
+	w.f.d.chargeWrite(w.n)
+	w.n = 0
+}
+
+// Flush forces any buffered bytes to disk as one request.
+func (w *Writer) Flush() { w.flush() }
+
+// Reader scans a File (or a byte range of it) sequentially, fetching
+// bufPages pages per positioned read request.
+type Reader struct {
+	f        *File
+	buf      []byte
+	lo, hi   int64 // remaining unread range in the file
+	pos, end int   // valid window within buf
+}
+
+// NewReader returns a sequential Reader over the whole file.
+func (f *File) NewReader(bufPages int) *Reader {
+	return f.NewRangeReader(bufPages, 0, int64(len(f.data)))
+}
+
+// NewRangeReader returns a sequential Reader over file bytes [lo, hi).
+func (f *File) NewRangeReader(bufPages int, lo, hi int64) *Reader {
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	if hi > int64(len(f.data)) {
+		hi = int64(len(f.data))
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Reader{f: f, buf: make([]byte, bufPages*f.d.pageSize), lo: lo, hi: hi}
+}
+
+// Read fills p with the next bytes of the range; it returns 0 at the end.
+func (r *Reader) Read(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if r.pos == r.end {
+			if !r.fill() {
+				break
+			}
+		}
+		n := copy(p, r.buf[r.pos:r.end])
+		r.pos += n
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// ReadFull fills p entirely or reports false at end of range.
+func (r *Reader) ReadFull(p []byte) bool {
+	n, _ := r.Read(p)
+	return n == len(p)
+}
+
+func (r *Reader) fill() bool {
+	if r.lo >= r.hi {
+		return false
+	}
+	want := int64(len(r.buf))
+	if want > r.hi-r.lo {
+		want = r.hi - r.lo
+	}
+	n := copy(r.buf[:want], r.f.data[r.lo:r.hi])
+	r.f.d.chargeRead(n)
+	r.lo += int64(n)
+	r.pos, r.end = 0, n
+	return n > 0
+}
+
+// Remaining returns how many bytes are left to read (buffered included).
+func (r *Reader) Remaining() int64 { return (r.hi - r.lo) + int64(r.end-r.pos) }

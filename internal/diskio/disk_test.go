@@ -1,0 +1,271 @@
+package diskio
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	d := NewDisk(0, 0, 0)
+	if d.PageSize() != DefaultPageSize {
+		t.Errorf("PageSize = %d", d.PageSize())
+	}
+	if d.PT() != DefaultPT {
+		t.Errorf("PT = %g", d.PT())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := NewDisk(128, 10, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(2)
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	for i := 0; i < 100; i++ {
+		w.Write(payload)
+	}
+	w.Flush()
+	if f.Len() != 100*len(payload) {
+		t.Fatalf("file length %d, want %d", f.Len(), 100*len(payload))
+	}
+	r := f.NewReader(2)
+	got := make([]byte, len(payload))
+	for i := 0; i < 100; i++ {
+		if !r.ReadFull(got) {
+			t.Fatalf("short read at record %d", i)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	if r.ReadFull(got) {
+		t.Fatal("read past end must fail")
+	}
+}
+
+func TestCostModelPerRequest(t *testing.T) {
+	// A request of n contiguous pages costs PT + n.
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(4) // 400-byte buffer
+	w.Write(make([]byte, 400))
+	w.Flush() // one full flush inside Write already? exactly at boundary: flushed once
+	st := d.Stats()
+	if st.WriteRequests != 1 {
+		t.Fatalf("WriteRequests = %d, want 1", st.WriteRequests)
+	}
+	if st.PagesWritten != 4 {
+		t.Fatalf("PagesWritten = %d, want 4", st.PagesWritten)
+	}
+	if st.CostUnits != 24 { // PT(20) + 4 pages
+		t.Fatalf("CostUnits = %g, want 24", st.CostUnits)
+	}
+}
+
+func TestSequentialReadBatchesPages(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(8)
+	w.Write(make([]byte, 1600)) // 16 pages
+	w.Flush()
+	d.ResetStats()
+
+	r := f.NewReader(8) // 8 pages per request
+	buf := make([]byte, 1600)
+	r.ReadFull(buf)
+	st := d.Stats()
+	if st.ReadRequests != 2 {
+		t.Fatalf("ReadRequests = %d, want 2 (two 8-page requests)", st.ReadRequests)
+	}
+	if st.CostUnits != 2*(20+8) {
+		t.Fatalf("CostUnits = %g, want 56", st.CostUnits)
+	}
+}
+
+func TestPartialPageChargedAsFullPage(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(1)
+	w.Write(make([]byte, 1)) // 1 byte -> 1 page on flush
+	w.Flush()
+	if st := d.Stats(); st.PagesWritten != 1 {
+		t.Fatalf("PagesWritten = %d, want 1", st.PagesWritten)
+	}
+}
+
+func TestEmptyFlushIsFree(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(1)
+	w.Flush()
+	w.Flush()
+	if st := d.Stats(); st.CostUnits != 0 {
+		t.Fatalf("empty flushes must be free, cost = %g", st.CostUnits)
+	}
+}
+
+func TestReadAtCharges(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(4)
+	w.Write(make([]byte, 1000))
+	w.Flush()
+	d.ResetStats()
+	buf := make([]byte, 250)
+	if n := f.ReadAt(buf, 100); n != 250 {
+		t.Fatalf("ReadAt = %d", n)
+	}
+	st := d.Stats()
+	if st.ReadRequests != 1 || st.PagesRead != 3 { // 250 bytes = 3 pages of 100
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := f.ReadAt(buf, int64(f.Len())); n != 0 {
+		t.Fatal("ReadAt past EOF must return 0")
+	}
+	if n := f.ReadAt(buf, -1); n != 0 {
+		t.Fatal("ReadAt negative offset must return 0")
+	}
+}
+
+func TestRangeReader(t *testing.T) {
+	d := NewDisk(64, 5, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(4)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	w.Write(data)
+	w.Flush()
+
+	r := f.NewRangeReader(2, 100, 300)
+	if r.Remaining() != 200 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	buf := make([]byte, 200)
+	if !r.ReadFull(buf) {
+		t.Fatal("short range read")
+	}
+	if !bytes.Equal(buf, data[100:300]) {
+		t.Fatal("range contents wrong")
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining after read = %d", r.Remaining())
+	}
+	// Out-of-bounds ranges clamp.
+	r = f.NewRangeReader(2, 900, 5000)
+	if r.Remaining() != 100 {
+		t.Fatalf("clamped Remaining = %d", r.Remaining())
+	}
+}
+
+func TestCreateRemoveOpen(t *testing.T) {
+	d := NewDisk(0, 0, 0)
+	f := d.Create("x")
+	if d.Open("x") != f {
+		t.Fatal("Open must find created file")
+	}
+	a := d.Create("")
+	b := d.Create("")
+	if a.Name() == b.Name() {
+		t.Fatal("anonymous files must get unique names")
+	}
+	d.Remove("x")
+	if d.Open("x") != nil {
+		t.Fatal("Remove must delete the file")
+	}
+}
+
+func TestSimTimeConversion(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(1)
+	w.Write(make([]byte, 100))
+	w.Flush() // cost = 21 units
+	if got, want := d.SimTime(), 21*time.Millisecond; got != want {
+		t.Fatalf("SimTime = %v, want %v", got, want)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{ReadRequests: 1, WriteRequests: 2, PagesRead: 3, PagesWritten: 4, CostUnits: 5}
+	b := a
+	b.Add(a)
+	if b.PagesRead != 6 || b.CostUnits != 10 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+	if d := b.Sub(a); d != a {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}
+
+// Round-trip property: any sequence of writes reads back identically,
+// regardless of buffer sizes.
+func TestWriterReaderProperty(t *testing.T) {
+	f := func(seed int64, bufW, bufR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDisk(32, 5, time.Millisecond)
+		file := d.Create("p")
+		w := file.NewWriter(int(bufW%7) + 1)
+		var all []byte
+		for i := 0; i < 50; i++ {
+			chunk := make([]byte, rng.Intn(100))
+			rng.Read(chunk)
+			w.Write(chunk)
+			all = append(all, chunk...)
+		}
+		w.Flush()
+		got := make([]byte, len(all))
+		r := file.NewReader(int(bufR%7) + 1)
+		if len(all) > 0 && !r.ReadFull(got) {
+			return false
+		}
+		return bytes.Equal(got, all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadsAccountCorrectly(t *testing.T) {
+	// Multiple goroutines reading distinct files must not lose charges —
+	// the contract PBSM's parallel join phase relies on.
+	d := NewDisk(100, 20, time.Millisecond)
+	const files = 8
+	const pagesPer = 16
+	names := make([]string, files)
+	for i := range names {
+		f := d.Create("")
+		w := f.NewWriter(pagesPer)
+		w.Write(make([]byte, pagesPer*100))
+		w.Flush()
+		names[i] = f.Name()
+	}
+	base := d.Stats()
+
+	var wg sync.WaitGroup
+	for i := 0; i < files; i++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			r := d.Open(name).NewReader(2) // 8 requests of 2 pages each
+			buf := make([]byte, pagesPer*100)
+			r.ReadFull(buf)
+		}(names[i])
+	}
+	wg.Wait()
+
+	delta := d.Stats().Sub(base)
+	wantPages := int64(files * pagesPer)
+	wantReqs := int64(files * pagesPer / 2)
+	if delta.PagesRead != wantPages || delta.ReadRequests != wantReqs {
+		t.Fatalf("lost charges under concurrency: %+v (want %d pages, %d requests)",
+			delta, wantPages, wantReqs)
+	}
+	if want := float64(wantPages) + 20*float64(wantReqs); delta.CostUnits != want {
+		t.Fatalf("cost units %g, want %g", delta.CostUnits, want)
+	}
+}

@@ -1,0 +1,87 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// This file adds Euclidean distances to the exact geometries, the basis
+// of the "distance within" join predicate §1 of the paper lists beside
+// intersection and §6 names as future work (multidimensional similarity
+// joins). The filter step handles ε-joins by expanding one side's MBRs;
+// these functions provide the exact refinement.
+
+// DistanceTo returns the minimum Euclidean distance between s and other
+// (zero when they intersect).
+func (s Segment) DistanceTo(other Geometry) float64 {
+	switch o := other.(type) {
+	case Segment:
+		return segSegDist(s, o)
+	case Polygon:
+		return o.DistanceTo(s)
+	}
+	panic(fmt.Sprintf("exact: unknown geometry %T", other))
+}
+
+// DistanceTo returns the minimum Euclidean distance between p and other
+// (zero when they intersect).
+func (p Polygon) DistanceTo(other Geometry) float64 {
+	switch o := other.(type) {
+	case Segment:
+		if p.IntersectsSegment(o) {
+			return 0
+		}
+		d := math.Inf(1)
+		for i := range p {
+			edge := Segment{A: p[i], B: p[(i+1)%len(p)]}
+			d = math.Min(d, segSegDist(edge, o))
+		}
+		return d
+	case Polygon:
+		if p.IntersectsPolygon(o) {
+			return 0
+		}
+		d := math.Inf(1)
+		for i := range p {
+			pe := Segment{A: p[i], B: p[(i+1)%len(p)]}
+			for j := range o {
+				oe := Segment{A: o[j], B: o[(j+1)%len(o)]}
+				d = math.Min(d, segSegDist(pe, oe))
+			}
+		}
+		return d
+	}
+	panic(fmt.Sprintf("exact: unknown geometry %T", other))
+}
+
+// segSegDist returns the minimum distance between two segments: zero if
+// they intersect, otherwise the smallest endpoint-to-segment distance.
+func segSegDist(a, b Segment) float64 {
+	if a.IntersectsSegment(b) {
+		return 0
+	}
+	return math.Min(
+		math.Min(pointSegDist(a.A, b), pointSegDist(a.B, b)),
+		math.Min(pointSegDist(b.A, a), pointSegDist(b.B, a)),
+	)
+}
+
+// pointSegDist returns the distance from p to the segment s.
+func pointSegDist(p geom.Point, s Segment) float64 {
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	len2 := dx*dx + dy*dy
+	t := 0.0
+	if len2 > 0 {
+		t = ((p.X-s.A.X)*dx + (p.Y-s.A.Y)*dy) / len2
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+	}
+	cx, cy := s.A.X+t*dx, s.A.Y+t*dy
+	return math.Hypot(p.X-cx, p.Y-cy)
+}

@@ -1,0 +1,137 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/geom"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPointSegDist(t *testing.T) {
+	s := Segment{pt(0, 0), pt(1, 0)}
+	cases := []struct {
+		p    geom.Point
+		want float64
+	}{
+		{pt(0.5, 0.5), 0.5},    // above the middle
+		{pt(-1, 0), 1},         // beyond the left endpoint
+		{pt(2, 0), 1},          // beyond the right endpoint
+		{pt(0.3, 0), 0},        // on the segment
+		{pt(2, 1), math.Sqrt2}, // diagonal to the endpoint
+	}
+	for i, c := range cases {
+		if got := pointSegDist(c.p, s); !almostEq(got, c.want) {
+			t.Errorf("case %d: dist = %g, want %g", i, got, c.want)
+		}
+	}
+	// Degenerate segment = point distance.
+	d := pointSegDist(pt(3, 4), Segment{pt(0, 0), pt(0, 0)})
+	if !almostEq(d, 5) {
+		t.Errorf("degenerate: %g, want 5", d)
+	}
+}
+
+func TestSegSegDist(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want float64
+	}{
+		{Segment{pt(0, 0), pt(1, 1)}, Segment{pt(0, 1), pt(1, 0)}, 0},          // crossing
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0, 1), pt(1, 1)}, 1},          // parallel
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(2, 0), pt(3, 0)}, 1},          // collinear gap
+		{Segment{pt(0, 0), pt(0, 1)}, Segment{pt(1, 2), pt(2, 2)}, math.Sqrt2}, // corner to corner
+	}
+	for i, c := range cases {
+		if got := c.a.DistanceTo(c.b); !almostEq(got, c.want) {
+			t.Errorf("case %d: dist = %g, want %g", i, got, c.want)
+		}
+		if got := c.b.DistanceTo(c.a); !almostEq(got, c.want) {
+			t.Errorf("case %d (swapped): got %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+func TestPolygonDistances(t *testing.T) {
+	p := square(0.5, 0.5, 0.1) // [0.4,0.6]^2
+	if d := p.DistanceTo(square(0.85, 0.5, 0.1)); !almostEq(d, 0.15) {
+		t.Errorf("poly-poly dist = %g, want 0.15", d)
+	}
+	if d := p.DistanceTo(square(0.55, 0.5, 0.1)); d != 0 {
+		t.Errorf("overlapping polys dist = %g, want 0", d)
+	}
+	if d := p.DistanceTo(Segment{pt(0.8, 0.4), pt(0.8, 0.6)}); !almostEq(d, 0.2) {
+		t.Errorf("poly-seg dist = %g, want 0.2", d)
+	}
+	if d := (Segment{pt(0.45, 0.5), pt(0.55, 0.5)}).DistanceTo(p); d != 0 {
+		t.Errorf("seg inside poly dist = %g, want 0", d)
+	}
+}
+
+// Distance must be symmetric, non-negative, zero iff intersecting, and
+// never below the MBR distance (the filter-step bound).
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mkGeom := func() Geometry {
+		if rng.Intn(2) == 0 {
+			return Segment{
+				A: pt(rng.Float64(), rng.Float64()),
+				B: pt(rng.Float64(), rng.Float64()),
+			}
+		}
+		return RegularPolygon(pt(rng.Float64(), rng.Float64()),
+			0.02+0.1*rng.Float64(), 3+rng.Intn(5), nil)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := mkGeom(), mkGeom()
+		d1 := a.DistanceTo(b)
+		d2 := b.DistanceTo(a)
+		if !almostEq(d1, d2) {
+			t.Fatalf("asymmetric distance: %g vs %g", d1, d2)
+		}
+		if d1 < 0 {
+			t.Fatalf("negative distance %g", d1)
+		}
+		if (d1 == 0) != a.IntersectsGeom(b) {
+			t.Fatalf("zero distance (%g) disagrees with intersection (%v)",
+				d1, a.IntersectsGeom(b))
+		}
+		if mbrD := a.MBR().MinDist(b.MBR()); d1 < mbrD-1e-12 {
+			t.Fatalf("exact distance %g below MBR distance %g", d1, mbrD)
+		}
+	}
+}
+
+func TestRectExpandMinDistDuality(t *testing.T) {
+	// expand(a, eps) intersects b  <=>  L∞ distance ≤ eps, which implies
+	// MinDist (Euclidean) ≥ L∞; so expansion is a conservative eps-filter.
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4, e float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 1) }
+		a := geom.NewRect(norm(x1), norm(y1), norm(x2), norm(y2))
+		b := geom.NewRect(norm(x3), norm(y3), norm(x4), norm(y4))
+		eps := math.Mod(math.Abs(e), 0.3)
+		if a.MinDist(b) <= eps && !a.Expand(eps).Intersects(b) {
+			return false // must never lose a Euclidean eps-pair
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDistBasics(t *testing.T) {
+	a := geom.NewRect(0, 0, 0.2, 0.2)
+	if d := a.MinDist(geom.NewRect(0.1, 0.1, 0.3, 0.3)); d != 0 {
+		t.Errorf("overlapping MinDist = %g", d)
+	}
+	if d := a.MinDist(geom.NewRect(0.5, 0, 0.6, 0.2)); !almostEq(d, 0.3) {
+		t.Errorf("horizontal MinDist = %g, want 0.3", d)
+	}
+	if d := a.MinDist(geom.NewRect(0.5, 0.6, 0.7, 0.8)); !almostEq(d, 0.5) {
+		t.Errorf("diagonal MinDist = %g, want 0.5 (3-4-5)", d)
+	}
+}

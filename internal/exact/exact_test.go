@@ -1,0 +1,222 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/geom"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestSegmentMBR(t *testing.T) {
+	s := Segment{A: pt(0.8, 0.1), B: pt(0.2, 0.7)}
+	want := geom.NewRect(0.2, 0.1, 0.8, 0.7)
+	if s.MBR() != want {
+		t.Fatalf("MBR = %v, want %v", s.MBR(), want)
+	}
+}
+
+func TestSegmentIntersections(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Segment{pt(0, 0), pt(1, 1)}, Segment{pt(0, 1), pt(1, 0)}, true},     // proper cross
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0, 1), pt(1, 1)}, false},    // parallel
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0.5, 0), pt(0.5, 1)}, true}, // T-touch
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(1, 0), pt(2, 0)}, true},     // collinear endpoint touch
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(0.5, 0), pt(2, 0)}, true},   // collinear overlap
+		{Segment{pt(0, 0), pt(1, 0)}, Segment{pt(1.5, 0), pt(2, 0)}, false},  // collinear disjoint
+		{Segment{pt(0, 0), pt(0, 0)}, Segment{pt(0, 0), pt(1, 1)}, true},     // degenerate point on segment
+		{Segment{pt(0.5, 0.5), pt(0.5, 0.5)}, Segment{pt(0, 0), pt(0.2, 0.2)}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.IntersectsSegment(c.b); got != c.want {
+			t.Errorf("case %d: %v x %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.IntersectsSegment(c.a); got != c.want {
+			t.Errorf("case %d (swapped): got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectionImpliesMBROverlap(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		norm := func(v float64) float64 { v = math.Mod(math.Abs(v), 1); return v }
+		s1 := Segment{pt(norm(ax), norm(ay)), pt(norm(bx), norm(by))}
+		s2 := Segment{pt(norm(cx), norm(cy)), pt(norm(dx), norm(dy))}
+		if s1.IntersectsSegment(s2) && !s1.MBR().Intersects(s2.MBR()) {
+			return false // the filter step must never lose a true hit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func square(x, y, half float64) Polygon {
+	return Polygon{pt(x-half, y-half), pt(x+half, y-half), pt(x+half, y+half), pt(x-half, y+half)}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := square(0.5, 0.5, 0.1).Validate(); err != nil {
+		t.Fatalf("square must validate: %v", err)
+	}
+	cw := Polygon{pt(0, 0), pt(0, 1), pt(1, 1), pt(1, 0)} // clockwise
+	if cw.Validate() == nil {
+		t.Fatal("clockwise polygon must fail validation")
+	}
+	if (Polygon{pt(0, 0), pt(1, 1)}).Validate() == nil {
+		t.Fatal("two-vertex polygon must fail validation")
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	p := square(0.5, 0.5, 0.2)
+	if !p.ContainsPoint(pt(0.5, 0.5)) || !p.ContainsPoint(pt(0.3, 0.3)) {
+		t.Fatal("interior/boundary points must be contained")
+	}
+	if p.ContainsPoint(pt(0.1, 0.5)) {
+		t.Fatal("outside point contained")
+	}
+}
+
+func TestPolygonPolygonIntersection(t *testing.T) {
+	a := square(0.5, 0.5, 0.1)
+	cases := []struct {
+		b    Polygon
+		want bool
+	}{
+		{square(0.55, 0.55, 0.1), true},                                 // overlap
+		{square(0.7, 0.5, 0.1), true},                                   // edge touch
+		{square(0.9, 0.9, 0.05), false},                                 // disjoint
+		{square(0.5, 0.5, 0.02), true},                                  // containment
+		{Polygon{pt(0.65, 0.5), pt(0.75, 0.45), pt(0.75, 0.55)}, false}, // near miss triangle
+	}
+	for i, c := range cases {
+		if got := a.IntersectsPolygon(c.b); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+		if got := c.b.IntersectsPolygon(a); got != c.want {
+			t.Errorf("case %d (swapped): got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPolygonSegmentIntersection(t *testing.T) {
+	p := square(0.5, 0.5, 0.1)
+	cases := []struct {
+		s    Segment
+		want bool
+	}{
+		{Segment{pt(0.45, 0.45), pt(0.55, 0.55)}, true}, // fully inside
+		{Segment{pt(0.3, 0.5), pt(0.7, 0.5)}, true},     // crosses through
+		{Segment{pt(0.3, 0.3), pt(0.35, 0.35)}, false},  // outside
+		{Segment{pt(0.4, 0.3), pt(0.4, 0.7)}, true},     // along the left edge
+	}
+	for i, c := range cases {
+		if got := p.IntersectsSegment(c.s); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestKernelInsidePolygon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jitter := make([]float64, 8)
+	for trial := 0; trial < 500; trial++ {
+		verts := 3 + rng.Intn(6)
+		for j := 0; j < verts; j++ {
+			jitter[j] = rng.Float64()
+		}
+		p := RegularPolygon(pt(0.5, 0.5), 0.1+0.2*rng.Float64(), verts, jitter[:verts])
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated polygon invalid: %v", trial, err)
+		}
+		k, ok := p.Kernel()
+		if !ok {
+			t.Fatalf("trial %d: convex polygon must have a kernel", trial)
+		}
+		// The kernel must lie fully inside the polygon and inside the MBR.
+		corners := []geom.Point{
+			{X: k.XL, Y: k.YL}, {X: k.XH, Y: k.YL}, {X: k.XH, Y: k.YH}, {X: k.XL, Y: k.YH},
+		}
+		for _, c := range corners {
+			if !p.ContainsPoint(c) {
+				t.Fatalf("trial %d: kernel corner %v outside polygon", trial, c)
+			}
+		}
+		if !p.MBR().ContainsRect(k) {
+			t.Fatalf("trial %d: kernel escapes the MBR", trial)
+		}
+		if k.Area() <= 0 {
+			t.Fatalf("trial %d: empty kernel", trial)
+		}
+	}
+}
+
+func TestKernelFastAcceptIsSound(t *testing.T) {
+	// If two kernels intersect, the exact geometries must intersect — the
+	// [BKSS 94] fast-accept rule the refinement step relies on.
+	rng := rand.New(rand.NewSource(2))
+	jitter := make([]float64, 8)
+	mk := func() Polygon {
+		verts := 3 + rng.Intn(6)
+		for j := 0; j < verts; j++ {
+			jitter[j] = rng.Float64()
+		}
+		return RegularPolygon(pt(rng.Float64(), rng.Float64()), 0.05+0.2*rng.Float64(), verts, jitter[:verts])
+	}
+	checked := 0
+	for trial := 0; trial < 3000; trial++ {
+		a, b := mk(), mk()
+		ka, okA := a.Kernel()
+		kb, okB := b.Kernel()
+		if !okA || !okB || !ka.Intersects(kb) {
+			continue
+		}
+		checked++
+		if !a.IntersectsPolygon(b) {
+			t.Fatalf("kernels intersect but polygons do not: %v vs %v", a, b)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d kernel-intersecting pairs sampled — test too weak", checked)
+	}
+}
+
+func TestSegmentHasNoKernel(t *testing.T) {
+	if _, ok := (Segment{pt(0, 0), pt(1, 1)}).Kernel(); ok {
+		t.Fatal("segments have empty interiors")
+	}
+}
+
+func TestGeometryDispatch(t *testing.T) {
+	p := square(0.5, 0.5, 0.1)
+	s := Segment{pt(0.45, 0.5), pt(0.55, 0.5)}
+	var gp Geometry = p
+	var gs Geometry = s
+	if !gp.IntersectsGeom(gs) || !gs.IntersectsGeom(gp) {
+		t.Fatal("polygon/segment dispatch broken")
+	}
+	if !gp.IntersectsGeom(gp) || !gs.IntersectsGeom(gs) {
+		t.Fatal("self intersection must hold")
+	}
+}
+
+func TestPolygonMBRContainsAllVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := RegularPolygon(pt(rng.Float64(), rng.Float64()), rng.Float64()*0.3, 3+rng.Intn(6), nil)
+		mbr := p.MBR()
+		for _, v := range p {
+			if !mbr.Contains(v) {
+				t.Fatalf("vertex %v outside MBR %v", v, mbr)
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package exec is the extensible query-processing framework the paper's
+// conclusion announces ("we are currently integrating the different join
+// algorithms into an extensible library of query processing
+// frameworks"): a demand-driven operator algebra in the open-next-close
+// style of [Gra 93], with the spatial join as one operator among
+// scans, selections, refinement, deduplication and limits.
+//
+// The design point the paper argues for shows up directly here: because
+// the join eliminates duplicates on-line (Reference Point Method), a
+// SpatialJoin operator starts yielding rows while its own join phase is
+// still running, so downstream operators — a refinement, a LIMIT — can
+// terminate the pipeline early without waiting for a blocking sort.
+package exec
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// Row is the tuple flowing between operators: a spatial object plus the
+// lineage of base-object IDs that produced it (joins append to it).
+type Row struct {
+	KPE     geom.KPE
+	Lineage []uint64
+}
+
+// Operator is the open-next-close interface. Usage: Open, then Next
+// until ok is false, then Close. Close must be safe after a partial
+// scan (early termination) and idempotent.
+type Operator interface {
+	Open() error
+	Next() (row Row, ok bool, err error)
+	Close() error
+}
+
+// Collect drains an operator and returns all rows, managing the
+// open/close lifecycle.
+func Collect(op Operator) ([]Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Scan produces one row per KPE of a base relation.
+type Scan struct {
+	rel []geom.KPE
+	pos int
+}
+
+// NewScan creates a scan over rel. The slice is not copied.
+func NewScan(rel []geom.KPE) *Scan { return &Scan{rel: rel} }
+
+// Open implements Operator.
+func (s *Scan) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *Scan) Next() (Row, bool, error) {
+	if s.pos >= len(s.rel) {
+		return Row{}, false, nil
+	}
+	k := s.rel[s.pos]
+	s.pos++
+	return Row{KPE: k, Lineage: []uint64{k.ID}}, true, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Select filters rows by a predicate.
+type Select struct {
+	in   Operator
+	pred func(Row) bool
+}
+
+// NewSelect wraps in with a row predicate.
+func NewSelect(in Operator, pred func(Row) bool) *Select {
+	return &Select{in: in, pred: pred}
+}
+
+// NewWindow is the spatial selection: rows whose rectangles intersect
+// the window.
+func NewWindow(in Operator, window geom.Rect) *Select {
+	return NewSelect(in, func(r Row) bool { return r.KPE.Rect.Intersects(window) })
+}
+
+// Open implements Operator.
+func (s *Select) Open() error { return s.in.Open() }
+
+// Next implements Operator.
+func (s *Select) Next() (Row, bool, error) {
+	for {
+		row, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		if s.pred(row) {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Select) Close() error { return s.in.Close() }
+
+// Limit passes through at most n rows.
+type Limit struct {
+	in   Operator
+	n    int
+	seen int
+}
+
+// NewLimit wraps in with a row budget.
+func NewLimit(in Operator, n int) *Limit { return &Limit{in: in, n: n} }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.in.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (Row, bool, error) {
+	if l.seen >= l.n {
+		return Row{}, false, nil
+	}
+	row, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.in.Close() }
+
+// Dedup forwards the first row per key.
+type Dedup struct {
+	in   Operator
+	key  func(Row) uint64
+	seen map[uint64]bool
+}
+
+// NewDedup wraps in, keeping one row per key. The default key (nil) is
+// the row's own object ID.
+func NewDedup(in Operator, key func(Row) uint64) *Dedup {
+	if key == nil {
+		key = func(r Row) uint64 { return r.KPE.ID }
+	}
+	return &Dedup{in: in, key: key}
+}
+
+// Open implements Operator.
+func (d *Dedup) Open() error {
+	d.seen = make(map[uint64]bool)
+	return d.in.Open()
+}
+
+// Next implements Operator.
+func (d *Dedup) Next() (Row, bool, error) {
+	for {
+		row, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		k := d.key(row)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Dedup) Close() error { return d.in.Close() }
+
+// Counter counts rows flowing through it, for plan inspection.
+type Counter struct {
+	in Operator
+	N  int64
+}
+
+// NewCounter wraps in with a pass-through row counter.
+func NewCounter(in Operator) *Counter { return &Counter{in: in} }
+
+// Open implements Operator.
+func (c *Counter) Open() error { c.N = 0; return c.in.Open() }
+
+// Next implements Operator.
+func (c *Counter) Next() (Row, bool, error) {
+	row, ok, err := c.in.Next()
+	if ok {
+		c.N++
+	}
+	return row, ok, err
+}
+
+// Close implements Operator.
+func (c *Counter) Close() error { return c.in.Close() }
+
+// SpatialJoin joins two child operators with any of the library's join
+// methods. Opening the operator drains both children (partition-based
+// joins need complete inputs — the paper's premise that no index exists
+// on them), then streams result rows through core.Open's iterator, so
+// the first row is available long before the join finishes. The output
+// row carries the left object's KPE and the concatenated lineage of
+// both inputs.
+type SpatialJoin struct {
+	left, right Operator
+	cfg         core.Config
+	// CarryRight makes output rows carry the RIGHT input's KPE instead
+	// of the left one — the projection choice for the next operator up
+	// the tree. Set before Open.
+	CarryRight bool
+
+	it      *core.Iterator
+	leftBy  map[uint64]Row
+	rightBy map[uint64]Row
+	opened  bool
+}
+
+// NewSpatialJoin builds the join operator; cfg selects method, memory
+// budget and tuning exactly as core.Join does.
+func NewSpatialJoin(left, right Operator, cfg core.Config) *SpatialJoin {
+	return &SpatialJoin{left: left, right: right, cfg: cfg}
+}
+
+// Open implements Operator: it drains both children and starts the join.
+func (j *SpatialJoin) Open() error {
+	leftRows, err := Collect(j.left)
+	if err != nil {
+		return fmt.Errorf("exec: spatial join left input: %w", err)
+	}
+	rightRows, err := Collect(j.right)
+	if err != nil {
+		return fmt.Errorf("exec: spatial join right input: %w", err)
+	}
+	// Re-key both sides densely: upstream operators may emit duplicate
+	// IDs (e.g. two join outputs sharing a base object), and the filter
+	// step needs unique identifiers.
+	j.leftBy = make(map[uint64]Row, len(leftRows))
+	j.rightBy = make(map[uint64]Row, len(rightRows))
+	R := make([]geom.KPE, len(leftRows))
+	S := make([]geom.KPE, len(rightRows))
+	for i, r := range leftRows {
+		id := uint64(i)
+		j.leftBy[id] = r
+		R[i] = geom.KPE{ID: id, Rect: r.KPE.Rect}
+	}
+	for i, r := range rightRows {
+		id := uint64(i)
+		j.rightBy[id] = r
+		S[i] = geom.KPE{ID: id, Rect: r.KPE.Rect}
+	}
+	j.it = core.Open(R, S, j.cfg)
+	j.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *SpatialJoin) Next() (Row, bool, error) {
+	if !j.opened {
+		return Row{}, false, fmt.Errorf("exec: spatial join not opened")
+	}
+	p, ok := j.it.Next()
+	if !ok {
+		if err := j.it.Err(); err != nil {
+			return Row{}, false, err
+		}
+		return Row{}, false, nil
+	}
+	l := j.leftBy[p.R]
+	r := j.rightBy[p.S]
+	lineage := make([]uint64, 0, len(l.Lineage)+len(r.Lineage))
+	lineage = append(lineage, l.Lineage...)
+	lineage = append(lineage, r.Lineage...)
+	carry := l.KPE
+	if j.CarryRight {
+		carry = r.KPE
+	}
+	return Row{KPE: carry, Lineage: lineage}, true, nil
+}
+
+// Close implements Operator: safe after partial consumption.
+func (j *SpatialJoin) Close() error {
+	if j.it != nil {
+		j.it.Close()
+		j.it = nil
+	}
+	return nil
+}
+
+// Result returns the join's run statistics; valid after the operator is
+// exhausted or closed.
+func (j *SpatialJoin) Result() core.Result {
+	if j.it == nil {
+		return core.Result{}
+	}
+	return j.it.Result()
+}

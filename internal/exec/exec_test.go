@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/s3j"
+)
+
+func ids(rows []Row) []uint64 {
+	out := make([]uint64, len(rows))
+	for i, r := range rows {
+		out[i] = r.KPE.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestScanYieldsAllRows(t *testing.T) {
+	rel := datagen.Uniform(1, 50, 0.05)
+	rows, err := Collect(NewScan(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rel) {
+		t.Fatalf("%d rows, want %d", len(rows), len(rel))
+	}
+	for i, r := range rows {
+		if r.KPE != rel[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+		if len(r.Lineage) != 1 || r.Lineage[0] != rel[i].ID {
+			t.Fatalf("row %d lineage %v", i, r.Lineage)
+		}
+	}
+}
+
+func TestWindowSelection(t *testing.T) {
+	rel := datagen.Uniform(2, 300, 0.02)
+	window := geom.NewRect(0.25, 0.25, 0.75, 0.75)
+	rows, err := Collect(NewWindow(NewScan(rel), window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, k := range rel {
+		if k.Rect.Intersects(window) {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("window selected %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.KPE.Rect.Intersects(window) {
+			t.Fatalf("row %v outside window", r.KPE)
+		}
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	rel := datagen.Uniform(3, 100, 0.05)
+	rows, err := Collect(NewLimit(NewScan(rel), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("limit yielded %d", len(rows))
+	}
+}
+
+func TestDedupByDefaultKey(t *testing.T) {
+	rel := []geom.KPE{
+		{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.2, 0.2)},
+		{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.2, 0.2)},
+		{ID: 2, Rect: geom.NewRect(0.3, 0.3, 0.4, 0.4)},
+	}
+	rows, err := Collect(NewDedup(NewScan(rel), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("dedup yielded %d, want 2", len(rows))
+	}
+}
+
+func TestSpatialJoinOperatorMatchesCoreJoin(t *testing.T) {
+	R := datagen.LARR(4, 800).KPEs
+	S := datagen.LAST(5, 800).KPEs
+	cfg := core.Config{Memory: 16 << 10}
+
+	wantPairs, _, err := core.Collect(R, S, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	op := NewSpatialJoin(NewScan(R), NewScan(S), cfg)
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(wantPairs) {
+		t.Fatalf("operator yielded %d rows, core.Join %d", len(rows), len(wantPairs))
+	}
+	// Lineage must reconstruct the exact pair set.
+	type pair struct{ r, s uint64 }
+	got := make(map[pair]int)
+	for _, row := range rows {
+		if len(row.Lineage) != 2 {
+			t.Fatalf("join row lineage %v", row.Lineage)
+		}
+		got[pair{row.Lineage[0], row.Lineage[1]}]++
+	}
+	for _, p := range wantPairs {
+		if got[pair{p.R, p.S}] != 1 {
+			t.Fatalf("pair %v missing or duplicated (%d)", p, got[pair{p.R, p.S}])
+		}
+	}
+}
+
+func TestComposedTree(t *testing.T) {
+	// σ_window(R) ⋈ S, deduplicated by the S-side base object, limited.
+	R := datagen.LARR(6, 1000).KPEs
+	S := datagen.LAST(7, 1000).KPEs
+	window := geom.NewRect(0, 0, 0.5, 0.5)
+	cfg := core.Config{Method: core.S3J, S3JMode: s3j.ModeReplicate, Memory: 16 << 10}
+
+	join := NewSpatialJoin(NewWindow(NewScan(R), window), NewScan(S), cfg)
+	dedup := NewDedup(join, func(r Row) uint64 { return r.Lineage[1] })
+	counter := NewCounter(dedup)
+	rows, err := Collect(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: distinct S objects intersecting some window-selected R.
+	want := make(map[uint64]bool)
+	for _, s := range S {
+		for _, r := range R {
+			if r.Rect.Intersects(window) && r.Rect.Intersects(s.Rect) {
+				want[s.ID] = true
+				break
+			}
+		}
+	}
+	if len(rows) != len(want) || counter.N != int64(len(want)) {
+		t.Fatalf("tree yielded %d rows (counter %d), want %d", len(rows), counter.N, len(want))
+	}
+	for _, row := range rows {
+		if !want[row.Lineage[1]] {
+			t.Fatalf("unexpected S object %d", row.Lineage[1])
+		}
+	}
+}
+
+func TestTwoJoinsChained(t *testing.T) {
+	// (R ⋈ S) ⋈ T through the operator tree, validated against a naive
+	// three-way oracle on lineage triples.
+	R := datagen.Uniform(8, 120, 0.05)
+	S := datagen.Uniform(9, 120, 0.05)
+	T := datagen.Uniform(10, 120, 0.05)
+	cfg := core.Config{Memory: 8 << 10}
+
+	inner := NewSpatialJoin(NewScan(R), NewScan(S), cfg)
+	outer := NewSpatialJoin(inner, NewScan(T), cfg)
+	rows, err := Collect(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type triple struct{ r, s, t uint64 }
+	got := make(map[triple]int)
+	for _, row := range rows {
+		if len(row.Lineage) != 3 {
+			t.Fatalf("lineage %v, want 3 IDs", row.Lineage)
+		}
+		got[triple{row.Lineage[0], row.Lineage[1], row.Lineage[2]}]++
+	}
+	count := 0
+	for _, r := range R {
+		for _, s := range S {
+			if !r.Rect.Intersects(s.Rect) {
+				continue
+			}
+			for _, u := range T {
+				// The join output row carries the LEFT (r) rectangle, so
+				// the outer join matches r against T.
+				if r.Rect.Intersects(u.Rect) {
+					count++
+					if got[triple{r.ID, s.ID, u.ID}] != 1 {
+						t.Fatalf("triple (%d,%d,%d) seen %d times",
+							r.ID, s.ID, u.ID, got[triple{r.ID, s.ID, u.ID}])
+					}
+				}
+			}
+		}
+	}
+	if len(rows) != count {
+		t.Fatalf("three-way join yielded %d rows, want %d", len(rows), count)
+	}
+}
+
+func TestEarlyCloseMidJoin(t *testing.T) {
+	R := datagen.Uniform(11, 600, 0.08)
+	S := datagen.Uniform(12, 600, 0.08)
+	op := NewLimit(NewSpatialJoin(NewScan(R), NewScan(S), core.Config{Memory: 8 << 10}), 5)
+	rows, err := Collect(op) // Collect closes after the limit cuts off
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("limited join yielded %d", len(rows))
+	}
+}
+
+func TestNextBeforeOpenErrors(t *testing.T) {
+	op := NewSpatialJoin(NewScan(nil), NewScan(nil), core.Config{Memory: 1 << 20})
+	if _, _, err := op.Next(); err == nil {
+		t.Fatal("Next before Open must error")
+	}
+}
+
+func TestDuplicateUpstreamIDsAreHandled(t *testing.T) {
+	// Two rows with the same base ID (as a self-join output would have):
+	// the join must still treat them as distinct tuples.
+	shared := geom.NewRect(0.4, 0.4, 0.6, 0.6)
+	R := []geom.KPE{{ID: 7, Rect: shared}, {ID: 7, Rect: shared}}
+	S := []geom.KPE{{ID: 9, Rect: shared}}
+	rows, err := Collect(NewSpatialJoin(NewScan(R), NewScan(S), core.Config{Memory: 1 << 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("duplicate-ID rows collapsed: %d rows, want 2", len(rows))
+	}
+	_ = ids(rows)
+}
+
+func TestCarryRightProjection(t *testing.T) {
+	R := []geom.KPE{{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.5, 0.5)}}
+	S := []geom.KPE{{ID: 2, Rect: geom.NewRect(0.4, 0.4, 0.9, 0.9)}}
+	left := NewSpatialJoin(NewScan(R), NewScan(S), core.Config{Memory: 1 << 20})
+	rows, err := Collect(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].KPE.Rect != R[0].Rect {
+		t.Fatal("default join row must carry the left rectangle")
+	}
+	right := NewSpatialJoin(NewScan(R), NewScan(S), core.Config{Memory: 1 << 20})
+	right.CarryRight = true
+	rows, err = Collect(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].KPE.Rect != S[0].Rect {
+		t.Fatal("CarryRight join row must carry the right rectangle")
+	}
+}
+
+// failingOp errors on Next to exercise error propagation through trees.
+type failingOp struct{ opened, closed bool }
+
+func (f *failingOp) Open() error { f.opened = true; return nil }
+func (f *failingOp) Next() (Row, bool, error) {
+	return Row{}, false, errBoom
+}
+func (f *failingOp) Close() error { f.closed = true; return nil }
+
+var errBoom = fmt.Errorf("boom")
+
+func TestErrorsPropagateThroughTree(t *testing.T) {
+	fail := &failingOp{}
+	tree := NewLimit(NewDedup(NewSelect(fail, func(Row) bool { return true }), nil), 10)
+	_, err := Collect(tree)
+	if err == nil {
+		t.Fatal("child error must surface")
+	}
+	if !fail.closed {
+		t.Fatal("Collect must close the tree after an error")
+	}
+	// A failing join input surfaces from Open with context.
+	join := NewSpatialJoin(&failingOp{}, NewScan(nil), core.Config{Memory: 1 << 20})
+	if err := join.Open(); err == nil {
+		t.Fatal("join must propagate child errors from Open")
+	}
+}

@@ -1,0 +1,196 @@
+// Package extsort implements external merge sort over files of fixed-size
+// records stored on the simulated disk of package diskio.
+//
+// Two phases use it: the sorting phase of S³J (level files ordered by
+// locational code, §4.2 of the paper) and the original duplicate-removal
+// phase of PBSM (result pairs ordered by ID, §3.1). Run formation reads
+// the input once and writes sorted runs once; when more than one run is
+// produced, multiway merge passes follow, each reading and writing the
+// data once — exactly the I/O behaviour §5.1 of the paper accounts for.
+package extsort
+
+import (
+	"container/heap"
+	"sort"
+
+	"spatialjoin/internal/diskio"
+)
+
+// Less compares two records given as raw byte slices of the configured
+// record size.
+type Less func(a, b []byte) bool
+
+// Config controls a sort.
+type Config struct {
+	Disk       *diskio.Disk
+	RecordSize int   // bytes per record
+	Memory     int64 // in-memory workspace budget in bytes
+	BufPages   int   // pages per sequential I/O buffer (default 4)
+	Less       Less
+}
+
+func (c *Config) bufPages() int {
+	if c.BufPages < 1 {
+		return 4
+	}
+	return c.BufPages
+}
+
+// Stats reports what a Sort did.
+type Stats struct {
+	Records     int64 // records sorted
+	Runs        int   // initial runs formed
+	MergePass   int   // number of merge passes performed (0 if one run)
+	Comparisons int64
+}
+
+// Sort sorts the records of in and returns a new file with the sorted
+// records plus statistics. The input file is left untouched; the caller
+// may Remove it. An empty input yields an empty output file.
+func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats) {
+	var st Stats
+	rs := cfg.RecordSize
+	maxRecs := cfg.Memory / int64(rs)
+	if maxRecs < 2 {
+		maxRecs = 2
+	}
+	st.Records = int64(in.Len()) / int64(rs)
+
+	// Run formation: sort memory-sized chunks, append them to one runs
+	// file, and remember each run's record range.
+	runsFile := cfg.Disk.Create("")
+	var runs []runRange
+	{
+		r := in.NewReader(cfg.bufPages())
+		w := runsFile.NewWriter(cfg.bufPages())
+		chunk := make([]byte, 0, maxRecs*int64(rs))
+		var written int64
+		flushChunk := func() {
+			n := len(chunk) / rs
+			if n == 0 {
+				return
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				st.Comparisons++
+				return cfg.Less(chunk[idx[a]*rs:idx[a]*rs+rs], chunk[idx[b]*rs:idx[b]*rs+rs])
+			})
+			for _, i := range idx {
+				w.Write(chunk[i*rs : i*rs+rs])
+			}
+			runs = append(runs, runRange{written, written + int64(n)})
+			written += int64(n)
+			chunk = chunk[:0]
+		}
+		buf := make([]byte, rs)
+		for {
+			if !r.ReadFull(buf) {
+				break
+			}
+			chunk = append(chunk, buf...)
+			if int64(len(chunk)/rs) >= maxRecs {
+				flushChunk()
+			}
+		}
+		flushChunk()
+		w.Flush()
+	}
+	st.Runs = len(runs)
+	if len(runs) <= 1 {
+		return runsFile, st
+	}
+
+	// Merge passes. The fan-in is limited by the memory budget: one input
+	// buffer per run plus one output buffer.
+	bufBytes := int64(cfg.bufPages() * cfg.Disk.PageSize())
+	fanin := int(cfg.Memory/bufBytes) - 1
+	if fanin < 2 {
+		fanin = 2
+	}
+
+	cur := runsFile
+	for len(runs) > 1 {
+		st.MergePass++
+		next := cfg.Disk.Create("")
+		w := next.NewWriter(cfg.bufPages())
+		var nextRuns []runRange
+		var written int64
+		for lo := 0; lo < len(runs); lo += fanin {
+			hi := lo + fanin
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			n := mergeRuns(cur, w, runs[lo:hi], cfg, &st)
+			nextRuns = append(nextRuns, runRange{written, written + n})
+			written += n
+		}
+		w.Flush()
+		cfg.Disk.Remove(cur.Name())
+		cur = next
+		runs = nextRuns
+	}
+	return cur, st
+}
+
+// runRange is a run's record-index range within the runs file.
+type runRange struct{ lo, hi int64 }
+
+// mergeRuns merges the given record ranges of src into w and returns the
+// number of records written.
+func mergeRuns(src *diskio.File, w *diskio.Writer, runs []runRange, cfg Config, st *Stats) int64 {
+	rs := cfg.RecordSize
+	h := &mergeHeap{less: cfg.Less, st: st}
+	for _, rr := range runs {
+		c := &cursor{
+			r:   src.NewRangeReader(cfg.bufPages(), rr.lo*int64(rs), rr.hi*int64(rs)),
+			buf: make([]byte, rs),
+		}
+		if c.advance() {
+			h.items = append(h.items, c)
+		}
+	}
+	heap.Init(h)
+	var out int64
+	for h.Len() > 0 {
+		c := h.items[0]
+		w.Write(c.buf)
+		out++
+		if c.advance() {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+type cursor struct {
+	r   *diskio.Reader
+	buf []byte
+}
+
+func (c *cursor) advance() bool { return c.r.ReadFull(c.buf) }
+
+type mergeHeap struct {
+	items []*cursor
+	less  Less
+	st    *Stats
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	h.st.Comparisons++
+	return h.less(h.items[i].buf, h.items[j].buf)
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(*cursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

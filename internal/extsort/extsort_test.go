@@ -1,0 +1,172 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/diskio"
+)
+
+const recSize = 8
+
+func u64Less(a, b []byte) bool {
+	return binary.LittleEndian.Uint64(a) < binary.LittleEndian.Uint64(b)
+}
+
+func writeU64s(d *diskio.Disk, vals []uint64) *diskio.File {
+	f := d.Create("in")
+	w := f.NewWriter(4)
+	var buf [recSize]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		w.Write(buf[:])
+	}
+	w.Flush()
+	return f
+}
+
+func readU64s(f *diskio.File) []uint64 {
+	r := f.NewReader(4)
+	var out []uint64
+	var buf [recSize]byte
+	for r.ReadFull(buf[:]) {
+		out = append(out, binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out
+}
+
+func sortThem(t *testing.T, vals []uint64, memory int64) ([]uint64, Stats) {
+	t.Helper()
+	d := diskio.NewDisk(64, 5, time.Millisecond)
+	in := writeU64s(d, vals)
+	out, st := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: memory, Less: u64Less})
+	return readU64s(out), st
+}
+
+func TestSortInMemorySizedInput(t *testing.T) {
+	vals := []uint64{5, 3, 9, 1, 7, 3, 0}
+	got, st := sortThem(t, vals, 1<<20)
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pos %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if st.Runs != 1 || st.MergePass != 0 {
+		t.Fatalf("expected single run, got %+v", st)
+	}
+}
+
+func TestSortExternalMultiRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	got, st := sortThem(t, vals, 1024) // 128 records per run -> ~40 runs
+	if st.Runs < 2 {
+		t.Fatalf("expected multiple runs, got %d", st.Runs)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("output not sorted")
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("record count changed: %d != %d", len(got), len(vals))
+	}
+}
+
+func TestSortForcesMultipleMergePasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]uint64, 4000)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	d := diskio.NewDisk(64, 5, time.Millisecond)
+	in := writeU64s(d, vals)
+	// 512-byte memory, 1-page (64-byte) buffers: fan-in = 512/64 - 1 = 7,
+	// 64 records per run -> 63 runs -> at least two merge passes.
+	out, st := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 512, BufPages: 1, Less: u64Less})
+	if st.MergePass < 2 {
+		t.Fatalf("expected ≥2 merge passes, got %d (runs=%d)", st.MergePass, st.Runs)
+	}
+	got := readU64s(out)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("output not sorted after multi-pass merge")
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("lost records: %d != %d", len(got), len(vals))
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	got, st := sortThem(t, nil, 1024)
+	if len(got) != 0 || st.Records != 0 || st.Runs != 0 {
+		t.Fatalf("empty sort: got %d records, stats %+v", len(got), st)
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	f := func(seed int64, n uint16, mem uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, int(n)%2000)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(50)) // many duplicates
+		}
+		d := diskio.NewDisk(64, 5, time.Millisecond)
+		in := writeU64s(d, vals)
+		out, _ := Sort(in, Config{
+			Disk: d, RecordSize: recSize,
+			Memory: int64(mem%4096) + 128, Less: u64Less,
+		})
+		got := readU64s(out)
+		if len(got) != len(vals) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		// Multiset equality.
+		count := make(map[uint64]int)
+		for _, v := range vals {
+			count[v]++
+		}
+		for _, v := range got {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortIOCharged(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	d := diskio.NewDisk(64, 5, time.Millisecond)
+	in := writeU64s(d, vals)
+	before := d.Stats()
+	Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 2048, Less: u64Less})
+	delta := d.Stats().Sub(before)
+	// Run formation alone reads and writes the data once each.
+	minPages := int64(len(vals) * recSize / 64)
+	if delta.PagesRead < minPages || delta.PagesWritten < minPages {
+		t.Fatalf("sort I/O not charged: %+v (want ≥%d pages each way)", delta, minPages)
+	}
+}

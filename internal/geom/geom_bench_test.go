@@ -1,0 +1,34 @@
+package geom
+
+import "testing"
+
+var sinkBool bool
+var sinkPoint Point
+
+// Intersects and RefPoint sit on the innermost loops of every join; the
+// paper budgets "at most six comparisons" for on-line duplicate
+// detection, and these benchmarks keep that cost honest.
+func BenchmarkIntersects(b *testing.B) {
+	r := NewRect(0.1, 0.1, 0.5, 0.5)
+	s := NewRect(0.4, 0.4, 0.9, 0.9)
+	for i := 0; i < b.N; i++ {
+		sinkBool = r.Intersects(s)
+	}
+}
+
+func BenchmarkRefPoint(b *testing.B) {
+	r := NewRect(0.1, 0.1, 0.5, 0.5)
+	s := NewRect(0.4, 0.4, 0.9, 0.9)
+	for i := 0; i < b.N; i++ {
+		sinkPoint = RefPoint(r, s)
+	}
+}
+
+func BenchmarkEncodeDecodeKPE(b *testing.B) {
+	k := KPE{ID: 42, Rect: NewRect(0.1, 0.2, 0.3, 0.4)}
+	var buf [KPESize]byte
+	for i := 0; i < b.N; i++ {
+		EncodeKPE(buf[:], k)
+		k = DecodeKPE(buf[:])
+	}
+}

@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// KPE is a key-pointer element: the unit of data flowing through the
+// filter step of a spatial join. It pairs an object identifier (standing
+// in for a pointer to the full tuple) with the object's MBR (§2 of the
+// paper).
+type KPE struct {
+	ID   uint64
+	Rect Rect
+}
+
+// KPESize is the serialized size of a KPE in bytes: an 8-byte identifier
+// followed by four 8-byte float64 coordinates. Memory budgets and PBSM's
+// partition-count formula (1) are expressed in these units.
+const KPESize = 8 + 4*8
+
+// EncodeKPE serializes k into buf, which must be at least KPESize bytes,
+// and returns the number of bytes written.
+func EncodeKPE(buf []byte, k KPE) int {
+	_ = buf[KPESize-1] // bounds check hint
+	binary.LittleEndian.PutUint64(buf[0:], k.ID)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(k.Rect.XL))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(k.Rect.YL))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(k.Rect.XH))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(k.Rect.YH))
+	return KPESize
+}
+
+// DecodeKPE deserializes a KPE from buf, which must hold at least KPESize
+// bytes.
+func DecodeKPE(buf []byte) KPE {
+	_ = buf[KPESize-1]
+	return KPE{
+		ID: binary.LittleEndian.Uint64(buf[0:]),
+		Rect: Rect{
+			XL: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+			YL: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+			XH: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+			YH: math.Float64frombits(binary.LittleEndian.Uint64(buf[32:])),
+		},
+	}
+}
+
+// String formats k for debugging.
+func (k KPE) String() string { return fmt.Sprintf("KPE{%d %s}", k.ID, k.Rect) }
+
+// Pair identifies one result tuple of the filter step: the IDs of an
+// intersecting (r, s) pair with r from relation R and s from relation S.
+type Pair struct {
+	R, S uint64
+}
+
+// PairSize is the serialized size of a Pair in bytes. The original PBSM
+// duplicate-removal phase sorts records of this size.
+const PairSize = 16
+
+// EncodePair serializes p into buf (at least PairSize bytes).
+func EncodePair(buf []byte, p Pair) int {
+	_ = buf[PairSize-1]
+	binary.LittleEndian.PutUint64(buf[0:], p.R)
+	binary.LittleEndian.PutUint64(buf[8:], p.S)
+	return PairSize
+}
+
+// DecodePair deserializes a Pair from buf (at least PairSize bytes).
+func DecodePair(buf []byte) Pair {
+	_ = buf[PairSize-1]
+	return Pair{
+		R: binary.LittleEndian.Uint64(buf[0:]),
+		S: binary.LittleEndian.Uint64(buf[8:]),
+	}
+}
+
+// Less orders pairs lexicographically by (R, S), the order used by the
+// original PBSM duplicate-removal sort.
+func (p Pair) Less(q Pair) bool {
+	if p.R != q.R {
+		return p.R < q.R
+	}
+	return p.S < q.S
+}

@@ -1,0 +1,79 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKPERoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 1000,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(KPE{ID: rng.Uint64(), Rect: genRect(rng)})
+		},
+	}
+	f := func(k KPE) bool {
+		var buf [KPESize]byte
+		if n := EncodeKPE(buf[:], k); n != KPESize {
+			return false
+		}
+		return DecodeKPE(buf[:]) == k
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairRoundTrip(t *testing.T) {
+	f := func(r, s uint64) bool {
+		var buf [PairSize]byte
+		p := Pair{R: r, S: s}
+		EncodePair(buf[:], p)
+		return DecodePair(buf[:]) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairLessIsStrictWeakOrder(t *testing.T) {
+	f := func(a, b, c Pair) bool {
+		// Irreflexive and asymmetric.
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Transitive.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairLessLexicographic(t *testing.T) {
+	if !(Pair{1, 9}).Less(Pair{2, 0}) {
+		t.Error("R dominates")
+	}
+	if !(Pair{1, 2}).Less(Pair{1, 3}) {
+		t.Error("S breaks ties")
+	}
+	if (Pair{1, 3}).Less(Pair{1, 3}) {
+		t.Error("equal pairs are not Less")
+	}
+}
+
+func TestKPESizeMatchesEncoding(t *testing.T) {
+	// The memory model (formula (1) of the paper) relies on this size.
+	var buf [KPESize]byte
+	if n := EncodeKPE(buf[:], KPE{}); n != 40 {
+		t.Fatalf("KPESize = %d, want 40", n)
+	}
+}

@@ -1,0 +1,281 @@
+// Package multidim generalizes the paper's machinery to d dimensions —
+// the direction §6 names as future work ("a generalization of our work
+// for multidimensional similarity joins [KS 98]").
+//
+// It provides d-dimensional boxes, an equidistant-grid partition join
+// with replication, the d-dimensional Reference Point Method (the unique
+// lower corner of the intersection box assigns each result to exactly
+// one grid cell), and the epsilon similarity join of Koudas & Sevcik's
+// high-dimensional setting: expand one side by epsilon in the filter,
+// refine with the exact L2 distance.
+//
+// The package is an in-memory demonstration of the generalization: the
+// external machinery (partition files, sorting, cost accounting) is
+// dimension-agnostic and lives in the 2-D packages.
+package multidim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned box in [0,1)^d, given by its lower and upper
+// corners. Lo and Hi must have equal length (the dimensionality).
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox builds a box from two corners in any order.
+func NewBox(a, b []float64) (Box, error) {
+	if len(a) != len(b) {
+		return Box{}, fmt.Errorf("multidim: corner dimensions differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return Box{}, fmt.Errorf("multidim: zero-dimensional box")
+	}
+	lo := make([]float64, len(a))
+	hi := make([]float64, len(a))
+	for i := range a {
+		lo[i] = math.Min(a[i], b[i])
+		hi[i] = math.Max(a[i], b[i])
+	}
+	return Box{Lo: lo, Hi: hi}, nil
+}
+
+// Dim returns the dimensionality.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Intersects reports whether two boxes share at least one point
+// (boundaries count, as in the 2-D filter step).
+func (b Box) Intersects(o Box) bool {
+	for i := range b.Lo {
+		if b.Lo[i] > o.Hi[i] || o.Lo[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDist returns the minimum L2 distance between two boxes (zero when
+// they intersect).
+func (b Box) MinDist(o Box) float64 {
+	var sum float64
+	for i := range b.Lo {
+		d := math.Max(0, math.Max(b.Lo[i]-o.Hi[i], o.Lo[i]-b.Hi[i]))
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Expand grows the box by eps on every side.
+func (b Box) Expand(eps float64) Box {
+	lo := make([]float64, len(b.Lo))
+	hi := make([]float64, len(b.Hi))
+	for i := range b.Lo {
+		lo[i] = b.Lo[i] - eps
+		hi[i] = b.Hi[i] + eps
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// RefPoint returns the canonical point of an intersecting pair: the
+// lower corner of the intersection box, the d-dimensional analogue of
+// the paper's 2-D reference point. It lies inside both boxes and is
+// symmetric in its arguments, so any disjoint decomposition of the space
+// assigns each result pair to exactly one cell.
+func RefPoint(a, b Box) []float64 {
+	x := make([]float64, len(a.Lo))
+	for i := range x {
+		x[i] = math.Max(a.Lo[i], b.Lo[i])
+	}
+	return x
+}
+
+// Item pairs an identifier with its box, the d-dimensional KPE.
+type Item struct {
+	ID  uint64
+	Box Box
+}
+
+// Pair is one join result.
+type Pair struct {
+	R, S uint64
+}
+
+// Stats reports what a grid join did.
+type Stats struct {
+	Cells      int   // occupied grid cells
+	CopiesR    int64 // R replicas across cells
+	CopiesS    int64
+	RawResults int64 // before duplicate elimination
+	Results    int64
+	Tests      int64
+}
+
+// GridJoin computes the intersection join of R and S with an
+// equidistant grid of cellsPerAxis^d cells: every item is replicated
+// into each cell its box overlaps, cells are joined independently, and
+// the d-dimensional Reference Point Method reports each pair exactly
+// once. dim must match every item's box.
+func GridJoin(R, S []Item, dim, cellsPerAxis int, emit func(Pair)) (Stats, error) {
+	if dim < 1 {
+		return Stats{}, fmt.Errorf("multidim: dimension %d", dim)
+	}
+	if cellsPerAxis < 1 {
+		cellsPerAxis = 1
+	}
+	for _, it := range append(append([]Item(nil), R...), S...) {
+		if it.Box.Dim() != dim {
+			return Stats{}, fmt.Errorf("multidim: item %d has dimension %d, want %d",
+				it.ID, it.Box.Dim(), dim)
+		}
+	}
+	var st Stats
+
+	type cellData struct {
+		rs, ss []Item
+	}
+	cells := make(map[string]*cellData)
+	key := make([]int, dim)
+
+	// replicate inserts an item into every overlapping cell.
+	replicate := func(it Item, intoR bool) int64 {
+		var copies int64
+		lo := make([]int, dim)
+		hi := make([]int, dim)
+		for i := 0; i < dim; i++ {
+			lo[i] = cellIdx(it.Box.Lo[i], cellsPerAxis)
+			hi[i] = cellIdx(it.Box.Hi[i], cellsPerAxis)
+		}
+		copy(key, lo)
+		for {
+			k := cellKey(key)
+			c := cells[k]
+			if c == nil {
+				c = &cellData{}
+				cells[k] = c
+			}
+			if intoR {
+				c.rs = append(c.rs, it)
+			} else {
+				c.ss = append(c.ss, it)
+			}
+			copies++
+			// Advance the d-dimensional odometer.
+			i := 0
+			for ; i < dim; i++ {
+				key[i]++
+				if key[i] <= hi[i] {
+					break
+				}
+				key[i] = lo[i]
+			}
+			if i == dim {
+				break
+			}
+		}
+		return copies
+	}
+	for _, it := range R {
+		st.CopiesR += replicate(it, true)
+	}
+	for _, it := range S {
+		st.CopiesS += replicate(it, false)
+	}
+	st.Cells = len(cells)
+
+	// Join every occupied cell; report a pair only when the reference
+	// point falls into this cell.
+	for k, c := range cells {
+		if len(c.rs) == 0 || len(c.ss) == 0 {
+			continue
+		}
+		cell := parseCellKey(k, dim)
+		for _, r := range c.rs {
+			for _, s := range c.ss {
+				st.Tests++
+				if !r.Box.Intersects(s.Box) {
+					continue
+				}
+				st.RawResults++
+				x := RefPoint(r.Box, s.Box)
+				mine := true
+				for i := 0; i < dim; i++ {
+					if cellIdx(x[i], cellsPerAxis) != cell[i] {
+						mine = false
+						break
+					}
+				}
+				if mine {
+					st.Results++
+					emit(Pair{R: r.ID, S: s.ID})
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// SimilarityJoin computes the epsilon join under L2 distance: every pair
+// of items whose boxes lie within eps. The filter expands S's boxes by
+// eps (conservative for L2) and reuses GridJoin; the refinement tests the
+// exact box distance.
+func SimilarityJoin(R, S []Item, dim, cellsPerAxis int, eps float64, emit func(Pair)) (Stats, error) {
+	if eps < 0 {
+		return Stats{}, fmt.Errorf("multidim: negative epsilon %g", eps)
+	}
+	byID := make(map[uint64]Box, len(S))
+	expanded := make([]Item, len(S))
+	for i, it := range S {
+		byID[it.ID] = it.Box
+		expanded[i] = Item{ID: it.ID, Box: it.Box.Expand(eps)}
+	}
+	rByID := make(map[uint64]Box, len(R))
+	for _, it := range R {
+		rByID[it.ID] = it.Box
+	}
+	var results int64
+	st, err := GridJoin(R, expanded, dim, cellsPerAxis, func(p Pair) {
+		if rByID[p.R].MinDist(byID[p.S]) <= eps {
+			results++
+			emit(p)
+		}
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	st.Results = results
+	return st, nil
+}
+
+// cellIdx maps a coordinate to a cell index with the same clamping
+// convention the 2-D partitioners use.
+func cellIdx(v float64, n int) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(v * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// cellKey encodes grid coordinates as a map key.
+func cellKey(idx []int) string {
+	b := make([]byte, 0, len(idx)*4)
+	for _, v := range idx {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// parseCellKey is the inverse of cellKey.
+func parseCellKey(k string, dim int) []int {
+	out := make([]int, dim)
+	for i := 0; i < dim; i++ {
+		b := k[i*4 : i*4+4]
+		out[i] = int(b[0]) | int(b[1])<<8 | int(b[2])<<16 | int(b[3])<<24
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package multidim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomItems(rng *rand.Rand, n, dim int, maxEdge float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			c := rng.Float64()
+			e := rng.Float64() * maxEdge
+			lo[d] = math.Max(0, c-e/2)
+			hi[d] = math.Min(1, c+e/2)
+		}
+		items[i] = Item{ID: uint64(i), Box: Box{Lo: lo, Hi: hi}}
+	}
+	return items
+}
+
+func naive(R, S []Item) []Pair {
+	var out []Pair
+	for _, r := range R {
+		for _, s := range S {
+			if r.Box.Intersects(s.Box) {
+				out = append(out, Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func naiveWithin(R, S []Item, eps float64) []Pair {
+	var out []Pair
+	for _, r := range R {
+		for _, s := range S {
+			if r.Box.MinDist(s.Box) <= eps {
+				out = append(out, Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].R != ps[j].R {
+			return ps[i].R < ps[j].R
+		}
+		return ps[i].S < ps[j].S
+	})
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox([]float64{0, 1}, []float64{1}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := NewBox(nil, nil); err == nil {
+		t.Fatal("zero-dimensional box must error")
+	}
+	b, err := NewBox([]float64{0.9, 0.1, 0.5}, []float64{0.1, 0.9, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lo[0] != 0.1 || b.Hi[0] != 0.9 || b.Lo[2] != 0.5 {
+		t.Fatalf("corners not normalized: %+v", b)
+	}
+}
+
+func TestGridJoinMatchesOracleAcrossDimensions(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		R := randomItems(rng, 150, dim, 0.3)
+		S := randomItems(rng, 150, dim, 0.3)
+		want := naive(R, S)
+		for _, cells := range []int{1, 2, 4, 8} {
+			var got []Pair
+			st, err := GridJoin(R, S, dim, cells, func(p Pair) { got = append(got, p) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortPairs(got)
+			if len(got) != len(want) {
+				t.Fatalf("dim=%d cells=%d: %d pairs, want %d", dim, cells, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dim=%d cells=%d: pair %d mismatch", dim, cells, i)
+				}
+			}
+			if st.Results != int64(len(want)) {
+				t.Fatalf("stats results %d", st.Results)
+			}
+		}
+	}
+}
+
+func TestReplicationProducesRawDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	R := randomItems(rng, 200, 3, 0.4) // big boxes: heavy replication
+	st, err := GridJoin(R, R, 3, 4, func(Pair) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CopiesR <= 200 {
+		t.Fatalf("expected replication, copies = %d", st.CopiesR)
+	}
+	if st.RawResults <= st.Results {
+		t.Fatalf("expected raw duplicates: raw=%d results=%d", st.RawResults, st.Results)
+	}
+}
+
+func TestRefPointInsideIntersection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(rng, 2, 4, 0.6)
+		a, b := items[0].Box, items[1].Box
+		if !a.Intersects(b) {
+			return true
+		}
+		x := RefPoint(a, b)
+		for i := range x {
+			if x[i] < a.Lo[i] || x[i] > a.Hi[i] || x[i] < b.Lo[i] || x[i] > b.Hi[i] {
+				return false
+			}
+		}
+		// Symmetry.
+		y := RefPoint(b, a)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityJoinMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Point-like items in 4-D: the KS 98 similarity-join setting.
+	R := randomItems(rng, 150, 4, 0.01)
+	S := randomItems(rng, 150, 4, 0.01)
+	for _, eps := range []float64{0, 0.05, 0.2} {
+		want := naiveWithin(R, S, eps)
+		var got []Pair
+		_, err := SimilarityJoin(R, S, 4, 4, eps, func(p Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("eps=%g: %d pairs, want %d", eps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%g: pair %d mismatch", eps, i)
+			}
+		}
+	}
+}
+
+func TestSimilarityJoinErrors(t *testing.T) {
+	if _, err := SimilarityJoin(nil, nil, 3, 2, -1, func(Pair) {}); err == nil {
+		t.Fatal("negative eps must error")
+	}
+}
+
+func TestGridJoinErrors(t *testing.T) {
+	if _, err := GridJoin(nil, nil, 0, 2, func(Pair) {}); err == nil {
+		t.Fatal("zero dimension must error")
+	}
+	bad := []Item{{ID: 1, Box: Box{Lo: []float64{0}, Hi: []float64{1}}}}
+	if _, err := GridJoin(bad, nil, 3, 2, func(Pair) {}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestMinDistAndExpand(t *testing.T) {
+	a := Box{Lo: []float64{0, 0, 0}, Hi: []float64{0.1, 0.1, 0.1}}
+	b := Box{Lo: []float64{0.4, 0, 0}, Hi: []float64{0.5, 0.1, 0.1}}
+	if d := a.MinDist(b); math.Abs(d-0.3) > 1e-12 {
+		t.Fatalf("MinDist = %g, want 0.3", d)
+	}
+	if !a.Expand(0.3).Intersects(b) {
+		t.Fatal("expansion by the distance must touch")
+	}
+	if a.Expand(0.29).Intersects(b) {
+		t.Fatal("expansion below the distance must not touch")
+	}
+	// Diagonal case: L2 distance vs per-axis gaps (3-4-5 scaled).
+	c := Box{Lo: []float64{0.4, 0.5, 0}, Hi: []float64{0.5, 0.6, 0.1}}
+	want := math.Sqrt(0.3*0.3 + 0.4*0.4)
+	if d := a.MinDist(c); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("diagonal MinDist = %g, want %g", d, want)
+	}
+}
+
+func TestExactlyOnceUnderManyCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	R := randomItems(rng, 300, 2, 0.2)
+	seen := make(map[Pair]bool)
+	_, err := GridJoin(R, R, 2, 16, func(p Pair) {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package pbsm
+
+import "spatialjoin/internal/geom"
+
+// grid is an equidistant tiling of the unit data space with nx × ny
+// tiles, plus the hash mapping tiles to partitions (§3.1). Assigning
+// multiple tiles to a partition smooths data skew: a KPE goes into every
+// partition owning a tile its rectangle overlaps, which replicates KPEs
+// across partitions.
+type grid struct {
+	nx, ny int
+	parts  int
+}
+
+// newGrid builds a tiling with at least tiles cells, shaped as square as
+// possible, mapping onto parts partitions.
+func newGrid(tiles, parts int) *grid {
+	if tiles < parts {
+		tiles = parts
+	}
+	nx := 1
+	for nx*nx < tiles {
+		nx++
+	}
+	ny := (tiles + nx - 1) / nx
+	return &grid{nx: nx, ny: ny, parts: parts}
+}
+
+// clampIdx maps a coordinate in [0,1] to a tile index in [0,n).
+func clampIdx(v float64, n int) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(v * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// tileOf returns the tile id containing p, with far-boundary points
+// clamped into the last tile — the same convention the Reference Point
+// Method test uses, so partitioner and duplicate test always agree.
+func (g *grid) tileOf(p geom.Point) int {
+	return clampIdx(p.Y, g.ny)*g.nx + clampIdx(p.X, g.nx)
+}
+
+// partOf maps a tile id to its partition via a multiplicative hash
+// (Fibonacci hashing), the mechanism [PD 96] suggests for balancing
+// partitions when NT > P.
+func (g *grid) partOf(tile int) int {
+	h := uint64(tile) * 0x9E3779B97F4A7C15
+	return int(h % uint64(g.parts))
+}
+
+// partition returns the partition owning the point p.
+func (g *grid) partition(p geom.Point) int { return g.partOf(g.tileOf(p)) }
+
+// tileRange returns the inclusive tile-coordinate ranges overlapped by r.
+func (g *grid) tileRange(r geom.Rect) (x0, x1, y0, y1 int) {
+	return clampIdx(r.XL, g.nx), clampIdx(r.XH, g.nx),
+		clampIdx(r.YL, g.ny), clampIdx(r.YH, g.ny)
+}
+
+// partitionsOf appends to dst the distinct partitions whose tiles overlap
+// r, using stamp (a scratch slice of length g.parts) and gen to
+// deduplicate without allocation.
+func (g *grid) partitionsOf(r geom.Rect, dst []int, stamp []int, gen int) []int {
+	x0, x1, y0, y1 := g.tileRange(r)
+	for iy := y0; iy <= y1; iy++ {
+		base := iy * g.nx
+		for ix := x0; ix <= x1; ix++ {
+			p := g.partOf(base + ix)
+			if stamp[p] != gen {
+				stamp[p] = gen
+				dst = append(dst, p)
+			}
+		}
+	}
+	return dst
+}
+
+// region is a predicate over the data space: the set of tiles owned by
+// one partition of one grid, possibly intersected with an enclosing
+// region after repartitioning. The Reference Point Method reports a
+// result pair only when its reference point lies in both the R-side and
+// S-side regions of the partition pair being joined (§3.2.1).
+type region interface {
+	contains(p geom.Point) bool
+}
+
+// wholeSpace is the region of an unpartitioned relation (P = 1).
+type wholeSpace struct{}
+
+func (wholeSpace) contains(geom.Point) bool { return true }
+
+// gridRegion is the set of tiles of g hashed to partition part.
+type gridRegion struct {
+	g    *grid
+	part int
+}
+
+func (r gridRegion) contains(p geom.Point) bool { return r.g.partition(p) == r.part }
+
+// andRegion is the intersection of an outer region with a finer one,
+// produced by recursive repartitioning.
+type andRegion struct {
+	outer, inner region
+}
+
+func (r andRegion) contains(p geom.Point) bool {
+	return r.outer.contains(p) && r.inner.contains(p)
+}

@@ -1,0 +1,198 @@
+package pbsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/geom"
+)
+
+func TestNewGridShape(t *testing.T) {
+	cases := []struct {
+		tiles, parts int
+		minTiles     int
+	}{
+		{16, 4, 16},
+		{17, 4, 17},
+		{1, 5, 5}, // tiles raised to parts
+		{100, 10, 100},
+	}
+	for _, c := range cases {
+		g := newGrid(c.tiles, c.parts)
+		if g.nx*g.ny < c.minTiles {
+			t.Errorf("newGrid(%d,%d): %dx%d < %d tiles", c.tiles, c.parts, g.nx, g.ny, c.minTiles)
+		}
+		if g.parts != c.parts {
+			t.Errorf("parts changed: %d", g.parts)
+		}
+	}
+}
+
+func TestClampIdx(t *testing.T) {
+	cases := []struct {
+		v    float64
+		n    int
+		want int
+	}{
+		{0, 10, 0},
+		{-0.5, 10, 0},
+		{0.05, 10, 0},
+		{0.95, 10, 9},
+		{1.0, 10, 9}, // far boundary clamps into the last cell
+		{2.0, 10, 9},
+		{0.5, 10, 5},
+	}
+	for _, c := range cases {
+		if got := clampIdx(c.v, c.n); got != c.want {
+			t.Errorf("clampIdx(%g,%d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTileOfPartitionConsistency(t *testing.T) {
+	// The invariant RPM rests on: the partition that receives a copy of a
+	// rectangle containing point p always includes p in its region.
+	f := func(seed int64, tiles, parts uint8) bool {
+		g := newGrid(int(tiles)%30+1, int(parts)%10+1)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			part := g.partition(p)
+			if part < 0 || part >= g.parts {
+				return false
+			}
+			// A degenerate rectangle at p must be assigned to the
+			// partition owning p.
+			r := geom.Rect{XL: p.X, YL: p.Y, XH: p.X, YH: p.Y}
+			stamp := make([]int, g.parts)
+			for j := range stamp {
+				stamp[j] = -1
+			}
+			got := g.partitionsOf(r, nil, stamp, 0)
+			found := false
+			for _, pi := range got {
+				if pi == part {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionsOfCoversAllOverlappingTiles(t *testing.T) {
+	g := newGrid(16, 4)
+	r := geom.NewRect(0.1, 0.1, 0.6, 0.6)
+	stamp := []int{-1, -1, -1, -1}
+	got := g.partitionsOf(r, nil, stamp, 0)
+	want := make(map[int]bool)
+	for iy := 0; iy < g.ny; iy++ {
+		for ix := 0; ix < g.nx; ix++ {
+			cell := geom.Rect{
+				XL: float64(ix) / float64(g.nx), YL: float64(iy) / float64(g.ny),
+				XH: float64(ix+1) / float64(g.nx), YH: float64(iy+1) / float64(g.ny),
+			}
+			if cell.Intersects(r) {
+				want[g.partOf(iy*g.nx+ix)] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d partitions, want %d", len(got), len(want))
+	}
+	for _, pi := range got {
+		if !want[pi] {
+			t.Fatalf("unexpected partition %d", pi)
+		}
+	}
+}
+
+func TestPartitionsOfDeduplicates(t *testing.T) {
+	// A rectangle spanning many tiles of the same partition must be
+	// listed once.
+	g := newGrid(64, 2)
+	r := geom.NewRect(0, 0, 1, 1) // all tiles
+	stamp := []int{-1, -1}
+	got := g.partitionsOf(r, nil, stamp, 7)
+	if len(got) != 2 {
+		t.Fatalf("expected both partitions exactly once, got %v", got)
+	}
+	if got[0] == got[1] {
+		t.Fatal("duplicate partition in result")
+	}
+}
+
+func TestHashBalance(t *testing.T) {
+	// The multiplicative tile hash must spread tiles roughly evenly.
+	g := newGrid(1024, 16)
+	counts := make([]int, g.parts)
+	for tile := 0; tile < g.nx*g.ny; tile++ {
+		counts[g.partOf(tile)]++
+	}
+	total := g.nx * g.ny
+	mean := float64(total) / float64(g.parts)
+	for pi, c := range counts {
+		if float64(c) < mean*0.5 || float64(c) > mean*1.5 {
+			t.Errorf("partition %d owns %d tiles, mean %.1f — hash badly skewed", pi, c, mean)
+		}
+	}
+}
+
+func TestRegionSemantics(t *testing.T) {
+	g := newGrid(16, 4)
+	p := geom.Point{X: 0.3, Y: 0.7}
+	owner := g.partition(p)
+	for part := 0; part < g.parts; part++ {
+		reg := gridRegion{g: g, part: part}
+		if reg.contains(p) != (part == owner) {
+			t.Fatalf("region %d contains(%v) inconsistent with partition()", part, p)
+		}
+	}
+	if !(wholeSpace{}).contains(p) {
+		t.Fatal("wholeSpace must contain everything")
+	}
+	sub := newGrid(64, 8)
+	and := andRegion{gridRegion{g, owner}, gridRegion{sub, sub.partition(p)}}
+	if !and.contains(p) {
+		t.Fatal("andRegion must contain the point both parts contain")
+	}
+	other := (sub.partition(p) + 1) % sub.parts
+	and = andRegion{gridRegion{g, owner}, gridRegion{sub, other}}
+	if and.contains(p) {
+		t.Fatal("andRegion must reject when the inner region rejects")
+	}
+}
+
+// Exactly-one-partition property for points: the foundation of RPM.
+func TestEveryPointHasExactlyOneOwner(t *testing.T) {
+	f := func(x, y float64, tiles, parts uint8) bool {
+		// Map arbitrary floats into [0,1].
+		fx := x - float64(int64(x))
+		if fx < 0 {
+			fx += 1
+		}
+		fy := y - float64(int64(y))
+		if fy < 0 {
+			fy += 1
+		}
+		g := newGrid(int(tiles)%40+1, int(parts)%12+1)
+		owners := 0
+		p := geom.Point{X: fx, Y: fy}
+		for part := 0; part < g.parts; part++ {
+			if (gridRegion{g, part}).contains(p) {
+				owners++
+			}
+		}
+		return owners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

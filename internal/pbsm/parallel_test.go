@@ -1,0 +1,66 @@
+package pbsm
+
+import (
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	R := datagen.LARR(1, 3000).KPEs
+	S := datagen.LAST(2, 3000).KPEs
+	for _, workers := range []int{2, 4, 8} {
+		for _, dup := range []DupMethod{DupRPM, DupSort} {
+			seq, _ := run(t, R, S, Config{Memory: 16 << 10, Dup: dup})
+			par, st := run(t, R, S, Config{Memory: 16 << 10, Dup: dup, Parallel: workers})
+			sortPairs(seq)
+			assertEqualPairs(t, par, seq)
+			if st.Tests == 0 {
+				t.Fatal("parallel path must accumulate test counts")
+			}
+		}
+	}
+}
+
+func TestParallelWithRepartitioning(t *testing.T) {
+	// Skewed data forces the sequential repartitioning path inside a
+	// parallel run; correctness must survive the mix.
+	R := datagen.Uniform(3, 1500, 0.002)
+	for i := range R {
+		R[i].Rect = geom.NewRect(R[i].Rect.XL*0.01, R[i].Rect.YL*0.01,
+			R[i].Rect.XH*0.01, R[i].Rect.YH*0.01) // squeeze into a corner
+	}
+	seq, seqSt := run(t, R, R, Config{Memory: 8 << 10})
+	par, parSt := run(t, R, R, Config{Memory: 8 << 10, Parallel: 4})
+	sortPairs(seq)
+	assertEqualPairs(t, par, seq)
+	if seqSt.Repartitions == 0 || parSt.Repartitions == 0 {
+		t.Fatalf("test setup failed to force repartitioning (%d / %d)",
+			seqSt.Repartitions, parSt.Repartitions)
+	}
+}
+
+func TestParallelIOEqualsSequentialIO(t *testing.T) {
+	// Parallelism must not change what is charged to the disk.
+	R := datagen.LARR(4, 2000).KPEs
+	S := datagen.LAST(5, 2000).KPEs
+	_, seq := run(t, R, S, Config{Memory: 16 << 10})
+	_, par := run(t, R, S, Config{Memory: 16 << 10, Parallel: 4})
+	if seq.TotalIO().CostUnits != par.TotalIO().CostUnits {
+		t.Fatalf("I/O changed under parallelism: %g vs %g",
+			seq.TotalIO().CostUnits, par.TotalIO().CostUnits)
+	}
+	if seq.RawResults != par.RawResults {
+		t.Fatalf("raw results changed: %d vs %d", seq.RawResults, par.RawResults)
+	}
+}
+
+func TestParallelSinglePartitionFallsBack(t *testing.T) {
+	R := datagen.Uniform(6, 100, 0.05)
+	got, st := run(t, R, R, Config{Memory: 64 << 20, Parallel: 8})
+	assertEqualPairs(t, got, naive(R, R))
+	if st.P != 1 {
+		t.Fatalf("P = %d", st.P)
+	}
+}

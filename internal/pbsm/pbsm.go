@@ -1,0 +1,562 @@
+// Package pbsm implements the Partition Based Spatial-Merge Join of Patel
+// & DeWitt [PD 96] together with the improvements of Dittrich & Seeger
+// (ICDE 2000, §3): on-line duplicate elimination with the Reference Point
+// Method instead of the original final sort phase, a pluggable internal
+// plane-sweep algorithm (list- or trie-based sweep-line status), a tuning
+// factor on the partition-count formula, and an explicit recursive
+// repartitioning strategy.
+//
+// The algorithm proceeds in phases:
+//
+//  1. Partitioning — both relations are divided into P partitions using an
+//     equidistant grid of NT ≥ P tiles hashed onto partitions; a KPE is
+//     written to every partition owning a tile its rectangle overlaps
+//     (replication).
+//  2. Repartitioning — partition pairs exceeding the memory budget are
+//     recursively split with finer grids.
+//  3. Join — each partition pair is loaded and joined in memory.
+//  4. Duplicate removal — either the original external sort of the result
+//     pairs (DupSort), or free of any extra phase with the Reference
+//     Point Method (DupRPM), which tests each produced pair on-line.
+package pbsm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/extsort"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sweep"
+)
+
+// DupMethod selects how duplicates in the response set are eliminated.
+type DupMethod int
+
+const (
+	// DupRPM is the paper's on-line Reference Point Method (§3.2.1): a
+	// result is reported only if its reference point falls in the region
+	// of the partition pair being processed. No extra phase, no extra
+	// I/O, pipelining preserved.
+	DupRPM DupMethod = iota
+	// DupSort is the original PBSM strategy [PD 96]: all join-phase
+	// results are written to disk, sorted externally, and deduplicated in
+	// a final blocking phase.
+	DupSort
+)
+
+// String names the method.
+func (d DupMethod) String() string {
+	if d == DupSort {
+		return "sort"
+	}
+	return "rpm"
+}
+
+// Phase indexes the per-phase statistics.
+type Phase int
+
+// The four PBSM phases of Figure 1.
+const (
+	PhasePartition Phase = iota
+	PhaseRepartition
+	PhaseJoin
+	PhaseDup
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhasePartition:
+		return "partition"
+	case PhaseRepartition:
+		return "repartition"
+	case PhaseJoin:
+		return "join"
+	case PhaseDup:
+		return "dup-removal"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Config controls a PBSM join.
+type Config struct {
+	// Disk is the simulated device for partition files, repartitioning
+	// and the optional duplicate-removal sort. Required.
+	Disk *diskio.Disk
+	// Memory is the byte budget M of formula (1). Partition pairs are
+	// sized to fit in it. Required (> 0).
+	Memory int64
+	// Algorithm selects the internal in-memory join. Default: list sweep,
+	// the original PBSM choice.
+	Algorithm sweep.Kind
+	// Dup selects the duplicate-elimination strategy. Default DupRPM.
+	Dup DupMethod
+	// TuneFactor is the multiplier t > 1 applied to formula (1) before
+	// the ceiling (§3.2.3), avoiding partition pairs that just barely
+	// miss the memory budget. Values ≤ 1 select the default 1.25.
+	TuneFactor float64
+	// TilesPerPartition sets NT = TilesPerPartition × P. Values < 1
+	// select the default 4.
+	TilesPerPartition int
+	// BufPages is the sequential I/O buffer size in pages for every file
+	// stream. Values < 1 select 4.
+	BufPages int
+	// MaxRecurse bounds repartitioning recursion; beyond it a pair is
+	// joined in memory even if over budget (counted in MemoryOverflows).
+	// Values < 1 select 8.
+	MaxRecurse int
+	// Parallel joins this many partition pairs concurrently in the join
+	// phase (values < 2 keep the phase sequential). Result pairs arrive
+	// in nondeterministic order but remain exactly-once; emit must be
+	// safe for the internal serialization this option adds. Parallelism
+	// changes only wall-clock CPU, never the I/O cost accounting.
+	Parallel int
+}
+
+func (c *Config) tune() float64 {
+	if c.TuneFactor <= 1 {
+		return 1.25
+	}
+	return c.TuneFactor
+}
+
+func (c *Config) tilesPerPart() int {
+	if c.TilesPerPartition < 1 {
+		return 4
+	}
+	return c.TilesPerPartition
+}
+
+func (c *Config) bufPages() int {
+	if c.BufPages < 1 {
+		return 4
+	}
+	return c.BufPages
+}
+
+func (c *Config) maxRecurse() int {
+	if c.MaxRecurse < 1 {
+		return 8
+	}
+	return c.MaxRecurse
+}
+
+// bufPagesFor sizes each stream's I/O buffer when streams files are open
+// at once, so that the buffers together stay within the memory budget —
+// at a small M with many partitions, each output buffer shrinks to a
+// single page and every flush pays the positioning cost, which is exactly
+// how a real PBSM degrades at tiny memory.
+func (c *Config) bufPagesFor(streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := int(c.Memory / int64(streams) / int64(c.Disk.PageSize()))
+	if per < 1 {
+		return 1
+	}
+	if per > c.bufPages() {
+		return c.bufPages()
+	}
+	return per
+}
+
+// Stats reports what a PBSM join did. Simulated I/O and measured CPU are
+// kept per phase so the experiments of Figures 3 and 6 can be read off
+// directly.
+type Stats struct {
+	P, NT int // partition and tile counts of the initial grid
+
+	Results         int64 // pairs delivered to the caller (duplicate-free)
+	RawResults      int64 // pairs produced by the join phase before dedup
+	CopiesR         int64 // KPE copies written for R in the partition phase
+	CopiesS         int64 // likewise for S
+	Repartitions    int   // number of repartitioning splits performed
+	MemoryOverflows int   // pairs joined over budget at the recursion cap
+	Tests           int64 // candidate tests of the internal algorithm
+
+	PhaseIO  [numPhases]diskio.Stats
+	PhaseCPU [numPhases]time.Duration
+
+	// FirstResultCPU and FirstResultIO capture the elapsed CPU time and
+	// the simulated I/O cost units consumed when the first result reached
+	// the caller: the pipelining measure of §3.1 — with DupSort no result
+	// appears before the final sort starts scanning.
+	FirstResultCPU time.Duration
+	FirstResultIO  float64
+}
+
+// TotalIO sums the per-phase I/O statistics.
+func (s *Stats) TotalIO() diskio.Stats {
+	var t diskio.Stats
+	for i := range s.PhaseIO {
+		t.Add(s.PhaseIO[i])
+	}
+	return t
+}
+
+// TotalCPU sums the per-phase CPU times.
+func (s *Stats) TotalCPU() time.Duration {
+	var t time.Duration
+	for _, d := range s.PhaseCPU {
+		t += d
+	}
+	return t
+}
+
+// ReplicationRate returns copies-written / input-size for relation sizes
+// nr and ns, the redundancy measure of §5.1.
+func (s *Stats) ReplicationRate(nr, ns int) float64 {
+	if nr+ns == 0 {
+		return 0
+	}
+	return float64(s.CopiesR+s.CopiesS) / float64(nr+ns)
+}
+
+// Join computes the spatial intersection join of R and S, delivering each
+// result pair exactly once to emit. The inputs are never modified.
+func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
+	if cfg.Disk == nil {
+		return Stats{}, fmt.Errorf("pbsm: Config.Disk is required")
+	}
+	if cfg.Memory <= 0 {
+		return Stats{}, fmt.Errorf("pbsm: Config.Memory must be positive, got %d", cfg.Memory)
+	}
+	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm)}
+	j.run(R, S, emit)
+	j.stats.Tests += j.alg.Tests()
+	return j.stats, nil
+}
+
+type joiner struct {
+	cfg   Config
+	alg   sweep.Algorithm
+	stats Stats
+
+	start      time.Time // start of the whole join, for first-result stats
+	startUnits float64
+	emit       func(geom.Pair)
+	dupWriter  *recfile.PairWriter // result spool when Dup == DupSort
+	emitMu     sync.Mutex          // serializes emission in parallel mode
+}
+
+// phaseTimer attributes wall-clock CPU and disk-cost deltas to a phase.
+type phaseTimer struct {
+	j     *joiner
+	phase Phase
+	t0    time.Time
+	io0   diskio.Stats
+}
+
+func (j *joiner) begin(p Phase) phaseTimer {
+	return phaseTimer{j: j, phase: p, t0: time.Now(), io0: j.cfg.Disk.Stats()}
+}
+
+func (pt phaseTimer) end() {
+	pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
+	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+}
+
+// deliver hands one duplicate-free pair to the caller, recording
+// time-to-first-result. Parallel workers call it with emitMu held.
+func (j *joiner) deliver(p geom.Pair) {
+	if j.stats.Results == 0 {
+		j.stats.FirstResultCPU = time.Since(j.start)
+		j.stats.FirstResultIO = j.cfg.Disk.Stats().CostUnits - j.startUnits
+	}
+	j.stats.Results++
+	j.emit(p)
+}
+
+func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
+	j.start = time.Now()
+	j.startUnits = j.cfg.Disk.Stats().CostUnits
+	j.emit = emit
+
+	// Phase 1: compute P via formula (1) with the tuning factor and
+	// partition both relations.
+	p := int(math.Ceil(j.cfg.tune() * float64(int64(len(R)+len(S))*geom.KPESize) / float64(j.cfg.Memory)))
+	if p < 1 {
+		p = 1
+	}
+	j.stats.P = p
+
+	var dupFile *diskio.File
+	if j.cfg.Dup == DupSort {
+		dupFile = j.cfg.Disk.Create("")
+		j.dupWriter = recfile.NewPairWriter(dupFile, j.cfg.bufPages())
+	}
+
+	if p == 1 {
+		// Everything fits: a single in-memory join, no partition files.
+		pt := j.begin(PhaseJoin)
+		rs := append([]geom.KPE(nil), R...)
+		ss := append([]geom.KPE(nil), S...)
+		j.joinLoaded(rs, ss, wholeSpace{}, wholeSpace{})
+		pt.end()
+	} else {
+		g := newGrid(p*j.cfg.tilesPerPart(), p)
+		j.stats.NT = g.nx * g.ny
+
+		pt := j.begin(PhasePartition)
+		filesR, copiesR := j.partitionInput(R, g)
+		filesS, copiesS := j.partitionInput(S, g)
+		j.stats.CopiesR, j.stats.CopiesS = copiesR, copiesS
+		pt.end()
+
+		if j.cfg.Parallel > 1 {
+			j.processAllParallel(g, filesR, filesS)
+		} else {
+			// Phases 2+3: repartition as needed and join each pair.
+			for i := 0; i < p; i++ {
+				reg := gridRegion{g: g, part: i}
+				j.processPair(filesR[i], filesS[i], reg, reg, 0)
+			}
+		}
+		for i := 0; i < p; i++ {
+			j.cfg.Disk.Remove(filesR[i].Name())
+			j.cfg.Disk.Remove(filesS[i].Name())
+		}
+	}
+
+	// Phase 4 (original PBSM only): sort the spooled result pairs and
+	// drop duplicates.
+	if j.cfg.Dup == DupSort {
+		pt := j.begin(PhaseDup)
+		j.dupWriter.Flush()
+		sorted, _ := extsort.Sort(dupFile, extsort.Config{
+			Disk:       j.cfg.Disk,
+			RecordSize: geom.PairSize,
+			Memory:     j.cfg.Memory,
+			BufPages:   j.cfg.bufPages(),
+			Less: func(a, b []byte) bool {
+				return geom.DecodePair(a).Less(geom.DecodePair(b))
+			},
+		})
+		j.cfg.Disk.Remove(dupFile.Name())
+		r := recfile.NewPairReader(sorted, j.cfg.bufPages())
+		var prev geom.Pair
+		first := true
+		for {
+			pr, ok := r.Next()
+			if !ok {
+				break
+			}
+			if first || pr != prev {
+				j.deliver(pr)
+			}
+			prev, first = pr, false
+		}
+		j.cfg.Disk.Remove(sorted.Name())
+		pt.end()
+	}
+}
+
+// partitionInput writes each KPE of ks into every partition file whose
+// tiles its rectangle overlaps, returning the files and the number of
+// copies written.
+func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64) {
+	files := make([]*diskio.File, g.parts)
+	writers := make([]*recfile.KPEWriter, g.parts)
+	buf := j.cfg.bufPagesFor(g.parts)
+	for i := range files {
+		files[i] = j.cfg.Disk.Create("")
+		writers[i] = recfile.NewKPEWriter(files[i], buf)
+	}
+	stamp := make([]int, g.parts)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	parts := make([]int, 0, 8)
+	var copies int64
+	for idx := range ks {
+		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
+		for _, pi := range parts {
+			writers[pi].Write(ks[idx])
+			copies++
+		}
+	}
+	for _, w := range writers {
+		w.Flush()
+	}
+	return files, copies
+}
+
+// processPair joins the partition pair (fr, fs), repartitioning
+// recursively when the pair exceeds the memory budget (§3.2.3).
+func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) {
+	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
+	if nr == 0 || ns == 0 {
+		return // nothing can join; skip the I/O entirely
+	}
+	size := (nr + ns) * geom.KPESize
+	if size > j.cfg.Memory && depth < j.cfg.maxRecurse() {
+		j.repartitionPair(fr, fs, regR, regS, depth)
+		return
+	}
+	if size > j.cfg.Memory {
+		j.stats.MemoryOverflows++
+	}
+
+	pt := j.begin(PhaseJoin)
+	rs := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+	ss := recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+	j.joinLoaded(rs, ss, regR, regS)
+	pt.end()
+}
+
+// joinLoaded runs the internal algorithm on an in-memory partition pair
+// and routes each produced pair through duplicate handling.
+func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) {
+	j.alg.Join(rs, ss, func(r, s geom.KPE) {
+		j.stats.RawResults++
+		switch j.cfg.Dup {
+		case DupRPM:
+			x := geom.RefPoint(r.Rect, s.Rect)
+			if regR.contains(x) && regS.contains(x) {
+				j.deliver(geom.Pair{R: r.ID, S: s.ID})
+			}
+		case DupSort:
+			j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+		}
+	})
+}
+
+// processAllParallel runs the join phase with a worker pool: pairs that
+// fit in memory are joined concurrently (each worker with its own
+// internal algorithm, sharing the thread-safe disk); oversized pairs are
+// repartitioned sequentially first, since repartitioning recursion
+// mutates shared files. Duplicate handling is unchanged — the Reference
+// Point Method is stateless, so only the emit path needs serialization.
+func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) {
+	type job struct {
+		fr, fs *diskio.File
+		part   int
+	}
+	var jobs []job
+	for i := 0; i < g.parts; i++ {
+		fr, fs := filesR[i], filesS[i]
+		nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
+		if nr == 0 || ns == 0 {
+			continue
+		}
+		reg := gridRegion{g: g, part: i}
+		if (nr+ns)*geom.KPESize > j.cfg.Memory {
+			// Oversized: sequential repartitioning path as usual.
+			j.processPair(fr, fs, reg, reg, 0)
+			continue
+		}
+		jobs = append(jobs, job{fr, fs, i})
+	}
+
+	pt := j.begin(PhaseJoin)
+	workers := j.cfg.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alg := sweep.New(j.cfg.Algorithm)
+			for idx := range ch {
+				jb := jobs[idx]
+				rs := recfile.ReadAllKPEs(jb.fr, j.cfg.bufPages())
+				ss := recfile.ReadAllKPEs(jb.fs, j.cfg.bufPages())
+				reg := gridRegion{g: g, part: jb.part}
+				alg.Join(rs, ss, func(r, s geom.KPE) {
+					j.emitMu.Lock()
+					j.stats.RawResults++
+					switch j.cfg.Dup {
+					case DupRPM:
+						x := geom.RefPoint(r.Rect, s.Rect)
+						if reg.contains(x) {
+							j.deliver(geom.Pair{R: r.ID, S: s.ID})
+						}
+					case DupSort:
+						j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+					}
+					j.emitMu.Unlock()
+				})
+			}
+			j.emitMu.Lock()
+			j.stats.Tests += alg.Tests()
+			j.emitMu.Unlock()
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	pt.end()
+}
+
+// repartitionPair splits the larger side of an oversized pair with a
+// finer grid and recurses on each sub-pair against the unsplit side.
+func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth int) {
+	j.stats.Repartitions++
+	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
+	size := (nr + ns) * geom.KPESize
+	n := int(math.Ceil(j.cfg.tune() * float64(size) / float64(j.cfg.Memory)))
+	if n < 2 {
+		n = 2
+	}
+	sub := newGrid(n*j.cfg.tilesPerPart(), n)
+
+	splitR := nr >= ns
+	src := fr
+	if !splitR {
+		src = fs
+	}
+
+	pt := j.begin(PhaseRepartition)
+	files := make([]*diskio.File, n)
+	writers := make([]*recfile.KPEWriter, n)
+	buf := j.cfg.bufPagesFor(n + 1)
+	for i := range files {
+		files[i] = j.cfg.Disk.Create("")
+		writers[i] = recfile.NewKPEWriter(files[i], buf)
+	}
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	parts := make([]int, 0, 8)
+	rd := recfile.NewKPEReader(src, buf)
+	gen := 0
+	for {
+		k, ok := rd.Next()
+		if !ok {
+			break
+		}
+		parts = sub.partitionsOf(k.Rect, parts[:0], stamp, gen)
+		gen++
+		for _, pi := range parts {
+			writers[pi].Write(k)
+		}
+	}
+	for _, w := range writers {
+		w.Flush()
+	}
+	pt.end()
+
+	for i := 0; i < n; i++ {
+		inner := gridRegion{g: sub, part: i}
+		if splitR {
+			j.processPair(files[i], fs, andRegion{regR, inner}, regS, depth+1)
+		} else {
+			j.processPair(fr, files[i], regR, andRegion{regS, inner}, depth+1)
+		}
+		j.cfg.Disk.Remove(files[i].Name())
+	}
+}

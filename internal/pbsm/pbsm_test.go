@@ -1,0 +1,321 @@
+package pbsm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+)
+
+func newDisk() *diskio.Disk { return diskio.NewDisk(1024, 10, time.Millisecond) }
+
+func naive(rs, ss []geom.KPE) []geom.Pair {
+	var out []geom.Pair
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Rect.Intersects(s.Rect) {
+				out = append(out, geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func run(t *testing.T, R, S []geom.KPE, cfg Config) ([]geom.Pair, Stats) {
+	t.Helper()
+	if cfg.Disk == nil {
+		cfg.Disk = newDisk()
+	}
+	var got []geom.Pair
+	st, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	return got, st
+}
+
+func assertEqualPairs(t *testing.T, got, want []geom.Pair) {
+	t.Helper()
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Join(nil, nil, Config{Memory: 1}, nil); err == nil {
+		t.Error("nil disk must error")
+	}
+	if _, err := Join(nil, nil, Config{Disk: newDisk()}, nil); err == nil {
+		t.Error("zero memory must error")
+	}
+}
+
+func TestRPMMatchesSortExactly(t *testing.T) {
+	// The paper's central claim: RPM yields precisely the duplicate-free
+	// result set of the original sort-based removal.
+	R := datagen.LARR(1, 1200).KPEs
+	S := datagen.LAST(2, 1200).KPEs
+	for _, mem := range []int64{4 << 10, 16 << 10, 64 << 10} {
+		rpm, _ := run(t, R, S, Config{Memory: mem, Dup: DupRPM})
+		srt, _ := run(t, R, S, Config{Memory: mem, Dup: DupSort})
+		sortPairs(rpm)
+		assertEqualPairs(t, srt, rpm)
+	}
+}
+
+func TestRPMSuppressesDuplicatesNotResults(t *testing.T) {
+	R := datagen.LARR(3, 1500).KPEs
+	S := datagen.LAST(4, 1500).KPEs
+	got, st := run(t, R, S, Config{Memory: 8 << 10, Dup: DupRPM})
+	assertEqualPairs(t, got, naive(R, S))
+	if st.RawResults <= st.Results {
+		t.Fatalf("with replication, raw results (%d) must exceed unique results (%d)",
+			st.RawResults, st.Results)
+	}
+}
+
+func TestSortDupRemovalChargesExtraIO(t *testing.T) {
+	// Figure 3a: the sort-based removal pays I/O proportional to the
+	// result size; RPM pays none.
+	R := datagen.LARR(5, 2000).KPEs
+	S := datagen.LAST(6, 2000).KPEs
+	_, stRPM := run(t, R, S, Config{Memory: 8 << 10, Dup: DupRPM})
+	_, stSort := run(t, R, S, Config{Memory: 8 << 10, Dup: DupSort})
+	if u := stRPM.PhaseIO[PhaseDup].CostUnits; u != 0 {
+		t.Fatalf("RPM charged %g dup-removal I/O units", u)
+	}
+	if u := stSort.PhaseIO[PhaseDup].CostUnits; u <= 0 {
+		t.Fatal("sort-based removal must charge dup-removal I/O")
+	}
+	if stSort.TotalIO().CostUnits <= stRPM.TotalIO().CostUnits {
+		t.Fatal("sort-based PBSM must cost more total I/O than RPM")
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	// §3.1: the original PBSM produces its first result only after the
+	// candidate set is completely sorted; RPM streams results.
+	R := datagen.LARR(7, 2000).KPEs
+	S := datagen.LAST(8, 2000).KPEs
+	_, stRPM := run(t, R, S, Config{Memory: 8 << 10, Dup: DupRPM})
+	_, stSort := run(t, R, S, Config{Memory: 8 << 10, Dup: DupSort})
+	if stRPM.FirstResultIO >= stSort.FirstResultIO {
+		t.Fatalf("RPM first result at %g I/O units, sort at %g — pipelining lost",
+			stRPM.FirstResultIO, stSort.FirstResultIO)
+	}
+}
+
+func TestFormulaOnePartitionCount(t *testing.T) {
+	R := datagen.Uniform(9, 1000, 0.01)
+	S := datagen.Uniform(10, 1000, 0.01)
+	// 2000 KPEs × 40 B = 80 KB; memory 20 KB; t = 1.25 → P = ceil(5) = 5.
+	_, st := run(t, R, S, Config{Memory: 20 << 10, TuneFactor: 1.25})
+	if st.P != 5 {
+		t.Fatalf("P = %d, want 5", st.P)
+	}
+	if st.NT < st.P {
+		t.Fatalf("NT (%d) must be at least P (%d)", st.NT, st.P)
+	}
+}
+
+func TestTuneFactorAddsHeadroom(t *testing.T) {
+	R := datagen.Uniform(11, 1000, 0.01)
+	S := datagen.Uniform(12, 1000, 0.01)
+	_, stLow := run(t, R, S, Config{Memory: 20 << 10, TuneFactor: 1.01})
+	_, stHigh := run(t, R, S, Config{Memory: 20 << 10, TuneFactor: 2})
+	if stHigh.P <= stLow.P {
+		t.Fatalf("larger t must produce more partitions: %d vs %d", stHigh.P, stLow.P)
+	}
+}
+
+func TestSinglePartitionNoIO(t *testing.T) {
+	R := datagen.Uniform(13, 200, 0.02)
+	S := datagen.Uniform(14, 200, 0.02)
+	d := newDisk()
+	got, st := run(t, R, S, Config{Disk: d, Memory: 64 << 20})
+	assertEqualPairs(t, got, naive(R, S))
+	if st.P != 1 {
+		t.Fatalf("P = %d, want 1", st.P)
+	}
+	if io := st.TotalIO(); io.CostUnits != 0 {
+		t.Fatalf("in-memory join must not do I/O, cost = %g", io.CostUnits)
+	}
+}
+
+func TestReplicationCounted(t *testing.T) {
+	// Large rectangles at small memory must be replicated across
+	// partitions.
+	R := datagen.Uniform(15, 800, 0.2)
+	S := datagen.Uniform(16, 800, 0.2)
+	_, st := run(t, R, S, Config{Memory: 8 << 10})
+	if st.CopiesR <= int64(len(R)) || st.CopiesS <= int64(len(S)) {
+		t.Fatalf("expected replication: copies R=%d S=%d", st.CopiesR, st.CopiesS)
+	}
+	if rr := st.ReplicationRate(len(R), len(S)); rr <= 1 {
+		t.Fatalf("ReplicationRate = %g, want > 1", rr)
+	}
+}
+
+func TestRepartitioningTriggersOnSkew(t *testing.T) {
+	// All rectangles in one tiny corner: the grid hashes them into few
+	// partitions, forcing recursive repartitioning.
+	rng := rand.New(rand.NewSource(17))
+	mk := func(n int) []geom.KPE {
+		ks := make([]geom.KPE, n)
+		for i := range ks {
+			cx := rng.Float64() * 0.01
+			cy := rng.Float64() * 0.01
+			ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(cx, cy, cx+0.001, cy+0.001)}
+		}
+		return ks
+	}
+	R, S := mk(1500), mk(1500)
+	got, st := run(t, R, S, Config{Memory: 8 << 10})
+	assertEqualPairs(t, got, naive(R, S))
+	if st.Repartitions == 0 {
+		t.Fatal("skewed data at small memory must trigger repartitioning")
+	}
+	if st.PhaseIO[PhaseRepartition].CostUnits <= 0 {
+		t.Fatal("repartitioning I/O must be charged to its phase")
+	}
+}
+
+func TestRecursionCapStillCorrect(t *testing.T) {
+	// Identical rectangles cannot be split apart: the recursion cap must
+	// kick in and the join must still be exact.
+	ks := make([]geom.KPE, 400)
+	for i := range ks {
+		ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(0.5, 0.5, 0.500001, 0.500001)}
+	}
+	got, st := run(t, ks, ks, Config{Memory: 4 << 10, MaxRecurse: 2})
+	assertEqualPairs(t, got, naive(ks, ks))
+	if st.MemoryOverflows == 0 {
+		t.Fatal("expected memory overflows at the recursion cap")
+	}
+}
+
+func TestAllInternalAlgorithmsAgree(t *testing.T) {
+	R := datagen.LARR(18, 900).KPEs
+	S := datagen.LAST(19, 900).KPEs
+	want := naive(R, S)
+	for _, alg := range []sweep.Kind{sweep.NestedLoopsKind, sweep.ListKind, sweep.TrieKind} {
+		got, st := run(t, R, S, Config{Memory: 8 << 10, Algorithm: alg})
+		assertEqualPairs(t, got, want)
+		if st.Tests == 0 {
+			t.Fatalf("%s: no candidate tests recorded", alg)
+		}
+	}
+}
+
+func TestPhaseAccountingSumsToTotal(t *testing.T) {
+	R := datagen.LARR(20, 1000).KPEs
+	S := datagen.LAST(21, 1000).KPEs
+	d := newDisk()
+	before := d.Stats()
+	_, st := run(t, R, S, Config{Disk: d, Memory: 8 << 10, Dup: DupSort})
+	delta := d.Stats().Sub(before)
+	if tot := st.TotalIO(); tot.CostUnits != delta.CostUnits {
+		t.Fatalf("phase I/O (%g units) does not sum to disk delta (%g)",
+			tot.CostUnits, delta.CostUnits)
+	}
+	if st.TotalCPU() <= 0 {
+		t.Fatal("CPU time must be recorded")
+	}
+}
+
+func TestInputsNotMutated(t *testing.T) {
+	R := datagen.Uniform(22, 300, 0.05)
+	S := datagen.Uniform(23, 300, 0.05)
+	rc := append([]geom.KPE(nil), R...)
+	sc := append([]geom.KPE(nil), S...)
+	run(t, R, S, Config{Memory: 64 << 20}) // single-partition path copies
+	run(t, R, S, Config{Memory: 4 << 10})
+	for i := range R {
+		if R[i] != rc[i] {
+			t.Fatal("R mutated")
+		}
+	}
+	for i := range S {
+		if S[i] != sc[i] {
+			t.Fatal("S mutated")
+		}
+	}
+}
+
+// The RPM exactly-once property, stress-tested across random geometry,
+// memory budgets and grid shapes.
+func TestRPMExactlyOnceProperty(t *testing.T) {
+	f := func(seed int64, nMod uint8, memMod uint8, tiles uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nMod)%120 + 10
+		mk := func() []geom.KPE {
+			ks := make([]geom.KPE, n)
+			for i := range ks {
+				cx, cy := rng.Float64(), rng.Float64()
+				e := rng.Float64()
+				w, h := e*e*0.4, e*e*0.4
+				ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(cx, cy, cx+w, cy+h).ClampUnit()}
+			}
+			return ks
+		}
+		R, S := mk(), mk()
+		cfg := Config{
+			Disk:              newDisk(),
+			Memory:            int64(memMod)%8000 + 1200,
+			TilesPerPartition: int(tiles)%8 + 1,
+		}
+		var got []geom.Pair
+		if _, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) }); err != nil {
+			return false
+		}
+		want := naive(R, S)
+		sortPairs(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupMethodString(t *testing.T) {
+	if DupRPM.String() != "rpm" || DupSort.String() != "sort" {
+		t.Fatal("dup method names changed")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := []string{"partition", "repartition", "join", "dup-removal"}
+	for i, want := range names {
+		if got := Phase(i).String(); got != want {
+			t.Errorf("Phase(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase must still format")
+	}
+}

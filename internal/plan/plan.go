@@ -1,0 +1,179 @@
+// Package plan predicts the I/O cost of each join method analytically —
+// the quantitative version of the paper's §5.1 comparison (Table 3) —
+// from nothing but the relation sizes, a sample, and the device
+// parameters. A query optimizer can rank the no-index methods before
+// running anything, which is exactly the setting the paper cares about:
+// inputs that are intermediate results with no precomputed statistics
+// (§3.2.3), where package estimate supplies the sampled quantities.
+//
+// Predictions are in the same deterministic cost units the simulator
+// charges (PT + n per contiguous request), so tests validate them
+// against measured runs directly.
+package plan
+
+import (
+	"math"
+	"sort"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/estimate"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sfc"
+)
+
+// Device describes the simulated disk parameters.
+type Device struct {
+	PageSize int     // bytes per page
+	PT       float64 // positioning-to-transfer ratio
+	BufPages int     // sequential buffer size in pages
+}
+
+// DefaultDevice matches the diskio defaults.
+var DefaultDevice = Device{PageSize: 8192, PT: 20, BufPages: 4}
+
+// Prediction is the analytic I/O estimate for one method.
+type Prediction struct {
+	Method  core.Method
+	IOUnits float64
+	// Passes is the predicted number of full passes over the method's
+	// working data (the Table 3 view).
+	Passes float64
+	// Replication is the predicted copies-per-input-record.
+	Replication float64
+}
+
+// Workload is everything the predictor needs about the join.
+type Workload struct {
+	NR, NS  int        // relation cardinalities
+	SampleR []geom.KPE // a sample of R (both relations pooled is fine)
+	SampleS []geom.KPE
+	Memory  int64
+}
+
+// pages converts a byte volume to pages (fractional; the model works in
+// expectations).
+func (d Device) pages(bytes float64) float64 {
+	return bytes / float64(d.PageSize)
+}
+
+// passCost returns the cost units of streaming `pages` pages through a
+// buffer of b pages: the transfers plus one positioning per request.
+func (d Device) passCost(pages float64, b int) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	if b < 1 {
+		b = 1
+	}
+	return pages + d.PT*math.Ceil(pages/float64(b))
+}
+
+// bufFor bounds the per-stream buffer by the memory budget across the
+// given number of concurrently open streams.
+func (d Device) bufFor(memory int64, streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := int(memory / int64(streams) / int64(d.PageSize))
+	if per < 1 {
+		return 1
+	}
+	if per > d.BufPages {
+		return d.BufPages
+	}
+	return per
+}
+
+// PBSM predicts the partition-write plus join-read cost of PBSM with the
+// Reference Point Method (repartitioning, which the paper measures as a
+// minor contribution, is not modeled).
+func PBSM(w Workload, d Device) Prediction {
+	p := estimate.PartitionCount(w.NR, w.NS, w.Memory, 0)
+	// Grid shape as built by the partitioner: NT = 4P tiles, square-ish.
+	nt := 4 * p
+	nx := 1
+	for nx*nx < nt {
+		nx++
+	}
+	ny := (nt + nx - 1) / nx
+	rep := 1.0
+	if sample := append(append([]geom.KPE(nil), w.SampleR...), w.SampleS...); len(sample) > 0 {
+		rep = estimate.ReplicationRate(sample, nx, ny)
+	}
+	vol := rep * float64(w.NR+w.NS) * geom.KPESize
+	pg := d.pages(vol)
+	write := d.passCost(pg, d.bufFor(w.Memory, p))
+	read := d.passCost(pg, d.BufPages)
+	return Prediction{
+		Method:      core.PBSM,
+		IOUnits:     write + read,
+		Passes:      2,
+		Replication: rep,
+	}
+}
+
+// S3J predicts the level-file write, sort (read+write) and join-read
+// cost of the replicated S³J.
+func S3J(w Workload, d Device) Prediction {
+	const levels = 10 // the s3j default
+	rep := 1.0
+	if sample := append(append([]geom.KPE(nil), w.SampleR...), w.SampleS...); len(sample) > 0 {
+		var copies float64
+		for _, k := range sample {
+			l := sfc.SizeLevel(k.Rect, levels)
+			copies += float64(len(sfc.OverlapCells(k.Rect, l, nil)))
+		}
+		rep = copies / float64(len(sample))
+	}
+	rec := float64(geom.KPESize + 8) // level-file records carry the code
+	vol := rep * float64(w.NR+w.NS) * rec
+	pg := d.pages(vol)
+	write := d.passCost(pg, d.bufFor(w.Memory, levels+1))
+	sortPasses := d.passCost(pg, d.BufPages) + d.passCost(pg, d.BufPages)
+	read := d.passCost(pg, d.bufFor(w.Memory, 2*(levels+1)))
+	return Prediction{
+		Method:      core.S3J,
+		IOUnits:     write + sortPasses + read,
+		Passes:      4,
+		Replication: rep,
+	}
+}
+
+// SSSJ predicts the materialize + external-sort + sweep-read cost of the
+// sweeping join (no replication; an extra merge pass when a relation
+// exceeds the sort workspace).
+func SSSJ(w Workload, d Device) Prediction {
+	vol := float64(w.NR+w.NS) * geom.KPESize
+	pg := d.pages(vol)
+	passes := 4.0 // write raw, sort read+write (run formation), sweep read
+	io := d.passCost(pg, d.BufPages) * passes
+	if vol > float64(w.Memory) {
+		// Multi-run sorts add merge passes over the data.
+		runs := vol / float64(w.Memory)
+		fanin := math.Max(2, float64(w.Memory)/float64(d.BufPages*d.PageSize)-1)
+		extra := math.Ceil(math.Log(runs) / math.Log(fanin))
+		if extra > 0 {
+			io += d.passCost(pg, d.BufPages) * 2 * extra
+			passes += 2 * extra
+		}
+	}
+	return Prediction{Method: core.SSSJ, IOUnits: io, Passes: passes, Replication: 1}
+}
+
+// Rank returns the predictions for PBSM, S³J and SSSJ sorted by
+// ascending predicted I/O cost.
+func Rank(w Workload, d Device) []Prediction {
+	preds := []Prediction{PBSM(w, d), S3J(w, d), SSSJ(w, d)}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].IOUnits < preds[j].IOUnits })
+	return preds
+}
+
+// Choose returns a ready-to-run Config for the cheapest predicted
+// method, with the internal algorithm picked by core.Recommend's
+// memory-ratio rule when PBSM wins.
+func Choose(w Workload, d Device) core.Config {
+	best := Rank(w, d)[0]
+	cfg := core.Recommend(w.NR, w.NS, w.Memory)
+	cfg.Method = best.Method
+	return cfg
+}

@@ -1,0 +1,28 @@
+package quadtree
+
+import (
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	ks := datagen.Uniform(1, 10000, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(10)
+		for _, k := range ks {
+			t.Insert(k)
+		}
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	tr := build(datagen.LARR(2, 20000).KPEs, 10)
+	ts := build(datagen.LAST(3, 20000).KPEs, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(tr, ts, func(geom.KPE, geom.KPE) {})
+	}
+}

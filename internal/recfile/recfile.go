@@ -1,0 +1,125 @@
+// Package recfile layers fixed-size record streams (KPEs and result
+// Pairs) on top of the simulated disk of package diskio. Partition files,
+// level files, and the temporary result files of the original PBSM
+// duplicate-removal phase are all recfile streams.
+package recfile
+
+import (
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+)
+
+// KPEWriter appends KPE records to a disk file through a page buffer.
+type KPEWriter struct {
+	w   *diskio.Writer
+	buf [geom.KPESize]byte
+	n   int
+}
+
+// NewKPEWriter creates a writer over f with a buffer of bufPages pages.
+func NewKPEWriter(f *diskio.File, bufPages int) *KPEWriter {
+	return &KPEWriter{w: f.NewWriter(bufPages)}
+}
+
+// Write appends one KPE.
+func (w *KPEWriter) Write(k geom.KPE) {
+	geom.EncodeKPE(w.buf[:], k)
+	w.w.Write(w.buf[:])
+	w.n++
+}
+
+// Count returns the number of records written so far.
+func (w *KPEWriter) Count() int { return w.n }
+
+// Flush forces buffered records to disk.
+func (w *KPEWriter) Flush() { w.w.Flush() }
+
+// KPEReader scans KPE records sequentially from a disk file.
+type KPEReader struct {
+	r   *diskio.Reader
+	buf [geom.KPESize]byte
+}
+
+// NewKPEReader creates a reader over the whole of f with a buffer of
+// bufPages pages.
+func NewKPEReader(f *diskio.File, bufPages int) *KPEReader {
+	return &KPEReader{r: f.NewReader(bufPages)}
+}
+
+// NewKPERangeReader creates a reader over records [lo, hi) of f.
+func NewKPERangeReader(f *diskio.File, bufPages int, lo, hi int64) *KPEReader {
+	return &KPEReader{r: f.NewRangeReader(bufPages, lo*geom.KPESize, hi*geom.KPESize)}
+}
+
+// Next returns the next record, or false at end of stream.
+func (r *KPEReader) Next() (geom.KPE, bool) {
+	if !r.r.ReadFull(r.buf[:]) {
+		return geom.KPE{}, false
+	}
+	return geom.DecodeKPE(r.buf[:]), true
+}
+
+// RecordsLeft returns the number of unread records.
+func (r *KPEReader) RecordsLeft() int64 { return r.r.Remaining() / geom.KPESize }
+
+// NumKPEs returns the number of KPE records stored in f.
+func NumKPEs(f *diskio.File) int64 { return int64(f.Len()) / geom.KPESize }
+
+// ReadAllKPEs loads every record of f into memory with one buffered scan.
+// The caller is responsible for charging the load against its memory
+// budget; the I/O itself is charged to the disk as usual.
+func ReadAllKPEs(f *diskio.File, bufPages int) []geom.KPE {
+	out := make([]geom.KPE, 0, NumKPEs(f))
+	r := NewKPEReader(f, bufPages)
+	for {
+		k, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// PairWriter appends result Pair records to a disk file.
+type PairWriter struct {
+	w   *diskio.Writer
+	buf [geom.PairSize]byte
+	n   int
+}
+
+// NewPairWriter creates a writer over f with a buffer of bufPages pages.
+func NewPairWriter(f *diskio.File, bufPages int) *PairWriter {
+	return &PairWriter{w: f.NewWriter(bufPages)}
+}
+
+// Write appends one pair.
+func (w *PairWriter) Write(p geom.Pair) {
+	geom.EncodePair(w.buf[:], p)
+	w.w.Write(w.buf[:])
+	w.n++
+}
+
+// Count returns the number of records written so far.
+func (w *PairWriter) Count() int { return w.n }
+
+// Flush forces buffered records to disk.
+func (w *PairWriter) Flush() { w.w.Flush() }
+
+// PairReader scans Pair records sequentially from a disk file.
+type PairReader struct {
+	r   *diskio.Reader
+	buf [geom.PairSize]byte
+}
+
+// NewPairReader creates a reader over the whole of f.
+func NewPairReader(f *diskio.File, bufPages int) *PairReader {
+	return &PairReader{r: f.NewReader(bufPages)}
+}
+
+// Next returns the next pair, or false at end of stream.
+func (r *PairReader) Next() (geom.Pair, bool) {
+	if !r.r.ReadFull(r.buf[:]) {
+		return geom.Pair{}, false
+	}
+	return geom.DecodePair(r.buf[:]), true
+}

@@ -1,0 +1,145 @@
+package recfile
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+)
+
+func newDisk() *diskio.Disk { return diskio.NewDisk(256, 5, time.Millisecond) }
+
+func randKPE(rng *rand.Rand, id uint64) geom.KPE {
+	return geom.KPE{
+		ID:   id,
+		Rect: geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()),
+	}
+}
+
+func TestKPEWriterReaderRoundTrip(t *testing.T) {
+	d := newDisk()
+	f := d.Create("k")
+	rng := rand.New(rand.NewSource(1))
+	w := NewKPEWriter(f, 2)
+	var want []geom.KPE
+	for i := 0; i < 500; i++ {
+		k := randKPE(rng, uint64(i))
+		w.Write(k)
+		want = append(want, k)
+	}
+	if w.Count() != 500 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	w.Flush()
+	if NumKPEs(f) != 500 {
+		t.Fatalf("NumKPEs = %d", NumKPEs(f))
+	}
+
+	r := NewKPEReader(f, 3)
+	if r.RecordsLeft() != 500 {
+		t.Fatalf("RecordsLeft = %d", r.RecordsLeft())
+	}
+	for i, k := range want {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("short stream at %d", i)
+		}
+		if got != k {
+			t.Fatalf("record %d: got %v want %v", i, got, k)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream must end")
+	}
+}
+
+func TestReadAllKPEs(t *testing.T) {
+	d := newDisk()
+	f := d.Create("k")
+	rng := rand.New(rand.NewSource(2))
+	w := NewKPEWriter(f, 2)
+	var want []geom.KPE
+	for i := 0; i < 123; i++ {
+		k := randKPE(rng, uint64(i))
+		w.Write(k)
+		want = append(want, k)
+	}
+	w.Flush()
+	got := ReadAllKPEs(f, 4)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if got := ReadAllKPEs(d.Create("empty"), 4); len(got) != 0 {
+		t.Fatal("empty file must yield no records")
+	}
+}
+
+func TestKPERangeReader(t *testing.T) {
+	d := newDisk()
+	f := d.Create("k")
+	w := NewKPEWriter(f, 2)
+	for i := 0; i < 100; i++ {
+		w.Write(geom.KPE{ID: uint64(i)})
+	}
+	w.Flush()
+	r := NewKPERangeReader(f, 2, 10, 20)
+	for want := uint64(10); want < 20; want++ {
+		k, ok := r.Next()
+		if !ok || k.ID != want {
+			t.Fatalf("range read got (%v,%v), want id %d", k, ok, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("range must end at record 20")
+	}
+}
+
+func TestPairWriterReaderRoundTrip(t *testing.T) {
+	d := newDisk()
+	f := d.Create("p")
+	w := NewPairWriter(f, 2)
+	var want []geom.Pair
+	for i := 0; i < 300; i++ {
+		p := geom.Pair{R: uint64(i), S: uint64(i * 7)}
+		w.Write(p)
+		want = append(want, p)
+	}
+	w.Flush()
+	if w.Count() != 300 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	r := NewPairReader(f, 2)
+	for i, p := range want {
+		got, ok := r.Next()
+		if !ok || got != p {
+			t.Fatalf("pair %d: got (%v,%v)", i, got, ok)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream must end")
+	}
+}
+
+func TestWritesAreCharged(t *testing.T) {
+	d := newDisk()
+	f := d.Create("k")
+	w := NewKPEWriter(f, 1)
+	for i := 0; i < 100; i++ { // 4000 bytes, 256-byte pages, 1-page buffer
+		w.Write(geom.KPE{ID: uint64(i)})
+	}
+	w.Flush()
+	st := d.Stats()
+	if st.WriteRequests < 15 {
+		t.Fatalf("expected many buffered flushes, got %d requests", st.WriteRequests)
+	}
+	if st.PagesWritten < 15 {
+		t.Fatalf("PagesWritten = %d", st.PagesWritten)
+	}
+}

@@ -1,0 +1,60 @@
+package refine_test
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/refine"
+)
+
+// A complete two-step join: MBR filter (PBSM with on-line duplicate
+// removal) feeding exact segment tests. The diagonal segments' MBRs
+// overlap, but only one pair of segments actually crosses.
+func ExampleJoin() {
+	roads := refine.NewTable([]exact.Geometry{
+		exact.Segment{A: geom.Point{X: 0.1, Y: 0.1}, B: geom.Point{X: 0.4, Y: 0.4}},
+		exact.Segment{A: geom.Point{X: 0.6, Y: 0.9}, B: geom.Point{X: 0.9, Y: 0.6}},
+	})
+	rivers := refine.NewTable([]exact.Geometry{
+		exact.Segment{A: geom.Point{X: 0.1, Y: 0.4}, B: geom.Point{X: 0.4, Y: 0.1}},  // crosses road 0
+		exact.Segment{A: geom.Point{X: 0.6, Y: 0.6}, B: geom.Point{X: 0.7, Y: 0.65}}, // MBR-only overlap with road 1
+	})
+	st, _, err := refine.Join(roads, rivers, core.Config{Memory: 1 << 20}, false,
+		func(p geom.Pair) {
+			fmt.Printf("road %d crosses river %d\n", p.R, p.S)
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("candidates %d, exact hits %d\n", st.Candidates, st.Results)
+	// Output:
+	// road 0 crosses river 0
+	// candidates 2, exact hits 1
+}
+
+// An epsilon-distance join: find pairs within 0.1 of each other even
+// though nothing intersects.
+func ExampleJoinWithin() {
+	a := refine.NewTable([]exact.Geometry{
+		exact.Segment{A: geom.Point{X: 0.2, Y: 0.2}, B: geom.Point{X: 0.3, Y: 0.2}},
+	})
+	b := refine.NewTable([]exact.Geometry{
+		exact.Segment{A: geom.Point{X: 0.2, Y: 0.25}, B: geom.Point{X: 0.3, Y: 0.25}}, // 0.05 away
+		exact.Segment{A: geom.Point{X: 0.8, Y: 0.8}, B: geom.Point{X: 0.9, Y: 0.8}},   // far away
+	})
+	st, _, err := refine.JoinWithin(a, b, 0.1, core.Config{Memory: 1 << 20},
+		func(p geom.Pair) {
+			fmt.Printf("%d is within 0.1 of %d\n", p.R, p.S)
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("results %d\n", st.Results)
+	// Output:
+	// 0 is within 0.1 of 0
+	// results 1
+}

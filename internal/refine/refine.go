@@ -1,0 +1,165 @@
+// Package refine implements the refinement step of the two-step spatial
+// join architecture [Ore 86]: the filter step (package core) produces
+// candidate ID pairs from MBRs; the refinement step tests the exact
+// geometries, optionally short-circuiting true hits with the kernel
+// (inner) approximations of [BKSS 94].
+//
+// §3.2.1 of the paper names this pipeline as a beneficiary of on-line
+// duplicate elimination: with the Reference Point Method the filter step
+// streams duplicate-free candidates, so refinement can run per-candidate
+// inside the operator tree instead of waiting for a blocking sort — and
+// kernel tests can confirm results "already in the filter step".
+package refine
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+)
+
+// Table maps object IDs to their exact geometries and MBR KPEs. Build
+// one per relation with NewTable.
+type Table struct {
+	kpes    []geom.KPE
+	geoms   map[uint64]exact.Geometry
+	kernels map[uint64]geom.Rect
+}
+
+// NewTable indexes a relation's geometries, assigning sequential IDs and
+// precomputing MBRs and kernels once — the "attach it to the KPE" advice
+// the paper gives for locational codes applies to approximations too.
+func NewTable(geoms []exact.Geometry) *Table {
+	t := &Table{
+		kpes:    make([]geom.KPE, len(geoms)),
+		geoms:   make(map[uint64]exact.Geometry, len(geoms)),
+		kernels: make(map[uint64]geom.Rect),
+	}
+	for i, g := range geoms {
+		id := uint64(i)
+		t.kpes[i] = geom.KPE{ID: id, Rect: g.MBR()}
+		t.geoms[id] = g
+		if k, ok := g.Kernel(); ok {
+			t.kernels[id] = k
+		}
+	}
+	return t
+}
+
+// KPEs returns the filter-step input for this relation.
+func (t *Table) KPEs() []geom.KPE { return t.kpes }
+
+// Geom returns the exact geometry of an ID.
+func (t *Table) Geom(id uint64) exact.Geometry { return t.geoms[id] }
+
+// Stats counts what the refinement step did.
+type Stats struct {
+	Candidates     int64 // pairs delivered by the filter step
+	Results        int64 // pairs surviving refinement
+	KernelAccepts  int64 // true hits identified by the kernel test alone
+	ExactTests     int64 // full geometry tests performed
+	FalsePositives int64 // candidates rejected by refinement
+}
+
+// FalsePositiveRate returns rejected candidates / candidates.
+func (s *Stats) FalsePositiveRate() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.FalsePositives) / float64(s.Candidates)
+}
+
+// Refiner checks candidate pairs against exact geometry.
+type Refiner struct {
+	r, s *Table
+	// UseKernels enables the [BKSS 94] fast-accept: when the kernels of
+	// both objects intersect, the pair is a hit without an exact test.
+	UseKernels bool
+	stats      Stats
+}
+
+// NewRefiner builds a refiner over the two relations' tables.
+func NewRefiner(r, s *Table, useKernels bool) *Refiner {
+	return &Refiner{r: r, s: s, UseKernels: useKernels}
+}
+
+// Check tests one candidate pair, updating the statistics.
+func (rf *Refiner) Check(p geom.Pair) bool {
+	rf.stats.Candidates++
+	if rf.UseKernels {
+		kr, okR := rf.r.kernels[p.R]
+		ks, okS := rf.s.kernels[p.S]
+		if okR && okS && kr.Intersects(ks) {
+			rf.stats.KernelAccepts++
+			rf.stats.Results++
+			return true
+		}
+	}
+	rf.stats.ExactTests++
+	gr := rf.r.geoms[p.R]
+	gs := rf.s.geoms[p.S]
+	if gr == nil || gs == nil {
+		rf.stats.FalsePositives++
+		return false
+	}
+	if gr.IntersectsGeom(gs) {
+		rf.stats.Results++
+		return true
+	}
+	rf.stats.FalsePositives++
+	return false
+}
+
+// Stats returns the refinement statistics so far.
+func (rf *Refiner) Stats() Stats { return rf.stats }
+
+// JoinWithin runs an epsilon-distance join through the two-step
+// pipeline: the filter step joins R's MBRs against S's MBRs expanded by
+// eps (a conservative superset under Euclidean distance), and each
+// candidate is refined with the exact geometry distance. This is the
+// similarity-join direction §6 of the paper names as future work; the
+// Reference Point Method needs no change because the filter step is
+// still a plain intersection join.
+func JoinWithin(r, s *Table, eps float64, cfg core.Config, emit func(geom.Pair)) (Stats, core.Result, error) {
+	if eps < 0 {
+		return Stats{}, core.Result{}, fmt.Errorf("refine: negative epsilon %g", eps)
+	}
+	expanded := make([]geom.KPE, len(s.kpes))
+	for i, k := range s.kpes {
+		expanded[i] = geom.KPE{ID: k.ID, Rect: k.Rect.Expand(eps)}
+	}
+	var st Stats
+	res, err := core.Join(r.KPEs(), expanded, cfg, func(p geom.Pair) {
+		st.Candidates++
+		st.ExactTests++
+		gr := r.geoms[p.R]
+		gs := s.geoms[p.S]
+		if gr != nil && gs != nil && gr.DistanceTo(gs) <= eps {
+			st.Results++
+			emit(p)
+			return
+		}
+		st.FalsePositives++
+	})
+	if err != nil {
+		return Stats{}, core.Result{}, fmt.Errorf("refine: filter step failed: %w", err)
+	}
+	return st, res, nil
+}
+
+// Join runs the full two-step pipeline: the configured filter-step join
+// over the tables' MBRs, each candidate refined on-line as it streams
+// out of the filter. Exact result pairs are delivered to emit.
+func Join(r, s *Table, cfg core.Config, useKernels bool, emit func(geom.Pair)) (Stats, core.Result, error) {
+	rf := NewRefiner(r, s, useKernels)
+	res, err := core.Join(r.KPEs(), s.KPEs(), cfg, func(p geom.Pair) {
+		if rf.Check(p) {
+			emit(p)
+		}
+	})
+	if err != nil {
+		return Stats{}, core.Result{}, fmt.Errorf("refine: filter step failed: %w", err)
+	}
+	return rf.Stats(), res, nil
+}

@@ -1,0 +1,167 @@
+package refine
+
+import (
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/s3j"
+)
+
+func polyGeoms(seed int64, n int) []exact.Geometry {
+	_, polys := datagen.Parcels(seed, n)
+	out := make([]exact.Geometry, len(polys))
+	for i, p := range polys {
+		out[i] = p
+	}
+	return out
+}
+
+// naiveExact is the ground truth over exact geometries.
+func naiveExact(rs, ss []exact.Geometry) []geom.Pair {
+	var out []geom.Pair
+	for i, r := range rs {
+		for j, s := range ss {
+			if r.IntersectsGeom(s) {
+				out = append(out, geom.Pair{R: uint64(i), S: uint64(j)})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func TestTableInvariant(t *testing.T) {
+	geoms := polyGeoms(1, 200)
+	tab := NewTable(geoms)
+	if len(tab.KPEs()) != len(geoms) {
+		t.Fatalf("table size %d, want %d", len(tab.KPEs()), len(geoms))
+	}
+	for i, k := range tab.KPEs() {
+		if k.Rect != geoms[i].MBR() {
+			t.Fatalf("KPE %d rect != geometry MBR", i)
+		}
+		if tab.Geom(k.ID) == nil {
+			t.Fatalf("geometry %d not indexed", i)
+		}
+	}
+}
+
+func TestPipelineMatchesExactOracleSegments(t *testing.T) {
+	rds := datagen.LARR(2, 800)
+	sds := datagen.LAST(3, 800)
+	want := naiveExact(rds.Geometries(), sds.Geometries())
+
+	tr := NewTable(rds.Geometries())
+	ts := NewTable(sds.Geometries())
+	var got []geom.Pair
+	st, _, err := Join(tr, ts, core.Config{Memory: 16 << 10}, false, func(p geom.Pair) {
+		got = append(got, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d exact results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if st.Results != int64(len(want)) {
+		t.Fatalf("stats results %d", st.Results)
+	}
+	// Candidates must be a superset of results, with real false positives
+	// for line data (MBRs overlap far more often than diagonal segments
+	// cross).
+	if st.Candidates <= st.Results {
+		t.Fatalf("expected false positives: candidates %d results %d",
+			st.Candidates, st.Results)
+	}
+	if st.FalsePositiveRate() <= 0 {
+		t.Fatal("false positive rate not computed")
+	}
+}
+
+func TestPipelineMatchesExactOraclePolygons(t *testing.T) {
+	rg := polyGeoms(4, 600)
+	sg := polyGeoms(5, 600)
+	want := naiveExact(rg, sg)
+	for _, kernels := range []bool{false, true} {
+		var got []geom.Pair
+		st, _, err := Join(NewTable(rg), NewTable(sg),
+			core.Config{Method: core.S3J, Memory: 16 << 10, S3JMode: s3j.ModeReplicate},
+			kernels, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("kernels=%v: %d exact results, want %d", kernels, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("kernels=%v: pair %d mismatch", kernels, i)
+			}
+		}
+		if kernels && st.KernelAccepts == 0 {
+			t.Fatal("kernel fast-accepts never fired on overlapping parcels")
+		}
+		if kernels && st.KernelAccepts+st.ExactTests != st.Candidates {
+			t.Fatalf("accounting broken: %d + %d != %d",
+				st.KernelAccepts, st.ExactTests, st.Candidates)
+		}
+	}
+}
+
+func TestKernelsReduceExactTests(t *testing.T) {
+	rg := polyGeoms(6, 800)
+	sg := polyGeoms(7, 800)
+	run := func(kernels bool) Stats {
+		st, _, err := Join(NewTable(rg), NewTable(sg),
+			core.Config{Memory: 16 << 10}, kernels, func(geom.Pair) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	with := run(true)
+	without := run(false)
+	if with.Results != without.Results {
+		t.Fatalf("kernel path changed the result set: %d vs %d", with.Results, without.Results)
+	}
+	if with.ExactTests >= without.ExactTests {
+		t.Fatalf("kernels must save exact tests: %d vs %d", with.ExactTests, without.ExactTests)
+	}
+}
+
+func TestSegmentsNeverKernelAccept(t *testing.T) {
+	rds := datagen.LARR(8, 400)
+	tr := NewTable(rds.Geometries())
+	st, _, err := Join(tr, tr, core.Config{Memory: 16 << 10}, true, func(geom.Pair) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KernelAccepts != 0 {
+		t.Fatalf("segments have no kernels, yet %d accepts", st.KernelAccepts)
+	}
+}
+
+func TestRefinerUnknownIDRejected(t *testing.T) {
+	rf := NewRefiner(NewTable(nil), NewTable(nil), false)
+	if rf.Check(geom.Pair{R: 99, S: 1}) {
+		t.Fatal("unknown IDs must not pass refinement")
+	}
+	if rf.Stats().FalsePositives != 1 {
+		t.Fatal("rejection must be counted")
+	}
+}

@@ -1,0 +1,142 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/exact"
+	"spatialjoin/internal/geom"
+)
+
+// naiveWithin is the exact-distance ground truth.
+func naiveWithin(rs, ss []exact.Geometry, eps float64) []geom.Pair {
+	var out []geom.Pair
+	for i, r := range rs {
+		for j, s := range ss {
+			if r.DistanceTo(s) <= eps {
+				out = append(out, geom.Pair{R: uint64(i), S: uint64(j)})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func TestJoinWithinMatchesOracle(t *testing.T) {
+	rds := datagen.LARR(1, 500)
+	sds := datagen.LAST(2, 500)
+	for _, eps := range []float64{0, 0.002, 0.01} {
+		want := naiveWithin(rds.Geometries(), sds.Geometries(), eps)
+		var got []geom.Pair
+		st, _, err := JoinWithin(NewTable(rds.Geometries()), NewTable(sds.Geometries()),
+			eps, core.Config{Memory: 16 << 10}, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("eps=%g: %d pairs, want %d", eps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%g: pair %d mismatch", eps, i)
+			}
+		}
+		if st.Results != int64(len(want)) {
+			t.Fatalf("eps=%g: stats results %d", eps, st.Results)
+		}
+	}
+}
+
+func TestJoinWithinGrowsWithEpsilon(t *testing.T) {
+	rds := datagen.LAST(3, 1000)
+	tab := NewTable(rds.Geometries())
+	var prev int64 = -1
+	for _, eps := range []float64{0, 0.001, 0.005, 0.02} {
+		st, _, err := JoinWithin(tab, tab, eps, core.Config{Memory: 16 << 10}, func(geom.Pair) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Results < prev {
+			t.Fatalf("result count must grow with eps: %d after %d", st.Results, prev)
+		}
+		prev = st.Results
+	}
+}
+
+func TestJoinWithinZeroEpsilonEqualsIntersection(t *testing.T) {
+	rds := datagen.LARR(4, 600)
+	sds := datagen.LAST(5, 600)
+	tr, ts := NewTable(rds.Geometries()), NewTable(sds.Geometries())
+	var within, intersect []geom.Pair
+	if _, _, err := JoinWithin(tr, ts, 0, core.Config{Memory: 16 << 10}, func(p geom.Pair) {
+		within = append(within, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Join(tr, ts, core.Config{Memory: 16 << 10}, false, func(p geom.Pair) {
+		intersect = append(intersect, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(within)
+	sortPairs(intersect)
+	if len(within) != len(intersect) {
+		t.Fatalf("eps=0 within (%d) must equal intersection join (%d)", len(within), len(intersect))
+	}
+	for i := range within {
+		if within[i] != intersect[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestJoinWithinRejectsNegativeEpsilon(t *testing.T) {
+	tab := NewTable(nil)
+	if _, _, err := JoinWithin(tab, tab, -1, core.Config{Memory: 1 << 20}, func(geom.Pair) {}); err == nil {
+		t.Fatal("negative epsilon must error")
+	}
+}
+
+func TestJoinWithinProperty(t *testing.T) {
+	f := func(seed int64, nMod uint8, epsMod uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nMod)%40 + 3
+		mk := func() []exact.Geometry {
+			out := make([]exact.Geometry, n)
+			for i := range out {
+				a := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+				out[i] = exact.Segment{A: a, B: geom.Point{
+					X: a.X + (rng.Float64()-0.5)*0.1,
+					Y: a.Y + (rng.Float64()-0.5)*0.1,
+				}}
+			}
+			return out
+		}
+		rs, ss := mk(), mk()
+		eps := float64(epsMod) / 255 * 0.05
+		want := naiveWithin(rs, ss, eps)
+		var got []geom.Pair
+		_, _, err := JoinWithin(NewTable(rs), NewTable(ss), eps,
+			core.Config{Memory: 4 << 10}, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			return false
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package rtree_test
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rtree"
+)
+
+// Bulk-load two small relations and join them with the synchronized
+// traversal of [BKS 93] — the index-on-both-relations class of the
+// paper's introduction.
+func ExampleJoin() {
+	R := []geom.KPE{
+		{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.3, 0.3)},
+		{ID: 2, Rect: geom.NewRect(0.6, 0.6, 0.8, 0.8)},
+	}
+	S := []geom.KPE{
+		{ID: 10, Rect: geom.NewRect(0.2, 0.2, 0.7, 0.7)}, // touches both
+		{ID: 11, Rect: geom.NewRect(0.9, 0.1, 0.95, 0.15)},
+	}
+	var pairs []geom.Pair
+	rtree.Join(rtree.Bulk(R, 0, 0), rtree.Bulk(S, 0, 0), func(r, s geom.KPE) {
+		pairs = append(pairs, geom.Pair{R: r.ID, S: s.ID})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+	for _, p := range pairs {
+		fmt.Printf("%d-%d\n", p.R, p.S)
+	}
+	// Output:
+	// 1-10
+	// 2-10
+}
+
+// Window queries against an incrementally built tree.
+func ExampleTree_Query() {
+	t := rtree.New(0, 0)
+	for i := 0; i < 5; i++ {
+		x := 0.1 + float64(i)*0.2
+		t.Insert(geom.KPE{ID: uint64(i), Rect: geom.NewRect(x, 0.4, x+0.05, 0.5)})
+	}
+	count := 0
+	t.Query(geom.NewRect(0.0, 0.0, 0.5, 1.0), func(geom.KPE) { count++ })
+	fmt.Println("hits:", count)
+	// Output:
+	// hits: 3
+}

@@ -1,0 +1,426 @@
+// Package rtree implements an R-tree over minimum bounding rectangles
+// with Guttman-style quadratic node splitting, least-enlargement subtree
+// choice, Sort-Tile-Recursive (STR) bulk loading, window queries, and the
+// synchronized-traversal spatial join of Brinkhoff, Kriegel & Seeger
+// [BKS 93].
+//
+// The paper reproduced by this repository (Dittrich & Seeger, ICDE 2000)
+// targets joins *without* pre-existing indices; the R-tree join is the
+// reference point of the index-on-both-relations class its introduction
+// describes, and rounds the library out to all three classes: index on
+// both inputs (this package), index on one input (IndexNestedLoop), and
+// no index (packages pbsm, s3j, sssj).
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/geom"
+)
+
+// Default node capacity. 16 entries of ~40 bytes keep nodes well inside a
+// disk page while giving the short trees typical of R-tree deployments.
+const (
+	DefaultMaxEntries = 16
+	DefaultMinEntries = 6
+)
+
+// Tree is an R-tree. Create one with New or Bulk; the zero value is not
+// usable. A Tree is not safe for concurrent mutation.
+type Tree struct {
+	root   *node
+	height int // leaf level = 1
+	max    int
+	min    int
+	size   int
+	path   []*node // scratch: ancestors recorded by chooseLeaf
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// entry is either a child pointer (internal nodes) or a data rectangle
+// (leaves).
+type entry struct {
+	rect  geom.Rect
+	child *node
+	kpe   geom.KPE
+}
+
+// New creates an empty tree with the given node capacity bounds; values
+// out of range select the defaults (min must satisfy 2 ≤ min ≤ max/2).
+func New(min, max int) *Tree {
+	if max < 4 {
+		max = DefaultMaxEntries
+	}
+	if min < 2 || min > max/2 {
+		min = max * 2 / 5
+		if min < 2 {
+			min = 2
+		}
+	}
+	return &Tree{
+		root:   &node{leaf: true},
+		height: 1,
+		max:    max,
+		min:    min,
+	}
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = just a leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// mbr returns the bounding rectangle of a node's entries.
+func (n *node) mbr() geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Insert adds one rectangle, splitting nodes as needed.
+func (t *Tree) Insert(k geom.KPE) {
+	t.size++
+	leaf := t.chooseLeaf(t.root, k.Rect, t.height)
+	leaf.entries = append(leaf.entries, entry{rect: k.Rect, kpe: k})
+	t.adjust(leaf)
+}
+
+// chooseLeaf descends to the leaf whose MBR needs the least enlargement,
+// recording the path for later adjustment.
+func (t *Tree) chooseLeaf(n *node, r geom.Rect, level int) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		t.path = append(t.path, n)
+		best := 0
+		bestEnl, bestArea := enlargement(n.entries[0].rect, r), n.entries[0].rect.Area()
+		for i := 1; i < len(n.entries); i++ {
+			enl := enlargement(n.entries[i].rect, r)
+			area := n.entries[i].rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.Union(r)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+func enlargement(have, add geom.Rect) float64 {
+	return have.Union(add).Area() - have.Area()
+}
+
+// adjust splits overfull nodes from the leaf upward.
+func (t *Tree) adjust(n *node) {
+	// Walk up the recorded path; the leaf is not on it.
+	for level := len(t.path); ; level-- {
+		if len(n.entries) > t.max {
+			left, right := t.split(n)
+			if level == 0 {
+				// Root split: grow the tree.
+				t.root = &node{entries: []entry{
+					{rect: left.mbr(), child: left},
+					{rect: right.mbr(), child: right},
+				}}
+				t.height++
+				return
+			}
+			parent := t.path[level-1]
+			// Replace the child entry for n with the two halves.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i] = entry{rect: left.mbr(), child: left}
+					break
+				}
+			}
+			parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+			n = parent
+			continue
+		}
+		return
+	}
+}
+
+// split performs Guttman's quadratic split, distributing n's entries onto
+// two nodes.
+func (t *Tree) split(n *node) (*node, *node) {
+	entries := n.entries
+	// Pick the seed pair wasting the most area together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	left := &node{leaf: n.leaf, entries: []entry{entries[s1]}}
+	right := &node{leaf: n.leaf, entries: []entry{entries[s2]}}
+	lr, rr := entries[s1].rect, entries[s2].rect
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one side must take everything to reach the minimum, do so.
+		if len(left.entries)+len(rest) == t.min {
+			left.entries = append(left.entries, rest...)
+			break
+		}
+		if len(right.entries)+len(rest) == t.min {
+			right.entries = append(right.entries, rest...)
+			break
+		}
+		// Pick the entry with the strongest preference.
+		bestIdx, bestDiff, toLeft := 0, -1.0, true
+		for i, e := range rest {
+			dl := enlargement(lr, e.rect)
+			dr := enlargement(rr, e.rect)
+			diff := dl - dr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, toLeft = i, diff, dl < dr
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		if toLeft {
+			left.entries = append(left.entries, e)
+			lr = lr.Union(e.rect)
+		} else {
+			right.entries = append(right.entries, e)
+			rr = rr.Union(e.rect)
+		}
+	}
+	// Reuse n as the left node so parent child pointers stay simple for
+	// the caller (which rewrites the entry anyway).
+	return left, right
+}
+
+// Query reports every stored rectangle intersecting q.
+func (t *Tree) Query(q geom.Rect, visit func(geom.KPE)) {
+	if t.size == 0 {
+		return
+	}
+	query(t.root, q, visit)
+}
+
+func query(n *node, q geom.Rect, visit func(geom.KPE)) {
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			visit(n.entries[i].kpe)
+		} else {
+			query(n.entries[i].child, q, visit)
+		}
+	}
+}
+
+// Bulk builds a tree from ks with Sort-Tile-Recursive packing: sort by
+// x-center into vertical slices, sort each slice by y-center, cut into
+// full nodes, and recurse on the node MBRs. STR yields near-minimal
+// overlap and full nodes, the standard way to index a static relation
+// before a join.
+func Bulk(ks []geom.KPE, min, max int) *Tree {
+	t := New(min, max)
+	if len(ks) == 0 {
+		return t
+	}
+	t.size = len(ks)
+
+	leaves := make([]entry, len(ks))
+	for i, k := range ks {
+		leaves[i] = entry{rect: k.Rect, kpe: k}
+	}
+	level := packLevel(leaves, t.min, t.max, true)
+	t.height = 1
+	for len(level) > 1 {
+		ents := make([]entry, len(level))
+		for i, nd := range level {
+			ents[i] = entry{rect: nd.mbr(), child: nd}
+		}
+		level = packLevel(ents, t.min, t.max, false)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// cutEnd returns the end of the chunk starting at s with the given size,
+// shrinking it when the remainder would fall below min — this keeps the
+// trailing node of each STR slice above the minimum fill.
+func cutEnd(s, size, n, min int) int {
+	e := s + size
+	if e >= n {
+		return n
+	}
+	if rem := n - e; rem < min && e-min > s {
+		e = n - min
+	}
+	return e
+}
+
+// packLevel groups entries into nodes of min..capacity entries using STR.
+func packLevel(ents []entry, min, capacity int, leaf bool) []*node {
+	n := len(ents)
+	nodes := (n + capacity - 1) / capacity
+	slices := 1
+	for slices*slices < nodes {
+		slices++
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		return ents[i].rect.Center().X < ents[j].rect.Center().X
+	})
+	perSlice := (n + slices - 1) / slices
+	if perSlice < min {
+		perSlice = min
+	}
+	var out []*node
+	for lo := 0; lo < n; {
+		hi := cutEnd(lo, perSlice, n, min)
+		slice := ents[lo:hi]
+		lo = hi
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for s := 0; s < len(slice); {
+			e := cutEnd(s, capacity, len(slice), min)
+			nd := &node{leaf: leaf, entries: append([]entry(nil), slice[s:e]...)}
+			out = append(out, nd)
+			s = e
+		}
+	}
+	return out
+}
+
+// Join reports every intersecting pair between the data rectangles of tr
+// and ts through emit (tr's element first) using the synchronized
+// traversal of [BKS 93]: descend only into child pairs whose MBRs
+// intersect, restricted to the intersection of the parents' regions. It
+// returns the number of rectangle comparisons performed.
+func Join(tr, ts *Tree, emit func(r, s geom.KPE)) int64 {
+	if tr.size == 0 || ts.size == 0 {
+		return 0
+	}
+	j := &treeJoiner{emit: emit}
+	j.joinNodes(tr.root, tr.height, ts.root, ts.height)
+	return j.tests
+}
+
+type treeJoiner struct {
+	emit  func(r, s geom.KPE)
+	tests int64
+}
+
+func (j *treeJoiner) joinNodes(nr *node, hr int, ns *node, hs int) {
+	switch {
+	case hr == hs && nr.leaf && ns.leaf:
+		for i := range nr.entries {
+			for k := range ns.entries {
+				j.tests++
+				if nr.entries[i].rect.Intersects(ns.entries[k].rect) {
+					j.emit(nr.entries[i].kpe, ns.entries[k].kpe)
+				}
+			}
+		}
+	case hr > hs:
+		// Descend the taller tree only.
+		for i := range nr.entries {
+			j.tests++
+			if nr.entries[i].rect.Intersects(ns.mbr()) {
+				j.joinNodes(nr.entries[i].child, hr-1, ns, hs)
+			}
+		}
+	case hs > hr:
+		for k := range ns.entries {
+			j.tests++
+			if ns.entries[k].rect.Intersects(nr.mbr()) {
+				j.joinNodes(nr, hr, ns.entries[k].child, hs-1)
+			}
+		}
+	default:
+		// Same height, internal nodes: all overlapping entry pairs.
+		for i := range nr.entries {
+			for k := range ns.entries {
+				j.tests++
+				if nr.entries[i].rect.Intersects(ns.entries[k].rect) {
+					j.joinNodes(nr.entries[i].child, hr-1, ns.entries[k].child, hs-1)
+				}
+			}
+		}
+	}
+}
+
+// IndexNestedLoop joins an indexed relation (the tree) with an unindexed
+// one by querying the tree once per outer rectangle — the simplest
+// representative of the index-on-one-relation class [LR 94]. Results are
+// emitted with the tree's element first.
+func IndexNestedLoop(tr *Tree, S []geom.KPE, emit func(r, s geom.KPE)) {
+	for i := range S {
+		s := S[i]
+		tr.Query(s.Rect, func(r geom.KPE) {
+			emit(r, s)
+		})
+	}
+}
+
+// Check verifies the structural invariants (entry counts, MBR
+// containment, uniform leaf depth) and returns an error describing the
+// first violation. It exists for the test suite.
+func (t *Tree) Check() error {
+	if t.size == 0 {
+		return nil
+	}
+	return t.check(t.root, t.height, true)
+}
+
+func (t *Tree) check(n *node, level int, isRoot bool) error {
+	if len(n.entries) == 0 {
+		return fmt.Errorf("rtree: empty node at level %d", level)
+	}
+	if !isRoot && len(n.entries) < t.min {
+		return fmt.Errorf("rtree: underfull node (%d < %d) at level %d", len(n.entries), t.min, level)
+	}
+	if len(n.entries) > t.max {
+		return fmt.Errorf("rtree: overfull node (%d > %d) at level %d", len(n.entries), t.max, level)
+	}
+	if n.leaf != (level == 1) {
+		return fmt.Errorf("rtree: leaf flag wrong at level %d", level)
+	}
+	if n.leaf {
+		return nil
+	}
+	for i := range n.entries {
+		child := n.entries[i].child
+		if child == nil {
+			return fmt.Errorf("rtree: nil child at level %d", level)
+		}
+		if !n.entries[i].rect.ContainsRect(child.mbr()) {
+			return fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v",
+				n.entries[i].rect, child.mbr())
+		}
+		if err := t.check(child, level-1, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

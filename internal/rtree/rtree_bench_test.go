@@ -1,0 +1,49 @@
+package rtree
+
+import (
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	ks := datagen.Uniform(1, 10000, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(0, 0)
+		for _, k := range ks {
+			t.Insert(k)
+		}
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	ks := datagen.Uniform(1, 10000, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(ks, 0, 0)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	t := Bulk(datagen.Uniform(2, 50000, 0.002), 0, 0)
+	q := geom.NewRect(0.4, 0.4, 0.45, 0.45)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Query(q, func(geom.KPE) { n++ })
+	}
+}
+
+func BenchmarkTreeJoin(b *testing.B) {
+	tr := Bulk(datagen.LARR(3, 20000).KPEs, 0, 0)
+	ts := Bulk(datagen.LAST(4, 20000).KPEs, 0, 0)
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		n = 0
+		Join(tr, ts, func(geom.KPE, geom.KPE) { n++ })
+	}
+	b.ReportMetric(float64(n), "results")
+}

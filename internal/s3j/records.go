@@ -1,0 +1,103 @@
+package s3j
+
+import (
+	"encoding/binary"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+)
+
+// levRecSize is the serialized size of a level-file record: the 8-byte
+// locational code followed by the KPE. Attaching the code to the KPE
+// (§4.2) means it is computed once in the partitioning phase and reused
+// by the sort and the synchronized scan.
+const levRecSize = 8 + geom.KPESize
+
+// encodeLevRec serializes a level-file record into buf.
+func encodeLevRec(buf []byte, code uint64, k geom.KPE) {
+	binary.LittleEndian.PutUint64(buf[0:], code)
+	geom.EncodeKPE(buf[8:], k)
+}
+
+// decodeLevCode extracts just the locational code, the sort key.
+func decodeLevCode(buf []byte) uint64 {
+	return binary.LittleEndian.Uint64(buf[0:])
+}
+
+// decodeLevRec deserializes a full level-file record.
+func decodeLevRec(buf []byte) (uint64, geom.KPE) {
+	return binary.LittleEndian.Uint64(buf[0:]), geom.DecodeKPE(buf[8:])
+}
+
+// levWriter appends level-file records.
+type levWriter struct {
+	w   *diskio.Writer
+	buf [levRecSize]byte
+	n   int
+}
+
+func newLevWriter(f *diskio.File, bufPages int) *levWriter {
+	return &levWriter{w: f.NewWriter(bufPages)}
+}
+
+func (w *levWriter) write(code uint64, k geom.KPE) {
+	encodeLevRec(w.buf[:], code, k)
+	w.w.Write(w.buf[:])
+	w.n++
+}
+
+func (w *levWriter) flush() { w.w.Flush() }
+
+// groupCursor scans a sorted level file and yields one *partition* at a
+// time: the maximal run of records sharing a locational code, which is
+// the content of one MX-CIF cell. It keeps a one-record lookahead.
+type groupCursor struct {
+	r      *diskio.Reader
+	buf    [levRecSize]byte
+	peeked bool
+	pkCode uint64
+	pkKPE  geom.KPE
+	level  int
+	rel    int // 0 = R, 1 = S
+}
+
+func newGroupCursor(f *diskio.File, bufPages, level, rel int) *groupCursor {
+	return &groupCursor{r: f.NewReader(bufPages), level: level, rel: rel}
+}
+
+// fillPeek loads the lookahead record; it reports false at end of file.
+func (c *groupCursor) fillPeek() bool {
+	if c.peeked {
+		return true
+	}
+	if !c.r.ReadFull(c.buf[:]) {
+		return false
+	}
+	c.pkCode, c.pkKPE = decodeLevRec(c.buf[:])
+	c.peeked = true
+	return true
+}
+
+// peekCode returns the code of the next group without consuming it.
+func (c *groupCursor) peekCode() (uint64, bool) {
+	if !c.fillPeek() {
+		return 0, false
+	}
+	return c.pkCode, true
+}
+
+// nextGroup consumes and returns the next same-code run. items is
+// appended to dst to let the caller reuse buffers.
+func (c *groupCursor) nextGroup(dst []geom.KPE) (code uint64, items []geom.KPE, ok bool) {
+	if !c.fillPeek() {
+		return 0, dst, false
+	}
+	code = c.pkCode
+	items = append(dst, c.pkKPE)
+	c.peeked = false
+	for c.fillPeek() && c.pkCode == code {
+		items = append(items, c.pkKPE)
+		c.peeked = false
+	}
+	return code, items, true
+}

@@ -1,0 +1,145 @@
+package s3j
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+)
+
+func TestLevRecRoundTrip(t *testing.T) {
+	f := func(code, id uint64, x1, y1, x2, y2 float64) bool {
+		k := geom.KPE{ID: id, Rect: geom.NewRect(x1, y1, x2, y2)}
+		var buf [levRecSize]byte
+		encodeLevRec(buf[:], code, k)
+		if decodeLevCode(buf[:]) != code {
+			return false
+		}
+		gc, gk := decodeLevRec(buf[:])
+		return gc == code && gk == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCursorGroupsByCode(t *testing.T) {
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	f := d.Create("lev")
+	w := newLevWriter(f, 2)
+	// Three groups: code 3 (two records), code 7 (one), code 9 (three).
+	codes := []uint64{3, 3, 7, 9, 9, 9}
+	for i, c := range codes {
+		w.write(c, geom.KPE{ID: uint64(i)})
+	}
+	w.flush()
+
+	c := newGroupCursor(f, 2, 4, 0)
+	if code, ok := c.peekCode(); !ok || code != 3 {
+		t.Fatalf("peek = (%d,%v), want (3,true)", code, ok)
+	}
+	wantGroups := []struct {
+		code uint64
+		n    int
+	}{{3, 2}, {7, 1}, {9, 3}}
+	for _, wg := range wantGroups {
+		code, items, ok := c.nextGroup(nil)
+		if !ok || code != wg.code || len(items) != wg.n {
+			t.Fatalf("group = (%d, %d items, %v), want (%d, %d)", code, len(items), ok, wg.code, wg.n)
+		}
+	}
+	if _, _, ok := c.nextGroup(nil); ok {
+		t.Fatal("cursor must end after last group")
+	}
+}
+
+func TestGroupCursorEmptyFile(t *testing.T) {
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	f := d.Create("empty")
+	c := newGroupCursor(f, 2, 0, 1)
+	if c.fillPeek() {
+		t.Fatal("empty file must not peek")
+	}
+	if _, _, ok := c.nextGroup(nil); ok {
+		t.Fatal("empty file must yield no groups")
+	}
+}
+
+func TestGroupCursorSingleGroupWholeFile(t *testing.T) {
+	// The level-0 case: all codes zero, one group holding the whole file.
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	f := d.Create("lev0")
+	w := newLevWriter(f, 2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		w.write(0, geom.KPE{ID: uint64(i)})
+	}
+	w.flush()
+	c := newGroupCursor(f, 2, 0, 0)
+	code, items, ok := c.nextGroup(nil)
+	if !ok || code != 0 || len(items) != n {
+		t.Fatalf("level-0 group = (%d, %d items, %v)", code, len(items), ok)
+	}
+	for i, k := range items {
+		if k.ID != uint64(i) {
+			t.Fatalf("record order broken at %d", i)
+		}
+	}
+}
+
+func TestGroupCursorReuseDst(t *testing.T) {
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	f := d.Create("lev")
+	w := newLevWriter(f, 2)
+	w.write(1, geom.KPE{ID: 10})
+	w.write(2, geom.KPE{ID: 20})
+	w.flush()
+	c := newGroupCursor(f, 2, 1, 0)
+	buf := make([]geom.KPE, 0, 8)
+	_, items, _ := c.nextGroup(buf)
+	if len(items) != 1 || items[0].ID != 10 {
+		t.Fatal("dst reuse broke the first group")
+	}
+	_, items2, _ := c.nextGroup(buf) // caller may reuse after copying out
+	if len(items2) != 1 || items2[0].ID != 20 {
+		t.Fatal("dst reuse broke the second group")
+	}
+}
+
+func TestGroupCursorRandomized(t *testing.T) {
+	f := func(seed int64, nGroups uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := diskio.NewDisk(128, 5, time.Millisecond)
+		file := d.Create("lev")
+		w := newLevWriter(file, 1+rng.Intn(4))
+		// Ascending codes with random group sizes, as after sorting.
+		var wantCodes []uint64
+		var wantSizes []int
+		code := uint64(0)
+		for g := 0; g < int(nGroups)%20+1; g++ {
+			code += uint64(rng.Intn(5) + 1)
+			size := rng.Intn(6) + 1
+			wantCodes = append(wantCodes, code)
+			wantSizes = append(wantSizes, size)
+			for i := 0; i < size; i++ {
+				w.write(code, geom.KPE{ID: rng.Uint64()})
+			}
+		}
+		w.flush()
+		c := newGroupCursor(file, 2, 3, 1)
+		for i := range wantCodes {
+			gc, items, ok := c.nextGroup(nil)
+			if !ok || gc != wantCodes[i] || len(items) != wantSizes[i] {
+				return false
+			}
+		}
+		_, _, ok := c.nextGroup(nil)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,497 @@
+// Package s3j implements the Size Separation Spatial Join of Koudas &
+// Sevcik [KS 97] and the replicated variant of Dittrich & Seeger (ICDE
+// 2000, §4). S³J partitions each input with a hierarchy of equidistant
+// grids — the levels of an MX-CIF quadtree — writes one level file per
+// grid, sorts each level file by a locational code along a space-filling
+// curve, and joins with a single synchronized scan of all level files.
+//
+// The original algorithm assigns a rectangle to the deepest cell that
+// *contains* it, so it never replicates data and produces no duplicates —
+// but small rectangles that straddle cell boundaries sink to shallow
+// levels where they are tested against nearly everything. The paper's
+// variant (ModeReplicate) instead derives the level from the rectangle's
+// *size* and replicates it into the (at most four) cells it overlaps at
+// that level; the resulting response-set duplicates are eliminated
+// on-line by a modified Reference Point Method that tests the reference
+// point against the deeper of the two cells being joined (§4.3).
+package s3j
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/extsort"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sfc"
+	"spatialjoin/internal/sweep"
+)
+
+// Mode selects the partitioning strategy.
+type Mode int
+
+const (
+	// ModeOriginal is the redundancy-free S³J of [KS 97]: level by
+	// containment, no replication, no duplicates.
+	ModeOriginal Mode = iota
+	// ModeReplicate is the paper's improvement: level by rectangle size,
+	// replication into up to four cells, on-line duplicate removal via
+	// the modified Reference Point Method.
+	ModeReplicate
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeReplicate {
+		return "replicate"
+	}
+	return "original"
+}
+
+// Phase indexes the per-phase statistics (Figure 8).
+type Phase int
+
+// The three S³J phases.
+const (
+	PhasePartition Phase = iota
+	PhaseSort
+	PhaseJoin
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhasePartition:
+		return "partition"
+	case PhaseSort:
+		return "sort"
+	case PhaseJoin:
+		return "join"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Config controls an S³J join.
+type Config struct {
+	// Disk is the simulated device for level files and sorting. Required.
+	Disk *diskio.Disk
+	// Memory is the byte budget for the sorting phase workspace. Required.
+	Memory int64
+	// Mode selects original or replicated partitioning. Default
+	// ModeOriginal.
+	Mode Mode
+	// Algorithm is the internal join for partition pairs. §4.4.1 finds
+	// nested loops adequate and the trie sweep counterproductive for
+	// S³J's tiny partitions. Default: nested loops.
+	Algorithm sweep.Kind
+	// Curve selects the locational-code curve; the paper uses Peano
+	// because its codes are cheapest to compute (§4.4.2). Default Peano.
+	Curve sfc.Curve
+	// Levels is the number of grid levels below the root (the deepest
+	// level index). Values < 1 select DefaultLevels.
+	Levels int
+	// BufPages is the per-stream sequential buffer size in pages.
+	// Values < 1 select 4.
+	BufPages int
+}
+
+// DefaultLevels gives 4^10 ≈ one million cells on the deepest grid,
+// small enough partitions for the datasets of the paper.
+const DefaultLevels = 10
+
+func (c *Config) levels() int {
+	if c.Levels < 1 {
+		return DefaultLevels
+	}
+	if c.Levels > sfc.MaxLevel {
+		return sfc.MaxLevel
+	}
+	return c.Levels
+}
+
+func (c *Config) bufPages() int {
+	if c.BufPages < 1 {
+		return 4
+	}
+	return c.BufPages
+}
+
+// bufPagesFor sizes each stream's I/O buffer when streams files are open
+// at once so that the buffers together respect the memory budget; with
+// one file per level this matters only for very small budgets.
+func (c *Config) bufPagesFor(streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := int(c.Memory / int64(streams) / int64(c.Disk.PageSize()))
+	if per < 1 {
+		return 1
+	}
+	if per > c.bufPages() {
+		return c.bufPages()
+	}
+	return per
+}
+
+func (c *Config) algorithm() sweep.Algorithm {
+	if c.Algorithm == "" {
+		return sweep.New(sweep.NestedLoopsKind)
+	}
+	return sweep.New(c.Algorithm)
+}
+
+// Stats reports what an S³J join did.
+type Stats struct {
+	Results     int64 // pairs delivered to the caller (duplicate-free)
+	RawResults  int64 // pairs produced before the reference-point test
+	CopiesR     int64 // level-file records written for R
+	CopiesS     int64 // likewise for S
+	Tests       int64 // candidate tests of the internal algorithm
+	SortRuns    int   // total initial runs over all level-file sorts
+	MergePasses int   // total extra merge passes (0 when files fit in memory)
+
+	// LevelRecordsR/S count records per level for both relations; index
+	// is the level. They expose the size-separation behaviour §4.2
+	// discusses (in the original mode, level 0 collects every boundary
+	// straddler).
+	LevelRecordsR []int64
+	LevelRecordsS []int64
+
+	// MaxResident is the largest number of bytes of KPEs held in memory
+	// at once during the synchronized scan (the active cells on the two
+	// root-path stacks plus the arriving partition).
+	MaxResident int64
+
+	PhaseIO  [numPhases]diskio.Stats
+	PhaseCPU [numPhases]time.Duration
+
+	// FirstResultCPU / FirstResultIO: elapsed CPU and simulated I/O cost
+	// units when the first result reached the caller.
+	FirstResultCPU time.Duration
+	FirstResultIO  float64
+}
+
+// TotalIO sums the per-phase I/O statistics.
+func (s *Stats) TotalIO() diskio.Stats {
+	var t diskio.Stats
+	for i := range s.PhaseIO {
+		t.Add(s.PhaseIO[i])
+	}
+	return t
+}
+
+// TotalCPU sums the per-phase CPU times.
+func (s *Stats) TotalCPU() time.Duration {
+	var t time.Duration
+	for _, d := range s.PhaseCPU {
+		t += d
+	}
+	return t
+}
+
+// ReplicationRate returns records-written / input-size.
+func (s *Stats) ReplicationRate(nr, ns int) float64 {
+	if nr+ns == 0 {
+		return 0
+	}
+	return float64(s.CopiesR+s.CopiesS) / float64(nr+ns)
+}
+
+// Join computes the spatial intersection join of R and S, delivering each
+// result pair exactly once to emit. The inputs are never modified.
+func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
+	if cfg.Disk == nil {
+		return Stats{}, fmt.Errorf("s3j: Config.Disk is required")
+	}
+	if cfg.Memory <= 0 {
+		return Stats{}, fmt.Errorf("s3j: Config.Memory must be positive, got %d", cfg.Memory)
+	}
+	j := &joiner{cfg: cfg, alg: cfg.algorithm()}
+	j.run(R, S, emit)
+	j.stats.Tests = j.alg.Tests()
+	return j.stats, nil
+}
+
+type joiner struct {
+	cfg   Config
+	alg   sweep.Algorithm
+	stats Stats
+
+	start      time.Time
+	startUnits float64
+	emit       func(geom.Pair)
+}
+
+func (j *joiner) deliver(p geom.Pair) {
+	if j.stats.Results == 0 {
+		j.stats.FirstResultCPU = time.Since(j.start)
+		j.stats.FirstResultIO = j.cfg.Disk.Stats().CostUnits - j.startUnits
+	}
+	j.stats.Results++
+	j.emit(p)
+}
+
+type phaseTimer struct {
+	j     *joiner
+	phase Phase
+	t0    time.Time
+	io0   diskio.Stats
+}
+
+func (j *joiner) begin(p Phase) phaseTimer {
+	return phaseTimer{j: j, phase: p, t0: time.Now(), io0: j.cfg.Disk.Stats()}
+}
+
+func (pt phaseTimer) end() {
+	pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
+	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+}
+
+func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
+	j.start = time.Now()
+	j.startUnits = j.cfg.Disk.Stats().CostUnits
+	j.emit = emit
+	levels := j.cfg.levels()
+
+	// Phase 1: write the level files.
+	pt := j.begin(PhasePartition)
+	filesR, countsR := j.partitionInput(R, levels)
+	filesS, countsS := j.partitionInput(S, levels)
+	j.stats.LevelRecordsR, j.stats.LevelRecordsS = countsR, countsS
+	for _, n := range countsR {
+		j.stats.CopiesR += n
+	}
+	for _, n := range countsS {
+		j.stats.CopiesS += n
+	}
+	pt.end()
+
+	// Phase 2: sort every level file by locational code. Level 0 has a
+	// single cell (all codes zero) and needs no sort — the optimization
+	// §4.4.2 enables by never computing codes for the lowest level.
+	pt = j.begin(PhaseSort)
+	for l := 1; l <= levels; l++ {
+		filesR[l] = j.sortLevel(filesR[l])
+		filesS[l] = j.sortLevel(filesS[l])
+	}
+	pt.end()
+
+	// Phase 3: synchronized scan.
+	pt = j.begin(PhaseJoin)
+	j.scan(filesR, filesS)
+	pt.end()
+
+	for l := range filesR {
+		j.cfg.Disk.Remove(filesR[l].Name())
+		j.cfg.Disk.Remove(filesS[l].Name())
+	}
+}
+
+// partitionInput writes one level file per grid level for relation ks and
+// returns the files plus per-level record counts.
+func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []int64) {
+	files := make([]*diskio.File, levels+1)
+	writers := make([]*levWriter, levels+1)
+	counts := make([]int64, levels+1)
+	buf := j.cfg.bufPagesFor(levels + 1)
+	for l := range files {
+		files[l] = j.cfg.Disk.Create("")
+		writers[l] = newLevWriter(files[l], buf)
+	}
+	var cells [][2]uint32
+	for i := range ks {
+		k := ks[i]
+		switch j.cfg.Mode {
+		case ModeOriginal:
+			l, ix, iy := sfc.ContainmentLevel(k.Rect, levels)
+			code := uint64(0)
+			if l > 0 { // level 0 needs no code (§4.4.2)
+				code = j.cfg.Curve.Code(ix, iy, l)
+			}
+			writers[l].write(code, k)
+			counts[l]++
+		case ModeReplicate:
+			l := sfc.SizeLevel(k.Rect, levels)
+			cells = sfc.OverlapCells(k.Rect, l, cells[:0])
+			for _, c := range cells {
+				code := uint64(0)
+				if l > 0 {
+					code = j.cfg.Curve.Code(c[0], c[1], l)
+				}
+				writers[l].write(code, k)
+				counts[l]++
+			}
+		}
+	}
+	for _, w := range writers {
+		w.flush()
+	}
+	return files, counts
+}
+
+// sortLevel sorts one level file by locational code, replacing it.
+func (j *joiner) sortLevel(f *diskio.File) *diskio.File {
+	if f.Len() == 0 {
+		return f
+	}
+	sorted, st := extsort.Sort(f, extsort.Config{
+		Disk:       j.cfg.Disk,
+		RecordSize: levRecSize,
+		Memory:     j.cfg.Memory,
+		BufPages:   j.cfg.bufPages(),
+		Less: func(a, b []byte) bool {
+			return decodeLevCode(a) < decodeLevCode(b)
+		},
+	})
+	j.stats.SortRuns += st.Runs
+	j.stats.MergePasses += st.MergePass
+	j.cfg.Disk.Remove(f.Name())
+	return sorted
+}
+
+// stackEntry is one active cell on a relation's root-path stack during
+// the synchronized scan: the cell's code interval at maximum depth, its
+// level and grid coordinates, and its resident rectangles.
+type stackEntry struct {
+	lo, hi uint64
+	level  int
+	ix, iy uint32
+	items  []geom.KPE
+}
+
+// scan performs the heap-driven synchronized scan of the sorted level
+// files (§4.4.3): a heap over one cursor per non-empty (relation, level)
+// file yields the cells of both relations in space-filling-curve order;
+// two stacks hold the cells of the current root path per relation; each
+// arriving cell is joined against the other relation's stack.
+func (j *joiner) scan(filesR, filesS []*diskio.File) {
+	h := &cursorHeap{}
+	buf := j.cfg.bufPagesFor(len(filesR) + len(filesS))
+	for l, f := range filesR {
+		if f.Len() > 0 {
+			h.items = append(h.items, newGroupCursor(f, buf, l, 0))
+		}
+	}
+	for l, f := range filesS {
+		if f.Len() > 0 {
+			h.items = append(h.items, newGroupCursor(f, buf, l, 1))
+		}
+	}
+	// Prime lookaheads, dropping exhausted cursors (empty files were
+	// already skipped, so this is just defensive).
+	live := h.items[:0]
+	for _, c := range h.items {
+		if c.fillPeek() {
+			live = append(live, c)
+		}
+	}
+	h.items = live
+	heap.Init(h)
+
+	var stacks [2][]stackEntry
+	var resident int64
+	for h.Len() > 0 {
+		c := h.items[0]
+		code, items, _ := c.nextGroup(nil)
+		if c.fillPeek() {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		lo, hi := sfc.CodeInterval(code, c.level)
+		var ix, iy uint32
+		if c.level > 0 {
+			ix, iy = j.decodeCell(code, c.level)
+		}
+
+		// Retire stack cells that ended before this one starts.
+		for s := 0; s < 2; s++ {
+			st := stacks[s]
+			for len(st) > 0 && st[len(st)-1].hi <= lo {
+				resident -= int64(len(st[len(st)-1].items)) * geom.KPESize
+				st = st[:len(st)-1]
+			}
+			stacks[s] = st
+		}
+
+		entry := stackEntry{lo: lo, hi: hi, level: c.level, ix: ix, iy: iy, items: items}
+
+		// Join the arriving cell against every active cell of the other
+		// relation — exactly the node-vs-root-path pairs of §4.1. The
+		// arriving cell is always the deeper (or equal) one, so the
+		// modified Reference Point Method tests against it.
+		other := 1 - c.rel
+		for i := range stacks[other] {
+			anc := &stacks[other][i]
+			if c.rel == 0 {
+				j.joinCells(entry.items, anc.items, entry)
+			} else {
+				j.joinCells(anc.items, entry.items, entry)
+			}
+		}
+
+		stacks[c.rel] = append(stacks[c.rel], entry)
+		resident += int64(len(items)) * geom.KPESize
+		if resident > j.stats.MaxResident {
+			j.stats.MaxResident = resident
+		}
+	}
+}
+
+// decodeCell recovers grid coordinates from a locational code.
+func (j *joiner) decodeCell(code uint64, level int) (uint32, uint32) {
+	if j.cfg.Curve == sfc.Hilbert {
+		return sfc.HilbertXY(code, level)
+	}
+	return sfc.ZDecode(code, level)
+}
+
+// joinCells joins the rectangles of one R-cell and one S-cell. deeper is
+// the arriving (deeper or equal) cell used by the duplicate test.
+func (j *joiner) joinCells(rs, ss []geom.KPE, deeper stackEntry) {
+	j.alg.Join(rs, ss, func(r, s geom.KPE) {
+		j.stats.RawResults++
+		if j.cfg.Mode == ModeReplicate {
+			x := geom.RefPoint(r.Rect, s.Rect)
+			cx, cy := sfc.CellAt(x, deeper.level)
+			if cx != deeper.ix || cy != deeper.iy {
+				return // duplicate: reported by the cell owning x
+			}
+		}
+		j.deliver(geom.Pair{R: r.ID, S: s.ID})
+	})
+}
+
+// cursorHeap orders group cursors by the start of their next cell's code
+// interval, ancestors before descendants (shallower level first), R
+// before S — the order the synchronized pre-order traversal requires.
+type cursorHeap struct {
+	items []*groupCursor
+}
+
+func (h *cursorHeap) Len() int { return len(h.items) }
+
+func (h *cursorHeap) Less(a, b int) bool {
+	ca, cb := h.items[a], h.items[b]
+	loA, _ := sfc.CodeInterval(ca.pkCode, ca.level)
+	loB, _ := sfc.CodeInterval(cb.pkCode, cb.level)
+	if loA != loB {
+		return loA < loB
+	}
+	if ca.level != cb.level {
+		return ca.level < cb.level
+	}
+	return ca.rel < cb.rel
+}
+
+func (h *cursorHeap) Swap(a, b int)      { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *cursorHeap) Push(x interface{}) { h.items = append(h.items, x.(*groupCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,376 @@
+package s3j
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/quadtree"
+	"spatialjoin/internal/sfc"
+	"spatialjoin/internal/sweep"
+)
+
+func newDisk() *diskio.Disk { return diskio.NewDisk(1024, 10, time.Millisecond) }
+
+func naive(rs, ss []geom.KPE) []geom.Pair {
+	var out []geom.Pair
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Rect.Intersects(s.Rect) {
+				out = append(out, geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func run(t *testing.T, R, S []geom.KPE, cfg Config) ([]geom.Pair, Stats) {
+	t.Helper()
+	if cfg.Disk == nil {
+		cfg.Disk = newDisk()
+	}
+	var got []geom.Pair
+	st, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	return got, st
+}
+
+func assertEqualPairs(t *testing.T, got, want []geom.Pair) {
+	t.Helper()
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Join(nil, nil, Config{Memory: 1}, nil); err == nil {
+		t.Error("nil disk must error")
+	}
+	if _, err := Join(nil, nil, Config{Disk: newDisk()}, nil); err == nil {
+		t.Error("zero memory must error")
+	}
+}
+
+func TestBothModesMatchOracle(t *testing.T) {
+	R := datagen.LARR(1, 1200).KPEs
+	S := datagen.LAST(2, 1200).KPEs
+	want := naive(R, S)
+	for _, mode := range []Mode{ModeOriginal, ModeReplicate} {
+		got, _ := run(t, R, S, Config{Memory: 16 << 10, Mode: mode})
+		assertEqualPairs(t, got, want)
+	}
+}
+
+func TestMatchesQuadtreeReferenceJoin(t *testing.T) {
+	// §4.1: S³J is the external version of the MX-CIF quadtree join; with
+	// the same level cap they must agree exactly.
+	R := datagen.Uniform(3, 700, 0.02)
+	S := datagen.Uniform(4, 700, 0.02)
+	const levels = 6
+	tr, ts := quadtree.New(levels), quadtree.New(levels)
+	for _, k := range R {
+		tr.Insert(k)
+	}
+	for _, k := range S {
+		ts.Insert(k)
+	}
+	var want []geom.Pair
+	quadtree.Join(tr, ts, func(r, s geom.KPE) {
+		want = append(want, geom.Pair{R: r.ID, S: s.ID})
+	})
+	sortPairs(want)
+	got, _ := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeOriginal, Levels: levels})
+	assertEqualPairs(t, got, want)
+}
+
+func TestOriginalModeProducesNoRawDuplicates(t *testing.T) {
+	R := datagen.LARR(5, 1000).KPEs
+	S := datagen.LAST(6, 1000).KPEs
+	_, st := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeOriginal})
+	if st.RawResults != st.Results {
+		t.Fatalf("original S³J must not produce duplicates: raw=%d results=%d",
+			st.RawResults, st.Results)
+	}
+	if st.CopiesR != int64(len(R)) || st.CopiesS != int64(len(S)) {
+		t.Fatalf("original S³J must not replicate: copies R=%d S=%d", st.CopiesR, st.CopiesS)
+	}
+}
+
+func TestReplicationBoundedByFour(t *testing.T) {
+	// §4.3: a rectangle is replicated in a level file at most four times.
+	R := datagen.LARR(7, 2000).KPEs
+	_, st := run(t, R, R, Config{Memory: 16 << 10, Mode: ModeReplicate})
+	if st.CopiesR > 4*int64(len(R)) {
+		t.Fatalf("replication bound violated: %d copies of %d rects", st.CopiesR, len(R))
+	}
+	if st.CopiesR <= int64(len(R)) {
+		t.Fatalf("expected some replication, got %d copies of %d rects", st.CopiesR, len(R))
+	}
+}
+
+func TestModifiedRPMSuppressesDuplicates(t *testing.T) {
+	R := datagen.LARR(8, 1500).KPEs
+	S := datagen.LAST(9, 1500).KPEs
+	got, st := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeReplicate})
+	assertEqualPairs(t, got, naive(R, S))
+	if st.RawResults <= st.Results {
+		t.Fatalf("replication must produce raw duplicates: raw=%d results=%d",
+			st.RawResults, st.Results)
+	}
+}
+
+func TestReplicationReducesTests(t *testing.T) {
+	// The motivation of §4.3: size-based levels with replication avoid
+	// testing boundary-straddling small rectangles against everything.
+	R := datagen.LAST(10, 4000).KPEs
+	S := datagen.LAST(11, 4000).KPEs
+	_, orig := run(t, R, S, Config{Memory: 32 << 10, Mode: ModeOriginal})
+	_, repl := run(t, R, S, Config{Memory: 32 << 10, Mode: ModeReplicate})
+	if repl.Tests >= orig.Tests {
+		t.Fatalf("replication must reduce candidate tests: %d vs %d", repl.Tests, orig.Tests)
+	}
+}
+
+func TestLevelDistributionShiftsUpward(t *testing.T) {
+	// In original mode, boundary straddlers sink to shallow levels; the
+	// size rule pushes small rectangles to deep levels.
+	R := datagen.LAST(12, 3000).KPEs
+	_, orig := run(t, R, nil, Config{Memory: 16 << 10, Mode: ModeOriginal})
+	_, repl := run(t, R, nil, Config{Memory: 16 << 10, Mode: ModeReplicate})
+	avgLevel := func(counts []int64) float64 {
+		var sum, n float64
+		for l, c := range counts {
+			sum += float64(l) * float64(c)
+			n += float64(c)
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	if avgLevel(repl.LevelRecordsR) <= avgLevel(orig.LevelRecordsR) {
+		t.Fatalf("size-based levels must be deeper on average: %g vs %g",
+			avgLevel(repl.LevelRecordsR), avgLevel(orig.LevelRecordsR))
+	}
+	if orig.LevelRecordsR[0] == 0 {
+		t.Fatal("original mode should park boundary straddlers at level 0")
+	}
+}
+
+func TestHilbertCurveGivesSameResults(t *testing.T) {
+	// §4.4.2: curve choice affects neither the result set nor the number
+	// of intersection tests.
+	R := datagen.LARR(13, 1000).KPEs
+	S := datagen.LAST(14, 1000).KPEs
+	gotP, stP := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeReplicate, Curve: sfc.Peano})
+	gotH, stH := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeReplicate, Curve: sfc.Hilbert})
+	sortPairs(gotP)
+	assertEqualPairs(t, gotH, gotP)
+	if stP.Tests != stH.Tests {
+		t.Fatalf("curve changed the number of tests: peano=%d hilbert=%d", stP.Tests, stH.Tests)
+	}
+}
+
+func TestAllInternalAlgorithmsAgree(t *testing.T) {
+	R := datagen.LARR(15, 800).KPEs
+	S := datagen.LAST(16, 800).KPEs
+	want := naive(R, S)
+	for _, alg := range []sweep.Kind{sweep.NestedLoopsKind, sweep.ListKind, sweep.TrieKind} {
+		for _, mode := range []Mode{ModeOriginal, ModeReplicate} {
+			got, _ := run(t, R, S, Config{Memory: 16 << 10, Mode: mode, Algorithm: alg})
+			assertEqualPairs(t, got, want)
+		}
+	}
+}
+
+func TestSortPhaseChargesIO(t *testing.T) {
+	R := datagen.LARR(17, 1500).KPEs
+	S := datagen.LAST(18, 1500).KPEs
+	_, st := run(t, R, S, Config{Memory: 16 << 10, Mode: ModeReplicate})
+	if st.PhaseIO[PhaseSort].CostUnits <= 0 {
+		t.Fatal("sort phase must charge I/O")
+	}
+	if st.PhaseIO[PhasePartition].PagesWritten <= 0 {
+		t.Fatal("partition phase must write level files")
+	}
+	if st.PhaseIO[PhaseJoin].PagesRead <= 0 {
+		t.Fatal("join phase must read level files")
+	}
+	if st.SortRuns == 0 {
+		t.Fatal("sort statistics not recorded")
+	}
+}
+
+func TestExternalSortKicksInAtTinyMemory(t *testing.T) {
+	R := datagen.LARR(19, 4000).KPEs
+	_, small := run(t, R, R, Config{Memory: 4 << 10, Mode: ModeReplicate})
+	_, large := run(t, R, R, Config{Memory: 4 << 20, Mode: ModeReplicate})
+	if small.MergePasses == 0 {
+		t.Fatal("tiny memory must force external merge passes")
+	}
+	if large.MergePasses != 0 {
+		t.Fatalf("large memory should sort level files in one run, got %d passes",
+			large.MergePasses)
+	}
+}
+
+func TestMaxResidentTracked(t *testing.T) {
+	R := datagen.LARR(20, 1000).KPEs
+	_, st := run(t, R, R, Config{Memory: 16 << 10, Mode: ModeReplicate})
+	if st.MaxResident <= 0 {
+		t.Fatal("MaxResident must be tracked")
+	}
+	if st.MaxResident > int64(len(R))*2*geom.KPESize*4 {
+		t.Fatalf("MaxResident %d implausibly large", st.MaxResident)
+	}
+}
+
+func TestLevelsCapRespected(t *testing.T) {
+	R := datagen.Uniform(21, 500, 0.001) // tiny rects want deep levels
+	got, st := run(t, R, R, Config{Memory: 16 << 10, Mode: ModeReplicate, Levels: 3})
+	assertEqualPairs(t, got, naive(R, R))
+	if len(st.LevelRecordsR) != 4 {
+		t.Fatalf("level files = %d, want 4 (levels 0..3)", len(st.LevelRecordsR))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	R := datagen.Uniform(22, 100, 0.05)
+	for _, mode := range []Mode{ModeOriginal, ModeReplicate} {
+		got, _ := run(t, nil, R, Config{Memory: 8 << 10, Mode: mode})
+		if len(got) != 0 {
+			t.Fatal("empty R must give empty join")
+		}
+		got, _ = run(t, R, nil, Config{Memory: 8 << 10, Mode: mode})
+		if len(got) != 0 {
+			t.Fatal("empty S must give empty join")
+		}
+	}
+}
+
+func TestExactlyOnceProperty(t *testing.T) {
+	f := func(seed int64, nMod uint8, levels uint8, mode bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nMod)%100 + 10
+		mk := func() []geom.KPE {
+			ks := make([]geom.KPE, n)
+			for i := range ks {
+				cx, cy := rng.Float64(), rng.Float64()
+				e := rng.Float64()
+				w, h := e*e*0.3, e*e*0.3
+				ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(cx, cy, cx+w, cy+h).ClampUnit()}
+			}
+			return ks
+		}
+		R, S := mk(), mk()
+		m := ModeOriginal
+		if mode {
+			m = ModeReplicate
+		}
+		cfg := Config{
+			Disk:   newDisk(),
+			Memory: 4 << 10,
+			Mode:   m,
+			Levels: int(levels)%8 + 1,
+		}
+		var got []geom.Pair
+		if _, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) }); err != nil {
+			return false
+		}
+		want := naive(R, S)
+		sortPairs(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeAndPhaseStrings(t *testing.T) {
+	if ModeOriginal.String() != "original" || ModeReplicate.String() != "replicate" {
+		t.Fatal("mode names changed")
+	}
+	for i, want := range []string{"partition", "sort", "join"} {
+		if Phase(i).String() != want {
+			t.Fatalf("Phase(%d) = %q", i, Phase(i).String())
+		}
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase must still format")
+	}
+}
+
+func TestDeepLevelsAndHilbertSelfJoin(t *testing.T) {
+	// Deep grids with Hilbert codes on a self-join stress the heap scan's
+	// interval ordering at maximum code widths.
+	R := datagen.Uniform(23, 800, 0.002)
+	want := naive(R, R)
+	for _, lv := range []int{16, 20, 24} {
+		got, _ := run(t, R, R, Config{
+			Memory: 16 << 10, Mode: ModeReplicate, Levels: lv, Curve: sfc.Hilbert,
+		})
+		assertEqualPairs(t, got, want)
+	}
+}
+
+func TestLevelsClampedToMaxLevel(t *testing.T) {
+	R := datagen.Uniform(24, 200, 0.01)
+	got, st := run(t, R, R, Config{Memory: 16 << 10, Mode: ModeReplicate, Levels: 99})
+	assertEqualPairs(t, got, naive(R, R))
+	if len(st.LevelRecordsR) != sfc.MaxLevel+1 {
+		t.Fatalf("levels not clamped: %d files", len(st.LevelRecordsR))
+	}
+}
+
+func TestSingleRectRelations(t *testing.T) {
+	a := []geom.KPE{{ID: 1, Rect: geom.NewRect(0.3, 0.3, 0.7, 0.7)}}
+	b := []geom.KPE{{ID: 2, Rect: geom.NewRect(0.5, 0.5, 0.9, 0.9)}}
+	for _, mode := range []Mode{ModeOriginal, ModeReplicate} {
+		got, _ := run(t, a, b, Config{Memory: 4 << 10, Mode: mode})
+		if len(got) != 1 || got[0] != (geom.Pair{R: 1, S: 2}) {
+			t.Fatalf("mode=%v: got %v", mode, got)
+		}
+	}
+}
+
+func TestWholeSpaceRectangle(t *testing.T) {
+	// A rectangle covering the whole space lands in level 0 under both
+	// rules and joins everything.
+	big := []geom.KPE{{ID: 1, Rect: geom.UnitRect}}
+	small := datagen.Uniform(25, 300, 0.01)
+	for _, mode := range []Mode{ModeOriginal, ModeReplicate} {
+		got, st := run(t, big, small, Config{Memory: 8 << 10, Mode: mode})
+		if len(got) != len(small) {
+			t.Fatalf("mode=%v: %d results, want %d", mode, len(got), len(small))
+		}
+		if st.LevelRecordsR[0] != 1 {
+			t.Fatalf("mode=%v: whole-space rect not at level 0", mode)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package sfc implements the space-filling curves and quadtree cell
+// arithmetic used by S³J (§4 of the paper): Peano (Z-order / Morton)
+// codes, Hilbert codes, locational codes of MX-CIF quadtree cells, and
+// the level-assignment functions — the original containment-based rule of
+// Koudas & Sevcik and the size-based rule of the paper's replicated
+// variant (§4.3).
+//
+// The data space is the unit square [0,1)². A cell at level l is one of
+// the 4^l squares of the equidistant grid with 2^l cells per axis; level
+// 0 is the root (the whole space), matching the paper's numbering.
+package sfc
+
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// MaxLevel is the deepest supported quadtree level. 24 levels resolve the
+// unit square to ~6e-8, far below the extent of any dataset rectangle,
+// while keeping locational codes within 48 bits.
+const MaxLevel = 24
+
+// Curve selects the space-filling curve used for locational codes.
+// §4.4.2 of the paper argues for Peano over Hilbert because its codes are
+// cheaper to compute and the choice affects neither I/O nor the number of
+// intersection tests; both are provided so the ablation can be run.
+type Curve int
+
+const (
+	// Peano is the Z-order (Morton) curve, the paper's choice.
+	Peano Curve = iota
+	// Hilbert is the curve suggested in the original S³J paper.
+	Hilbert
+)
+
+// String names the curve.
+func (c Curve) String() string {
+	if c == Hilbert {
+		return "hilbert"
+	}
+	return "peano"
+}
+
+// Code returns the locational code of the cell (ix, iy) at the given
+// level: the index of the cell along the curve, in [0, 4^level). Codes
+// are hierarchical for both curves: the code of a cell's parent is
+// code >> 2.
+func (c Curve) Code(ix, iy uint32, level int) uint64 {
+	if c == Hilbert {
+		return hilbertD(ix, iy, level)
+	}
+	return zEncode(ix, iy, level)
+}
+
+// CellAt returns the grid coordinates of the level-l cell containing p.
+// Points on the far boundary of the data space (coordinate exactly 1)
+// are clamped into the last cell so that every point of [0,1]² has a
+// well-defined home cell — the invariant the Reference Point Method
+// relies on.
+func CellAt(p geom.Point, level int) (ix, iy uint32) {
+	n := uint32(1) << uint(level)
+	return clampCell(p.X, n), clampCell(p.Y, n)
+}
+
+func clampCell(v float64, n uint32) uint32 {
+	if v <= 0 {
+		return 0
+	}
+	i := uint32(v * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// CellRect returns the region of cell (ix, iy) at the given level.
+func CellRect(ix, iy uint32, level int) geom.Rect {
+	size := math.Ldexp(1, -level) // 2^-level
+	return geom.Rect{
+		XL: float64(ix) * size,
+		YL: float64(iy) * size,
+		XH: float64(ix+1) * size,
+		YH: float64(iy+1) * size,
+	}
+}
+
+// CellCovers reports whether the level-l cell (ix, iy) covers r entirely
+// (boundaries allowed).
+func CellCovers(ix, iy uint32, level int, r geom.Rect) bool {
+	return CellRect(ix, iy, level).ContainsRect(r)
+}
+
+// ContainmentLevel implements the original S³J / MX-CIF level assignment:
+// the deepest level (≤ maxLevel) at which a single cell covers r, and the
+// coordinates of that cell. Level 0 (the root) always covers, so the call
+// cannot fail for rectangles within the data space.
+func ContainmentLevel(r geom.Rect, maxLevel int) (level int, ix, iy uint32) {
+	// Find the deepest level by halving: the covering cell of r at any
+	// level is the cell containing r's lower-left corner, so walk down
+	// while that cell still covers r.
+	for l := 1; l <= maxLevel; l++ {
+		cx, cy := CellAt(geom.Point{X: r.XL, Y: r.YL}, l)
+		if !CellCovers(cx, cy, l, r) {
+			return l - 1, ix, iy
+		}
+		ix, iy = cx, cy
+	}
+	return maxLevel, ix, iy
+}
+
+// SizeLevel implements the replicated variant's level assignment (§4.3):
+//
+//	max{ k | xh−xl ≤ 2^−k  ∧  yh−yl ≤ 2^−k }
+//
+// capped to [0, maxLevel]. Degenerate rectangles land on maxLevel.
+func SizeLevel(r geom.Rect, maxLevel int) int {
+	e := math.Max(r.Width(), r.Height())
+	if e <= 0 {
+		return maxLevel
+	}
+	k := int(math.Floor(-math.Log2(e)))
+	// Floating-point log can be off by one near powers of two; fix up so
+	// the defining inequality holds exactly.
+	for k > 0 && math.Ldexp(1, -k) < e {
+		k--
+	}
+	for math.Ldexp(1, -(k+1)) >= e {
+		k++
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > maxLevel {
+		k = maxLevel
+	}
+	return k
+}
+
+// OverlapCells appends to dst the (ix, iy) coordinates of every level-l
+// cell overlapping r and returns the extended slice. Cells whose shared
+// boundary merely touches r are included, mirroring the closed-rectangle
+// intersection semantics. For a rectangle at its SizeLevel the result has
+// at most four cells, the paper's replication bound.
+func OverlapCells(r geom.Rect, level int, dst [][2]uint32) [][2]uint32 {
+	n := uint32(1) << uint(level)
+	x0 := clampCell(r.XL, n)
+	x1 := clampCell(r.XH, n)
+	y0 := clampCell(r.YL, n)
+	y1 := clampCell(r.YH, n)
+	for iy := y0; iy <= y1; iy++ {
+		for ix := x0; ix <= x1; ix++ {
+			dst = append(dst, [2]uint32{ix, iy})
+		}
+	}
+	return dst
+}
+
+// CodeInterval returns the half-open interval [lo, hi) of depth-MaxLevel
+// locational codes covered by the cell with the given code at the given
+// level. Cells at different levels compare on the curve through these
+// intervals: an ancestor's interval contains all its descendants'.
+func CodeInterval(code uint64, level int) (lo, hi uint64) {
+	shift := uint(2 * (MaxLevel - level))
+	return code << shift, (code + 1) << shift
+}
+
+// zEncode interleaves the low `level` bits of ix and iy into a Morton
+// code: bit pairs are (y, x) from most significant cell split to least.
+func zEncode(ix, iy uint32, level int) uint64 {
+	return spread(ix, level) | spread(iy, level)<<1
+}
+
+// spread inserts a zero bit between each of the low `level` bits of v.
+func spread(v uint32, level int) uint64 {
+	x := uint64(v) & ((1 << uint(level)) - 1)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// ZDecode is the inverse of zEncode at the given level.
+func ZDecode(code uint64, level int) (ix, iy uint32) {
+	return compact(code), compact(code >> 1)
+}
+
+func compact(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// hilbertD converts cell coordinates to the Hilbert-curve index at the
+// given order (level), using the classic iterative rotate-and-flip
+// formulation. The resulting codes are hierarchical like Z-codes.
+func hilbertD(x, y uint32, level int) uint64 {
+	if level <= 0 {
+		return 0
+	}
+	var d uint64
+	for s := uint32(1) << uint(level-1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// HilbertXY is the inverse of the Hilbert index at the given order.
+func HilbertXY(d uint64, level int) (x, y uint32) {
+	t := d
+	for s := uint64(1); s < 1<<uint(level); s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		// Rotate back.
+		if ry == 0 {
+			if rx == 1 {
+				x = uint32(s) - 1 - x
+				y = uint32(s) - 1 - y
+			}
+			x, y = y, x
+		}
+		x += uint32(s) * rx
+		y += uint32(s) * ry
+		t /= 4
+	}
+	return x, y
+}

@@ -1,0 +1,48 @@
+package sfc
+
+import (
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// The paper's §4.4.2 picks the Peano curve over Hilbert purely on
+// code-computation cost; these benchmarks quantify the gap on this
+// hardware (the ablation abl-curve shows it end to end).
+
+func BenchmarkPeanoCode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Peano.Code(uint32(i)&0xFFFFF, uint32(i*7)&0xFFFFF, 20)
+	}
+	benchSink = sink
+}
+
+func BenchmarkHilbertCode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hilbert.Code(uint32(i)&0xFFFFF, uint32(i*7)&0xFFFFF, 20)
+	}
+	benchSink = sink
+}
+
+func BenchmarkContainmentLevel(b *testing.B) {
+	r := geom.NewRect(0.312, 0.401, 0.313, 0.402)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		l, _, _ := ContainmentLevel(r, MaxLevel)
+		sink += l
+	}
+	benchSink = uint64(sink)
+}
+
+func BenchmarkSizeLevel(b *testing.B) {
+	r := geom.NewRect(0.312, 0.401, 0.313, 0.402)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += SizeLevel(r, MaxLevel)
+	}
+	benchSink = uint64(sink)
+}
+
+var benchSink uint64

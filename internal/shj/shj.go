@@ -1,0 +1,321 @@
+// Package shj implements the Spatial Hash Join of Lo & Ravishankar
+// [LR 96], the partition-based competitor the paper's related work
+// contrasts with PBSM: where PBSM replicates *both* relations across a
+// fixed grid, the spatial hash join samples the build relation R to seed
+// data-driven bucket extents, assigns every R rectangle to exactly ONE
+// bucket (growing that bucket's extent), and replicates only the probe
+// relation S into every bucket whose extent its rectangle intersects.
+//
+// Because each R rectangle lives in exactly one bucket, a result pair
+// (r, s) can only be produced in r's bucket — the response set is
+// duplicate-free without any reference-point test or sort, at the price
+// of bucket extents that overlap and a probe-side replication that grows
+// with them. Experiments in [KS 97] found it comparable to PBSM.
+package shj
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sweep"
+)
+
+// Phase indexes the per-phase statistics.
+type Phase int
+
+// The three SHJ phases.
+const (
+	PhaseBuild          Phase = iota // sample seeds, partition R
+	PhaseProbePartition              // replicate S into overlapping buckets
+	PhaseJoin                        // join bucket pairs in memory
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBuild:
+		return "build"
+	case PhaseProbePartition:
+		return "probe-partition"
+	case PhaseJoin:
+		return "join"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Config controls a spatial hash join.
+type Config struct {
+	// Disk is the simulated device for the bucket files. Required.
+	Disk *diskio.Disk
+	// Memory is the byte budget: bucket pairs are sized to fit. Required.
+	Memory int64
+	// Algorithm is the in-memory join for bucket pairs; default list
+	// sweep.
+	Algorithm sweep.Kind
+	// BufPages is the per-stream sequential buffer size in pages.
+	// Values < 1 select 4.
+	BufPages int
+}
+
+func (c *Config) bufPages() int {
+	if c.BufPages < 1 {
+		return 4
+	}
+	return c.BufPages
+}
+
+// Stats reports what a spatial hash join did.
+type Stats struct {
+	Buckets   int
+	Results   int64
+	CopiesS   int64 // probe-side records written (≥ |S| due to replication)
+	Orphans   int64 // S rectangles overlapping no bucket extent (cannot join)
+	Tests     int64
+	Overflows int // bucket pairs exceeding the memory budget (joined anyway)
+
+	PhaseIO  [numPhases]diskio.Stats
+	PhaseCPU [numPhases]time.Duration
+}
+
+// TotalIO sums the per-phase I/O statistics.
+func (s *Stats) TotalIO() diskio.Stats {
+	var t diskio.Stats
+	for i := range s.PhaseIO {
+		t.Add(s.PhaseIO[i])
+	}
+	return t
+}
+
+// TotalCPU sums the per-phase CPU times.
+func (s *Stats) TotalCPU() time.Duration {
+	var t time.Duration
+	for _, d := range s.PhaseCPU {
+		t += d
+	}
+	return t
+}
+
+// ReplicationRateS returns probe copies / |S|.
+func (s *Stats) ReplicationRateS(ns int) float64 {
+	if ns == 0 {
+		return 0
+	}
+	return float64(s.CopiesS) / float64(ns)
+}
+
+// bucket is one hash bucket: a data-driven extent plus its two files.
+type bucket struct {
+	extent geom.Rect
+	seeded bool
+	nR     int
+	fR, fS *diskio.File
+	wR, wS *recfile.KPEWriter
+}
+
+// Join computes the spatial intersection join of R (build side) and S
+// (probe side), delivering each result pair exactly once to emit.
+func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
+	if cfg.Disk == nil {
+		return Stats{}, fmt.Errorf("shj: Config.Disk is required")
+	}
+	if cfg.Memory <= 0 {
+		return Stats{}, fmt.Errorf("shj: Config.Memory must be positive, got %d", cfg.Memory)
+	}
+	var st Stats
+	alg := sweep.New(cfg.Algorithm)
+
+	if len(R) == 0 || len(S) == 0 {
+		return st, nil
+	}
+
+	// Bucket count: like PBSM's formula (1), size bucket pairs for the
+	// memory budget, assuming S distributes like R.
+	n := int(math.Ceil(1.25 * float64(int64(len(R)+len(S))*geom.KPESize) / float64(cfg.Memory)))
+	if n < 1 {
+		n = 1
+	}
+	st.Buckets = n
+
+	// Build phase: seed bucket extents from a systematic sample of R
+	// (every len(R)/n-th rectangle, spreading seeds across the data's own
+	// distribution), then assign each R rectangle to the bucket whose
+	// extent needs the least enlargement.
+	t0, io0 := time.Now(), cfg.Disk.Stats()
+	buckets := make([]*bucket, n)
+	stride := len(R) / n
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range buckets {
+		b := &bucket{fR: cfg.Disk.Create(""), fS: cfg.Disk.Create("")}
+		buf := bufPagesFor(cfg, 2*n)
+		b.wR = recfile.NewKPEWriter(b.fR, buf)
+		b.wS = recfile.NewKPEWriter(b.fS, buf)
+		if seedIdx := i * stride; seedIdx < len(R) {
+			b.extent = R[seedIdx].Rect
+			b.seeded = true
+		}
+		buckets[i] = b
+	}
+	for i := range R {
+		b := chooseBucket(buckets, R[i].Rect)
+		b.extent = b.extent.Union(R[i].Rect)
+		b.nR++
+		b.wR.Write(R[i])
+	}
+	for _, b := range buckets {
+		b.wR.Flush()
+	}
+	st.PhaseCPU[PhaseBuild] = time.Since(t0)
+	st.PhaseIO[PhaseBuild] = cfg.Disk.Stats().Sub(io0)
+
+	// Probe partition phase: replicate each S rectangle into every bucket
+	// whose (now final) extent it intersects. Rectangles overlapping no
+	// extent cannot join any R rectangle and are dropped (counted).
+	t0, io0 = time.Now(), cfg.Disk.Stats()
+	for i := range S {
+		hit := false
+		for _, b := range buckets {
+			if b.nR > 0 && b.extent.Intersects(S[i].Rect) {
+				b.wS.Write(S[i])
+				st.CopiesS++
+				hit = true
+			}
+		}
+		if !hit {
+			st.Orphans++
+		}
+	}
+	for _, b := range buckets {
+		b.wS.Flush()
+	}
+	st.PhaseCPU[PhaseProbePartition] = time.Since(t0)
+	st.PhaseIO[PhaseProbePartition] = cfg.Disk.Stats().Sub(io0)
+
+	// Join phase: each bucket pair in memory. No duplicate handling is
+	// needed — every R rectangle exists exactly once.
+	t0, io0 = time.Now(), cfg.Disk.Stats()
+	for _, b := range buckets {
+		if b.nR == 0 || b.fS.Len() == 0 {
+			cfg.Disk.Remove(b.fR.Name())
+			cfg.Disk.Remove(b.fS.Name())
+			continue
+		}
+		if int64(b.fR.Len()+b.fS.Len()) > cfg.Memory {
+			st.Overflows++
+		}
+		rs := recfile.ReadAllKPEs(b.fR, cfg.bufPages())
+		ss := recfile.ReadAllKPEs(b.fS, cfg.bufPages())
+		alg.Join(rs, ss, func(r, s geom.KPE) {
+			st.Results++
+			emit(geom.Pair{R: r.ID, S: s.ID})
+		})
+		cfg.Disk.Remove(b.fR.Name())
+		cfg.Disk.Remove(b.fS.Name())
+	}
+	st.PhaseCPU[PhaseJoin] = time.Since(t0)
+	st.PhaseIO[PhaseJoin] = cfg.Disk.Stats().Sub(io0)
+	st.Tests = alg.Tests()
+	return st, nil
+}
+
+// chooseBucket returns the bucket whose extent needs the least
+// enlargement to take r, preferring smaller extents on ties and unseeded
+// buckets last.
+func chooseBucket(buckets []*bucket, r geom.Rect) *bucket {
+	var best *bucket
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for _, b := range buckets {
+		if !b.seeded {
+			continue
+		}
+		enl := b.extent.Union(r).Area() - b.extent.Area()
+		area := b.extent.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = b, enl, area
+		}
+	}
+	if best == nil {
+		// No seeded bucket (degenerate small input): seed the first.
+		best = buckets[0]
+		best.extent = r
+		best.seeded = true
+	}
+	return best
+}
+
+// bufPagesFor sizes per-stream buffers against the memory budget like
+// the other partition-based joins do.
+func bufPagesFor(cfg Config, streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := int(cfg.Memory / int64(streams) / int64(cfg.Disk.PageSize()))
+	if per < 1 {
+		return 1
+	}
+	if per > cfg.bufPages() {
+		return cfg.bufPages()
+	}
+	return per
+}
+
+// BucketExtents exposes the final bucket extents of a build-side
+// partitioning for inspection and tests: it replays only the build phase.
+func BucketExtents(R []geom.KPE, n int) []geom.Rect {
+	if n < 1 || len(R) == 0 {
+		return nil
+	}
+	type eb struct {
+		extent geom.Rect
+		seeded bool
+	}
+	ebs := make([]eb, n)
+	stride := len(R) / n
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range ebs {
+		if idx := i * stride; idx < len(R) {
+			ebs[i] = eb{extent: R[idx].Rect, seeded: true}
+		}
+	}
+	for i := range R {
+		best, bestEnl, bestArea := -1, math.Inf(1), math.Inf(1)
+		for j := range ebs {
+			if !ebs[j].seeded {
+				continue
+			}
+			enl := ebs[j].extent.Union(R[i].Rect).Area() - ebs[j].extent.Area()
+			area := ebs[j].extent.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = j, enl, area
+			}
+		}
+		if best < 0 {
+			best = 0
+			ebs[0] = eb{extent: R[i].Rect, seeded: true}
+			continue
+		}
+		ebs[best].extent = ebs[best].extent.Union(R[i].Rect)
+	}
+	out := make([]geom.Rect, 0, n)
+	for _, e := range ebs {
+		if e.seeded {
+			out = append(out, e.extent)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].XL != out[j].XL {
+			return out[i].XL < out[j].XL
+		}
+		return out[i].YL < out[j].YL
+	})
+	return out
+}

@@ -1,0 +1,217 @@
+package shj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+)
+
+func newDisk() *diskio.Disk { return diskio.NewDisk(1024, 10, time.Millisecond) }
+
+func naive(rs, ss []geom.KPE) []geom.Pair {
+	var out []geom.Pair
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Rect.Intersects(s.Rect) {
+				out = append(out, geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func run(t *testing.T, R, S []geom.KPE, cfg Config) ([]geom.Pair, Stats) {
+	t.Helper()
+	if cfg.Disk == nil {
+		cfg.Disk = newDisk()
+	}
+	var got []geom.Pair
+	st, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	return got, st
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Join(nil, nil, Config{Memory: 1}, nil); err == nil {
+		t.Error("nil disk must error")
+	}
+	if _, err := Join(nil, nil, Config{Disk: newDisk()}, nil); err == nil {
+		t.Error("zero memory must error")
+	}
+}
+
+func TestMatchesOracle(t *testing.T) {
+	R := datagen.LARR(1, 1200).KPEs
+	S := datagen.LAST(2, 1200).KPEs
+	want := naive(R, S)
+	for _, alg := range []sweep.Kind{sweep.NestedLoopsKind, sweep.ListKind, sweep.TrieKind} {
+		got, _ := run(t, R, S, Config{Memory: 16 << 10, Algorithm: alg})
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("alg=%s: %d pairs, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("alg=%s: pair %d mismatch", alg, i)
+			}
+		}
+	}
+}
+
+func TestNoDuplicatesByConstruction(t *testing.T) {
+	// Each build rectangle lives in exactly one bucket, so no dedup
+	// machinery exists — verify none is needed.
+	R := datagen.LARR(3, 1500).KPEs
+	S := datagen.LAST(4, 1500).KPEs
+	got, st := run(t, R, S, Config{Memory: 8 << 10})
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate %v — the build side must not be replicated", p)
+		}
+		seen[p] = true
+	}
+	if st.Buckets < 2 {
+		t.Fatalf("expected several buckets at 8KB, got %d", st.Buckets)
+	}
+}
+
+func TestProbeSideReplicated(t *testing.T) {
+	R := datagen.LARR(5, 2000).KPEs
+	S := datagen.LAST(6, 2000).KPEs
+	_, st := run(t, R, S, Config{Memory: 8 << 10})
+	if st.CopiesS == 0 {
+		t.Fatal("no probe copies written")
+	}
+	// Every S rectangle is either replicated into ≥1 bucket or counted as
+	// an orphan; overlapping bucket extents make the sum exceed |S|.
+	if st.CopiesS+st.Orphans < int64(len(S)) {
+		t.Fatalf("copies (%d) + orphans (%d) below |S| (%d)", st.CopiesS, st.Orphans, len(S))
+	}
+}
+
+func TestOrphansCannotJoin(t *testing.T) {
+	// An S rectangle far away from every R rectangle overlaps no bucket
+	// extent and must be dropped without affecting correctness.
+	R := []geom.KPE{
+		{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.2, 0.2)},
+		{ID: 2, Rect: geom.NewRect(0.15, 0.15, 0.25, 0.25)},
+	}
+	S := []geom.KPE{
+		{ID: 10, Rect: geom.NewRect(0.12, 0.12, 0.13, 0.13)}, // joins
+		{ID: 11, Rect: geom.NewRect(0.9, 0.9, 0.95, 0.95)},   // orphan
+	}
+	got, st := run(t, R, S, Config{Memory: 1 << 20})
+	want := naive(R, S)
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	if st.Orphans != 1 {
+		t.Fatalf("Orphans = %d, want 1", st.Orphans)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	R := datagen.LARR(7, 1500).KPEs
+	S := datagen.LAST(8, 1500).KPEs
+	d := newDisk()
+	before := d.Stats()
+	_, st := run(t, R, S, Config{Disk: d, Memory: 8 << 10})
+	delta := d.Stats().Sub(before)
+	if st.TotalIO().CostUnits != delta.CostUnits {
+		t.Fatalf("phase I/O %.0f != disk delta %.0f", st.TotalIO().CostUnits, delta.CostUnits)
+	}
+	if st.PhaseIO[PhaseBuild].PagesWritten == 0 {
+		t.Fatal("build phase must write buckets")
+	}
+	if st.PhaseIO[PhaseJoin].PagesRead == 0 {
+		t.Fatal("join phase must read buckets")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	R := datagen.Uniform(9, 100, 0.05)
+	for _, pair := range [][2][]geom.KPE{{nil, R}, {R, nil}, {nil, nil}} {
+		got, _ := run(t, pair[0], pair[1], Config{Memory: 8 << 10})
+		if len(got) != 0 {
+			t.Fatal("empty input must give empty join")
+		}
+	}
+}
+
+func TestBucketExtentsCoverBuildSide(t *testing.T) {
+	R := datagen.LAST(10, 1000).KPEs
+	exts := BucketExtents(R, 8)
+	if len(exts) == 0 {
+		t.Fatal("no extents")
+	}
+	for _, k := range R {
+		covered := false
+		for _, e := range exts {
+			if e.ContainsRect(k.Rect) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("rect %v not covered by any bucket extent", k.Rect)
+		}
+	}
+	if BucketExtents(nil, 4) != nil || BucketExtents(R, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+}
+
+func TestOracleProperty(t *testing.T) {
+	f := func(seed int64, nMod uint8, memMod uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nMod)%120 + 5
+		mk := func() []geom.KPE {
+			ks := make([]geom.KPE, n)
+			for i := range ks {
+				cx, cy := rng.Float64(), rng.Float64()
+				e := rng.Float64()
+				ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(cx, cy, cx+e*e*0.3, cy+e*e*0.3).ClampUnit()}
+			}
+			return ks
+		}
+		R, S := mk(), mk()
+		var got []geom.Pair
+		_, err := Join(R, S, Config{
+			Disk:   newDisk(),
+			Memory: int64(memMod)%8000 + 1200,
+		}, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			return false
+		}
+		want := naive(R, S)
+		sortPairs(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package sssj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+)
+
+func newDisk() *diskio.Disk { return diskio.NewDisk(1024, 10, time.Millisecond) }
+
+func naive(rs, ss []geom.KPE) []geom.Pair {
+	var out []geom.Pair
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Rect.Intersects(s.Rect) {
+				out = append(out, geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func run(t *testing.T, R, S []geom.KPE, cfg Config) ([]geom.Pair, Stats) {
+	t.Helper()
+	if cfg.Disk == nil {
+		cfg.Disk = newDisk()
+	}
+	var got []geom.Pair
+	st, err := Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	return got, st
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Join(nil, nil, Config{Memory: 1}, nil); err == nil {
+		t.Error("nil disk must error")
+	}
+	if _, err := Join(nil, nil, Config{Disk: newDisk()}, nil); err == nil {
+		t.Error("zero memory must error")
+	}
+}
+
+func TestMatchesOracle(t *testing.T) {
+	R := datagen.LARR(1, 1200).KPEs
+	S := datagen.LAST(2, 1200).KPEs
+	want := naive(R, S)
+	for _, alg := range []sweep.Kind{sweep.ListKind, sweep.TrieKind, ""} {
+		got, st := run(t, R, S, Config{Memory: 16 << 10, Algorithm: alg})
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("alg=%q: %d pairs, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("alg=%q: pair %d mismatch", alg, i)
+			}
+		}
+		if st.Results != int64(len(want)) {
+			t.Fatalf("Results = %d", st.Results)
+		}
+	}
+}
+
+func TestNoDuplicatesEver(t *testing.T) {
+	R := datagen.LARR(3, 1500).KPEs
+	got, _ := run(t, R, R, Config{Memory: 8 << 10})
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate %v — SSSJ never replicates", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSweepStatusStaysSmall(t *testing.T) {
+	// The defining property: only rectangles stabbed by the sweep line
+	// are resident, a tiny fraction of the input for line-segment data.
+	R := datagen.LAST(4, 5000).KPEs
+	S := datagen.LAST(5, 5000).KPEs
+	_, st := run(t, R, S, Config{Memory: 32 << 10})
+	if st.MaxResident <= 0 {
+		t.Fatal("MaxResident not tracked")
+	}
+	if st.MaxResident > (len(R)+len(S))/5 {
+		t.Fatalf("sweep status held %d of %d rectangles — not sweeping", st.MaxResident, len(R)+len(S))
+	}
+}
+
+func TestSortPhaseBlocksFirstResult(t *testing.T) {
+	// §1 / [Gra 93]: no result before both inputs are completely sorted.
+	R := datagen.LARR(6, 2000).KPEs
+	S := datagen.LAST(7, 2000).KPEs
+	_, st := run(t, R, S, Config{Memory: 8 << 10})
+	sortIO := st.PhaseIO[PhaseSort].CostUnits
+	if sortIO <= 0 {
+		t.Fatal("sort phase must do I/O")
+	}
+	if st.FirstResultIO < sortIO {
+		t.Fatalf("first result at %.0f units, before sorting finished at %.0f",
+			st.FirstResultIO, sortIO)
+	}
+}
+
+func TestExternalSortAtTinyMemory(t *testing.T) {
+	R := datagen.LARR(8, 3000).KPEs
+	_, st := run(t, R, R, Config{Memory: 4 << 10})
+	if st.SortRuns < 4 {
+		t.Fatalf("tiny memory must form several runs, got %d", st.SortRuns)
+	}
+	if st.MergePasses == 0 {
+		t.Fatal("tiny memory must merge externally")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	R := datagen.Uniform(9, 100, 0.05)
+	for _, pair := range [][2][]geom.KPE{{nil, R}, {R, nil}, {nil, nil}} {
+		got, _ := run(t, pair[0], pair[1], Config{Memory: 8 << 10})
+		if len(got) != 0 {
+			t.Fatal("empty input must give empty join")
+		}
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseSort.String() != "sort" || PhaseSweep.String() != "sweep" {
+		t.Fatal("phase names changed")
+	}
+	if Phase(9).String() == "" {
+		t.Fatal("unknown phase must format")
+	}
+}
+
+func TestOracleProperty(t *testing.T) {
+	f := func(seed int64, nMod uint8, memMod uint16, useTrie bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nMod)%120 + 5
+		mk := func() []geom.KPE {
+			ks := make([]geom.KPE, n)
+			for i := range ks {
+				cx, cy := rng.Float64(), rng.Float64()
+				e := rng.Float64()
+				ks[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(cx, cy, cx+e*e*0.3, cy+e*e*0.3).ClampUnit()}
+			}
+			return ks
+		}
+		R, S := mk(), mk()
+		alg := sweep.ListKind
+		if useTrie {
+			alg = sweep.TrieKind
+		}
+		var got []geom.Pair
+		_, err := Join(R, S, Config{
+			Disk:      newDisk(),
+			Memory:    int64(memMod)%8000 + 1200,
+			Algorithm: alg,
+		}, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			return false
+		}
+		want := naive(R, S)
+		sortPairs(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package sweep
+
+import "spatialjoin/internal/geom"
+
+// Status is a sweep-line status structure usable in streaming sweeps
+// (package sssj): rectangles enter in ascending order of their left
+// edges, and each probe lazily expires the rectangles the sweep line has
+// passed. The in-memory algorithms of this package are built from the
+// same structures.
+type Status interface {
+	// Insert adds a rectangle to the status.
+	Insert(k geom.KPE)
+	// Probe expires every stored rectangle whose right edge lies strictly
+	// left of probe's left edge, then reports each remaining rectangle
+	// whose y-range overlaps probe's.
+	Probe(probe geom.KPE, report func(geom.KPE))
+	// Len returns the number of resident rectangles (expired entries not
+	// yet removed by a probe still count — they still occupy memory).
+	Len() int
+}
+
+// NewStatus creates a sweep status of the given kind. ymin/ymax bound the
+// y-keys for the trie variant (pass 0 and 1 for the unit data space);
+// tests receives one increment per candidate test. The nested-loops kind
+// has no status structure and maps to the list.
+func NewStatus(kind Kind, ymin, ymax float64, tests *int64) Status {
+	if kind == TrieKind {
+		return newTrieStatus(ymin, ymax, 0, tests)
+	}
+	return &listStatus{tests: tests}
+}
+
+// listStatus keeps the resident rectangles in a plain slice, the
+// organization of the Plane Sweep Intersection-Test [BKS 93].
+type listStatus struct {
+	items []geom.KPE
+	tests *int64
+}
+
+// Insert implements Status.
+func (l *listStatus) Insert(k geom.KPE) { l.items = append(l.items, k) }
+
+// Len implements Status.
+func (l *listStatus) Len() int { return len(l.items) }
+
+// Probe implements Status.
+func (l *listStatus) Probe(probe geom.KPE, report func(geom.KPE)) {
+	x := probe.Rect.XL
+	w := 0
+	for i := range l.items {
+		if l.items[i].Rect.XH < x {
+			continue // expired
+		}
+		l.items[w] = l.items[i]
+		w++
+		*l.tests++
+		if l.items[i].Rect.IntersectsY(probe.Rect) {
+			report(l.items[i])
+		}
+	}
+	l.items = l.items[:w]
+}
+
+// trieStatus adapts intervalTrie to the Status interface.
+type trieStatus struct {
+	trie  *intervalTrie
+	count int
+}
+
+// newTrieStatus builds a trie status over y-extent [ymin, ymax]; depth 0
+// selects DefaultTrieDepth.
+func newTrieStatus(ymin, ymax float64, depth int, tests *int64) *trieStatus {
+	if depth <= 0 {
+		depth = DefaultTrieDepth
+	}
+	inv := 0.0
+	if ymax > ymin {
+		inv = float64(uint32(1)<<uint(depth)-1) / (ymax - ymin)
+	}
+	limit := float64(uint32(1)<<uint(depth) - 1)
+	scale := func(y float64) uint32 {
+		v := (y - ymin) * inv
+		if v <= 0 {
+			return 0
+		}
+		if v >= limit {
+			return uint32(limit)
+		}
+		return uint32(v)
+	}
+	return &trieStatus{trie: &intervalTrie{bits: depth, scale: scale, tests: tests}}
+}
+
+// Insert implements Status.
+func (t *trieStatus) Insert(k geom.KPE) {
+	t.trie.insert(k)
+	t.count++
+}
+
+// Len implements Status.
+func (t *trieStatus) Len() int { return t.count }
+
+// Probe implements Status.
+func (t *trieStatus) Probe(probe geom.KPE, report func(geom.KPE)) {
+	t.count -= t.trie.probe(probe, report)
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+// statusSweep joins two slices through the streaming Status interface
+// the way SSSJ does: merge by XL, probe the other side, insert into own.
+func statusSweep(kind Kind, rs, ss []geom.KPE) []geom.Pair {
+	rc := append([]geom.KPE(nil), rs...)
+	sc := append([]geom.KPE(nil), ss...)
+	sortByXL(rc)
+	sortByXL(sc)
+	var tests int64
+	stR := NewStatus(kind, 0, 1, &tests)
+	stS := NewStatus(kind, 0, 1, &tests)
+	var out []geom.Pair
+	i, j := 0, 0
+	for i < len(rc) || j < len(sc) {
+		if j >= len(sc) || (i < len(rc) && rc[i].Rect.XL <= sc[j].Rect.XL) {
+			r := rc[i]
+			i++
+			stS.Probe(r, func(s geom.KPE) { out = append(out, geom.Pair{R: r.ID, S: s.ID}) })
+			stR.Insert(r)
+		} else {
+			s := sc[j]
+			j++
+			stR.Probe(s, func(r geom.KPE) { out = append(out, geom.Pair{R: r.ID, S: s.ID}) })
+			stS.Insert(s)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func TestStatusSweepMatchesOracle(t *testing.T) {
+	rs := datagen.Uniform(1, 500, 0.04)
+	ss := datagen.Uniform(2, 500, 0.04)
+	want := naive(rs, ss)
+	for _, kind := range []Kind{ListKind, TrieKind, NestedLoopsKind} {
+		got := statusSweep(kind, rs, ss)
+		comparePairs(t, "status-"+string(kind), got, want)
+	}
+}
+
+func TestStatusLenTracksResidency(t *testing.T) {
+	var tests int64
+	for _, kind := range []Kind{ListKind, TrieKind} {
+		st := NewStatus(kind, 0, 1, &tests)
+		if st.Len() != 0 {
+			t.Fatalf("%s: fresh status not empty", kind)
+		}
+		// Three rectangles expiring at different x.
+		st.Insert(geom.KPE{ID: 1, Rect: geom.NewRect(0.0, 0.1, 0.2, 0.2)})
+		st.Insert(geom.KPE{ID: 2, Rect: geom.NewRect(0.0, 0.4, 0.5, 0.5)})
+		st.Insert(geom.KPE{ID: 3, Rect: geom.NewRect(0.0, 0.7, 0.9, 0.8)})
+		if st.Len() != 3 {
+			t.Fatalf("%s: Len = %d, want 3", kind, st.Len())
+		}
+		// A probe at x=0.6 must expire the first two (XH < 0.6) that it
+		// visits; the trie only visits overlapping nodes, so Len is an
+		// upper bound — but after a full-range probe it must be exact.
+		st.Probe(geom.KPE{ID: 9, Rect: geom.NewRect(0.6, 0.0, 0.6, 1.0)}, func(geom.KPE) {})
+		if st.Len() != 1 {
+			t.Fatalf("%s: Len after full-range probe = %d, want 1", kind, st.Len())
+		}
+	}
+}
+
+func TestStatusProbeReportsOnlyOverlaps(t *testing.T) {
+	var tests int64
+	for _, kind := range []Kind{ListKind, TrieKind} {
+		st := NewStatus(kind, 0, 1, &tests)
+		st.Insert(geom.KPE{ID: 1, Rect: geom.NewRect(0.0, 0.1, 1.0, 0.2)})
+		st.Insert(geom.KPE{ID: 2, Rect: geom.NewRect(0.0, 0.8, 1.0, 0.9)})
+		var hits []uint64
+		st.Probe(geom.KPE{ID: 9, Rect: geom.NewRect(0.5, 0.15, 0.6, 0.5)}, func(k geom.KPE) {
+			hits = append(hits, k.ID)
+		})
+		if len(hits) != 1 || hits[0] != 1 {
+			t.Fatalf("%s: hits = %v, want [1]", kind, hits)
+		}
+	}
+}
+
+func TestStatusEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nr, ns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomKPEs(rng, int(nr)%50+1)
+		ss := randomKPEs(rng, int(ns)%50+1)
+		want := naive(rs, ss)
+		for _, kind := range []Kind{ListKind, TrieKind} {
+			got := statusSweep(kind, rs, ss)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusNestedMapsToList(t *testing.T) {
+	var tests int64
+	if _, ok := NewStatus(NestedLoopsKind, 0, 1, &tests).(*listStatus); !ok {
+		t.Fatal("nested-loops kind must map to the list status")
+	}
+}
+
+// Guard against regressions in pair ordering: statusSweep's output must
+// be independent of which relation streams first on ties.
+func TestStatusSweepTieBreaking(t *testing.T) {
+	shared := geom.NewRect(0.5, 0.5, 0.6, 0.6)
+	rs := []geom.KPE{{ID: 1, Rect: shared}}
+	ss := []geom.KPE{{ID: 2, Rect: shared}}
+	got := statusSweep(ListKind, rs, ss)
+	if len(got) != 1 || got[0] != (geom.Pair{R: 1, S: 2}) {
+		t.Fatalf("tie pair = %v", got)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Less(got[j]) })
+}

@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+// Benchmarks of the internal join algorithms at partition-like sizes:
+// small partitions are PBSM's normal diet at small memory, large ones
+// appear when memory grows — the regime where the paper's trie sweep
+// overtakes the classic list (§3.2.2, Figures 4 and 5).
+
+func benchJoin(b *testing.B, alg Algorithm, n int) {
+	rs := datagen.Uniform(1, n, 0.01)
+	ss := datagen.Uniform(2, n, 0.01)
+	rc := make([]geom.KPE, n)
+	sc := make([]geom.KPE, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(rc, rs)
+		copy(sc, ss)
+		alg.Join(rc, sc, func(geom.KPE, geom.KPE) {})
+	}
+	b.ReportMetric(float64(alg.Tests())/float64(b.N), "tests/op")
+}
+
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		for _, kind := range []Kind{NestedLoopsKind, ListKind, TrieKind} {
+			if kind == NestedLoopsKind && n > 1000 {
+				continue // quadratic; no insight past this size
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				benchJoin(b, New(kind), n)
+			})
+		}
+	}
+}
+
+func BenchmarkTrieStatusInsertProbe(b *testing.B) {
+	ks := datagen.Uniform(3, 4096, 0.01)
+	var tests int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := newTrieStatus(0, 1, 0, &tests)
+		for _, k := range ks {
+			st.Probe(k, func(geom.KPE) {})
+			st.Insert(k)
+		}
+	}
+}
+
+func BenchmarkListStatusInsertProbe(b *testing.B) {
+	ks := datagen.Uniform(3, 4096, 0.01)
+	var tests int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &listStatus{tests: &tests}
+		for _, k := range ks {
+			st.Probe(k, func(geom.KPE) {})
+			st.Insert(k)
+		}
+	}
+}

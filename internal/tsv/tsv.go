@@ -1,0 +1,96 @@
+// Package tsv reads and writes relations of KPEs as tab-separated text
+// (`id xl yl xh yh` per line), the interchange format of the cmd tools:
+// sjdatagen -dump writes it, sjoin -rfile/-sfile read it, so external
+// datasets (real TIGER extracts, exports from other systems) can flow
+// through every join method.
+package tsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spatialjoin/internal/geom"
+)
+
+// Write emits one line per KPE with nine-digit coordinate precision.
+func Write(w io.Writer, ks []geom.KPE) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range ks {
+		if _, err := fmt.Fprintf(bw, "%d\t%.9f\t%.9f\t%.9f\t%.9f\n",
+			k.ID, k.Rect.XL, k.Rect.YL, k.Rect.XH, k.Rect.YH); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses KPE lines. Empty lines and lines starting with '#' are
+// skipped. Rectangles are validated; corners may come in any order.
+func Read(r io.Reader) ([]geom.KPE, error) {
+	var out []geom.KPE
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("tsv: line %d: want 5 fields (id xl yl xh yh), got %d", lineNo, len(fields))
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tsv: line %d: bad id %q: %v", lineNo, fields[0], err)
+		}
+		var c [4]float64
+		for i := 0; i < 4; i++ {
+			c[i], err = strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tsv: line %d: bad coordinate %q: %v", lineNo, fields[i+1], err)
+			}
+		}
+		rect := geom.NewRect(c[0], c[1], c[2], c[3])
+		if !rect.Valid() {
+			return nil, fmt.Errorf("tsv: line %d: invalid rectangle %v", lineNo, rect)
+		}
+		out = append(out, geom.KPE{ID: id, Rect: rect})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsv: %w", err)
+	}
+	return out, nil
+}
+
+// Normalize shifts and scales ks so that the union MBR fits the unit
+// data space [0,1]², the coordinate system every join method assumes.
+// It returns the transformed copy; empty input returns nil.
+func Normalize(ks []geom.KPE) []geom.KPE {
+	if len(ks) == 0 {
+		return nil
+	}
+	mbr := ks[0].Rect
+	for _, k := range ks[1:] {
+		mbr = mbr.Union(k.Rect)
+	}
+	w, h := mbr.Width(), mbr.Height()
+	scale := 1.0
+	if m := max(w, h); m > 0 {
+		scale = 1 / m
+	}
+	out := make([]geom.KPE, len(ks))
+	for i, k := range ks {
+		out[i] = geom.KPE{ID: k.ID, Rect: geom.Rect{
+			XL: (k.Rect.XL - mbr.XL) * scale,
+			YL: (k.Rect.YL - mbr.YL) * scale,
+			XH: (k.Rect.XH - mbr.XL) * scale,
+			YH: (k.Rect.YH - mbr.YL) * scale,
+		}}
+	}
+	return out
+}

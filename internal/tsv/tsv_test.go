@@ -1,0 +1,114 @@
+package tsv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ks := datagen.Uniform(1, 500, 0.05)
+	var buf bytes.Buffer
+	if err := Write(&buf, ks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("read %d, wrote %d", len(got), len(ks))
+	}
+	for i := range got {
+		if got[i].ID != ks[i].ID {
+			t.Fatalf("record %d: id %d != %d", i, got[i].ID, ks[i].ID)
+		}
+		// Nine decimal digits survive the round trip to ~1e-9.
+		if math.Abs(got[i].Rect.XL-ks[i].Rect.XL) > 1e-8 ||
+			math.Abs(got[i].Rect.YH-ks[i].Rect.YH) > 1e-8 {
+			t.Fatalf("record %d: coordinates drifted: %v vs %v", i, got[i].Rect, ks[i].Rect)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+
+1	0.1	0.1	0.2	0.2
+# another
+2	0.3	0.3	0.4	0.4
+`
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadNormalizesCornerOrder(t *testing.T) {
+	got, err := Read(strings.NewReader("7\t0.9\t0.8\t0.1\t0.2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.NewRect(0.1, 0.2, 0.9, 0.8)
+	if got[0].Rect != want {
+		t.Fatalf("rect = %v, want %v", got[0].Rect, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1\t0.1\t0.1\t0.2\n",      // four fields
+		"x\t0.1\t0.1\t0.2\t0.2\n", // bad id
+		"1\t0.1\tfoo\t0.2\t0.2\n", // bad coordinate
+		"1\tNaN\t0.1\t0.2\t0.2\n", // invalid rect
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ks := []geom.KPE{
+		{ID: 1, Rect: geom.NewRect(100, 200, 110, 210)},
+		{ID: 2, Rect: geom.NewRect(150, 250, 160, 260)},
+	}
+	norm := Normalize(ks)
+	mbr := norm[0].Rect.Union(norm[1].Rect)
+	if mbr.XL < 0 || mbr.YL < 0 || mbr.XH > 1 || mbr.YH > 1 {
+		t.Fatalf("normalized MBR %v escapes unit square", mbr)
+	}
+	if mbr.XL != 0 || mbr.YL != 0 {
+		t.Fatalf("normalized data must start at origin, got %v", mbr)
+	}
+	// Aspect ratio preserved: both axes scaled by the same factor.
+	origW := 60.0
+	origH := 60.0
+	if math.Abs(mbr.Width()/mbr.Height()-origW/origH) > 1e-12 {
+		t.Fatalf("aspect ratio changed: %v", mbr)
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("empty input must return nil")
+	}
+	// IDs survive.
+	if norm[0].ID != 1 || norm[1].ID != 2 {
+		t.Fatal("IDs changed")
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	// A single point dataset must not divide by zero.
+	ks := []geom.KPE{{ID: 1, Rect: geom.NewRect(5, 5, 5, 5)}}
+	norm := Normalize(ks)
+	if !norm[0].Rect.Valid() {
+		t.Fatalf("degenerate normalize produced %v", norm[0].Rect)
+	}
+}
