@@ -1,0 +1,38 @@
+#!/bin/sh
+# ci.sh — the checks every change must pass, in the order a failure is
+# cheapest to diagnose. Run from the repository root. Exits non-zero on
+# the first failure.
+#
+#   ./ci.sh          full gate (vet, build, race tests, chaos suite)
+#   ./ci.sh -short   skip the race run and the fault-injection sweeps
+set -eu
+
+short=${1:-}
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+if [ "$short" = "-short" ]; then
+    echo "== go test -short ./... =="
+    go test -short ./...
+    echo "ci.sh: short gate passed"
+    exit 0
+fi
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== chaos suite (fault-injection sweeps) =="
+go test -race -count=1 ./internal/chaos/
+
+echo "ci.sh: all checks passed"

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sort"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+)
+
+// FaultSweepRow aggregates one (fault regime, method) cell: how many of
+// the seeded schedules completed with the exact fault-free result set,
+// how many of those self-healed a corrupt partition, how many retries the
+// framed layer absorbed, and how many runs failed cleanly. WrongAnswers
+// must always be zero — a non-zero cell is a correctness bug, not a
+// robustness limitation.
+type FaultSweepRow struct {
+	Regime       string
+	Method       string
+	Runs         int
+	Completed    int
+	Retries      int64
+	Healed       int
+	CleanFailed  int
+	WrongAnswers int
+}
+
+// faultRegime is a named fault-rate mix applied per seeded schedule.
+type faultRegime struct {
+	name string
+	cfg  diskio.FaultConfig // Seed is filled per run
+}
+
+// RunFaultSweep measures end-to-end resilience: every method under every
+// fault regime for `runs` seeded schedules (≤ 0 selects 25), each run
+// compared record-for-record against a fault-free baseline. It shows the
+// paper's join methods extended with the integrity layer: transient
+// faults are retried away, silent corruption is detected by the page
+// checksums and either healed (PBSM re-derives the partition pair) or
+// reported as a structured error — never returned as a wrong answer.
+func RunFaultSweep(s *Suite, runs int) ([]FaultSweepRow, *Table) {
+	if runs <= 0 {
+		runs = 25
+	}
+	const n = 8000
+	R := datagen.Uniform(s.Seed+21, n, 0.003)
+	S := datagen.Uniform(s.Seed+22, n, 0.003)
+	mem := MemFrac(R, S, LAMemFrac)
+
+	regimes := []faultRegime{
+		{"transient 5%", diskio.FaultConfig{TransientReadRate: 0.05, TransientWriteRate: 0.05}},
+		{"transient 15%", diskio.FaultConfig{TransientReadRate: 0.15, TransientWriteRate: 0.15}},
+		{"corruption 1%", diskio.FaultConfig{TornWriteRate: 0.01, BitFlipRate: 0.01}},
+		{"mixed", diskio.FaultConfig{TransientReadRate: 0.05, TransientWriteRate: 0.05,
+			TornWriteRate: 0.005, BitFlipRate: 0.005, LatencyRate: 0.05}},
+	}
+	methods := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PBSM(RPM)", core.Config{Method: core.PBSM}},
+		{"PBSM(sort)", core.Config{Method: core.PBSM, PBSMDup: pbsm.DupSort}},
+		{"S3J", core.Config{Method: core.S3J}},
+		{"SSSJ", core.Config{Method: core.SSSJ}},
+		{"SHJ", core.Config{Method: core.SHJ}},
+	}
+
+	run := func(cfg core.Config, fp *diskio.FaultPolicy) ([]geom.Pair, core.Result, error) {
+		d := diskio.NewDisk(0, 0, s.transfer())
+		if fp != nil {
+			d.SetFaultPolicy(fp)
+		}
+		cfg.Memory = mem
+		cfg.Disk = d
+		pairs, res, err := core.Collect(R, S, cfg)
+		if err != nil {
+			return nil, res, err
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+		return pairs, res, nil
+	}
+
+	var rows []FaultSweepRow
+	for _, m := range methods {
+		want, _, err := run(m.cfg, nil)
+		if err != nil {
+			panic(err) // fault-free harness runs never fail
+		}
+		for _, reg := range regimes {
+			row := FaultSweepRow{Regime: reg.name, Method: m.name, Runs: runs}
+			for seed := int64(1); seed <= int64(runs); seed++ {
+				fc := reg.cfg
+				fc.Seed = seed
+				got, res, err := run(m.cfg, diskio.NewFaultPolicy(fc))
+				if err != nil {
+					row.CleanFailed++
+					continue
+				}
+				if !pairsEqual(got, want) {
+					row.WrongAnswers++
+					continue
+				}
+				row.Completed++
+				row.Retries += res.IO.Retries
+				if res.PBSMStats != nil {
+					row.Healed += res.PBSMStats.Healed
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	t := &Table{
+		Title:  "Fault-injection sweep: seeded schedules per (regime, method) cell (beyond the paper)",
+		Note:   "completed runs reproduce the fault-free result set exactly; wrong answers must be 0",
+		Header: []string{"regime", "method", "runs", "completed", "retries", "healed", "clean fail", "wrong"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Regime, r.Method, fint(int64(r.Runs)), fint(int64(r.Completed)),
+			fint(r.Retries), fint(int64(r.Healed)), fint(int64(r.CleanFailed)),
+			fint(int64(r.WrongAnswers)))
+	}
+	return rows, t
+}
+
+func pairsEqual(a, b []geom.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestFaultSweepSmall runs a reduced sweep and pins the harness
+// invariants: no wrong answers anywhere, transient-only regimes always
+// complete, and the table has one row per (regime, method) cell.
+func TestFaultSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is not short")
+	}
+	s := NewSuite(1, 0.15, 1)
+	rows, tab := RunFaultSweep(s, 5)
+	if len(rows) != 4*5 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	if len(tab.Rows) != len(rows) {
+		t.Fatalf("table rows = %d, want %d", len(tab.Rows), len(rows))
+	}
+	for _, r := range rows {
+		if r.WrongAnswers != 0 {
+			t.Errorf("%s/%s: %d WRONG ANSWERS under faults", r.Regime, r.Method, r.WrongAnswers)
+		}
+		if r.Completed+r.CleanFailed != r.Runs {
+			t.Errorf("%s/%s: %d+%d runs accounted, want %d",
+				r.Regime, r.Method, r.Completed, r.CleanFailed, r.Runs)
+		}
+		if r.Regime == "transient 5%" || r.Regime == "transient 15%" {
+			if r.CleanFailed != 0 {
+				t.Errorf("%s/%s: transient-only schedules must all complete, %d failed",
+					r.Regime, r.Method, r.CleanFailed)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"spatialjoin/internal/diskio"
@@ -146,6 +147,12 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	if cfg.Memory <= 0 {
 		return Result{}, fmt.Errorf("core: Config.Memory must be positive, got %d", cfg.Memory)
 	}
+	if err := validateInput("R", R); err != nil {
+		return Result{}, err
+	}
+	if err := validateInput("S", S); err != nil {
+		return Result{}, err
+	}
 	disk := cfg.disk()
 	before := disk.Stats()
 	res := Result{Method: cfg.method()}
@@ -221,6 +228,30 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	return res, nil
 }
 
+// validateInput rejects geometry no join method can process correctly:
+// non-finite coordinates break every comparison-based sweep and the
+// grid-cell arithmetic (NaN compares false with everything, so such a
+// rectangle silently joins nothing or everything depending on the
+// method), and inverted rectangles would make replication and the
+// reference-point test disagree about coverage. Rejecting them up front
+// turns a silent wrong answer into a descriptive error.
+func validateInput(rel string, ks []geom.KPE) error {
+	for i := range ks {
+		r := ks[i].Rect
+		for _, v := range [...]float64{r.XL, r.YL, r.XH, r.YH} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: invalid input %s[%d] (id %d): rectangle [%g,%g]x[%g,%g] has a non-finite coordinate",
+					rel, i, ks[i].ID, r.XL, r.XH, r.YL, r.YH)
+			}
+		}
+		if r.XL > r.XH || r.YL > r.YH {
+			return fmt.Errorf("core: invalid input %s[%d] (id %d): inverted rectangle [%g,%g]x[%g,%g] (low edge beyond high edge)",
+				rel, i, ks[i].ID, r.XL, r.XH, r.YL, r.YH)
+		}
+	}
+	return nil
+}
+
 // Collect runs Join and gathers all result pairs in memory, convenient
 // for small joins and tests.
 func Collect(R, S []geom.KPE, cfg Config) ([]geom.Pair, Result, error) {
@@ -243,8 +274,16 @@ type Iterator struct {
 	fin    chan struct{}
 }
 
+// joinFn is the join entry the producer goroutine runs; a package
+// variable so tests can substitute a misbehaving join.
+var joinFn = Join
+
 // Open starts the join and returns an iterator over its results. Close
 // must be called to release the producing goroutine.
+//
+// The producer goroutine is panic-safe: a panic anywhere inside the join
+// is recovered and surfaced through Err instead of crashing the process,
+// and the iterator still terminates cleanly.
 func Open(R, S []geom.KPE, cfg Config) *Iterator {
 	it := &Iterator{
 		pairs: make(chan geom.Pair, 64),
@@ -254,7 +293,14 @@ func Open(R, S []geom.KPE, cfg Config) *Iterator {
 	go func() {
 		defer close(it.fin)
 		defer close(it.pairs)
-		res, err := Join(R, S, cfg, func(p geom.Pair) {
+		// Registered last so it runs first: err must be set before the
+		// channel closes wake up the consumer.
+		defer func() {
+			if r := recover(); r != nil {
+				it.err = fmt.Errorf("core: join panicked: %v", r)
+			}
+		}()
+		res, err := joinFn(R, S, cfg, func(p geom.Pair) {
 			select {
 			case it.pairs <- p:
 			case <-it.done:

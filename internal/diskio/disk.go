@@ -18,7 +18,9 @@
 package diskio
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -43,6 +45,7 @@ type Disk struct {
 	stats Stats
 	files map[string]*File
 	seq   int
+	fp    *FaultPolicy
 }
 
 // Stats aggregates the I/O activity charged to a Disk.
@@ -52,6 +55,7 @@ type Stats struct {
 	PagesRead     int64   // total pages transferred in
 	PagesWritten  int64   // total pages transferred out
 	CostUnits     float64 // sum of PT + n over all requests
+	Retries       int64   // request retries after transient faults (recfile layer)
 }
 
 // Add accumulates other into s.
@@ -61,6 +65,7 @@ func (s *Stats) Add(other Stats) {
 	s.PagesRead += other.PagesRead
 	s.PagesWritten += other.PagesWritten
 	s.CostUnits += other.CostUnits
+	s.Retries += other.Retries
 }
 
 // Sub returns s minus other, useful for per-phase deltas.
@@ -71,6 +76,7 @@ func (s Stats) Sub(other Stats) Stats {
 		PagesRead:     s.PagesRead - other.PagesRead,
 		PagesWritten:  s.PagesWritten - other.PagesWritten,
 		CostUnits:     s.CostUnits - other.CostUnits,
+		Retries:       s.Retries - other.Retries,
 	}
 }
 
@@ -97,6 +103,30 @@ func NewDisk(pageSize int, pt float64, transfer time.Duration) *Disk {
 
 // PageSize returns the page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetFaultPolicy installs (or, with nil, removes) a fault-injection
+// policy consulted on every subsequent read and write request.
+func (d *Disk) SetFaultPolicy(fp *FaultPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fp = fp
+}
+
+// FaultPolicy returns the installed policy, or nil.
+func (d *Disk) FaultPolicy() *FaultPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fp
+}
+
+// NoteRetry records one request retry after a transient fault. The
+// record layers (package recfile) call it so that retry counts surface
+// in the per-join Stats deltas.
+func (d *Disk) NoteRetry() {
+	d.mu.Lock()
+	d.stats.Retries++
+	d.mu.Unlock()
+}
 
 // PT returns the positioning-to-transfer ratio of the cost model.
 func (d *Disk) PT() float64 { return d.pt }
@@ -184,6 +214,14 @@ func (d *Disk) chargeWrite(bytes int) {
 	d.mu.Unlock()
 }
 
+// chargeLatencySpike bills an extra positioning, the cost of an injected
+// latency fault (a seek gone long).
+func (d *Disk) chargeLatencySpike() {
+	d.mu.Lock()
+	d.stats.CostUnits += d.pt
+	d.mu.Unlock()
+}
+
 // File is a simulated on-disk file: a byte sequence plus cost accounting.
 // Use NewWriter and NewReader for buffered sequential access, or ReadAt
 // for positioned reads (each ReadAt is one positioned request).
@@ -196,22 +234,37 @@ type File struct {
 // Name returns the file's name on its Disk.
 func (f *File) Name() string { return f.name }
 
+// Disk returns the device the file lives on.
+func (f *File) Disk() *Disk { return f.d }
+
 // Len returns the file length in bytes.
 func (f *File) Len() int { return len(f.data) }
 
 // Pages returns the file length in pages (rounded up).
 func (f *File) Pages() int64 { return f.d.pages(len(f.data)) }
 
+// ErrNegativeOffset is returned by ReadAt for offsets below zero, which
+// indicate a caller bug rather than an end-of-file condition.
+var ErrNegativeOffset = errors.New("diskio: negative read offset")
+
 // ReadAt copies len(p) bytes starting at off into p and charges one
-// positioned read request. It returns the number of bytes copied, which
-// is less than len(p) only at end of file.
-func (f *File) ReadAt(p []byte, off int64) int {
-	if off < 0 || off >= int64(len(f.data)) {
-		return 0
+// positioned read request. It follows the io.ReaderAt contract: a
+// negative offset returns ErrNegativeOffset, an offset at or past end of
+// file returns (0, io.EOF), and a read cut short by end of file returns
+// the bytes copied together with io.EOF.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, ErrNegativeOffset
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
 	}
 	n := copy(p, f.data[off:])
 	f.d.chargeRead(n)
-	return n
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // Bytes exposes the raw contents for zero-cost inspection in tests.
@@ -234,31 +287,63 @@ func (f *File) NewWriter(bufPages int) *Writer {
 	return &Writer{f: f, buf: make([]byte, bufPages*f.d.pageSize)}
 }
 
-// Write appends p, flushing as buffers fill. It always succeeds.
+// Write appends p, flushing as buffers fill. It returns the number of
+// bytes consumed into the buffer; on a transient flush fault the
+// consumed bytes stay buffered, so calling Write again with the
+// remaining slice (or Flush) retries the same device request.
 func (w *Writer) Write(p []byte) (int, error) {
-	total := len(p)
+	total := 0
 	for len(p) > 0 {
 		n := copy(w.buf[w.n:], p)
 		w.n += n
+		total += n
 		p = p[n:]
 		if w.n == len(w.buf) {
-			w.flush()
+			if err := w.flush(); err != nil {
+				return total, err
+			}
 		}
 	}
 	return total, nil
 }
 
-func (w *Writer) flush() {
+func (w *Writer) flush() error {
 	if w.n == 0 {
-		return
+		return nil
+	}
+	d := w.f.d
+	if fp := d.FaultPolicy(); fp != nil {
+		act, arg := fp.onWrite(w.n)
+		switch act {
+		case writeTransient:
+			// Nothing persisted; the buffer is intact for a retry.
+			return &FaultError{Op: "write", File: w.f.name, Transient: true}
+		case writeTorn:
+			// Persist a prefix and report success — the silent partial
+			// write the checksummed frame format exists to catch.
+			w.f.data = append(w.f.data, w.buf[:arg]...)
+			d.chargeWrite(arg)
+			w.n = 0
+			return nil
+		case writeFlip:
+			start := len(w.f.data)
+			w.f.data = append(w.f.data, w.buf[:w.n]...)
+			w.f.data[start+arg/8] ^= 1 << (arg % 8)
+			d.chargeWrite(w.n)
+			w.n = 0
+			return nil
+		case writeLatency:
+			d.chargeLatencySpike()
+		}
 	}
 	w.f.data = append(w.f.data, w.buf[:w.n]...)
-	w.f.d.chargeWrite(w.n)
+	d.chargeWrite(w.n)
 	w.n = 0
+	return nil
 }
 
 // Flush forces any buffered bytes to disk as one request.
-func (w *Writer) Flush() { w.flush() }
+func (w *Writer) Flush() error { return w.flush() }
 
 // Reader scans a File (or a byte range of it) sequentially, fetching
 // bufPages pages per positioned read request.
@@ -288,12 +373,18 @@ func (f *File) NewRangeReader(bufPages int, lo, hi int64) *Reader {
 	return &Reader{f: f, buf: make([]byte, bufPages*f.d.pageSize), lo: lo, hi: hi}
 }
 
-// Read fills p with the next bytes of the range; it returns 0 at the end.
+// Read fills p with the next bytes of the range; it returns 0 at the
+// end. A transient fault error leaves the unread range untouched, so the
+// same Read can be retried.
 func (r *Reader) Read(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		if r.pos == r.end {
-			if !r.fill() {
+			ok, err := r.fill()
+			if err != nil {
+				return total, err
+			}
+			if !ok {
 				break
 			}
 		}
@@ -305,15 +396,28 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return total, nil
 }
 
-// ReadFull fills p entirely or reports false at end of range.
-func (r *Reader) ReadFull(p []byte) bool {
-	n, _ := r.Read(p)
-	return n == len(p)
+// ReadFull fills p entirely; ok is false at a clean end of range. A
+// short read (range ends mid-record) also reports ok == false with a nil
+// error — record framing above decides whether that is corruption.
+func (r *Reader) ReadFull(p []byte) (bool, error) {
+	n, err := r.Read(p)
+	if err != nil {
+		return false, err
+	}
+	return n == len(p), nil
 }
 
-func (r *Reader) fill() bool {
+func (r *Reader) fill() (bool, error) {
 	if r.lo >= r.hi {
-		return false
+		return false, nil
+	}
+	if fp := r.f.d.FaultPolicy(); fp != nil {
+		switch fp.onRead() {
+		case readTransient:
+			return false, &FaultError{Op: "read", File: r.f.name, Transient: true}
+		case readLatency:
+			r.f.d.chargeLatencySpike()
+		}
 	}
 	want := int64(len(r.buf))
 	if want > r.hi-r.lo {
@@ -323,7 +427,7 @@ func (r *Reader) fill() bool {
 	r.f.d.chargeRead(n)
 	r.lo += int64(n)
 	r.pos, r.end = 0, n
-	return n > 0
+	return n > 0, nil
 }
 
 // Remaining returns how many bytes are left to read (buffered included).

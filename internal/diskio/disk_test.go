@@ -2,6 +2,8 @@ package diskio
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -34,14 +36,15 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	r := f.NewReader(2)
 	got := make([]byte, len(payload))
 	for i := 0; i < 100; i++ {
-		if !r.ReadFull(got) {
-			t.Fatalf("short read at record %d", i)
+		ok, err := r.ReadFull(got)
+		if err != nil || !ok {
+			t.Fatalf("short read at record %d (ok=%v err=%v)", i, ok, err)
 		}
 		if !bytes.Equal(got, payload) {
 			t.Fatalf("record %d corrupted", i)
 		}
 	}
-	if r.ReadFull(got) {
+	if ok, _ := r.ReadFull(got); ok {
 		t.Fatal("read past end must fail")
 	}
 }
@@ -115,18 +118,42 @@ func TestReadAtCharges(t *testing.T) {
 	w.Flush()
 	d.ResetStats()
 	buf := make([]byte, 250)
-	if n := f.ReadAt(buf, 100); n != 250 {
-		t.Fatalf("ReadAt = %d", n)
+	if n, err := f.ReadAt(buf, 100); n != 250 || err != nil {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
 	}
 	st := d.Stats()
 	if st.ReadRequests != 1 || st.PagesRead != 3 { // 250 bytes = 3 pages of 100
 		t.Fatalf("stats = %+v", st)
 	}
-	if n := f.ReadAt(buf, int64(f.Len())); n != 0 {
-		t.Fatal("ReadAt past EOF must return 0")
+}
+
+// TestReadAtEdges pins the io.ReaderAt contract at the two boundary
+// conditions that used to be conflated: an offset at or past EOF is a
+// normal end-of-data condition (io.EOF), while a negative offset is a
+// caller bug and gets its own error.
+func TestReadAtEdges(t *testing.T) {
+	d := NewDisk(100, 20, time.Millisecond)
+	f := d.Create("a")
+	w := f.NewWriter(4)
+	w.Write(make([]byte, 1000))
+	w.Flush()
+
+	buf := make([]byte, 250)
+	if n, err := f.ReadAt(buf, int64(f.Len())); n != 0 || err != io.EOF {
+		t.Fatalf("ReadAt at EOF = (%d, %v), want (0, io.EOF)", n, err)
 	}
-	if n := f.ReadAt(buf, -1); n != 0 {
-		t.Fatal("ReadAt negative offset must return 0")
+	if n, err := f.ReadAt(buf, int64(f.Len())+1000); n != 0 || err != io.EOF {
+		t.Fatalf("ReadAt past EOF = (%d, %v), want (0, io.EOF)", n, err)
+	}
+	if n, err := f.ReadAt(buf, -1); n != 0 || !errors.Is(err, ErrNegativeOffset) {
+		t.Fatalf("ReadAt(-1) = (%d, %v), want (0, ErrNegativeOffset)", n, err)
+	}
+	if errors.Is(io.EOF, ErrNegativeOffset) || errors.Is(ErrNegativeOffset, io.EOF) {
+		t.Fatal("the two edge errors must be distinguishable")
+	}
+	// A short read at the tail returns the data it could get plus io.EOF.
+	if n, err := f.ReadAt(buf, int64(f.Len())-100); n != 100 || err != io.EOF {
+		t.Fatalf("short tail ReadAt = (%d, %v), want (100, io.EOF)", n, err)
 	}
 }
 
@@ -146,8 +173,8 @@ func TestRangeReader(t *testing.T) {
 		t.Fatalf("Remaining = %d", r.Remaining())
 	}
 	buf := make([]byte, 200)
-	if !r.ReadFull(buf) {
-		t.Fatal("short range read")
+	if ok, err := r.ReadFull(buf); !ok || err != nil {
+		t.Fatalf("short range read (ok=%v err=%v)", ok, err)
 	}
 	if !bytes.Equal(buf, data[100:300]) {
 		t.Fatal("range contents wrong")
@@ -220,8 +247,10 @@ func TestWriterReaderProperty(t *testing.T) {
 		w.Flush()
 		got := make([]byte, len(all))
 		r := file.NewReader(int(bufR%7) + 1)
-		if len(all) > 0 && !r.ReadFull(got) {
-			return false
+		if len(all) > 0 {
+			if ok, err := r.ReadFull(got); !ok || err != nil {
+				return false
+			}
 		}
 		return bytes.Equal(got, all)
 	}
@@ -253,7 +282,9 @@ func TestConcurrentReadsAccountCorrectly(t *testing.T) {
 			defer wg.Done()
 			r := d.Open(name).NewReader(2) // 8 requests of 2 pages each
 			buf := make([]byte, pagesPer*100)
-			r.ReadFull(buf)
+			if ok, err := r.ReadFull(buf); !ok || err != nil {
+				t.Errorf("concurrent read failed (ok=%v err=%v)", ok, err)
+			}
 		}(names[i])
 	}
 	wg.Wait()

@@ -1,0 +1,204 @@
+// Fault injection for the simulated disk. A FaultPolicy is a seeded,
+// deterministic source of storage faults that a Disk consults on every
+// buffered read and write request:
+//
+//   - transient read/write errors — the request fails with a retryable
+//     FaultError; the device state is untouched, so re-issuing the same
+//     request can succeed. Bursts are bounded (MaxBurst), so a bounded
+//     retry loop always clears them.
+//   - torn writes — only a prefix of the request's bytes is persisted,
+//     and the request *reports success*: the classic silent partial
+//     write. Detection is the job of the checksummed frame format of
+//     package recfile.
+//   - bit flips — the request persists all bytes but one bit is
+//     inverted, again silently. Detected by per-frame CRCs.
+//   - latency spikes — the request succeeds but is charged an extra
+//     positioning, modelling a seek gone long.
+//
+// Determinism: with a single goroutine issuing I/O, a given seed yields
+// the same fault schedule on every run. Concurrent readers serialize on
+// the policy's mutex, so the fault *set* stays seed-determined even when
+// interleaving does not.
+package diskio
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultError is the error returned for injected transient faults and for
+// invalid positioned-read requests.
+type FaultError struct {
+	Op        string // "read" or "write"
+	File      string // simulated file name
+	Transient bool   // true when a retry of the same request may succeed
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("diskio: %s %s fault on %s", kind, e.Op, e.File)
+}
+
+// FileName reports the file the fault hit (used by joinerr.Wrap).
+func (e *FaultError) FileName() string { return e.File }
+
+// IsTransient reports whether err is (or wraps) a transient fault, i.e.
+// whether re-issuing the failed request is worthwhile.
+func IsTransient(err error) bool {
+	for err != nil {
+		if fe, ok := err.(*FaultError); ok {
+			return fe.Transient
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// FaultConfig parameterizes a FaultPolicy. All rates are probabilities
+// in [0, 1] evaluated independently per request.
+type FaultConfig struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// TransientReadRate / TransientWriteRate inject retryable errors.
+	TransientReadRate  float64
+	TransientWriteRate float64
+	// TornWriteRate silently persists only a prefix of a write request.
+	TornWriteRate float64
+	// BitFlipRate silently inverts one bit of a write request.
+	BitFlipRate float64
+	// LatencyRate charges an extra positioning on a request.
+	LatencyRate float64
+	// MaxBurst bounds consecutive transient faults so that a bounded
+	// retry loop always eventually succeeds. Values < 1 select 2.
+	MaxBurst int
+}
+
+// FaultStats counts the faults a policy injected.
+type FaultStats struct {
+	TransientReads  int64
+	TransientWrites int64
+	TornWrites      int64
+	BitFlips        int64
+	LatencySpikes   int64
+}
+
+// Total sums all injected faults.
+func (s FaultStats) Total() int64 {
+	return s.TransientReads + s.TransientWrites + s.TornWrites + s.BitFlips + s.LatencySpikes
+}
+
+// FaultPolicy decides, per I/O request, whether to inject a fault. Safe
+// for concurrent use.
+type FaultPolicy struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    FaultConfig
+	burst  int // consecutive transient faults injected
+	stats  FaultStats
+	frozen bool
+}
+
+// NewFaultPolicy creates a policy with the given configuration.
+func NewFaultPolicy(cfg FaultConfig) *FaultPolicy {
+	if cfg.MaxBurst < 1 {
+		cfg.MaxBurst = 2
+	}
+	return &FaultPolicy{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *FaultPolicy) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Disable stops all further injection (used by tests to re-read state
+// cleanly after a fault schedule ran).
+func (p *FaultPolicy) Disable() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frozen = true
+}
+
+// writeAction is the decision for one write request.
+type writeAction int
+
+const (
+	writeOK writeAction = iota
+	writeTransient
+	writeTorn
+	writeFlip
+	writeLatency
+)
+
+// onWrite decides the fate of a write request of n bytes. For writeTorn
+// it also returns how many bytes to keep (1 ≤ keep < n when n > 1).
+func (p *FaultPolicy) onWrite(n int) (writeAction, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen {
+		return writeOK, 0
+	}
+	r := p.rng.Float64()
+	if r < p.cfg.TransientWriteRate && p.burst < p.cfg.MaxBurst {
+		p.burst++
+		p.stats.TransientWrites++
+		return writeTransient, 0
+	}
+	p.burst = 0
+	r = p.rng.Float64()
+	if r < p.cfg.TornWriteRate && n > 1 {
+		p.stats.TornWrites++
+		keep := 1 + p.rng.Intn(n-1)
+		return writeTorn, keep
+	}
+	if r < p.cfg.TornWriteRate+p.cfg.BitFlipRate {
+		p.stats.BitFlips++
+		return writeFlip, p.rng.Intn(n * 8)
+	}
+	if r < p.cfg.TornWriteRate+p.cfg.BitFlipRate+p.cfg.LatencyRate {
+		p.stats.LatencySpikes++
+		return writeLatency, 0
+	}
+	return writeOK, 0
+}
+
+// readAction is the decision for one read request.
+type readAction int
+
+const (
+	readOK readAction = iota
+	readTransient
+	readLatency
+)
+
+// onRead decides the fate of a read request.
+func (p *FaultPolicy) onRead() readAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen {
+		return readOK
+	}
+	r := p.rng.Float64()
+	if r < p.cfg.TransientReadRate && p.burst < p.cfg.MaxBurst {
+		p.burst++
+		p.stats.TransientReads++
+		return readTransient
+	}
+	p.burst = 0
+	if r < p.cfg.TransientReadRate+p.cfg.LatencyRate {
+		p.stats.LatencySpikes++
+		return readLatency
+	}
+	return readOK
+}

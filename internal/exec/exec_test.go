@@ -1,13 +1,17 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
+	"time"
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/s3j"
 )
 
@@ -288,4 +292,34 @@ func TestErrorsPropagateThroughTree(t *testing.T) {
 	if err := join.Open(); err == nil {
 		t.Fatal("join must propagate child errors from Open")
 	}
+}
+
+// TestJoinFaultSurfacesAsStructuredError: a storage fault inside the
+// join must reach the operator tree's consumer as a JoinError naming the
+// method and phase — not as a wrong or truncated result reported as
+// success.
+func TestJoinFaultSurfacesAsStructuredError(t *testing.T) {
+	R := datagen.Uniform(31, 4000, 0.004)
+	S := datagen.Uniform(32, 4000, 0.004)
+	for seed := int64(1); seed <= 30; seed++ {
+		d := diskio.NewDisk(0, 0, time.Microsecond)
+		d.SetFaultPolicy(diskio.NewFaultPolicy(diskio.FaultConfig{
+			Seed: seed, TornWriteRate: 0.02, BitFlipRate: 0.02,
+		}))
+		join := NewSpatialJoin(NewScan(R), NewScan(S),
+			core.Config{Method: core.S3J, Memory: 64 << 10, Disk: d})
+		_, err := Collect(NewLimit(join, 1<<30))
+		if err == nil {
+			continue // this schedule's corruption landed harmlessly or not at all
+		}
+		var je *joinerr.JoinError
+		if !errors.As(err, &je) {
+			t.Fatalf("seed %d: pipeline surfaced unstructured error %T: %v", seed, err, err)
+		}
+		if je.Method == "" || je.Phase == "" {
+			t.Fatalf("seed %d: JoinError missing attribution: %+v", seed, je)
+		}
+		return // one structured failure proves the path
+	}
+	t.Fatal("no schedule produced a join failure; test is vacuous")
 }

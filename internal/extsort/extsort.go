@@ -1,5 +1,6 @@
 // Package extsort implements external merge sort over files of fixed-size
-// records stored on the simulated disk of package diskio.
+// records stored on the simulated disk of package diskio, in the
+// checksummed frame format of package recfile.
 //
 // Two phases use it: the sorting phase of S³J (level files ordered by
 // locational code, §4.2 of the paper) and the original duplicate-removal
@@ -7,6 +8,11 @@
 // the input once and writes sorted runs once; when more than one run is
 // produced, multiway merge passes follow, each reading and writing the
 // data once — exactly the I/O behaviour §5.1 of the paper accounts for.
+//
+// All I/O errors — injected transient faults that survive the recfile
+// retry, torn frames, checksum mismatches — abort the sort and are
+// returned to the caller; a sort never silently drops or reorders
+// records.
 package extsort
 
 import (
@@ -14,6 +20,7 @@ import (
 	"sort"
 
 	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/recfile"
 )
 
 // Less compares two records given as raw byte slices of the configured
@@ -46,29 +53,30 @@ type Stats struct {
 
 // Sort sorts the records of in and returns a new file with the sorted
 // records plus statistics. The input file is left untouched; the caller
-// may Remove it. An empty input yields an empty output file.
-func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats) {
+// may Remove it. An empty input yields an empty output file. On error
+// the returned file is nil and any partial output has been removed.
+func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 	var st Stats
 	rs := cfg.RecordSize
 	maxRecs := cfg.Memory / int64(rs)
 	if maxRecs < 2 {
 		maxRecs = 2
 	}
-	st.Records = int64(in.Len()) / int64(rs)
+	st.Records = recfile.NumRecs(in, rs)
 
 	// Run formation: sort memory-sized chunks, append them to one runs
 	// file, and remember each run's record range.
 	runsFile := cfg.Disk.Create("")
 	var runs []runRange
 	{
-		r := in.NewReader(cfg.bufPages())
-		w := runsFile.NewWriter(cfg.bufPages())
+		r := recfile.NewRecReader(in, rs, cfg.bufPages())
+		w := recfile.NewRecWriter(runsFile, rs, cfg.bufPages())
 		chunk := make([]byte, 0, maxRecs*int64(rs))
 		var written int64
-		flushChunk := func() {
+		flushChunk := func() error {
 			n := len(chunk) / rs
 			if n == 0 {
-				return
+				return nil
 			}
 			idx := make([]int, n)
 			for i := range idx {
@@ -79,28 +87,45 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats) {
 				return cfg.Less(chunk[idx[a]*rs:idx[a]*rs+rs], chunk[idx[b]*rs:idx[b]*rs+rs])
 			})
 			for _, i := range idx {
-				w.Write(chunk[i*rs : i*rs+rs])
+				if err := w.Write(chunk[i*rs : i*rs+rs]); err != nil {
+					return err
+				}
 			}
 			runs = append(runs, runRange{written, written + int64(n)})
 			written += int64(n)
 			chunk = chunk[:0]
+			return nil
 		}
 		buf := make([]byte, rs)
 		for {
-			if !r.ReadFull(buf) {
+			ok, err := r.Next(buf)
+			if err != nil {
+				cfg.Disk.Remove(runsFile.Name())
+				return nil, st, err
+			}
+			if !ok {
 				break
 			}
 			chunk = append(chunk, buf...)
 			if int64(len(chunk)/rs) >= maxRecs {
-				flushChunk()
+				if err := flushChunk(); err != nil {
+					cfg.Disk.Remove(runsFile.Name())
+					return nil, st, err
+				}
 			}
 		}
-		flushChunk()
-		w.Flush()
+		if err := flushChunk(); err != nil {
+			cfg.Disk.Remove(runsFile.Name())
+			return nil, st, err
+		}
+		if err := w.Flush(); err != nil {
+			cfg.Disk.Remove(runsFile.Name())
+			return nil, st, err
+		}
 	}
 	st.Runs = len(runs)
 	if len(runs) <= 1 {
-		return runsFile, st
+		return runsFile, st, nil
 	}
 
 	// Merge passes. The fan-in is limited by the memory budget: one input
@@ -115,7 +140,7 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats) {
 	for len(runs) > 1 {
 		st.MergePass++
 		next := cfg.Disk.Create("")
-		w := next.NewWriter(cfg.bufPages())
+		w := recfile.NewRecWriter(next, rs, cfg.bufPages())
 		var nextRuns []runRange
 		var written int64
 		for lo := 0; lo < len(runs); lo += fanin {
@@ -123,16 +148,25 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats) {
 			if hi > len(runs) {
 				hi = len(runs)
 			}
-			n := mergeRuns(cur, w, runs[lo:hi], cfg, &st)
+			n, err := mergeRuns(cur, w, runs[lo:hi], cfg, &st)
+			if err != nil {
+				cfg.Disk.Remove(cur.Name())
+				cfg.Disk.Remove(next.Name())
+				return nil, st, err
+			}
 			nextRuns = append(nextRuns, runRange{written, written + n})
 			written += n
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			cfg.Disk.Remove(cur.Name())
+			cfg.Disk.Remove(next.Name())
+			return nil, st, err
+		}
 		cfg.Disk.Remove(cur.Name())
 		cur = next
 		runs = nextRuns
 	}
-	return cur, st
+	return cur, st, nil
 }
 
 // runRange is a run's record-index range within the runs file.
@@ -140,15 +174,19 @@ type runRange struct{ lo, hi int64 }
 
 // mergeRuns merges the given record ranges of src into w and returns the
 // number of records written.
-func mergeRuns(src *diskio.File, w *diskio.Writer, runs []runRange, cfg Config, st *Stats) int64 {
+func mergeRuns(src *diskio.File, w *recfile.RecWriter, runs []runRange, cfg Config, st *Stats) (int64, error) {
 	rs := cfg.RecordSize
 	h := &mergeHeap{less: cfg.Less, st: st}
 	for _, rr := range runs {
 		c := &cursor{
-			r:   src.NewRangeReader(cfg.bufPages(), rr.lo*int64(rs), rr.hi*int64(rs)),
+			r:   recfile.NewRecRangeReader(src, rs, cfg.bufPages(), rr.lo, rr.hi),
 			buf: make([]byte, rs),
 		}
-		if c.advance() {
+		ok, err := c.advance()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			h.items = append(h.items, c)
 		}
 	}
@@ -156,23 +194,29 @@ func mergeRuns(src *diskio.File, w *diskio.Writer, runs []runRange, cfg Config, 
 	var out int64
 	for h.Len() > 0 {
 		c := h.items[0]
-		w.Write(c.buf)
+		if err := w.Write(c.buf); err != nil {
+			return out, err
+		}
 		out++
-		if c.advance() {
+		ok, err := c.advance()
+		if err != nil {
+			return out, err
+		}
+		if ok {
 			heap.Fix(h, 0)
 		} else {
 			heap.Pop(h)
 		}
 	}
-	return out
+	return out, nil
 }
 
 type cursor struct {
-	r   *diskio.Reader
+	r   *recfile.RecReader
 	buf []byte
 }
 
-func (c *cursor) advance() bool { return c.r.ReadFull(c.buf) }
+func (c *cursor) advance() (bool, error) { return c.r.Next(c.buf) }
 
 type mergeHeap struct {
 	items []*cursor

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/recfile"
 )
 
 // External sort dominates the original PBSM duplicate-removal phase and
@@ -26,9 +27,12 @@ func BenchmarkSort(b *testing.B) {
 				d := diskio.NewDisk(8192, 20, time.Microsecond)
 				in := writeU64sBench(d, vals)
 				b.StartTimer()
-				out, _ := Sort(in, Config{
+				out, _, err := Sort(in, Config{
 					Disk: d, RecordSize: 8, Memory: mem, Less: u64LessBench,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				_ = out
 			}
 		})
@@ -41,12 +45,16 @@ func u64LessBench(a, bb []byte) bool {
 
 func writeU64sBench(d *diskio.Disk, vals []uint64) *diskio.File {
 	f := d.Create("in")
-	w := f.NewWriter(8)
+	w := recfile.NewRecWriter(f, 8, 8)
 	var buf [8]byte
 	for _, v := range vals {
 		binary.LittleEndian.PutUint64(buf[:], v)
-		w.Write(buf[:])
+		if err := w.Write(buf[:]); err != nil {
+			panic(err)
+		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
 	return f
 }

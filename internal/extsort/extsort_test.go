@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/recfile"
 )
 
 const recSize = 8
@@ -19,31 +20,44 @@ func u64Less(a, b []byte) bool {
 
 func writeU64s(d *diskio.Disk, vals []uint64) *diskio.File {
 	f := d.Create("in")
-	w := f.NewWriter(4)
+	w := recfile.NewRecWriter(f, recSize, 4)
 	var buf [recSize]byte
 	for _, v := range vals {
 		binary.LittleEndian.PutUint64(buf[:], v)
-		w.Write(buf[:])
+		if err := w.Write(buf[:]); err != nil {
+			panic(err)
+		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
 	return f
 }
 
 func readU64s(f *diskio.File) []uint64 {
-	r := f.NewReader(4)
+	r := recfile.NewRecReader(f, recSize, 4)
 	var out []uint64
 	var buf [recSize]byte
-	for r.ReadFull(buf[:]) {
+	for {
+		ok, err := r.Next(buf[:])
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			return out
+		}
 		out = append(out, binary.LittleEndian.Uint64(buf[:]))
 	}
-	return out
 }
 
 func sortThem(t *testing.T, vals []uint64, memory int64) ([]uint64, Stats) {
 	t.Helper()
 	d := diskio.NewDisk(64, 5, time.Millisecond)
 	in := writeU64s(d, vals)
-	out, st := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: memory, Less: u64Less})
+	out, st, err := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: memory, Less: u64Less})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return readU64s(out), st
 }
 
@@ -93,7 +107,10 @@ func TestSortForcesMultipleMergePasses(t *testing.T) {
 	in := writeU64s(d, vals)
 	// 512-byte memory, 1-page (64-byte) buffers: fan-in = 512/64 - 1 = 7,
 	// 64 records per run -> 63 runs -> at least two merge passes.
-	out, st := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 512, BufPages: 1, Less: u64Less})
+	out, st, err := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 512, BufPages: 1, Less: u64Less})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.MergePass < 2 {
 		t.Fatalf("expected ≥2 merge passes, got %d (runs=%d)", st.MergePass, st.Runs)
 	}
@@ -122,10 +139,13 @@ func TestSortPreservesMultiset(t *testing.T) {
 		}
 		d := diskio.NewDisk(64, 5, time.Millisecond)
 		in := writeU64s(d, vals)
-		out, _ := Sort(in, Config{
+		out, _, err := Sort(in, Config{
 			Disk: d, RecordSize: recSize,
 			Memory: int64(mem%4096) + 128, Less: u64Less,
 		})
+		if err != nil {
+			return false
+		}
 		got := readU64s(out)
 		if len(got) != len(vals) {
 			return false
@@ -162,7 +182,9 @@ func TestSortIOCharged(t *testing.T) {
 	d := diskio.NewDisk(64, 5, time.Millisecond)
 	in := writeU64s(d, vals)
 	before := d.Stats()
-	Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 2048, Less: u64Less})
+	if _, _, err := Sort(in, Config{Disk: d, RecordSize: recSize, Memory: 2048, Less: u64Less}); err != nil {
+		t.Fatal(err)
+	}
 	delta := d.Stats().Sub(before)
 	// Run formation alone reads and writes the data once each.
 	minPages := int64(len(vals) * recSize / 64)

@@ -29,6 +29,33 @@ func FuzzRefPoint(f *testing.F) {
 	})
 }
 
+// FuzzDecodeKPE feeds arbitrary byte slices to the decoder: any input of
+// at least KPESize bytes must decode without panicking and re-encode to
+// the identical bytes (the decoder has no hidden normalization that
+// corruption could exploit).
+func FuzzDecodeKPE(f *testing.F) {
+	f.Add(make([]byte, KPESize))
+	flip := make([]byte, KPESize)
+	for i := range flip {
+		flip[i] = 0xFF
+	}
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < KPESize {
+			t.Skip()
+		}
+		data = data[:KPESize]
+		k := DecodeKPE(data)
+		var buf [KPESize]byte
+		EncodeKPE(buf[:], k)
+		for i := range buf {
+			if buf[i] != data[i] {
+				t.Fatalf("decode/encode not byte-identical at %d for corrupt input", i)
+			}
+		}
+	})
+}
+
 func FuzzKPECodec(f *testing.F) {
 	f.Add(uint64(0), 0.0, 0.0, 1.0, 1.0)
 	f.Add(uint64(1<<63), 0.25, 0.5, 0.75, 1.0)

@@ -1,0 +1,62 @@
+// Package joinerr defines the structured error type every join method
+// returns when intermediate I/O fails: a JoinError names the method, the
+// phase it was in, and (when known) the simulated file involved, wrapping
+// the underlying cause so callers can test it with errors.Is/As.
+//
+// The invariant the error type supports is wrong-answer-never: a join
+// either delivers the exact duplicate-free result set, or it fails with a
+// JoinError — it never silently returns a partial or corrupted result.
+package joinerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// JoinError reports an I/O or integrity failure inside a join method.
+type JoinError struct {
+	// Method is the join method name ("pbsm", "s3j", "sssj", "shj").
+	Method string
+	// Phase is the method phase during which the failure occurred
+	// ("partition", "sort", "join", ...).
+	Phase string
+	// File names the simulated disk file involved, when known.
+	File string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *JoinError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s: %s phase: file %s: %v", e.Method, e.Phase, e.File, e.Err)
+	}
+	return fmt.Sprintf("%s: %s phase: %v", e.Method, e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *JoinError) Unwrap() error { return e.Err }
+
+// filer is implemented by errors that know which file they concern
+// (diskio.FaultError, recfile.CorruptError).
+type filer interface{ FileName() string }
+
+// Wrap attaches method and phase context to err, extracting the file
+// name from the cause when it carries one. A nil err stays nil; an err
+// that is already a JoinError is returned unchanged (innermost context
+// wins — it names the phase closest to the failure).
+func Wrap(method, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var je *JoinError
+	if errors.As(err, &je) {
+		return err
+	}
+	out := &JoinError{Method: method, Phase: phase, Err: err}
+	var f filer
+	if errors.As(err, &f) {
+		out.File = f.FileName()
+	}
+	return out
+}

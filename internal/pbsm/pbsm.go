@@ -21,6 +21,7 @@
 package pbsm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
 )
@@ -177,6 +179,7 @@ type Stats struct {
 	CopiesS         int64 // likewise for S
 	Repartitions    int   // number of repartitioning splits performed
 	MemoryOverflows int   // pairs joined over budget at the recursion cap
+	Healed          int   // partition pairs re-derived after a checksum failure
 	Tests           int64 // candidate tests of the internal algorithm
 
 	PhaseIO  [numPhases]diskio.Stats
@@ -227,9 +230,9 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		return Stats{}, fmt.Errorf("pbsm: Config.Memory must be positive, got %d", cfg.Memory)
 	}
 	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm)}
-	j.run(R, S, emit)
+	err := j.run(R, S, emit)
 	j.stats.Tests += j.alg.Tests()
-	return j.stats, nil
+	return j.stats, err
 }
 
 type joiner struct {
@@ -242,6 +245,30 @@ type joiner struct {
 	emit       func(geom.Pair)
 	dupWriter  *recfile.PairWriter // result spool when Dup == DupSort
 	emitMu     sync.Mutex          // serializes emission in parallel mode
+
+	// baseR/baseS/grid are kept for self-healing: when a top-level
+	// partition file fails checksum verification before its pair emitted
+	// anything, the partition is re-derived from the base inputs.
+	baseR, baseS []geom.KPE
+	grid         *grid
+}
+
+// healableError tags a corruption error that was detected before the
+// affected top-level partition pair emitted any result, so re-deriving
+// the pair from the base inputs and reprocessing it is exactly-once
+// safe. Corruption detected after partial emission must NOT be healed by
+// reprocessing (it would duplicate results) and stays unwrapped.
+type healableError struct{ err error }
+
+func (e *healableError) Error() string { return e.err.Error() }
+func (e *healableError) Unwrap() error { return e.err }
+
+// markHealable wraps corrupt errors detected pre-emission.
+func markHealable(err error) error {
+	if err == nil || !recfile.IsCorrupt(err) {
+		return err
+	}
+	return &healableError{err: err}
 }
 
 // phaseTimer attributes wall-clock CPU and disk-cost deltas to a phase.
@@ -272,7 +299,7 @@ func (j *joiner) deliver(p geom.Pair) {
 	j.emit(p)
 }
 
-func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
+func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	j.start = time.Now()
 	j.startUnits = j.cfg.Disk.Stats().CostUnits
 	j.emit = emit
@@ -289,6 +316,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
 	if j.cfg.Dup == DupSort {
 		dupFile = j.cfg.Disk.Create("")
 		j.dupWriter = recfile.NewPairWriter(dupFile, j.cfg.bufPages())
+		defer j.cfg.Disk.Remove(dupFile.Name())
 	}
 
 	if p == 1 {
@@ -296,30 +324,49 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
 		pt := j.begin(PhaseJoin)
 		rs := append([]geom.KPE(nil), R...)
 		ss := append([]geom.KPE(nil), S...)
-		j.joinLoaded(rs, ss, wholeSpace{}, wholeSpace{})
+		err := j.joinLoaded(rs, ss, wholeSpace{}, wholeSpace{})
 		pt.end()
+		if err != nil {
+			return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+		}
 	} else {
 		g := newGrid(p*j.cfg.tilesPerPart(), p)
 		j.stats.NT = g.nx * g.ny
+		j.baseR, j.baseS, j.grid = R, S, g
 
 		pt := j.begin(PhasePartition)
-		filesR, copiesR := j.partitionInput(R, g)
-		filesS, copiesS := j.partitionInput(S, g)
+		filesR, copiesR, errR := j.partitionInput(R, g)
+		filesS, copiesS, errS := j.partitionInput(S, g)
 		j.stats.CopiesR, j.stats.CopiesS = copiesR, copiesS
 		pt.end()
+		defer func() {
+			for i := 0; i < p; i++ {
+				if filesR[i] != nil {
+					j.cfg.Disk.Remove(filesR[i].Name())
+				}
+				if filesS[i] != nil {
+					j.cfg.Disk.Remove(filesS[i].Name())
+				}
+			}
+		}()
+		if errR != nil {
+			return joinerr.Wrap("pbsm", PhasePartition.String(), errR)
+		}
+		if errS != nil {
+			return joinerr.Wrap("pbsm", PhasePartition.String(), errS)
+		}
 
 		if j.cfg.Parallel > 1 {
-			j.processAllParallel(g, filesR, filesS)
+			if err := j.processAllParallel(g, filesR, filesS); err != nil {
+				return err
+			}
 		} else {
 			// Phases 2+3: repartition as needed and join each pair.
 			for i := 0; i < p; i++ {
-				reg := gridRegion{g: g, part: i}
-				j.processPair(filesR[i], filesS[i], reg, reg, 0)
+				if err := j.processTopPair(filesR, filesS, i, g); err != nil {
+					return err
+				}
 			}
-		}
-		for i := 0; i < p; i++ {
-			j.cfg.Disk.Remove(filesR[i].Name())
-			j.cfg.Disk.Remove(filesS[i].Name())
 		}
 	}
 
@@ -327,39 +374,127 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
 	// drop duplicates.
 	if j.cfg.Dup == DupSort {
 		pt := j.begin(PhaseDup)
-		j.dupWriter.Flush()
-		sorted, _ := extsort.Sort(dupFile, extsort.Config{
-			Disk:       j.cfg.Disk,
-			RecordSize: geom.PairSize,
-			Memory:     j.cfg.Memory,
-			BufPages:   j.cfg.bufPages(),
-			Less: func(a, b []byte) bool {
-				return geom.DecodePair(a).Less(geom.DecodePair(b))
-			},
-		})
-		j.cfg.Disk.Remove(dupFile.Name())
-		r := recfile.NewPairReader(sorted, j.cfg.bufPages())
-		var prev geom.Pair
-		first := true
-		for {
-			pr, ok := r.Next()
-			if !ok {
-				break
-			}
-			if first || pr != prev {
-				j.deliver(pr)
-			}
-			prev, first = pr, false
-		}
-		j.cfg.Disk.Remove(sorted.Name())
+		err := j.dupSortPhase(dupFile)
 		pt.end()
+		if err != nil {
+			return joinerr.Wrap("pbsm", PhaseDup.String(), err)
+		}
 	}
+	return nil
+}
+
+// processTopPair joins top-level partition pair i, healing it once by
+// re-derivation from the base inputs if a checksum failure is detected
+// before the pair emitted anything.
+func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) error {
+	reg := gridRegion{g: g, part: i}
+	err := j.processPair(filesR[i], filesS[i], reg, reg, 0)
+	var he *healableError
+	if err == nil || !errors.As(err, &he) {
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+	}
+	fr, fs, herr := j.healPartition(g, i)
+	if herr != nil {
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+	}
+	j.cfg.Disk.Remove(filesR[i].Name())
+	j.cfg.Disk.Remove(filesS[i].Name())
+	filesR[i], filesS[i] = fr, fs
+	j.stats.Healed++
+	if err := j.processPair(fr, fs, reg, reg, 0); err != nil {
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+	}
+	return nil
+}
+
+// healPartition re-derives the two files of top-level partition part from
+// the in-memory base inputs, exactly as the partition phase would have
+// written them. Its I/O is charged to the partition phase.
+func (j *joiner) healPartition(g *grid, part int) (fr, fs *diskio.File, err error) {
+	pt := j.begin(PhasePartition)
+	defer pt.end()
+	fr, err = j.rederive(j.baseR, g, part)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs, err = j.rederive(j.baseS, g, part)
+	if err != nil {
+		j.cfg.Disk.Remove(fr.Name())
+		return nil, nil, err
+	}
+	return fr, fs, nil
+}
+
+// rederive writes a fresh copy of one partition's file for input ks.
+func (j *joiner) rederive(ks []geom.KPE, g *grid, part int) (*diskio.File, error) {
+	f := j.cfg.Disk.Create("")
+	w := recfile.NewKPEWriter(f, j.cfg.bufPages())
+	stamp := make([]int, g.parts)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	parts := make([]int, 0, 8)
+	for idx := range ks {
+		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
+		for _, pi := range parts {
+			if pi != part {
+				continue
+			}
+			if err := w.Write(ks[idx]); err != nil {
+				j.cfg.Disk.Remove(f.Name())
+				return nil, err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		j.cfg.Disk.Remove(f.Name())
+		return nil, err
+	}
+	return f, nil
+}
+
+// dupSortPhase sorts the spooled result pairs and delivers them
+// duplicate-free.
+func (j *joiner) dupSortPhase(dupFile *diskio.File) error {
+	if err := j.dupWriter.Flush(); err != nil {
+		return err
+	}
+	sorted, _, err := extsort.Sort(dupFile, extsort.Config{
+		Disk:       j.cfg.Disk,
+		RecordSize: geom.PairSize,
+		Memory:     j.cfg.Memory,
+		BufPages:   j.cfg.bufPages(),
+		Less: func(a, b []byte) bool {
+			return geom.DecodePair(a).Less(geom.DecodePair(b))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer j.cfg.Disk.Remove(sorted.Name())
+	r := recfile.NewPairReader(sorted, j.cfg.bufPages())
+	var prev geom.Pair
+	first := true
+	for {
+		pr, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if first || pr != prev {
+			j.deliver(pr)
+		}
+		prev, first = pr, false
+	}
+	return nil
 }
 
 // partitionInput writes each KPE of ks into every partition file whose
 // tiles its rectangle overlaps, returning the files and the number of
 // copies written.
-func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64) {
+func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, error) {
 	files := make([]*diskio.File, g.parts)
 	writers := make([]*recfile.KPEWriter, g.parts)
 	buf := j.cfg.bufPagesFor(g.parts)
@@ -376,42 +511,57 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64) 
 	for idx := range ks {
 		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
 		for _, pi := range parts {
-			writers[pi].Write(ks[idx])
+			if err := writers[pi].Write(ks[idx]); err != nil {
+				return files, copies, err
+			}
 			copies++
 		}
 	}
 	for _, w := range writers {
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			return files, copies, err
+		}
 	}
-	return files, copies
+	return files, copies, nil
 }
 
 // processPair joins the partition pair (fr, fs), repartitioning
 // recursively when the pair exceeds the memory budget (§3.2.3).
-func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) {
+func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) error {
 	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 	if nr == 0 || ns == 0 {
-		return // nothing can join; skip the I/O entirely
+		return nil // nothing can join; skip the I/O entirely
 	}
 	size := (nr + ns) * geom.KPESize
 	if size > j.cfg.Memory && depth < j.cfg.maxRecurse() {
-		j.repartitionPair(fr, fs, regR, regS, depth)
-		return
+		return j.repartitionPair(fr, fs, regR, regS, depth)
 	}
 	if size > j.cfg.Memory {
 		j.stats.MemoryOverflows++
 	}
 
 	pt := j.begin(PhaseJoin)
-	rs := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
-	ss := recfile.ReadAllKPEs(fs, j.cfg.bufPages())
-	j.joinLoaded(rs, ss, regR, regS)
-	pt.end()
+	defer pt.end()
+	rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+	if err == nil {
+		var ss []geom.KPE
+		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+		if err == nil {
+			return j.joinLoaded(rs, ss, regR, regS)
+		}
+	}
+	if depth == 0 {
+		// The pair's own files failed before anything was emitted:
+		// re-derivation is safe.
+		err = markHealable(err)
+	}
+	return err
 }
 
 // joinLoaded runs the internal algorithm on an in-memory partition pair
 // and routes each produced pair through duplicate handling.
-func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) {
+func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) error {
+	var werr error
 	j.alg.Join(rs, ss, func(r, s geom.KPE) {
 		j.stats.RawResults++
 		switch j.cfg.Dup {
@@ -421,9 +571,12 @@ func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) {
 				j.deliver(geom.Pair{R: r.ID, S: s.ID})
 			}
 		case DupSort:
-			j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+			if werr == nil {
+				werr = j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+			}
 		}
 	})
+	return werr
 }
 
 // processAllParallel runs the join phase with a worker pool: pairs that
@@ -432,7 +585,7 @@ func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) {
 // repartitioned sequentially first, since repartitioning recursion
 // mutates shared files. Duplicate handling is unchanged — the Reference
 // Point Method is stateless, so only the emit path needs serialization.
-func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) {
+func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) error {
 	type job struct {
 		fr, fs *diskio.File
 		part   int
@@ -444,16 +597,19 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) {
 		if nr == 0 || ns == 0 {
 			continue
 		}
-		reg := gridRegion{g: g, part: i}
 		if (nr+ns)*geom.KPESize > j.cfg.Memory {
-			// Oversized: sequential repartitioning path as usual.
-			j.processPair(fr, fs, reg, reg, 0)
+			// Oversized: sequential repartitioning path as usual, with
+			// the same healing treatment as a sequential top pair.
+			if err := j.processTopPair(filesR, filesS, i, g); err != nil {
+				return err
+			}
 			continue
 		}
 		jobs = append(jobs, job{fr, fs, i})
 	}
 
 	pt := j.begin(PhaseJoin)
+	defer pt.end()
 	workers := j.cfg.Parallel
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -461,17 +617,81 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) {
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan int)
+	// Pre-filled buffered channel: a worker that bails out early after an
+	// error never leaves a sender blocked.
+	ch := make(chan int, len(jobs))
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			alg := sweep.New(j.cfg.Algorithm)
+			defer func() {
+				j.emitMu.Lock()
+				j.stats.Tests += alg.Tests()
+				j.emitMu.Unlock()
+			}()
 			for idx := range ch {
+				if failed() {
+					return
+				}
 				jb := jobs[idx]
-				rs := recfile.ReadAllKPEs(jb.fr, j.cfg.bufPages())
-				ss := recfile.ReadAllKPEs(jb.fs, j.cfg.bufPages())
+				fr, fs := jb.fr, jb.fs
+				rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+				var ss []geom.KPE
+				if err == nil {
+					ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+				}
+				if err != nil && recfile.IsCorrupt(err) {
+					// A parallel job reads its whole pair before emitting
+					// anything, so checksum failures here are always safe
+					// to heal by re-derivation.
+					j.emitMu.Lock()
+					var herr error
+					fr, herr = j.rederive(j.baseR, g, jb.part)
+					if herr == nil {
+						fs, herr = j.rederive(j.baseS, g, jb.part)
+					}
+					if herr == nil {
+						j.cfg.Disk.Remove(jb.fr.Name())
+						j.cfg.Disk.Remove(jb.fs.Name())
+						filesR[jb.part], filesS[jb.part] = fr, fs
+						j.stats.Healed++
+					}
+					j.emitMu.Unlock()
+					if herr == nil {
+						rs, err = recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+						if err == nil {
+							ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+						}
+					}
+				}
+				if err != nil {
+					setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), err))
+					return
+				}
 				reg := gridRegion{g: g, part: jb.part}
 				alg.Join(rs, ss, func(r, s geom.KPE) {
 					j.emitMu.Lock()
@@ -483,27 +703,26 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) {
 							j.deliver(geom.Pair{R: r.ID, S: s.ID})
 						}
 					case DupSort:
-						j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+						if !failed() {
+							if werr := j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID}); werr != nil {
+								setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), werr))
+							}
+						}
 					}
 					j.emitMu.Unlock()
 				})
 			}
-			j.emitMu.Lock()
-			j.stats.Tests += alg.Tests()
-			j.emitMu.Unlock()
 		}()
 	}
-	for i := range jobs {
-		ch <- i
-	}
-	close(ch)
 	wg.Wait()
-	pt.end()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
 }
 
 // repartitionPair splits the larger side of an oversized pair with a
 // finer grid and recurses on each sub-pair against the unsplit side.
-func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth int) {
+func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth int) error {
 	j.stats.Repartitions++
 	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 	size := (nr + ns) * geom.KPESize
@@ -527,6 +746,11 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 		files[i] = j.cfg.Disk.Create("")
 		writers[i] = recfile.NewKPEWriter(files[i], buf)
 	}
+	removeFrom := func(lo int) {
+		for i := lo; i < n; i++ {
+			j.cfg.Disk.Remove(files[i].Name())
+		}
+	}
 	stamp := make([]int, n)
 	for i := range stamp {
 		stamp[i] = -1
@@ -534,29 +758,53 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 	parts := make([]int, 0, 8)
 	rd := recfile.NewKPEReader(src, buf)
 	gen := 0
-	for {
-		k, ok := rd.Next()
-		if !ok {
+	var err error
+	for err == nil {
+		var k geom.KPE
+		var ok bool
+		k, ok, err = rd.Next()
+		if err != nil || !ok {
 			break
 		}
 		parts = sub.partitionsOf(k.Rect, parts[:0], stamp, gen)
 		gen++
 		for _, pi := range parts {
-			writers[pi].Write(k)
+			if err = writers[pi].Write(k); err != nil {
+				break
+			}
 		}
 	}
-	for _, w := range writers {
-		w.Flush()
+	if err == nil {
+		for _, w := range writers {
+			if err = w.Flush(); err != nil {
+				break
+			}
+		}
 	}
 	pt.end()
+	if err != nil {
+		removeFrom(0)
+		if depth == 0 {
+			// The tear was found while splitting a top-level file, before
+			// any sub-pair was joined: re-derivation is safe.
+			err = markHealable(err)
+		}
+		return err
+	}
 
 	for i := 0; i < n; i++ {
 		inner := gridRegion{g: sub, part: i}
+		var perr error
 		if splitR {
-			j.processPair(files[i], fs, andRegion{regR, inner}, regS, depth+1)
+			perr = j.processPair(files[i], fs, andRegion{regR, inner}, regS, depth+1)
 		} else {
-			j.processPair(fr, files[i], regR, andRegion{regS, inner}, depth+1)
+			perr = j.processPair(fr, files[i], regR, andRegion{regS, inner}, depth+1)
 		}
 		j.cfg.Disk.Remove(files[i].Name())
+		if perr != nil {
+			removeFrom(i + 1)
+			return perr
+		}
 	}
+	return nil
 }

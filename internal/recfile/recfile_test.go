@@ -42,16 +42,16 @@ func TestKPEWriterReaderRoundTrip(t *testing.T) {
 		t.Fatalf("RecordsLeft = %d", r.RecordsLeft())
 	}
 	for i, k := range want {
-		got, ok := r.Next()
-		if !ok {
-			t.Fatalf("short stream at %d", i)
+		got, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("short stream at %d (ok=%v err=%v)", i, ok, err)
 		}
 		if got != k {
 			t.Fatalf("record %d: got %v want %v", i, got, k)
 		}
 	}
-	if _, ok := r.Next(); ok {
-		t.Fatal("stream must end")
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("stream must end cleanly (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -67,7 +67,10 @@ func TestReadAllKPEs(t *testing.T) {
 		want = append(want, k)
 	}
 	w.Flush()
-	got := ReadAllKPEs(f, 4)
+	got, err := ReadAllKPEs(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("len = %d", len(got))
 	}
@@ -76,8 +79,8 @@ func TestReadAllKPEs(t *testing.T) {
 			t.Fatalf("record %d mismatch", i)
 		}
 	}
-	if got := ReadAllKPEs(d.Create("empty"), 4); len(got) != 0 {
-		t.Fatal("empty file must yield no records")
+	if got, err := ReadAllKPEs(d.Create("empty"), 4); err != nil || len(got) != 0 {
+		t.Fatalf("empty file must yield no records (err=%v)", err)
 	}
 }
 
@@ -91,13 +94,13 @@ func TestKPERangeReader(t *testing.T) {
 	w.Flush()
 	r := NewKPERangeReader(f, 2, 10, 20)
 	for want := uint64(10); want < 20; want++ {
-		k, ok := r.Next()
-		if !ok || k.ID != want {
-			t.Fatalf("range read got (%v,%v), want id %d", k, ok, want)
+		k, ok, err := r.Next()
+		if err != nil || !ok || k.ID != want {
+			t.Fatalf("range read got (%v,%v,%v), want id %d", k, ok, err, want)
 		}
 	}
-	if _, ok := r.Next(); ok {
-		t.Fatal("range must end at record 20")
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("range must end at record 20 (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -117,13 +120,13 @@ func TestPairWriterReaderRoundTrip(t *testing.T) {
 	}
 	r := NewPairReader(f, 2)
 	for i, p := range want {
-		got, ok := r.Next()
-		if !ok || got != p {
-			t.Fatalf("pair %d: got (%v,%v)", i, got, ok)
+		got, ok, err := r.Next()
+		if err != nil || !ok || got != p {
+			t.Fatalf("pair %d: got (%v,%v,%v)", i, got, ok, err)
 		}
 	}
-	if _, ok := r.Next(); ok {
-		t.Fatal("stream must end")
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("stream must end cleanly (ok=%v err=%v)", ok, err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/recfile"
 )
 
 // levRecSize is the serialized size of a level-file record: the 8-byte
@@ -29,30 +30,32 @@ func decodeLevRec(buf []byte) (uint64, geom.KPE) {
 	return binary.LittleEndian.Uint64(buf[0:]), geom.DecodeKPE(buf[8:])
 }
 
-// levWriter appends level-file records.
+// levWriter appends level-file records through the checksummed frame
+// format of package recfile.
 type levWriter struct {
-	w   *diskio.Writer
+	w   *recfile.RecWriter
 	buf [levRecSize]byte
-	n   int
 }
 
 func newLevWriter(f *diskio.File, bufPages int) *levWriter {
-	return &levWriter{w: f.NewWriter(bufPages)}
+	return &levWriter{w: recfile.NewRecWriter(f, levRecSize, bufPages)}
 }
 
-func (w *levWriter) write(code uint64, k geom.KPE) {
+func (w *levWriter) write(code uint64, k geom.KPE) error {
 	encodeLevRec(w.buf[:], code, k)
-	w.w.Write(w.buf[:])
-	w.n++
+	return w.w.Write(w.buf[:])
 }
 
-func (w *levWriter) flush() { w.w.Flush() }
+func (w *levWriter) flush() error { return w.w.Flush() }
+
+// numLevRecs returns the number of level records stored in f.
+func numLevRecs(f *diskio.File) int64 { return recfile.NumRecs(f, levRecSize) }
 
 // groupCursor scans a sorted level file and yields one *partition* at a
 // time: the maximal run of records sharing a locational code, which is
 // the content of one MX-CIF cell. It keeps a one-record lookahead.
 type groupCursor struct {
-	r      *diskio.Reader
+	r      *recfile.RecReader
 	buf    [levRecSize]byte
 	peeked bool
 	pkCode uint64
@@ -62,42 +65,53 @@ type groupCursor struct {
 }
 
 func newGroupCursor(f *diskio.File, bufPages, level, rel int) *groupCursor {
-	return &groupCursor{r: f.NewReader(bufPages), level: level, rel: rel}
+	return &groupCursor{r: recfile.NewRecReader(f, levRecSize, bufPages), level: level, rel: rel}
 }
 
-// fillPeek loads the lookahead record; it reports false at end of file.
-func (c *groupCursor) fillPeek() bool {
+// fillPeek loads the lookahead record; it reports false at end of file
+// or on an I/O error.
+func (c *groupCursor) fillPeek() (bool, error) {
 	if c.peeked {
-		return true
+		return true, nil
 	}
-	if !c.r.ReadFull(c.buf[:]) {
-		return false
+	ok, err := c.r.Next(c.buf[:])
+	if !ok || err != nil {
+		return false, err
 	}
 	c.pkCode, c.pkKPE = decodeLevRec(c.buf[:])
 	c.peeked = true
-	return true
+	return true, nil
 }
 
 // peekCode returns the code of the next group without consuming it.
-func (c *groupCursor) peekCode() (uint64, bool) {
-	if !c.fillPeek() {
-		return 0, false
+func (c *groupCursor) peekCode() (uint64, bool, error) {
+	ok, err := c.fillPeek()
+	if !ok || err != nil {
+		return 0, false, err
 	}
-	return c.pkCode, true
+	return c.pkCode, true, nil
 }
 
 // nextGroup consumes and returns the next same-code run. items is
 // appended to dst to let the caller reuse buffers.
-func (c *groupCursor) nextGroup(dst []geom.KPE) (code uint64, items []geom.KPE, ok bool) {
-	if !c.fillPeek() {
-		return 0, dst, false
+func (c *groupCursor) nextGroup(dst []geom.KPE) (code uint64, items []geom.KPE, ok bool, err error) {
+	ok, err = c.fillPeek()
+	if !ok || err != nil {
+		return 0, dst, false, err
 	}
 	code = c.pkCode
 	items = append(dst, c.pkKPE)
 	c.peeked = false
-	for c.fillPeek() && c.pkCode == code {
+	for {
+		ok, err = c.fillPeek()
+		if err != nil {
+			return 0, items, false, err
+		}
+		if !ok || c.pkCode != code {
+			break
+		}
 		items = append(items, c.pkKPE)
 		c.peeked = false
 	}
-	return code, items, true
+	return code, items, true, nil
 }

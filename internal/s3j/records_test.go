@@ -38,21 +38,21 @@ func TestGroupCursorGroupsByCode(t *testing.T) {
 	w.flush()
 
 	c := newGroupCursor(f, 2, 4, 0)
-	if code, ok := c.peekCode(); !ok || code != 3 {
-		t.Fatalf("peek = (%d,%v), want (3,true)", code, ok)
+	if code, ok, err := c.peekCode(); err != nil || !ok || code != 3 {
+		t.Fatalf("peek = (%d,%v,%v), want (3,true)", code, ok, err)
 	}
 	wantGroups := []struct {
 		code uint64
 		n    int
 	}{{3, 2}, {7, 1}, {9, 3}}
 	for _, wg := range wantGroups {
-		code, items, ok := c.nextGroup(nil)
-		if !ok || code != wg.code || len(items) != wg.n {
-			t.Fatalf("group = (%d, %d items, %v), want (%d, %d)", code, len(items), ok, wg.code, wg.n)
+		code, items, ok, err := c.nextGroup(nil)
+		if err != nil || !ok || code != wg.code || len(items) != wg.n {
+			t.Fatalf("group = (%d, %d items, %v, %v), want (%d, %d)", code, len(items), ok, err, wg.code, wg.n)
 		}
 	}
-	if _, _, ok := c.nextGroup(nil); ok {
-		t.Fatal("cursor must end after last group")
+	if _, _, ok, err := c.nextGroup(nil); ok || err != nil {
+		t.Fatalf("cursor must end after last group (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -60,11 +60,11 @@ func TestGroupCursorEmptyFile(t *testing.T) {
 	d := diskio.NewDisk(256, 5, time.Millisecond)
 	f := d.Create("empty")
 	c := newGroupCursor(f, 2, 0, 1)
-	if c.fillPeek() {
-		t.Fatal("empty file must not peek")
+	if ok, err := c.fillPeek(); ok || err != nil {
+		t.Fatalf("empty file must not peek (ok=%v err=%v)", ok, err)
 	}
-	if _, _, ok := c.nextGroup(nil); ok {
-		t.Fatal("empty file must yield no groups")
+	if _, _, ok, err := c.nextGroup(nil); ok || err != nil {
+		t.Fatalf("empty file must yield no groups (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -79,9 +79,9 @@ func TestGroupCursorSingleGroupWholeFile(t *testing.T) {
 	}
 	w.flush()
 	c := newGroupCursor(f, 2, 0, 0)
-	code, items, ok := c.nextGroup(nil)
-	if !ok || code != 0 || len(items) != n {
-		t.Fatalf("level-0 group = (%d, %d items, %v)", code, len(items), ok)
+	code, items, ok, err := c.nextGroup(nil)
+	if err != nil || !ok || code != 0 || len(items) != n {
+		t.Fatalf("level-0 group = (%d, %d items, %v, %v)", code, len(items), ok, err)
 	}
 	for i, k := range items {
 		if k.ID != uint64(i) {
@@ -99,11 +99,11 @@ func TestGroupCursorReuseDst(t *testing.T) {
 	w.flush()
 	c := newGroupCursor(f, 2, 1, 0)
 	buf := make([]geom.KPE, 0, 8)
-	_, items, _ := c.nextGroup(buf)
+	_, items, _, _ := c.nextGroup(buf)
 	if len(items) != 1 || items[0].ID != 10 {
 		t.Fatal("dst reuse broke the first group")
 	}
-	_, items2, _ := c.nextGroup(buf) // caller may reuse after copying out
+	_, items2, _, _ := c.nextGroup(buf) // caller may reuse after copying out
 	if len(items2) != 1 || items2[0].ID != 20 {
 		t.Fatal("dst reuse broke the second group")
 	}
@@ -131,13 +131,13 @@ func TestGroupCursorRandomized(t *testing.T) {
 		w.flush()
 		c := newGroupCursor(file, 2, 3, 1)
 		for i := range wantCodes {
-			gc, items, ok := c.nextGroup(nil)
-			if !ok || gc != wantCodes[i] || len(items) != wantSizes[i] {
+			gc, items, ok, err := c.nextGroup(nil)
+			if err != nil || !ok || gc != wantCodes[i] || len(items) != wantSizes[i] {
 				return false
 			}
 		}
-		_, _, ok := c.nextGroup(nil)
-		return !ok
+		_, _, ok, err := c.nextGroup(nil)
+		return !ok && err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/sfc"
 	"spatialjoin/internal/sweep"
 )
@@ -209,9 +210,9 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		return Stats{}, fmt.Errorf("s3j: Config.Memory must be positive, got %d", cfg.Memory)
 	}
 	j := &joiner{cfg: cfg, alg: cfg.algorithm()}
-	j.run(R, S, emit)
+	err := j.run(R, S, emit)
 	j.stats.Tests = j.alg.Tests()
-	return j.stats, nil
+	return j.stats, err
 }
 
 type joiner struct {
@@ -249,16 +250,34 @@ func (pt phaseTimer) end() {
 	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
 }
 
-func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
+func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	j.start = time.Now()
 	j.startUnits = j.cfg.Disk.Stats().CostUnits
 	j.emit = emit
 	levels := j.cfg.levels()
 
+	var filesR, filesS []*diskio.File
+	defer func() {
+		for _, f := range filesR {
+			j.cfg.Disk.Remove(f.Name())
+		}
+		for _, f := range filesS {
+			j.cfg.Disk.Remove(f.Name())
+		}
+	}()
+
 	// Phase 1: write the level files.
 	pt := j.begin(PhasePartition)
-	filesR, countsR := j.partitionInput(R, levels)
-	filesS, countsS := j.partitionInput(S, levels)
+	filesR, countsR, err := j.partitionInput(R, levels)
+	if err != nil {
+		pt.end()
+		return joinerr.Wrap("s3j", PhasePartition.String(), err)
+	}
+	filesS, countsS, err := j.partitionInput(S, levels)
+	if err != nil {
+		pt.end()
+		return joinerr.Wrap("s3j", PhasePartition.String(), err)
+	}
 	j.stats.LevelRecordsR, j.stats.LevelRecordsS = countsR, countsS
 	for _, n := range countsR {
 		j.stats.CopiesR += n
@@ -273,25 +292,27 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) {
 	// §4.4.2 enables by never computing codes for the lowest level.
 	pt = j.begin(PhaseSort)
 	for l := 1; l <= levels; l++ {
-		filesR[l] = j.sortLevel(filesR[l])
-		filesS[l] = j.sortLevel(filesS[l])
+		if filesR[l], err = j.sortLevel(filesR[l]); err != nil {
+			pt.end()
+			return joinerr.Wrap("s3j", PhaseSort.String(), err)
+		}
+		if filesS[l], err = j.sortLevel(filesS[l]); err != nil {
+			pt.end()
+			return joinerr.Wrap("s3j", PhaseSort.String(), err)
+		}
 	}
 	pt.end()
 
 	// Phase 3: synchronized scan.
 	pt = j.begin(PhaseJoin)
-	j.scan(filesR, filesS)
+	err = j.scan(filesR, filesS)
 	pt.end()
-
-	for l := range filesR {
-		j.cfg.Disk.Remove(filesR[l].Name())
-		j.cfg.Disk.Remove(filesS[l].Name())
-	}
+	return joinerr.Wrap("s3j", PhaseJoin.String(), err)
 }
 
 // partitionInput writes one level file per grid level for relation ks and
 // returns the files plus per-level record counts.
-func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []int64) {
+func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []int64, error) {
 	files := make([]*diskio.File, levels+1)
 	writers := make([]*levWriter, levels+1)
 	counts := make([]int64, levels+1)
@@ -310,7 +331,9 @@ func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []in
 			if l > 0 { // level 0 needs no code (§4.4.2)
 				code = j.cfg.Curve.Code(ix, iy, l)
 			}
-			writers[l].write(code, k)
+			if err := writers[l].write(code, k); err != nil {
+				return files, counts, err
+			}
 			counts[l]++
 		case ModeReplicate:
 			l := sfc.SizeLevel(k.Rect, levels)
@@ -320,23 +343,27 @@ func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []in
 				if l > 0 {
 					code = j.cfg.Curve.Code(c[0], c[1], l)
 				}
-				writers[l].write(code, k)
+				if err := writers[l].write(code, k); err != nil {
+					return files, counts, err
+				}
 				counts[l]++
 			}
 		}
 	}
 	for _, w := range writers {
-		w.flush()
+		if err := w.flush(); err != nil {
+			return files, counts, err
+		}
 	}
-	return files, counts
+	return files, counts, nil
 }
 
 // sortLevel sorts one level file by locational code, replacing it.
-func (j *joiner) sortLevel(f *diskio.File) *diskio.File {
-	if f.Len() == 0 {
-		return f
+func (j *joiner) sortLevel(f *diskio.File) (*diskio.File, error) {
+	if numLevRecs(f) == 0 {
+		return f, nil
 	}
-	sorted, st := extsort.Sort(f, extsort.Config{
+	sorted, st, err := extsort.Sort(f, extsort.Config{
 		Disk:       j.cfg.Disk,
 		RecordSize: levRecSize,
 		Memory:     j.cfg.Memory,
@@ -345,10 +372,13 @@ func (j *joiner) sortLevel(f *diskio.File) *diskio.File {
 			return decodeLevCode(a) < decodeLevCode(b)
 		},
 	})
+	if err != nil {
+		return f, err
+	}
 	j.stats.SortRuns += st.Runs
 	j.stats.MergePasses += st.MergePass
 	j.cfg.Disk.Remove(f.Name())
-	return sorted
+	return sorted, nil
 }
 
 // stackEntry is one active cell on a relation's root-path stack during
@@ -366,16 +396,16 @@ type stackEntry struct {
 // file yields the cells of both relations in space-filling-curve order;
 // two stacks hold the cells of the current root path per relation; each
 // arriving cell is joined against the other relation's stack.
-func (j *joiner) scan(filesR, filesS []*diskio.File) {
+func (j *joiner) scan(filesR, filesS []*diskio.File) error {
 	h := &cursorHeap{}
 	buf := j.cfg.bufPagesFor(len(filesR) + len(filesS))
 	for l, f := range filesR {
-		if f.Len() > 0 {
+		if numLevRecs(f) > 0 {
 			h.items = append(h.items, newGroupCursor(f, buf, l, 0))
 		}
 	}
 	for l, f := range filesS {
-		if f.Len() > 0 {
+		if numLevRecs(f) > 0 {
 			h.items = append(h.items, newGroupCursor(f, buf, l, 1))
 		}
 	}
@@ -383,7 +413,11 @@ func (j *joiner) scan(filesR, filesS []*diskio.File) {
 	// already skipped, so this is just defensive).
 	live := h.items[:0]
 	for _, c := range h.items {
-		if c.fillPeek() {
+		ok, err := c.fillPeek()
+		if err != nil {
+			return err
+		}
+		if ok {
 			live = append(live, c)
 		}
 	}
@@ -394,8 +428,15 @@ func (j *joiner) scan(filesR, filesS []*diskio.File) {
 	var resident int64
 	for h.Len() > 0 {
 		c := h.items[0]
-		code, items, _ := c.nextGroup(nil)
-		if c.fillPeek() {
+		code, items, _, err := c.nextGroup(nil)
+		if err != nil {
+			return err
+		}
+		ok, err := c.fillPeek()
+		if err != nil {
+			return err
+		}
+		if ok {
 			heap.Fix(h, 0)
 		} else {
 			heap.Pop(h)
@@ -438,6 +479,7 @@ func (j *joiner) scan(filesR, filesS []*diskio.File) {
 			j.stats.MaxResident = resident
 		}
 	}
+	return nil
 }
 
 // decodeCell recovers grid coordinates from a locational code.

@@ -21,6 +21,7 @@ import (
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
 )
@@ -163,17 +164,37 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		}
 		buckets[i] = b
 	}
+	defer func() {
+		for _, b := range buckets {
+			if b.fR != nil {
+				cfg.Disk.Remove(b.fR.Name())
+			}
+			if b.fS != nil {
+				cfg.Disk.Remove(b.fS.Name())
+			}
+		}
+	}()
+	var err error
 	for i := range R {
 		b := chooseBucket(buckets, R[i].Rect)
 		b.extent = b.extent.Union(R[i].Rect)
 		b.nR++
-		b.wR.Write(R[i])
+		if err = b.wR.Write(R[i]); err != nil {
+			break
+		}
 	}
-	for _, b := range buckets {
-		b.wR.Flush()
+	if err == nil {
+		for _, b := range buckets {
+			if err = b.wR.Flush(); err != nil {
+				break
+			}
+		}
 	}
 	st.PhaseCPU[PhaseBuild] = time.Since(t0)
 	st.PhaseIO[PhaseBuild] = cfg.Disk.Stats().Sub(io0)
+	if err != nil {
+		return st, joinerr.Wrap("shj", PhaseBuild.String(), err)
+	}
 
 	// Probe partition phase: replicate each S rectangle into every bucket
 	// whose (now final) extent it intersects. Rectangles overlapping no
@@ -183,45 +204,63 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		hit := false
 		for _, b := range buckets {
 			if b.nR > 0 && b.extent.Intersects(S[i].Rect) {
-				b.wS.Write(S[i])
+				if err = b.wS.Write(S[i]); err != nil {
+					break
+				}
 				st.CopiesS++
 				hit = true
 			}
+		}
+		if err != nil {
+			break
 		}
 		if !hit {
 			st.Orphans++
 		}
 	}
-	for _, b := range buckets {
-		b.wS.Flush()
+	if err == nil {
+		for _, b := range buckets {
+			if err = b.wS.Flush(); err != nil {
+				break
+			}
+		}
 	}
 	st.PhaseCPU[PhaseProbePartition] = time.Since(t0)
 	st.PhaseIO[PhaseProbePartition] = cfg.Disk.Stats().Sub(io0)
+	if err != nil {
+		return st, joinerr.Wrap("shj", PhaseProbePartition.String(), err)
+	}
 
 	// Join phase: each bucket pair in memory. No duplicate handling is
 	// needed — every R rectangle exists exactly once.
 	t0, io0 = time.Now(), cfg.Disk.Stats()
 	for _, b := range buckets {
-		if b.nR == 0 || b.fS.Len() == 0 {
-			cfg.Disk.Remove(b.fR.Name())
-			cfg.Disk.Remove(b.fS.Name())
+		nS := recfile.NumKPEs(b.fS)
+		if b.nR == 0 || nS == 0 {
 			continue
 		}
-		if int64(b.fR.Len()+b.fS.Len()) > cfg.Memory {
+		if (int64(b.nR)+nS)*geom.KPESize > cfg.Memory {
 			st.Overflows++
 		}
-		rs := recfile.ReadAllKPEs(b.fR, cfg.bufPages())
-		ss := recfile.ReadAllKPEs(b.fS, cfg.bufPages())
+		var rs, ss []geom.KPE
+		rs, err = recfile.ReadAllKPEs(b.fR, cfg.bufPages())
+		if err == nil {
+			ss, err = recfile.ReadAllKPEs(b.fS, cfg.bufPages())
+		}
+		if err != nil {
+			break
+		}
 		alg.Join(rs, ss, func(r, s geom.KPE) {
 			st.Results++
 			emit(geom.Pair{R: r.ID, S: s.ID})
 		})
-		cfg.Disk.Remove(b.fR.Name())
-		cfg.Disk.Remove(b.fS.Name())
 	}
 	st.PhaseCPU[PhaseJoin] = time.Since(t0)
 	st.PhaseIO[PhaseJoin] = cfg.Disk.Stats().Sub(io0)
 	st.Tests = alg.Tests()
+	if err != nil {
+		return st, joinerr.Wrap("shj", PhaseJoin.String(), err)
+	}
 	return st, nil
 }
 

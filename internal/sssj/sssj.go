@@ -26,6 +26,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
 )
@@ -127,10 +128,28 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	// the unsorted copy is charged too: unlike PBSM's partition files the
 	// sort needs a materialized input it may read several times.
 	t0, io0 := time.Now(), cfg.Disk.Stats()
-	sortedR := sortByXL(R, cfg, &st)
-	sortedS := sortByXL(S, cfg, &st)
+	sortedR, errR := sortByXL(R, cfg, &st)
+	var sortedS *diskio.File
+	var errS error
+	if errR == nil {
+		sortedS, errS = sortByXL(S, cfg, &st)
+	}
 	st.PhaseCPU[PhaseSort] = time.Since(t0)
 	st.PhaseIO[PhaseSort] = cfg.Disk.Stats().Sub(io0)
+	defer func() {
+		if sortedR != nil {
+			cfg.Disk.Remove(sortedR.Name())
+		}
+		if sortedS != nil {
+			cfg.Disk.Remove(sortedS.Name())
+		}
+	}()
+	if errR != nil {
+		return st, joinerr.Wrap("sssj", PhaseSort.String(), errR)
+	}
+	if errS != nil {
+		return st, joinerr.Wrap("sssj", PhaseSort.String(), errS)
+	}
 
 	// Phase 2: one synchronized streaming sweep over the sorted runs.
 	t0, io0 = time.Now(), cfg.Disk.Stats()
@@ -153,24 +172,29 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	}
 	sw.statusR = sweep.NewStatus(kind, 0, 1, &st.Tests)
 	sw.statusS = sweep.NewStatus(kind, 0, 1, &st.Tests)
-	sw.run()
+	err := sw.run()
 	st.PhaseCPU[PhaseSweep] = time.Since(t0)
 	st.PhaseIO[PhaseSweep] = cfg.Disk.Stats().Sub(io0)
-
-	cfg.Disk.Remove(sortedR.Name())
-	cfg.Disk.Remove(sortedS.Name())
+	if err != nil {
+		return st, joinerr.Wrap("sssj", PhaseSweep.String(), err)
+	}
 	return st, nil
 }
 
 // sortByXL materializes ks on disk and externally sorts it by rect.XL.
-func sortByXL(ks []geom.KPE, cfg Config, st *Stats) *diskio.File {
+func sortByXL(ks []geom.KPE, cfg Config, st *Stats) (*diskio.File, error) {
 	raw := cfg.Disk.Create("")
+	defer cfg.Disk.Remove(raw.Name())
 	w := recfile.NewKPEWriter(raw, cfg.bufPages())
 	for _, k := range ks {
-		w.Write(k)
+		if err := w.Write(k); err != nil {
+			return nil, err
+		}
 	}
-	w.Flush()
-	sorted, sst := extsort.Sort(raw, extsort.Config{
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	sorted, sst, err := extsort.Sort(raw, extsort.Config{
 		Disk:       cfg.Disk,
 		RecordSize: geom.KPESize,
 		Memory:     cfg.Memory,
@@ -184,29 +208,30 @@ func sortByXL(ks []geom.KPE, cfg Config, st *Stats) *diskio.File {
 	})
 	st.SortRuns += sst.Runs
 	st.MergePasses += sst.MergePass
-	cfg.Disk.Remove(raw.Name())
-	return sorted
+	return sorted, err
 }
 
 // peekReader adds one record of lookahead to a KPE stream so the sweep
-// can always pick the stream with the smaller next left edge.
+// can always pick the stream with the smaller next left edge. A read
+// error is sticky: it surfaces from peek and stops the sweep.
 type peekReader struct {
 	r      *recfile.KPEReader
 	head   geom.KPE
 	loaded bool
+	err    error
 }
 
 func newPeekReader(r *recfile.KPEReader) *peekReader {
 	p := &peekReader{r: r}
-	p.head, p.loaded = r.Next()
+	p.head, p.loaded, p.err = r.Next()
 	return p
 }
 
-func (p *peekReader) peek() (geom.KPE, bool) { return p.head, p.loaded }
+func (p *peekReader) peek() (geom.KPE, bool, error) { return p.head, p.loaded, p.err }
 
 func (p *peekReader) next() geom.KPE {
 	k := p.head
-	p.head, p.loaded = p.r.Next()
+	p.head, p.loaded, p.err = p.r.Next()
 	return k
 }
 
@@ -222,13 +247,19 @@ type streamSweep struct {
 	emit             func(geom.Pair)
 }
 
-func (s *streamSweep) run() {
+func (s *streamSweep) run() error {
 	for {
-		rk, rok := s.rs.peek()
-		sk, sok := s.ss.peek()
+		rk, rok, rerr := s.rs.peek()
+		if rerr != nil {
+			return rerr
+		}
+		sk, sok, serr := s.ss.peek()
+		if serr != nil {
+			return serr
+		}
 		switch {
 		case !rok && !sok:
-			return
+			return nil
 		case rok && (!sok || rk.Rect.XL <= sk.Rect.XL):
 			r := s.rs.next()
 			s.statusS.Probe(r, func(m geom.KPE) {
