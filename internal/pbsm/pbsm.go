@@ -395,7 +395,7 @@ func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) e
 	}
 	fr, fs, herr := j.healPartition(g, i)
 	if herr != nil {
-		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), fmt.Errorf("%w (heal failed: %v)", err, herr))
 	}
 	j.cfg.Disk.Remove(filesR[i].Name())
 	j.cfg.Disk.Remove(filesS[i].Name())
@@ -525,12 +525,33 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, 
 	return files, copies, nil
 }
 
+// verifyEmptySides checks that every side of a pair reporting zero
+// records really is an intact empty stream: NumKPEs is length-derived,
+// so a file torn below one frame header masquerades as empty and
+// skipping it would silently drop its records from the result. The
+// verification I/O (one page per empty side) is charged to the join
+// phase.
+func (j *joiner) verifyEmptySides(fr, fs *diskio.File) error {
+	pt := j.begin(PhaseJoin)
+	defer pt.end()
+	if err := recfile.VerifyEmptyKPEs(fr, j.cfg.bufPages()); err != nil {
+		return err
+	}
+	return recfile.VerifyEmptyKPEs(fs, j.cfg.bufPages())
+}
+
 // processPair joins the partition pair (fr, fs), repartitioning
 // recursively when the pair exceeds the memory budget (§3.2.3).
 func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) error {
 	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 	if nr == 0 || ns == 0 {
-		return nil // nothing can join; skip the I/O entirely
+		// Nothing can join — but an apparently empty file may be a torn
+		// stream, so verify before skipping the pair.
+		err := j.verifyEmptySides(fr, fs)
+		if depth == 0 {
+			err = markHealable(err)
+		}
+		return err
 	}
 	size := (nr + ns) * geom.KPESize
 	if size > j.cfg.Memory && depth < j.cfg.maxRecurse() {
@@ -595,6 +616,17 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 		fr, fs := filesR[i], filesS[i]
 		nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 		if nr == 0 || ns == 0 {
+			if err := j.verifyEmptySides(fr, fs); err != nil {
+				if !recfile.IsCorrupt(err) {
+					return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+				}
+				// Torn below a frame header: the sequential top-pair
+				// path re-detects the corruption and heals the pair by
+				// re-derivation from the base inputs.
+				if err := j.processTopPair(filesR, filesS, i, g); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		if (nr+ns)*geom.KPESize > j.cfg.Memory {

@@ -172,6 +172,102 @@ func TestFlushedEmptyStreamReadsCleanly(t *testing.T) {
 	}
 }
 
+// tornPrefix copies the first n bytes of src into a fresh file,
+// simulating a write torn after exactly n bytes.
+func tornPrefix(t *testing.T, d *diskio.Disk, src *diskio.File, n int) *diskio.File {
+	t.Helper()
+	f := d.Create(src.Name() + "-torn")
+	w := f.NewWriter(4)
+	if _, err := w.Write(src.Bytes()[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestVerifyEmptyCatchesSubHeaderTear: a stream torn below one frame
+// header (or inside the first payload) reports zero records, so callers
+// would skip it as empty — VerifyEmpty must expose the tear as a
+// CorruptError instead of letting the records vanish silently.
+func TestVerifyEmptyCatchesSubHeaderTear(t *testing.T) {
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	whole := d.Create("whole")
+	writeKPEs(t, whole, 1)
+
+	// Tears below the header and tears inside the first record's payload
+	// both leave a length-derived count of zero.
+	for _, n := range []int{1, frameHeaderSize - 1, frameHeaderSize, frameHeaderSize + 1} {
+		torn := tornPrefix(t, d, whole, n)
+		if c := NumKPEs(torn); c != 0 {
+			t.Fatalf("tear to %d bytes: NumKPEs = %d, want 0 (precondition)", n, c)
+		}
+		err := VerifyEmptyKPEs(torn, 2)
+		if err == nil {
+			t.Fatalf("tear to %d bytes passed empty-stream verification", n)
+		}
+		if !IsCorrupt(err) {
+			t.Fatalf("tear to %d bytes: want CorruptError, got %v", n, err)
+		}
+	}
+
+	// Intact streams pass: finalized empty, never written, and non-empty
+	// (vacuously, without I/O).
+	empty := d.Create("empty")
+	if err := NewKPEWriter(empty, 2).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*diskio.File{empty, d.Create("never-written"), whole} {
+		if err := VerifyEmptyKPEs(f, 2); err != nil {
+			t.Fatalf("%s: intact stream failed verification: %v", f.Name(), err)
+		}
+	}
+}
+
+// TestRangeReaderTornAtFrameBoundary: a file torn at exactly a frame
+// boundary must not read as a clean short range — the merge phase of the
+// external sort would otherwise write a checksum-valid but incomplete
+// run and drop records without any error.
+func TestRangeReaderTornAtFrameBoundary(t *testing.T) {
+	d := diskio.NewDisk(256, 5, time.Millisecond)
+	const rec, n = 8, 600
+	if n <= recsPerFrame(rec) {
+		t.Fatalf("need at least two frames; %d records fit in one", n)
+	}
+	whole := d.Create("whole")
+	w := NewRecWriter(whole, rec, 2)
+	buf := make([]byte, rec)
+	for i := 0; i < n; i++ {
+		buf[0] = byte(i)
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	torn := tornPrefix(t, d, whole, frameBytes(rec))
+
+	r := NewRecRangeReader(torn, rec, 2, 0, n)
+	served := 0
+	var err error
+	for {
+		var ok bool
+		ok, err = r.Next(buf)
+		if !ok || err != nil {
+			break
+		}
+		served++
+	}
+	if err == nil {
+		t.Fatalf("range over torn file ended cleanly after %d of %d records", served, n)
+	}
+	if !IsCorrupt(err) {
+		t.Fatalf("want CorruptError, got %v", err)
+	}
+}
+
 // FuzzFrameReader feeds arbitrary bytes to the frame reader: whatever
 // the input, Next must terminate with records or an error — never panic
 // and never loop forever.

@@ -94,6 +94,36 @@ func NumRecs(f *diskio.File, recSize int) int64 {
 	return n
 }
 
+// VerifyEmpty checks that a file whose length-derived record count is
+// zero really is an intact empty stream: either never written (zero
+// length) or exactly one finalized end-of-stream frame. A torn write can
+// truncate a stream below one frame header, which makes NumRecs report
+// zero for a file that held records — so callers that skip apparently
+// empty files MUST verify before skipping, or corruption silently drops
+// the file's records instead of surfacing as a CorruptError. Files with
+// a non-zero record count are vacuously fine here (their corruption, if
+// any, surfaces when they are read) and cost no I/O.
+func VerifyEmpty(f *diskio.File, recSize, bufPages int) error {
+	if f.Len() == 0 || NumRecs(f, recSize) > 0 {
+		return nil
+	}
+	r := NewRecReader(f, recSize, bufPages)
+	buf := make([]byte, recSize)
+	ok, err := r.Next(buf)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return &CorruptError{File: f.Name(), Detail: "records present in a stream whose length reports none"}
+	}
+	return nil
+}
+
+// VerifyEmptyKPEs is VerifyEmpty for KPE streams.
+func VerifyEmptyKPEs(f *diskio.File, bufPages int) error {
+	return VerifyEmpty(f, geom.KPESize, bufPages)
+}
+
 // CorruptError reports that a stream failed integrity verification:
 // checksum mismatch, torn frame, or misordered frames.
 type CorruptError struct {
@@ -327,7 +357,12 @@ func (r *RecReader) loadFrame() (bool, error) {
 	}
 	if n == 0 {
 		if r.rangeMode {
-			return false, nil // range ends at file end
+			// loadFrame is never entered with remaining == 0, and range
+			// callers only request records that were written — running
+			// out of file mid-range is a torn tail, not a clean end. A
+			// clean return here would silently shorten a sort run into a
+			// checksum-valid but incomplete merge output.
+			return false, r.corrupt("stream ends before requested record range")
 		}
 		if r.idx == 0 && r.f.Len() == 0 {
 			return false, nil // never-written file: empty stream

@@ -25,6 +25,7 @@ import (
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sfc"
 	"spatialjoin/internal/sweep"
 )
@@ -399,14 +400,22 @@ type stackEntry struct {
 func (j *joiner) scan(filesR, filesS []*diskio.File) error {
 	h := &cursorHeap{}
 	buf := j.cfg.bufPagesFor(len(filesR) + len(filesS))
+	// Level files reporting zero records are left out of the heap, but
+	// the count is length-derived: a file torn below one frame header
+	// masquerades as empty, so verify each skipped file really is an
+	// intact empty stream instead of silently dropping its level.
 	for l, f := range filesR {
 		if numLevRecs(f) > 0 {
 			h.items = append(h.items, newGroupCursor(f, buf, l, 0))
+		} else if err := recfile.VerifyEmpty(f, levRecSize, buf); err != nil {
+			return err
 		}
 	}
 	for l, f := range filesS {
 		if numLevRecs(f) > 0 {
 			h.items = append(h.items, newGroupCursor(f, buf, l, 1))
+		} else if err := recfile.VerifyEmpty(f, levRecSize, buf); err != nil {
+			return err
 		}
 	}
 	// Prime lookaheads, dropping exhausted cursors (empty files were

@@ -1,0 +1,47 @@
+package s3j
+
+import (
+	"testing"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/recfile"
+)
+
+// TestTornLevelFilesNeverDropPairs: one R and one identical S rectangle
+// land in a single level file each; under a torn-write sweep, a tear of
+// a level file (or of its sorted replacement) can shrink it below one
+// frame header, where length-derived numLevRecs reports zero and the
+// synchronized scan used to drop the level silently — losing the only
+// result pair. Every run must now either produce the exact result or
+// fail with a corruption error.
+func TestTornLevelFilesNeverDropPairs(t *testing.T) {
+	rect := geom.NewRect(0.30, 0.30, 0.32, 0.32) // inside one cell at every level
+	R := []geom.KPE{{ID: 1, Rect: rect}}
+	S := []geom.KPE{{ID: 2, Rect: rect}}
+
+	var torn, failed int64
+	for seed := int64(1); seed <= 60; seed++ {
+		d := diskio.NewDisk(256, 5, time.Microsecond)
+		fp := diskio.NewFaultPolicy(diskio.FaultConfig{Seed: seed, TornWriteRate: 0.3})
+		d.SetFaultPolicy(fp)
+		var got []geom.Pair
+		_, err := Join(R, S, Config{Disk: d, Memory: 1 << 20, Levels: 2}, func(p geom.Pair) { got = append(got, p) })
+		torn += fp.Stats().TornWrites
+		if err != nil {
+			if !recfile.IsCorrupt(err) {
+				t.Fatalf("seed %d: want a corruption error, got %v", seed, err)
+			}
+			failed++
+			continue
+		}
+		if len(got) != 1 {
+			t.Fatalf("seed %d: silent wrong answer: %d pairs, want 1 (%d torn writes)",
+				seed, len(got), fp.Stats().TornWrites)
+		}
+	}
+	if torn == 0 || failed == 0 {
+		t.Fatalf("sweep vacuous: torn=%d, cleanFailures=%d", torn, failed)
+	}
+}

@@ -237,6 +237,16 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	for _, b := range buckets {
 		nS := recfile.NumKPEs(b.fS)
 		if b.nR == 0 || nS == 0 {
+			// nR is tracked in memory, but nS derives from the file
+			// length: a torn write can shrink the bucket's S file below
+			// one frame header and masquerade as empty, so verify
+			// before skipping. An empty R bucket received no S copies
+			// and can contribute no pairs regardless.
+			if b.nR > 0 && nS == 0 {
+				if err = recfile.VerifyEmptyKPEs(b.fS, cfg.bufPages()); err != nil {
+					break
+				}
+			}
 			continue
 		}
 		if (int64(b.nR)+nS)*geom.KPESize > cfg.Memory {

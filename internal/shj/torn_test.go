@@ -1,0 +1,46 @@
+package shj
+
+import (
+	"testing"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/recfile"
+)
+
+// TestTornBucketFilesNeverDropPairs: with a single bucket holding one R
+// and one intersecting S rectangle, exactly two bucket-file flushes hit
+// the device, so a torn-write sweep covers every tear combination. A
+// tear of the S file leaves it below one frame header — length-derived
+// NumKPEs reports zero — and the join used to skip the bucket silently,
+// returning zero pairs. Every run must now either produce the exact
+// result or fail with a corruption error.
+func TestTornBucketFilesNeverDropPairs(t *testing.T) {
+	R := []geom.KPE{{ID: 1, Rect: geom.NewRect(0.1, 0.1, 0.3, 0.3)}}
+	S := []geom.KPE{{ID: 2, Rect: geom.NewRect(0.2, 0.2, 0.4, 0.4)}}
+
+	var torn, failed int64
+	for seed := int64(1); seed <= 40; seed++ {
+		d := diskio.NewDisk(256, 5, time.Microsecond)
+		fp := diskio.NewFaultPolicy(diskio.FaultConfig{Seed: seed, TornWriteRate: 0.5})
+		d.SetFaultPolicy(fp)
+		var got []geom.Pair
+		_, err := Join(R, S, Config{Disk: d, Memory: 1 << 20}, func(p geom.Pair) { got = append(got, p) })
+		torn += fp.Stats().TornWrites
+		if err != nil {
+			if !recfile.IsCorrupt(err) {
+				t.Fatalf("seed %d: want a corruption error, got %v", seed, err)
+			}
+			failed++
+			continue
+		}
+		if len(got) != 1 {
+			t.Fatalf("seed %d: silent wrong answer: %d pairs, want 1 (%d torn writes)",
+				seed, len(got), fp.Stats().TornWrites)
+		}
+	}
+	if torn == 0 || failed == 0 {
+		t.Fatalf("sweep vacuous: torn=%d, cleanFailures=%d", torn, failed)
+	}
+}
