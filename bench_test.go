@@ -12,6 +12,9 @@ import (
 	"testing"
 
 	"spatialjoin/internal/bench"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/trace"
 )
 
 // benchSuite returns the shared, cached experiment datasets at benchmark
@@ -168,6 +171,37 @@ func BenchmarkMethodsComparison(b *testing.B) {
 		rows, _ := bench.RunMethods(s, bench.J1)
 		if len(rows) != 8 {
 			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// Observability overhead — the same PBSM join with no recorder attached
+// (the production default: every instrumentation site reduces to a nil
+// pointer test) versus a full recorder capturing spans, counters and
+// histograms. The delta between the two is an upper bound on what the
+// nil path can possibly cost over uninstrumented code; the enforced
+// budget test is TestNilRecorderOverheadBudget.
+func BenchmarkJoinPBSMNilRecorder(b *testing.B) {
+	R := datagen.Uniform(11, 4000, 0.004)
+	S := datagen.Uniform(12, 4000, 0.004)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := core.Collect(R, S, core.Config{Method: core.PBSM, Memory: 64 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinPBSMActiveRecorder(b *testing.B) {
+	R := datagen.Uniform(11, 4000, 0.004)
+	S := datagen.Uniform(12, 4000, 0.004)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := trace.New()
+		_, _, err := core.Collect(R, S, core.Config{Method: core.PBSM, Memory: 64 << 10, Trace: rec})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }

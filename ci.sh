@@ -15,9 +15,22 @@ if [ -n "$unformatted" ]; then
     echo "gofmt needed:" "$unformatted" >&2
     exit 1
 fi
+# The trace package is the hot-path instrumentation layer; keep its
+# formatting check explicit so a partial checkout still gates it.
+unformatted=$(gofmt -l internal/trace)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed in internal/trace:" "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./... =="
 go vet ./...
+
+# Recorder/Span contain mutex-guarded state: copying them by value would
+# silently break the concurrency contract, so check copylocks on its own
+# (it is part of the default vet suite, but must never be tuned away).
+echo "== go vet -copylocks ./... =="
+go vet -copylocks ./...
 
 echo "== go build ./... =="
 go build ./...
@@ -34,5 +47,12 @@ go test -race ./...
 
 echo "== chaos suite (fault-injection sweeps) =="
 go test -race -count=1 ./internal/chaos/
+
+echo "== sjbench trace smoke (Chrome trace_event export) =="
+tracefile=$(mktemp /tmp/sjbench-trace.XXXXXX.json)
+trap 'rm -f "$tracefile"' EXIT
+# sjbench self-validates: re-reads the file, parses the JSON array and
+# checks span-tree coverage >= 95%, printing "trace OK" on success.
+go run ./cmd/sjbench -exp phases -phases-n 2000 -trace "$tracefile" | grep "trace OK"
 
 echo "ci.sh: all checks passed"

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +32,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset generator seed")
 	maxP := flag.Int("maxp", 10, "largest p for figure 13")
 	format := flag.String("format", "table", "output format: table or csv")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the instrumented 'phases' PBSM run and self-validate it")
+	phasesN := flag.Int("phases-n", 10000, "per-relation cardinality of the 'phases' experiment")
 	flag.Parse()
 
 	s := bench.NewSuite(*laScale, *calScale, *seed)
+	var phasesRuns []bench.PhasesRun
 	runners := map[string]func() *bench.Table{
+		"phases": func() *bench.Table {
+			runs, t := bench.RunPhases(s, *phasesN)
+			phasesRuns = runs
+			return t
+		},
 		"table1":     func() *bench.Table { _, t := bench.RunTable1(s); return t },
 		"table2":     func() *bench.Table { _, t := bench.RunTable2(s); return t },
 		"table3":     func() *bench.Table { _, t := bench.RunTable3(s); return t },
@@ -60,7 +69,7 @@ func main() {
 	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
-		"methods", "methods-j5", "robustness", "faults", "plancheck"}
+		"methods", "methods-j5", "robustness", "faults", "plancheck", "phases"}
 
 	var names []string
 	if *exp == "all" {
@@ -90,4 +99,52 @@ func main() {
 		tab.Note += fmt.Sprintf(" | harness wall time %.1fs", time.Since(t0).Seconds())
 		tab.Fprint(os.Stdout)
 	}
+
+	if *traceOut != "" {
+		if phasesRuns == nil {
+			tab := runners["phases"]()
+			tab.Fprint(os.Stdout)
+		}
+		if err := writeAndValidateTrace(*traceOut, phasesRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeAndValidateTrace exports the instrumented PBSM run as a Chrome
+// trace_event file, then proves the artifact is usable: it re-reads the
+// file, parses it as the JSON array chrome://tracing expects, and checks
+// the recorder's span tree accounts for ≥95% of the measured wall time.
+func writeAndValidateTrace(path string, runs []bench.PhasesRun) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("no instrumented runs to trace")
+	}
+	run := runs[0] // the PBSM run
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := run.Rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("trace %s does not parse as a Chrome trace_event array: %w", path, err)
+	}
+	cov := run.Rec.Coverage()
+	if cov < 0.95 {
+		return fmt.Errorf("trace %s: span tree covers only %.1f%% of wall time (need ≥95%%)", path, 100*cov)
+	}
+	fmt.Printf("trace OK: %s, %d events, coverage %.1f%% (%s run)\n", path, len(events), 100*cov, run.Name)
+	return nil
 }

@@ -9,14 +9,23 @@
 //	      [-n 20000] [-p 1] [-seed 1]
 //	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
 //	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-plan] [-v]
+//	      [-trace out.json] [-stats] [-pprof addr]
 //
 // -mem is the memory budget in "paper megabytes" (20-byte KPEs), so
 // -mem 2.5 reproduces the paper's standard LA-join budget.
+//
+// -stats prints the phase-tree summary of the instrumented run (wall
+// time, I/O delta and records per span, plus counters and histograms);
+// -trace writes the same run as a Chrome trace_event file loadable in
+// chrome://tracing or Perfetto; -pprof serves net/http/pprof on the
+// given address (e.g. localhost:6060) for live CPU/heap profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"spatialjoin/internal/core"
@@ -29,6 +38,7 @@ import (
 	"spatialjoin/internal/shj"
 	"spatialjoin/internal/sssj"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 	"spatialjoin/internal/tsv"
 )
 
@@ -68,11 +78,23 @@ func main() {
 	parallel := flag.Int("parallel", 1, "concurrent partition-pair joins (PBSM only)")
 	doPlan := flag.Bool("plan", false, "print the analytic cost ranking and pick the cheapest method")
 	verbose := flag.Bool("v", false, "print each result pair")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run")
+	stats := flag.Bool("stats", false, "print the phase-tree trace summary after the join")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "sjoin: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sjoin: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sjoin: pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	load := func(path, name string, seedOff int64) []geom.KPE {
@@ -109,6 +131,9 @@ func main() {
 		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of 40-byte KPEs
 		Algorithm:    sweep.Kind(*alg),
 		PBSMParallel: *parallel,
+	}
+	if *traceOut != "" || *stats {
+		cfg.Trace = trace.New()
 	}
 	switch *dup {
 	case "rpm":
@@ -207,5 +232,27 @@ func main() {
 			fmt.Printf("  %-16s cpu %.3fs, io %.0f units\n",
 				ph, st.PhaseCPU[ph].Seconds(), st.PhaseIO[ph].CostUnits)
 		}
+	}
+
+	if *stats {
+		fmt.Println()
+		if err := cfg.Trace.WriteTree(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := cfg.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace     %s (chrome://tracing / Perfetto), coverage %.1f%%\n",
+			*traceOut, 100*cfg.Trace.Coverage())
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/trace"
 )
 
 const (
@@ -239,6 +240,80 @@ func TestPBSMHealsCorruptPartitions(t *testing.T) {
 	t.Logf("healed runs: %d/40", healedRuns)
 }
 
+// TestFaultsSurfaceInTrace: the observability layer must show what the
+// fault-injection layer does. Every retry the disk performs must appear
+// as an "io.retry" instant event on an attached recorder (count equal to
+// Result.IO.Retries), and every healed PBSM partition must appear as a
+// "heal" span in the span tree.
+func TestFaultsSurfaceInTrace(t *testing.T) {
+	countSpans := func(rec *trace.Recorder, name string) int {
+		n := 0
+		for _, sd := range rec.Spans() {
+			if sd.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+
+	t.Run("retries", func(t *testing.T) {
+		var sawRetry bool
+		for seed := int64(1); seed <= 15 && !sawRetry; seed++ {
+			d := diskio.NewDisk(4096, 20, time.Microsecond)
+			d.SetFaultPolicy(diskio.NewFaultPolicy(diskio.FaultConfig{
+				Seed:               seed,
+				TransientReadRate:  0.15,
+				TransientWriteRate: 0.15,
+			}))
+			rec := trace.New()
+			R, S := dataset()
+			_, res, err := core.Collect(R, S, core.Config{
+				Method: core.PBSM, Memory: memory, Disk: d, Trace: rec,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: transient-only schedule must succeed: %v", seed, err)
+			}
+			if got := rec.Counter("io.retry"); got != res.IO.Retries {
+				t.Fatalf("seed %d: io.retry counter %d != Result.IO.Retries %d", seed, got, res.IO.Retries)
+			}
+			if got := int64(countSpans(rec, "retry")); got != res.IO.Retries {
+				t.Fatalf("seed %d: %d retry events != Result.IO.Retries %d", seed, got, res.IO.Retries)
+			}
+			sawRetry = res.IO.Retries > 0
+		}
+		if !sawRetry {
+			t.Fatal("no retry fired across 15 seeds; assertion vacuous")
+		}
+	})
+
+	t.Run("heals", func(t *testing.T) {
+		var sawHeal bool
+		for seed := int64(1); seed <= 40 && !sawHeal; seed++ {
+			d := diskio.NewDisk(4096, 20, time.Microsecond)
+			d.SetFaultPolicy(diskio.NewFaultPolicy(diskio.FaultConfig{Seed: seed, BitFlipRate: 0.02}))
+			rec := trace.New()
+			R, S := dataset()
+			_, res, err := core.Collect(R, S, core.Config{
+				Method: core.PBSM, Memory: memory, Disk: d, Trace: rec,
+			})
+			if err != nil {
+				continue // clean failure; healing did not get a chance
+			}
+			healSpans := countSpans(rec, "heal")
+			if healSpans != res.PBSMStats.Healed {
+				t.Fatalf("seed %d: %d heal spans != Stats.Healed %d", seed, healSpans, res.PBSMStats.Healed)
+			}
+			if hc := rec.Counter("pbsm.healed"); hc != int64(res.PBSMStats.Healed) {
+				t.Fatalf("seed %d: pbsm.healed counter %d != Stats.Healed %d", seed, hc, res.PBSMStats.Healed)
+			}
+			sawHeal = res.PBSMStats.Healed > 0
+		}
+		if !sawHeal {
+			t.Fatal("no run healed across 40 seeds; assertion vacuous")
+		}
+	})
+}
+
 // TestParallelPBSMHealsToo exercises the healing path inside the worker
 // pool, where emission is concurrent.
 func TestParallelPBSMHealsToo(t *testing.T) {
@@ -251,7 +326,16 @@ func TestParallelPBSMHealsToo(t *testing.T) {
 	healedRuns := 0
 	for seed := int64(1); seed <= 40; seed++ {
 		fp := diskio.NewFaultPolicy(diskio.FaultConfig{Seed: seed, BitFlipRate: 0.02})
-		got, res, err := runOnce(v, fp)
+		// A recorder is attached so the concurrent per-pair span and heal
+		// span paths run under the race detector too.
+		d := diskio.NewDisk(4096, 20, time.Microsecond)
+		d.SetFaultPolicy(fp)
+		cfg := v.cfg
+		cfg.Memory = memory
+		cfg.Disk = d
+		cfg.Trace = trace.New()
+		R, S := dataset()
+		got, res, err := core.Collect(R, S, cfg)
 		if err != nil {
 			var je *joinerr.JoinError
 			if !errors.As(err, &je) {

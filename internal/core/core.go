@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"spatialjoin/internal/diskio"
@@ -25,6 +26,7 @@ import (
 	"spatialjoin/internal/shj"
 	"spatialjoin/internal/sssj"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 )
 
 // Method selects the join algorithm.
@@ -85,6 +87,14 @@ type Config struct {
 	// BufPages is the sequential I/O buffer size in pages; zero selects
 	// the default.
 	BufPages int
+
+	// Trace receives the hierarchical span/counter record of the join:
+	// phase spans, I/O deltas, duplicate-elimination counters and fault
+	// events. Nil (the default) disables instrumentation; the join then
+	// pays only a nil pointer test per instrumentation site. A Recorder
+	// observes one disk at a time, so attach a separate Recorder to each
+	// concurrently-running join.
+	Trace *trace.Recorder
 }
 
 func (c *Config) method() Method {
@@ -154,8 +164,27 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		return Result{}, err
 	}
 	disk := cfg.disk()
+	if cfg.Disk != nil {
+		// A caller-supplied disk may be shared by concurrent Joins, and
+		// Result.IO is the delta between two snapshots of its counters —
+		// interleaved joins would attribute each other's I/O. Serialize
+		// whole joins per shared disk so every delta is self-consistent.
+		// Fresh per-join disks (cfg.Disk == nil) skip the lock.
+		mu := lockForDisk(cfg.Disk)
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	rec := cfg.Trace
+	if rec != nil {
+		rec.SetIOSource(func() trace.IOStats { return ioSnapshot(disk) })
+		disk.SetTracer(rec)
+		defer disk.SetTracer(nil)
+	}
 	before := disk.Stats()
 	res := Result{Method: cfg.method()}
+	root := rec.Begin("join:" + string(res.Method))
+	root.AddRecords(int64(len(R) + len(S)))
+	defer root.End()
 
 	switch res.Method {
 	case PBSM:
@@ -169,6 +198,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			MaxRecurse:        cfg.PBSMMaxRecurse,
 			Parallel:          cfg.PBSMParallel,
 			BufPages:          cfg.BufPages,
+			Trace:             root,
 		}, emit)
 		if err != nil {
 			return Result{}, err
@@ -185,6 +215,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Curve:     cfg.Curve,
 			Levels:    cfg.S3JLevels,
 			BufPages:  cfg.BufPages,
+			Trace:     root,
 		}, emit)
 		if err != nil {
 			return Result{}, err
@@ -198,6 +229,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Memory:    cfg.Memory,
 			Algorithm: cfg.algorithm(),
 			BufPages:  cfg.BufPages,
+			Trace:     root,
 		}, emit)
 		if err != nil {
 			return Result{}, err
@@ -211,6 +243,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Memory:    cfg.Memory,
 			Algorithm: cfg.algorithm(),
 			BufPages:  cfg.BufPages,
+			Trace:     root,
 		}, emit)
 		if err != nil {
 			return Result{}, err
@@ -225,7 +258,36 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	res.IO = disk.Stats().Sub(before)
 	res.IOTime = disk.CostTime(res.IO.CostUnits)
 	res.Total = res.CPU + res.IOTime
+	root.SetAttr("results", res.Results)
 	return res, nil
+}
+
+// joinLocks serializes Joins sharing one caller-supplied Disk (see
+// Join). Entries are one mutex per distinct shared disk and are never
+// removed; callers supply a handful of long-lived disks, not an
+// unbounded stream.
+var joinLocks sync.Map // *diskio.Disk -> *sync.Mutex
+
+func lockForDisk(d *diskio.Disk) *sync.Mutex {
+	mu, _ := joinLocks.LoadOrStore(d, &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
+// ioSnapshot adapts the disk's counters to the trace layer's
+// storage-agnostic snapshot type.
+func ioSnapshot(d *diskio.Disk) trace.IOStats {
+	s := d.Stats()
+	ps := int64(d.PageSize())
+	return trace.IOStats{
+		ReadRequests:  s.ReadRequests,
+		WriteRequests: s.WriteRequests,
+		PagesRead:     s.PagesRead,
+		PagesWritten:  s.PagesWritten,
+		BytesRead:     s.PagesRead * ps,
+		BytesWritten:  s.PagesWritten * ps,
+		Retries:       s.Retries,
+		CostUnits:     s.CostUnits,
+	}
 }
 
 // validateInput rejects geometry no join method can process correctly:

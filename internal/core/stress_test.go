@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -86,5 +87,50 @@ func TestSharedDiskDeltas(t *testing.T) {
 	if total := d.Stats().CostUnits; total != first.IO.CostUnits+second.IO.CostUnits {
 		t.Fatalf("disk total %g != sum of deltas %g", total,
 			first.IO.CostUnits+second.IO.CostUnits)
+	}
+}
+
+// Result.IO is a snapshot delta on the disk's counters; without
+// serialization, two joins racing on one shared disk would each
+// attribute the other's I/O to itself. Join serializes whole joins per
+// shared disk, so every concurrent delta must equal the solo delta and
+// the disk total must be their exact sum.
+func TestSharedDiskConcurrentJoinDeltas(t *testing.T) {
+	R := datagen.Uniform(6, 400, 0.03)
+	solo := func() float64 {
+		d := diskio.NewDisk(0, 0, time.Microsecond)
+		_, res, err := Collect(R, R, Config{Method: PBSM, Memory: 8 << 10, Disk: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IO.CostUnits
+	}()
+
+	const workers = 4
+	d := diskio.NewDisk(0, 0, time.Microsecond)
+	deltas := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, res, err := Collect(R, R, Config{Method: PBSM, Memory: 8 << 10, Disk: d})
+			deltas[w], errs[w] = res.IO.CostUnits, err
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if deltas[w] != solo {
+			t.Fatalf("worker %d delta %g != solo delta %g (interleaved attribution)", w, deltas[w], solo)
+		}
+		sum += deltas[w]
+	}
+	if total := d.Stats().CostUnits; total != sum {
+		t.Fatalf("disk total %g != sum of concurrent deltas %g", total, sum)
 	}
 }

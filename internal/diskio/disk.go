@@ -46,6 +46,17 @@ type Disk struct {
 	files map[string]*File
 	seq   int
 	fp    *FaultPolicy
+	tr    Tracer
+}
+
+// Tracer receives rare storage-layer events: request retries after
+// transient faults, injected latency spikes, torn writes and bit flips.
+// Only exceptional events are reported — the per-request hot path stays
+// untraced — so attaching a tracer costs nothing on a healthy disk.
+// Implementations must be safe for concurrent use; *trace.Recorder
+// satisfies the interface.
+type Tracer interface {
+	IOEvent(kind, file string)
 }
 
 // Stats aggregates the I/O activity charged to a Disk.
@@ -119,13 +130,37 @@ func (d *Disk) FaultPolicy() *FaultPolicy {
 	return d.fp
 }
 
-// NoteRetry records one request retry after a transient fault. The
-// record layers (package recfile) call it so that retry counts surface
-// in the per-join Stats deltas.
-func (d *Disk) NoteRetry() {
+// SetTracer installs (or, with nil, removes) an event tracer notified
+// of retries and injected faults on this disk.
+func (d *Disk) SetTracer(tr Tracer) {
+	d.mu.Lock()
+	d.tr = tr
+	d.mu.Unlock()
+}
+
+func (d *Disk) tracer() Tracer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tr
+}
+
+// emitEvent forwards an event to the tracer, if any. Called without
+// d.mu held so tracer implementations may take their own locks freely.
+func (d *Disk) emitEvent(kind, file string) {
+	if tr := d.tracer(); tr != nil {
+		tr.IOEvent(kind, file)
+	}
+}
+
+// NoteRetry records one retry of a request against the named file after
+// a transient fault. The record layers (package recfile) call it so that
+// retry counts surface in the per-join Stats deltas and, when a Tracer
+// is attached, as retry events in the trace.
+func (d *Disk) NoteRetry(file string) {
 	d.mu.Lock()
 	d.stats.Retries++
 	d.mu.Unlock()
+	d.emitEvent("retry", file)
 }
 
 // PT returns the positioning-to-transfer ratio of the cost model.
@@ -215,11 +250,12 @@ func (d *Disk) chargeWrite(bytes int) {
 }
 
 // chargeLatencySpike bills an extra positioning, the cost of an injected
-// latency fault (a seek gone long).
-func (d *Disk) chargeLatencySpike() {
+// latency fault (a seek gone long) against the named file.
+func (d *Disk) chargeLatencySpike(file string) {
 	d.mu.Lock()
 	d.stats.CostUnits += d.pt
 	d.mu.Unlock()
+	d.emitEvent("latency-fault", file)
 }
 
 // File is a simulated on-disk file: a byte sequence plus cost accounting.
@@ -324,6 +360,7 @@ func (w *Writer) flush() error {
 			w.f.data = append(w.f.data, w.buf[:arg]...)
 			d.chargeWrite(arg)
 			w.n = 0
+			d.emitEvent("torn-write", w.f.name)
 			return nil
 		case writeFlip:
 			start := len(w.f.data)
@@ -331,9 +368,10 @@ func (w *Writer) flush() error {
 			w.f.data[start+arg/8] ^= 1 << (arg % 8)
 			d.chargeWrite(w.n)
 			w.n = 0
+			d.emitEvent("bit-flip", w.f.name)
 			return nil
 		case writeLatency:
-			d.chargeLatencySpike()
+			d.chargeLatencySpike(w.f.name)
 		}
 	}
 	w.f.data = append(w.f.data, w.buf[:w.n]...)
@@ -416,7 +454,7 @@ func (r *Reader) fill() (bool, error) {
 		case readTransient:
 			return false, &FaultError{Op: "read", File: r.f.name, Transient: true}
 		case readLatency:
-			r.f.d.chargeLatencySpike()
+			r.f.d.chargeLatencySpike(r.f.name)
 		}
 	}
 	want := int64(len(r.buf))

@@ -239,11 +239,19 @@ func NewSpatialJoin(left, right Operator, cfg core.Config) *SpatialJoin {
 
 // Open implements Operator: it drains both children and starts the join.
 func (j *SpatialJoin) Open() error {
+	// The drain is charged to its own root span: it is the part of an
+	// operator-tree join that cannot be pipelined (the paper's premise
+	// that no index exists on the inputs), and the trace should show its
+	// cost next to the join's own phases.
+	drain := j.cfg.Trace.Begin("exec:drain")
 	leftRows, err := Collect(j.left)
 	if err != nil {
+		drain.End()
 		return fmt.Errorf("exec: spatial join left input: %w", err)
 	}
 	rightRows, err := Collect(j.right)
+	drain.AddRecords(int64(len(leftRows) + len(rightRows)))
+	drain.End()
 	if err != nil {
 		return fmt.Errorf("exec: spatial join right input: %w", err)
 	}

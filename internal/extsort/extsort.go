@@ -21,6 +21,7 @@ import (
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/trace"
 )
 
 // Less compares two records given as raw byte slices of the configured
@@ -34,6 +35,9 @@ type Config struct {
 	Memory     int64 // in-memory workspace budget in bytes
 	BufPages   int   // pages per sequential I/O buffer (default 4)
 	Less       Less
+	// Trace is the parent span the sort nests its run-formation and
+	// merge-pass spans under; nil disables instrumentation.
+	Trace *trace.Span
 }
 
 func (c *Config) bufPages() int {
@@ -64,8 +68,23 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 	}
 	st.Records = recfile.NumRecs(in, rs)
 
+	// One span for the whole sort, one child per internal phase. The
+	// deferred end closes whatever phase an error return leaves open.
+	sp := cfg.Trace.Child("extsort")
+	sp.AddRecords(st.Records)
+	var phase *trace.Span
+	endPhase := func() {
+		phase.End()
+		phase = nil
+	}
+	defer func() {
+		endPhase()
+		sp.End()
+	}()
+
 	// Run formation: sort memory-sized chunks, append them to one runs
 	// file, and remember each run's record range.
+	phase = sp.Child("run-formation")
 	runsFile := cfg.Disk.Create("")
 	var runs []runRange
 	{
@@ -123,7 +142,9 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 			return nil, st, err
 		}
 	}
+	endPhase()
 	st.Runs = len(runs)
+	sp.SetAttr("runs", int64(st.Runs))
 	if len(runs) <= 1 {
 		return runsFile, st, nil
 	}
@@ -139,6 +160,9 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 	cur := runsFile
 	for len(runs) > 1 {
 		st.MergePass++
+		phase = sp.Child("merge-pass")
+		phase.SetAttr("pass", int64(st.MergePass))
+		phase.SetAttr("runs", int64(len(runs)))
 		next := cfg.Disk.Create("")
 		w := recfile.NewRecWriter(next, rs, cfg.bufPages())
 		var nextRuns []runRange
@@ -165,6 +189,7 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 		cfg.Disk.Remove(cur.Name())
 		cur = next
 		runs = nextRuns
+		endPhase()
 	}
 	return cur, st, nil
 }

@@ -33,6 +33,7 @@ import (
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 )
 
 // DupMethod selects how duplicates in the response set are eliminated.
@@ -118,6 +119,9 @@ type Config struct {
 	// safe for the internal serialization this option adds. Parallelism
 	// changes only wall-clock CPU, never the I/O cost accounting.
 	Parallel int
+	// Trace is the parent span phase/pair/heal spans nest under; nil
+	// disables instrumentation.
+	Trace *trace.Span
 }
 
 func (c *Config) tune() float64 {
@@ -181,6 +185,7 @@ type Stats struct {
 	MemoryOverflows int   // pairs joined over budget at the recursion cap
 	Healed          int   // partition pairs re-derived after a checksum failure
 	Tests           int64 // candidate tests of the internal algorithm
+	Touches         int64 // status node touches of the internal algorithm
 
 	PhaseIO  [numPhases]diskio.Stats
 	PhaseCPU [numPhases]time.Duration
@@ -232,6 +237,23 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm)}
 	err := j.run(R, S, emit)
 	j.stats.Tests += j.alg.Tests()
+	j.stats.Touches += j.alg.Touches()
+	if t := cfg.Trace; t != nil {
+		// The paper-specific totals: how many raw join-phase results the
+		// duplicate-elimination strategy suppressed (each raw result costs
+		// one reference-point test under RPM), how much the partitioning
+		// replicated, and what the internal algorithm's status structure
+		// cost in traversal work.
+		t.Count("pbsm.dup.suppressed", j.stats.RawResults-j.stats.Results)
+		if cfg.Dup == DupRPM {
+			t.Count("pbsm.rpm.tests", j.stats.RawResults)
+		}
+		t.Count("pbsm.replication.copies", j.stats.CopiesR+j.stats.CopiesS)
+		t.Count("pbsm.sweep.tests", j.stats.Tests)
+		t.Count("pbsm.sweep.touches."+j.alg.Name(), j.stats.Touches)
+		t.Count("pbsm.healed", int64(j.stats.Healed))
+		t.Count("pbsm.repartitions", int64(j.stats.Repartitions))
+	}
 	return j.stats, err
 }
 
@@ -271,21 +293,39 @@ func markHealable(err error) error {
 	return &healableError{err: err}
 }
 
-// phaseTimer attributes wall-clock CPU and disk-cost deltas to a phase.
+// phaseTimer attributes wall-clock CPU and disk-cost deltas to a phase,
+// and mirrors the interval as a trace span when tracing is on. A phase
+// may begin/end many times (once per partition pair in the join phase),
+// so each activation is its own span while the Stats fields accumulate.
 type phaseTimer struct {
 	j     *joiner
 	phase Phase
 	t0    time.Time
 	io0   diskio.Stats
+	sp    *trace.Span
 }
 
 func (j *joiner) begin(p Phase) phaseTimer {
-	return phaseTimer{j: j, phase: p, t0: time.Now(), io0: j.cfg.Disk.Stats()}
+	return j.beginNamed(p, p.String())
+}
+
+// beginNamed attributes costs to phase p but names the trace span
+// differently — the heal path charges the partition phase, yet must be
+// visible as "heal" in the trace.
+func (j *joiner) beginNamed(p Phase, name string) phaseTimer {
+	return phaseTimer{
+		j:     j,
+		phase: p,
+		t0:    time.Now(),
+		io0:   j.cfg.Disk.Stats(),
+		sp:    j.cfg.Trace.Child(name),
+	}
 }
 
 func (pt phaseTimer) end() {
 	pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
 	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+	pt.sp.End()
 }
 
 // deliver hands one duplicate-free pair to the caller, recording
@@ -322,6 +362,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	if p == 1 {
 		// Everything fits: a single in-memory join, no partition files.
 		pt := j.begin(PhaseJoin)
+		pt.sp.AddRecords(int64(len(R) + len(S)))
 		rs := append([]geom.KPE(nil), R...)
 		ss := append([]geom.KPE(nil), S...)
 		err := j.joinLoaded(rs, ss, wholeSpace{}, wholeSpace{})
@@ -335,9 +376,12 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		j.baseR, j.baseS, j.grid = R, S, g
 
 		pt := j.begin(PhasePartition)
+		pt.sp.AddRecords(int64(len(R) + len(S)))
+		pt.sp.SetAttr("partitions", int64(p))
 		filesR, copiesR, errR := j.partitionInput(R, g)
 		filesS, copiesS, errS := j.partitionInput(S, g)
 		j.stats.CopiesR, j.stats.CopiesS = copiesR, copiesS
+		pt.sp.SetAttr("copies", copiesR+copiesS)
 		pt.end()
 		defer func() {
 			for i := 0; i < p; i++ {
@@ -354,6 +398,15 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		}
 		if errS != nil {
 			return joinerr.Wrap("pbsm", PhasePartition.String(), errS)
+		}
+		if j.cfg.Trace != nil {
+			// Partition fill skew: records landing in each of the P
+			// partitions (both relations). NumKPEs is length-derived, so
+			// observing it here is free of I/O charge.
+			for i := 0; i < p; i++ {
+				j.cfg.Trace.Observe("pbsm.partition.fill",
+					float64(recfile.NumKPEs(filesR[i])+recfile.NumKPEs(filesS[i])))
+			}
 		}
 
 		if j.cfg.Parallel > 1 {
@@ -374,7 +427,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	// drop duplicates.
 	if j.cfg.Dup == DupSort {
 		pt := j.begin(PhaseDup)
-		err := j.dupSortPhase(dupFile)
+		err := j.dupSortPhase(dupFile, pt.sp)
 		pt.end()
 		if err != nil {
 			return joinerr.Wrap("pbsm", PhaseDup.String(), err)
@@ -411,7 +464,8 @@ func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) e
 // the in-memory base inputs, exactly as the partition phase would have
 // written them. Its I/O is charged to the partition phase.
 func (j *joiner) healPartition(g *grid, part int) (fr, fs *diskio.File, err error) {
-	pt := j.begin(PhasePartition)
+	pt := j.beginNamed(PhasePartition, "heal")
+	pt.sp.SetAttr("part", int64(part))
 	defer pt.end()
 	fr, err = j.rederive(j.baseR, g, part)
 	if err != nil {
@@ -455,7 +509,7 @@ func (j *joiner) rederive(ks []geom.KPE, g *grid, part int) (*diskio.File, error
 
 // dupSortPhase sorts the spooled result pairs and delivers them
 // duplicate-free.
-func (j *joiner) dupSortPhase(dupFile *diskio.File) error {
+func (j *joiner) dupSortPhase(dupFile *diskio.File, sp *trace.Span) error {
 	if err := j.dupWriter.Flush(); err != nil {
 		return err
 	}
@@ -464,6 +518,7 @@ func (j *joiner) dupSortPhase(dupFile *diskio.File) error {
 		RecordSize: geom.PairSize,
 		Memory:     j.cfg.Memory,
 		BufPages:   j.cfg.bufPages(),
+		Trace:      sp,
 		Less: func(a, b []byte) bool {
 			return geom.DecodePair(a).Less(geom.DecodePair(b))
 		},
@@ -532,7 +587,7 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, 
 // verification I/O (one page per empty side) is charged to the join
 // phase.
 func (j *joiner) verifyEmptySides(fr, fs *diskio.File) error {
-	pt := j.begin(PhaseJoin)
+	pt := j.beginNamed(PhaseJoin, "verify-empty")
 	defer pt.end()
 	if err := recfile.VerifyEmptyKPEs(fr, j.cfg.bufPages()); err != nil {
 		return err
@@ -562,6 +617,7 @@ func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) 
 	}
 
 	pt := j.begin(PhaseJoin)
+	pt.sp.AddRecords(nr + ns)
 	defer pt.end()
 	rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
 	if err == nil {
@@ -683,6 +739,7 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 			defer func() {
 				j.emitMu.Lock()
 				j.stats.Tests += alg.Tests()
+				j.stats.Touches += alg.Touches()
 				j.emitMu.Unlock()
 			}()
 			for idx := range ch {
@@ -690,6 +747,11 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 					return
 				}
 				jb := jobs[idx]
+				// One span per pair job, parented under the join-phase
+				// span. Child/End lock the recorder internally, so
+				// concurrent workers need no extra synchronization.
+				jsp := pt.sp.Child("pair")
+				jsp.SetAttr("part", int64(jb.part))
 				fr, fs := jb.fr, jb.fs
 				rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
 				var ss []geom.KPE
@@ -700,6 +762,8 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 					// A parallel job reads its whole pair before emitting
 					// anything, so checksum failures here are always safe
 					// to heal by re-derivation.
+					hsp := jsp.Child("heal")
+					hsp.SetAttr("part", int64(jb.part))
 					j.emitMu.Lock()
 					var herr error
 					fr, herr = j.rederive(j.baseR, g, jb.part)
@@ -719,11 +783,14 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 							ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
 						}
 					}
+					hsp.End()
 				}
 				if err != nil {
+					jsp.End()
 					setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), err))
 					return
 				}
+				jsp.AddRecords(int64(len(rs) + len(ss)))
 				reg := gridRegion{g: g, part: jb.part}
 				alg.Join(rs, ss, func(r, s geom.KPE) {
 					j.emitMu.Lock()
@@ -743,6 +810,7 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 					}
 					j.emitMu.Unlock()
 				})
+				jsp.End()
 			}
 		}()
 	}

@@ -240,7 +240,7 @@ func (w *RecWriter) emit(last bool) error {
 			return err
 		}
 		retries++
-		w.f.Disk().NoteRetry()
+		w.f.Disk().NoteRetry(w.f.Name())
 	}
 	w.idx++
 	w.n = 0
@@ -267,7 +267,7 @@ func (w *RecWriter) Flush() error {
 			return err
 		}
 		retries++
-		w.f.Disk().NoteRetry()
+		w.f.Disk().NoteRetry(w.f.Name())
 	}
 }
 
@@ -341,7 +341,7 @@ func (r *RecReader) readRetry(p []byte) (int, error) {
 			return got, err
 		}
 		retries++
-		r.f.Disk().NoteRetry()
+		r.f.Disk().NoteRetry(r.f.Name())
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sfc"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 )
 
 // Mode selects the partitioning strategy.
@@ -97,6 +98,9 @@ type Config struct {
 	// BufPages is the per-stream sequential buffer size in pages.
 	// Values < 1 select 4.
 	BufPages int
+	// Trace is the parent span phase spans nest under; nil disables
+	// instrumentation.
+	Trace *trace.Span
 }
 
 // DefaultLevels gives 4^10 ≈ one million cells on the deepest grid,
@@ -151,6 +155,7 @@ type Stats struct {
 	CopiesR     int64 // level-file records written for R
 	CopiesS     int64 // likewise for S
 	Tests       int64 // candidate tests of the internal algorithm
+	Touches     int64 // status node touches of the internal algorithm
 	SortRuns    int   // total initial runs over all level-file sorts
 	MergePasses int   // total extra merge passes (0 when files fit in memory)
 
@@ -213,6 +218,28 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	j := &joiner{cfg: cfg, alg: cfg.algorithm()}
 	err := j.run(R, S, emit)
 	j.stats.Tests = j.alg.Tests()
+	j.stats.Touches = j.alg.Touches()
+	if t := cfg.Trace; t != nil {
+		t.Count("s3j.dup.suppressed", j.stats.RawResults-j.stats.Results)
+		if cfg.Mode == ModeReplicate {
+			t.Count("s3j.rpm.tests", j.stats.RawResults)
+		}
+		t.Count("s3j.replication.copies", j.stats.CopiesR+j.stats.CopiesS)
+		t.Count("s3j.sweep.tests", j.stats.Tests)
+		t.Count("s3j.sweep.touches."+j.alg.Name(), j.stats.Touches)
+		// Replication copies per level, the distribution behind Figure 8:
+		// one counter per level plus a histogram of level fills.
+		for l := range j.stats.LevelRecordsR {
+			n := j.stats.LevelRecordsR[l]
+			if l < len(j.stats.LevelRecordsS) {
+				n += j.stats.LevelRecordsS[l]
+			}
+			if n > 0 {
+				t.Count(fmt.Sprintf("s3j.copies.level%02d", l), n)
+			}
+			t.Observe("s3j.level.fill", float64(n))
+		}
+	}
 	return j.stats, err
 }
 
@@ -235,20 +262,30 @@ func (j *joiner) deliver(p geom.Pair) {
 	j.emit(p)
 }
 
+// phaseTimer attributes wall-clock CPU and disk-cost deltas to a phase,
+// mirrored as a trace span when tracing is on.
 type phaseTimer struct {
 	j     *joiner
 	phase Phase
 	t0    time.Time
 	io0   diskio.Stats
+	sp    *trace.Span
 }
 
 func (j *joiner) begin(p Phase) phaseTimer {
-	return phaseTimer{j: j, phase: p, t0: time.Now(), io0: j.cfg.Disk.Stats()}
+	return phaseTimer{
+		j:     j,
+		phase: p,
+		t0:    time.Now(),
+		io0:   j.cfg.Disk.Stats(),
+		sp:    j.cfg.Trace.Child(p.String()),
+	}
 }
 
 func (pt phaseTimer) end() {
 	pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
 	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+	pt.sp.End()
 }
 
 func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
@@ -269,6 +306,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 
 	// Phase 1: write the level files.
 	pt := j.begin(PhasePartition)
+	pt.sp.AddRecords(int64(len(R) + len(S)))
 	filesR, countsR, err := j.partitionInput(R, levels)
 	if err != nil {
 		pt.end()
@@ -286,6 +324,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	for _, n := range countsS {
 		j.stats.CopiesS += n
 	}
+	pt.sp.SetAttr("copies", j.stats.CopiesR+j.stats.CopiesS)
 	pt.end()
 
 	// Phase 2: sort every level file by locational code. Level 0 has a
@@ -293,11 +332,11 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	// §4.4.2 enables by never computing codes for the lowest level.
 	pt = j.begin(PhaseSort)
 	for l := 1; l <= levels; l++ {
-		if filesR[l], err = j.sortLevel(filesR[l]); err != nil {
+		if filesR[l], err = j.sortLevel(filesR[l], pt.sp); err != nil {
 			pt.end()
 			return joinerr.Wrap("s3j", PhaseSort.String(), err)
 		}
-		if filesS[l], err = j.sortLevel(filesS[l]); err != nil {
+		if filesS[l], err = j.sortLevel(filesS[l], pt.sp); err != nil {
 			pt.end()
 			return joinerr.Wrap("s3j", PhaseSort.String(), err)
 		}
@@ -306,6 +345,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 
 	// Phase 3: synchronized scan.
 	pt = j.begin(PhaseJoin)
+	pt.sp.AddRecords(j.stats.CopiesR + j.stats.CopiesS)
 	err = j.scan(filesR, filesS)
 	pt.end()
 	return joinerr.Wrap("s3j", PhaseJoin.String(), err)
@@ -359,8 +399,9 @@ func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []in
 	return files, counts, nil
 }
 
-// sortLevel sorts one level file by locational code, replacing it.
-func (j *joiner) sortLevel(f *diskio.File) (*diskio.File, error) {
+// sortLevel sorts one level file by locational code, replacing it. The
+// sort's spans nest under sp, the sort-phase span.
+func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, error) {
 	if numLevRecs(f) == 0 {
 		return f, nil
 	}
@@ -369,6 +410,7 @@ func (j *joiner) sortLevel(f *diskio.File) (*diskio.File, error) {
 		RecordSize: levRecSize,
 		Memory:     j.cfg.Memory,
 		BufPages:   j.cfg.bufPages(),
+		Trace:      sp,
 		Less: func(a, b []byte) bool {
 			return decodeLevCode(a) < decodeLevCode(b)
 		},

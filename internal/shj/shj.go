@@ -24,6 +24,7 @@ import (
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 )
 
 // Phase indexes the per-phase statistics.
@@ -62,6 +63,9 @@ type Config struct {
 	// BufPages is the per-stream sequential buffer size in pages.
 	// Values < 1 select 4.
 	BufPages int
+	// Trace is the parent span phase spans nest under; nil disables
+	// instrumentation.
+	Trace *trace.Span
 }
 
 func (c *Config) bufPages() int {
@@ -78,7 +82,8 @@ type Stats struct {
 	CopiesS   int64 // probe-side records written (≥ |S| due to replication)
 	Orphans   int64 // S rectangles overlapping no bucket extent (cannot join)
 	Tests     int64
-	Overflows int // bucket pairs exceeding the memory budget (joined anyway)
+	Touches   int64 // sweep status node touches (see sweep.Algorithm)
+	Overflows int   // bucket pairs exceeding the memory budget (joined anyway)
 
 	PhaseIO  [numPhases]diskio.Stats
 	PhaseCPU [numPhases]time.Duration
@@ -148,6 +153,9 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	// distribution), then assign each R rectangle to the bucket whose
 	// extent needs the least enlargement.
 	t0, io0 := time.Now(), cfg.Disk.Stats()
+	sp := cfg.Trace.Child(PhaseBuild.String())
+	sp.AddRecords(int64(len(R)))
+	sp.SetAttr("buckets", int64(n))
 	buckets := make([]*bucket, n)
 	stride := len(R) / n
 	if stride < 1 {
@@ -190,6 +198,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			}
 		}
 	}
+	sp.End()
 	st.PhaseCPU[PhaseBuild] = time.Since(t0)
 	st.PhaseIO[PhaseBuild] = cfg.Disk.Stats().Sub(io0)
 	if err != nil {
@@ -200,6 +209,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	// whose (now final) extent it intersects. Rectangles overlapping no
 	// extent cannot join any R rectangle and are dropped (counted).
 	t0, io0 = time.Now(), cfg.Disk.Stats()
+	sp = cfg.Trace.Child(PhaseProbePartition.String())
+	sp.AddRecords(int64(len(S)))
 	for i := range S {
 		hit := false
 		for _, b := range buckets {
@@ -225,6 +236,9 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			}
 		}
 	}
+	sp.SetAttr("copies", st.CopiesS)
+	sp.SetAttr("orphans", st.Orphans)
+	sp.End()
 	st.PhaseCPU[PhaseProbePartition] = time.Since(t0)
 	st.PhaseIO[PhaseProbePartition] = cfg.Disk.Stats().Sub(io0)
 	if err != nil {
@@ -234,8 +248,12 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	// Join phase: each bucket pair in memory. No duplicate handling is
 	// needed — every R rectangle exists exactly once.
 	t0, io0 = time.Now(), cfg.Disk.Stats()
+	sp = cfg.Trace.Child(PhaseJoin.String())
 	for _, b := range buckets {
 		nS := recfile.NumKPEs(b.fS)
+		if cfg.Trace != nil {
+			cfg.Trace.Observe("shj.bucket.fill", float64(int64(b.nR)+nS))
+		}
 		if b.nR == 0 || nS == 0 {
 			// nR is tracked in memory, but nS derives from the file
 			// length: a torn write can shrink the bucket's S file below
@@ -260,16 +278,26 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		if err != nil {
 			break
 		}
+		sp.AddRecords(int64(len(rs) + len(ss)))
 		alg.Join(rs, ss, func(r, s geom.KPE) {
 			st.Results++
 			emit(geom.Pair{R: r.ID, S: s.ID})
 		})
 	}
+	sp.End()
 	st.PhaseCPU[PhaseJoin] = time.Since(t0)
 	st.PhaseIO[PhaseJoin] = cfg.Disk.Stats().Sub(io0)
 	st.Tests = alg.Tests()
+	st.Touches = alg.Touches()
 	if err != nil {
 		return st, joinerr.Wrap("shj", PhaseJoin.String(), err)
+	}
+	if t := cfg.Trace; t != nil {
+		t.Count("shj.replication.copies", st.CopiesS)
+		t.Count("shj.orphans", st.Orphans)
+		t.Count("shj.sweep.tests", st.Tests)
+		t.Count("shj.sweep.touches."+alg.Name(), st.Touches)
+		t.Count("shj.overflows", int64(st.Overflows))
 	}
 	return st, nil
 }

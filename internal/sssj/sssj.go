@@ -29,6 +29,7 @@ import (
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
 )
 
 // Phase indexes the per-phase statistics.
@@ -65,6 +66,9 @@ type Config struct {
 	// BufPages is the per-stream sequential buffer size in pages.
 	// Values < 1 select 4.
 	BufPages int
+	// Trace is the parent span phase spans nest under; nil disables
+	// instrumentation.
+	Trace *trace.Span
 }
 
 func (c *Config) bufPages() int {
@@ -78,7 +82,8 @@ func (c *Config) bufPages() int {
 type Stats struct {
 	Results     int64
 	Tests       int64
-	SortRuns    int // initial runs over both relation sorts
+	Touches     int64 // sweep status node touches (see sweep.Algorithm)
+	SortRuns    int   // initial runs over both relation sorts
 	MergePasses int
 
 	// MaxResident is the peak number of KPEs on the sweep-line status
@@ -128,12 +133,15 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	// the unsorted copy is charged too: unlike PBSM's partition files the
 	// sort needs a materialized input it may read several times.
 	t0, io0 := time.Now(), cfg.Disk.Stats()
-	sortedR, errR := sortByXL(R, cfg, &st)
+	sortSpan := cfg.Trace.Child(PhaseSort.String())
+	sortSpan.AddRecords(int64(len(R) + len(S)))
+	sortedR, errR := sortByXL(R, cfg, &st, sortSpan)
 	var sortedS *diskio.File
 	var errS error
 	if errR == nil {
-		sortedS, errS = sortByXL(S, cfg, &st)
+		sortedS, errS = sortByXL(S, cfg, &st, sortSpan)
 	}
+	sortSpan.End()
 	st.PhaseCPU[PhaseSort] = time.Since(t0)
 	st.PhaseIO[PhaseSort] = cfg.Disk.Stats().Sub(io0)
 	defer func() {
@@ -153,6 +161,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 
 	// Phase 2: one synchronized streaming sweep over the sorted runs.
 	t0, io0 = time.Now(), cfg.Disk.Stats()
+	sweepSpan := cfg.Trace.Child(PhaseSweep.String())
+	sweepSpan.AddRecords(int64(len(R) + len(S)))
 	sw := &streamSweep{
 		rs: newPeekReader(recfile.NewKPEReader(sortedR, cfg.bufPages())),
 		ss: newPeekReader(recfile.NewKPEReader(sortedS, cfg.bufPages())),
@@ -170,19 +180,26 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if kind == "" || kind == sweep.NestedLoopsKind {
 		kind = sweep.TrieKind
 	}
-	sw.statusR = sweep.NewStatus(kind, 0, 1, &st.Tests)
-	sw.statusS = sweep.NewStatus(kind, 0, 1, &st.Tests)
+	sw.statusR = sweep.NewStatus(kind, 0, 1, &st.Tests, &st.Touches)
+	sw.statusS = sweep.NewStatus(kind, 0, 1, &st.Tests, &st.Touches)
 	err := sw.run()
+	sweepSpan.SetAttr("maxResident", int64(st.MaxResident))
+	sweepSpan.End()
 	st.PhaseCPU[PhaseSweep] = time.Since(t0)
 	st.PhaseIO[PhaseSweep] = cfg.Disk.Stats().Sub(io0)
 	if err != nil {
 		return st, joinerr.Wrap("sssj", PhaseSweep.String(), err)
 	}
+	if cfg.Trace != nil {
+		cfg.Trace.Count("sssj.sweep.tests", st.Tests)
+		cfg.Trace.Count("sssj.sweep.touches."+string(kind), st.Touches)
+		cfg.Trace.Count("sssj.sort.runs", int64(st.SortRuns))
+	}
 	return st, nil
 }
 
 // sortByXL materializes ks on disk and externally sorts it by rect.XL.
-func sortByXL(ks []geom.KPE, cfg Config, st *Stats) (*diskio.File, error) {
+func sortByXL(ks []geom.KPE, cfg Config, st *Stats, span *trace.Span) (*diskio.File, error) {
 	raw := cfg.Disk.Create("")
 	defer cfg.Disk.Remove(raw.Name())
 	w := recfile.NewKPEWriter(raw, cfg.bufPages())
@@ -199,6 +216,7 @@ func sortByXL(ks []geom.KPE, cfg Config, st *Stats) (*diskio.File, error) {
 		RecordSize: geom.KPESize,
 		Memory:     cfg.Memory,
 		BufPages:   cfg.bufPages(),
+		Trace:      span,
 		Less: func(a, b []byte) bool {
 			// rect.XL is the second field: bytes 8..16.
 			xa := math.Float64frombits(binary.LittleEndian.Uint64(a[8:]))

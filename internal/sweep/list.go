@@ -15,7 +15,8 @@ import "spatialjoin/internal/geom"
 // many small partitions — and why the algorithm degrades when a larger
 // memory budget produces fewer, larger partitions (Figure 5).
 type ListSweep struct {
-	tests int64
+	tests   int64
+	touches int64
 }
 
 // Name implements Algorithm.
@@ -24,8 +25,13 @@ func (a *ListSweep) Name() string { return string(ListKind) }
 // Tests implements Algorithm.
 func (a *ListSweep) Tests() int64 { return a.tests }
 
+// Touches implements Algorithm: status entries scanned during probes,
+// expired ones included — the list must look at every resident entry on
+// every probe, which is exactly its weakness on large partitions.
+func (a *ListSweep) Touches() int64 { return a.touches }
+
 // ResetTests implements Algorithm.
-func (a *ListSweep) ResetTests() { a.tests = 0 }
+func (a *ListSweep) ResetTests() { a.tests, a.touches = 0, 0 }
 
 // Join implements Algorithm.
 func (a *ListSweep) Join(rs, ss []geom.KPE, emit Emit) {
@@ -55,6 +61,7 @@ func (a *ListSweep) Join(rs, ss []geom.KPE, emit Emit) {
 // y-overlap, and returns the compacted list. probeIsS tells which side
 // probe belongs to so the emit arguments keep (R, S) order.
 func (a *ListSweep) expireAndProbe(active []geom.KPE, probe geom.KPE, emit Emit, probeIsS bool) []geom.KPE {
+	a.touches += int64(len(active))
 	x := probe.Rect.XL
 	w := 0
 	for i := range active {

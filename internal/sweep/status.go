@@ -21,20 +21,22 @@ type Status interface {
 
 // NewStatus creates a sweep status of the given kind. ymin/ymax bound the
 // y-keys for the trie variant (pass 0 and 1 for the unit data space);
-// tests receives one increment per candidate test. The nested-loops kind
-// has no status structure and maps to the list.
-func NewStatus(kind Kind, ymin, ymax float64, tests *int64) Status {
+// tests receives one increment per candidate test and touches one
+// increment per status node touched (see Algorithm.Touches). The
+// nested-loops kind has no status structure and maps to the list.
+func NewStatus(kind Kind, ymin, ymax float64, tests, touches *int64) Status {
 	if kind == TrieKind {
-		return newTrieStatus(ymin, ymax, 0, tests)
+		return newTrieStatus(ymin, ymax, 0, tests, touches)
 	}
-	return &listStatus{tests: tests}
+	return &listStatus{tests: tests, touches: touches}
 }
 
 // listStatus keeps the resident rectangles in a plain slice, the
 // organization of the Plane Sweep Intersection-Test [BKS 93].
 type listStatus struct {
-	items []geom.KPE
-	tests *int64
+	items   []geom.KPE
+	tests   *int64
+	touches *int64
 }
 
 // Insert implements Status.
@@ -45,6 +47,7 @@ func (l *listStatus) Len() int { return len(l.items) }
 
 // Probe implements Status.
 func (l *listStatus) Probe(probe geom.KPE, report func(geom.KPE)) {
+	*l.touches += int64(len(l.items))
 	x := probe.Rect.XL
 	w := 0
 	for i := range l.items {
@@ -69,7 +72,7 @@ type trieStatus struct {
 
 // newTrieStatus builds a trie status over y-extent [ymin, ymax]; depth 0
 // selects DefaultTrieDepth.
-func newTrieStatus(ymin, ymax float64, depth int, tests *int64) *trieStatus {
+func newTrieStatus(ymin, ymax float64, depth int, tests, touches *int64) *trieStatus {
 	if depth <= 0 {
 		depth = DefaultTrieDepth
 	}
@@ -88,7 +91,7 @@ func newTrieStatus(ymin, ymax float64, depth int, tests *int64) *trieStatus {
 		}
 		return uint32(v)
 	}
-	return &trieStatus{trie: &intervalTrie{bits: depth, scale: scale, tests: tests}}
+	return &trieStatus{trie: &intervalTrie{bits: depth, scale: scale, tests: tests, touches: touches}}
 }
 
 // Insert implements Status.

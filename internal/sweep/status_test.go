@@ -17,9 +17,9 @@ func statusSweep(kind Kind, rs, ss []geom.KPE) []geom.Pair {
 	sc := append([]geom.KPE(nil), ss...)
 	sortByXL(rc)
 	sortByXL(sc)
-	var tests int64
-	stR := NewStatus(kind, 0, 1, &tests)
-	stS := NewStatus(kind, 0, 1, &tests)
+	var tests, touches int64
+	stR := NewStatus(kind, 0, 1, &tests, &touches)
+	stS := NewStatus(kind, 0, 1, &tests, &touches)
 	var out []geom.Pair
 	i, j := 0, 0
 	for i < len(rc) || j < len(sc) {
@@ -50,9 +50,9 @@ func TestStatusSweepMatchesOracle(t *testing.T) {
 }
 
 func TestStatusLenTracksResidency(t *testing.T) {
-	var tests int64
+	var tests, touches int64
 	for _, kind := range []Kind{ListKind, TrieKind} {
-		st := NewStatus(kind, 0, 1, &tests)
+		st := NewStatus(kind, 0, 1, &tests, &touches)
 		if st.Len() != 0 {
 			t.Fatalf("%s: fresh status not empty", kind)
 		}
@@ -74,9 +74,9 @@ func TestStatusLenTracksResidency(t *testing.T) {
 }
 
 func TestStatusProbeReportsOnlyOverlaps(t *testing.T) {
-	var tests int64
+	var tests, touches int64
 	for _, kind := range []Kind{ListKind, TrieKind} {
-		st := NewStatus(kind, 0, 1, &tests)
+		st := NewStatus(kind, 0, 1, &tests, &touches)
 		st.Insert(geom.KPE{ID: 1, Rect: geom.NewRect(0.0, 0.1, 1.0, 0.2)})
 		st.Insert(geom.KPE{ID: 2, Rect: geom.NewRect(0.0, 0.8, 1.0, 0.9)})
 		var hits []uint64
@@ -114,8 +114,8 @@ func TestStatusEquivalenceProperty(t *testing.T) {
 }
 
 func TestStatusNestedMapsToList(t *testing.T) {
-	var tests int64
-	if _, ok := NewStatus(NestedLoopsKind, 0, 1, &tests).(*listStatus); !ok {
+	var tests, touches int64
+	if _, ok := NewStatus(NestedLoopsKind, 0, 1, &tests, &touches).(*listStatus); !ok {
 		t.Fatal("nested-loops kind must map to the list status")
 	}
 }

@@ -30,7 +30,14 @@ type Algorithm interface {
 	// Tests returns the cumulative number of candidate tests performed
 	// across all Join calls, a machine-independent CPU proxy.
 	Tests() int64
-	// ResetTests zeroes the test counter.
+	// Touches returns the cumulative number of status-structure node
+	// touches across all Join calls: list entries scanned for the list
+	// sweep, trie nodes visited for the trie sweep. Where Tests counts
+	// only y-overlap comparisons, Touches exposes the traversal work the
+	// status organization itself causes — the quantity behind the
+	// trie-vs-list crossover of §3.2.2.
+	Touches() int64
+	// ResetTests zeroes the test and touch counters.
 	ResetTests()
 }
 
@@ -70,6 +77,10 @@ func (a *NestedLoops) Name() string { return string(NestedLoopsKind) }
 
 // Tests implements Algorithm.
 func (a *NestedLoops) Tests() int64 { return a.tests }
+
+// Touches implements Algorithm. Nested loops has no status structure;
+// every candidate test is exactly one touch.
+func (a *NestedLoops) Touches() int64 { return a.tests }
 
 // ResetTests implements Algorithm.
 func (a *NestedLoops) ResetTests() { a.tests = 0 }

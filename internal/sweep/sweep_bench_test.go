@@ -42,10 +42,10 @@ func BenchmarkAlgorithms(b *testing.B) {
 
 func BenchmarkTrieStatusInsertProbe(b *testing.B) {
 	ks := datagen.Uniform(3, 4096, 0.01)
-	var tests int64
+	var tests, touches int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st := newTrieStatus(0, 1, 0, &tests)
+		st := newTrieStatus(0, 1, 0, &tests, &touches)
 		for _, k := range ks {
 			st.Probe(k, func(geom.KPE) {})
 			st.Insert(k)
@@ -55,10 +55,10 @@ func BenchmarkTrieStatusInsertProbe(b *testing.B) {
 
 func BenchmarkListStatusInsertProbe(b *testing.B) {
 	ks := datagen.Uniform(3, 4096, 0.01)
-	var tests int64
+	var tests, touches int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st := &listStatus{tests: &tests}
+		st := &listStatus{tests: &tests, touches: &touches}
 		for _, k := range ks {
 			st.Probe(k, func(geom.KPE) {})
 			st.Insert(k)

@@ -13,7 +13,8 @@ import "spatialjoin/internal/geom"
 // trie needs no rebalancing: expired entries are removed lazily while
 // node item lists are scanned.
 type TrieSweep struct {
-	tests int64
+	tests   int64
+	touches int64
 	// Depth is the maximum trie depth (bits of the normalized y-keys).
 	// Zero selects DefaultTrieDepth.
 	Depth int
@@ -30,8 +31,13 @@ func (a *TrieSweep) Name() string { return string(TrieKind) }
 // Tests implements Algorithm.
 func (a *TrieSweep) Tests() int64 { return a.tests }
 
+// Touches implements Algorithm: trie nodes visited by probe walks. The
+// trie touches only nodes whose span overlaps the probe's y-range, so
+// this grows far slower than the list's entry scans on large partitions.
+func (a *TrieSweep) Touches() int64 { return a.touches }
+
 // ResetTests implements Algorithm.
-func (a *TrieSweep) ResetTests() { a.tests = 0 }
+func (a *TrieSweep) ResetTests() { a.tests, a.touches = 0, 0 }
 
 // Join implements Algorithm.
 func (a *TrieSweep) Join(rs, ss []geom.KPE, emit Emit) {
@@ -57,8 +63,8 @@ func (a *TrieSweep) Join(rs, ss []geom.KPE, emit Emit) {
 		ymax = max(ymax, k.Rect.YH)
 	}
 
-	trieR := newTrieStatus(ymin, ymax, depth, &a.tests)
-	trieS := newTrieStatus(ymin, ymax, depth, &a.tests)
+	trieR := newTrieStatus(ymin, ymax, depth, &a.tests, &a.touches)
+	trieS := newTrieStatus(ymin, ymax, depth, &a.tests, &a.touches)
 	i, j := 0, 0
 	for i < len(rs) || j < len(ss) {
 		if j >= len(ss) || (i < len(rs) && rs[i].Rect.XL <= ss[j].Rect.XL) {
@@ -79,10 +85,11 @@ func (a *TrieSweep) Join(rs, ss []geom.KPE, emit Emit) {
 // over normalized y-keys whose nodes carry the rectangles assigned to
 // their span.
 type intervalTrie struct {
-	root  trieNode
-	bits  int
-	scale func(float64) uint32
-	tests *int64
+	root    trieNode
+	bits    int
+	scale   func(float64) uint32
+	tests   *int64
+	touches *int64
 }
 
 type trieNode struct {
@@ -124,6 +131,7 @@ func (t *intervalTrie) probe(probe geom.KPE, report func(geom.KPE)) int {
 // normalized key grid, pruning subtrees outside [qlo, qhi]. It returns
 // the number of expired entries removed.
 func (t *intervalTrie) walk(n *trieNode, depthLeft int, base, qlo, qhi uint32, probe geom.KPE, report func(geom.KPE)) int {
+	*t.touches++
 	x := probe.Rect.XL
 	items := n.items
 	w := 0

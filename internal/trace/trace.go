@@ -1,0 +1,372 @@
+// Package trace is the unified observability layer of the spatial-join
+// library: a zero-dependency recorder of hierarchical spans, counters and
+// histograms that every join method threads its phases through.
+//
+// The paper's claims are phase-level cost arguments — RPM removes the
+// final sort phase, the trie/list crossover moves with partition size,
+// S³J pays replication in its partition phase — so the unit of
+// observation here is the *span*: a named interval of one join with wall
+// time, an I/O delta (requests, pages, retries, cost units) and a record
+// count captured between Begin/Child and End. Spans nest: a join root
+// span owns partition/sort/join/dup-removal phase spans, which own
+// per-pair, heal and external-sort spans.
+//
+// Counters record the paper-specific totals (duplicates suppressed by
+// the Reference Point Method, reference-point tests, replication copies
+// per S³J level, sweep node touches) and histograms record
+// distributions (partition fill, bucket fill).
+//
+// # Nil fast path
+//
+// Every method of Recorder and Span is safe on a nil receiver and
+// returns immediately, so instrumentation sites call unconditionally and
+// an untraced join pays only a pointer test per call site — the ≤2%
+// overhead budget asserted by TestTracedJoinOverheadBudget in package
+// core. A nil *Recorder in a Config therefore means "no observability"
+// at no cost.
+//
+// # Concurrency
+//
+// A Recorder is safe for concurrent use: parallel PBSM workers open and
+// close spans and bump counters under the recorder's own mutex. A single
+// Span, however, belongs to the goroutine that created it (Child is safe
+// to call concurrently on a shared parent; AddRecords/SetAttr/End are
+// not). A Recorder observes one disk at a time via SetIOSource — attach
+// one recorder per concurrently-running join.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// IOStats is a snapshot (or delta) of I/O activity. It mirrors the
+// counters of diskio.Stats without importing it, so the storage layer
+// can stay observability-free.
+type IOStats struct {
+	ReadRequests  int64
+	WriteRequests int64
+	PagesRead     int64
+	PagesWritten  int64
+	BytesRead     int64
+	BytesWritten  int64
+	Retries       int64
+	CostUnits     float64
+}
+
+// Sub returns s minus other, the delta between two snapshots.
+func (s IOStats) Sub(other IOStats) IOStats {
+	return IOStats{
+		ReadRequests:  s.ReadRequests - other.ReadRequests,
+		WriteRequests: s.WriteRequests - other.WriteRequests,
+		PagesRead:     s.PagesRead - other.PagesRead,
+		PagesWritten:  s.PagesWritten - other.PagesWritten,
+		BytesRead:     s.BytesRead - other.BytesRead,
+		BytesWritten:  s.BytesWritten - other.BytesWritten,
+		Retries:       s.Retries - other.Retries,
+		CostUnits:     s.CostUnits - other.CostUnits,
+	}
+}
+
+// Seeks returns the positioned-request count, the seek proxy of the cost
+// model (every request pays one positioning time PT).
+func (s IOStats) Seeks() int64 { return s.ReadRequests + s.WriteRequests }
+
+// Attr is one key/value annotation on a span. Val carries numeric
+// values; Str carries string values (file names); exactly one is used.
+type Attr struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// SpanData is one finished span as stored by the recorder.
+type SpanData struct {
+	ID      int64
+	Parent  int64 // 0 for root spans
+	Name    string
+	Start   time.Duration // offset from the recorder epoch
+	Dur     time.Duration
+	IO      IOStats // delta consumed while the span was open
+	Records int64
+	Attrs   []Attr
+	// Instant marks a zero-duration event (a retry, an injected fault)
+	// rather than a measured interval.
+	Instant bool
+}
+
+// End returns the span's end offset from the recorder epoch.
+func (s *SpanData) End() time.Duration { return s.Start + s.Dur }
+
+// Histogram summarizes a stream of float64 observations: count, sum,
+// min, max and power-of-two magnitude buckets (bucket i counts values v
+// with 2^(i-1) ≤ v < 2^i; bucket 0 counts v < 1).
+type Histogram struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Buckets  [48]int64
+}
+
+// Mean returns the average observation (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+func (h *Histogram) observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	b := 0
+	for x := v; x >= 1 && b < len(h.Buckets)-1; x /= 2 {
+		b++
+	}
+	h.Buckets[b]++
+}
+
+// Recorder collects spans, counters and histograms for one traced
+// workload. The zero value is not usable; call New. All methods are safe
+// on a nil receiver (no-ops) and safe for concurrent use otherwise.
+type Recorder struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	ioFn     func() IOStats
+	spans    []SpanData
+	counters map[string]int64
+	corder   []string
+	hists    map[string]*Histogram
+	horder   []string
+	nextID   int64
+}
+
+// New returns an empty Recorder whose epoch is now.
+func New() *Recorder {
+	return &Recorder{
+		epoch:    time.Now(),
+		counters: make(map[string]int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// SetIOSource installs the snapshot function spans use to attribute I/O
+// deltas (typically a closure over diskio.Disk.Stats). Passing nil
+// detaches it; spans then record zero I/O.
+func (r *Recorder) SetIOSource(fn func() IOStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ioFn = fn
+	r.mu.Unlock()
+}
+
+func (r *Recorder) ioNow() IOStats {
+	r.mu.Lock()
+	fn := r.ioFn
+	r.mu.Unlock()
+	if fn == nil {
+		return IOStats{}
+	}
+	return fn()
+}
+
+// Begin opens a root span. On a nil recorder it returns a nil span, on
+// which every method is a free no-op.
+func (r *Recorder) Begin(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.open(name, 0)
+}
+
+func (r *Recorder) open(name string, parent int64) *Span {
+	io0 := r.ioNow()
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	start := time.Since(r.epoch)
+	r.mu.Unlock()
+	return &Span{r: r, id: id, parent: parent, name: name, start: start, io0: io0}
+}
+
+// Count adds delta to the named counter.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.counters[name]; !ok {
+		r.corder = append(r.corder, name)
+	}
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe records one value into the named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.horder = append(r.horder, name)
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// IOEvent records an instant event attributed to the storage layer: a
+// request retry after a transient fault, an injected latency spike, a
+// torn write or bit flip. It implements the diskio.Tracer interface so a
+// *Recorder can be attached to a Disk directly. Events are stored as
+// zero-duration root spans and tallied under the "io." counter prefix.
+func (r *Recorder) IOEvent(kind, file string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nextID++
+	r.spans = append(r.spans, SpanData{
+		ID:      r.nextID,
+		Name:    kind,
+		Start:   time.Since(r.epoch),
+		Instant: true,
+		Attrs:   []Attr{{Key: "file", Str: file}},
+	})
+	if _, ok := r.counters["io."+kind]; !ok {
+		r.corder = append(r.corder, "io."+kind)
+	}
+	r.counters["io."+kind]++
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 if absent).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Histogram returns a copy of the named histogram (nil if absent).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return nil
+	}
+	c := *h
+	return &c
+}
+
+// Spans returns a copy of all finished spans in completion order.
+func (r *Recorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Span is an open interval of a traced workload. A nil *Span is a valid
+// no-op handle; all methods check for it.
+type Span struct {
+	r       *Recorder
+	id      int64
+	parent  int64
+	name    string
+	start   time.Duration
+	io0     IOStats
+	records int64
+	attrs   []Attr
+}
+
+// Child opens a sub-span. Safe to call concurrently on a shared parent.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.open(name, s.id)
+}
+
+// AddRecords adds to the span's processed-record count.
+func (s *Span) AddRecords(n int64) {
+	if s == nil {
+		return
+	}
+	s.records += n
+}
+
+// SetAttr annotates the span with a numeric attribute.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// Count forwards to the recorder's counter of the same name.
+func (s *Span) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.r.Count(name, delta)
+}
+
+// Observe forwards to the recorder's histogram of the same name.
+func (s *Span) Observe(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.r.Observe(name, v)
+}
+
+// Recorder returns the owning recorder (nil for a nil span), for sites
+// that need counters without holding a span.
+func (s *Span) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.r
+}
+
+// End closes the span, capturing its duration and I/O delta. Calling End
+// more than once records the span more than once; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	io1 := s.r.ioNow()
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, SpanData{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Start:   s.start,
+		Dur:     time.Since(s.r.epoch) - s.start,
+		IO:      io1.Sub(s.io0),
+		Records: s.records,
+		Attrs:   s.attrs,
+	})
+	s.r.mu.Unlock()
+}
