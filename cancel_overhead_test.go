@@ -1,0 +1,106 @@
+// The cancellation-checkpoint overhead budget: with Config.Ctx == nil
+// every checkpoint is a nil-receiver test, and with a live context the
+// hot path pays one atomic add per Point plus a context poll every
+// CheckInterval calls (and per disk request). As with the nil-recorder
+// budget, a direct sub-2% wall-clock comparison is hopeless on shared
+// machines, so the test bounds the cost from above: microbenchmark one
+// ACTIVE checkpoint (strictly costlier than the nil path), read the
+// exact checkpoint count of a real join from its trace (the join records
+// chk.Calls() under "cancel.checks" on every exit), and assert
+// checkpoints × per-checkpoint-cost ≤ 2% of the measured join time.
+package spatialjoin_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/trace"
+)
+
+func TestCancelCheckOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmark-based budget check")
+	}
+
+	// Per-checkpoint cost with a LIVE context, measured separately for
+	// the two flavors: Point (atomic add, context poll amortized over
+	// CheckInterval calls) and Now (context poll every call). Both upper-
+	// bound the nil fast path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chk := govern.NewCheck(ctx)
+	perPoint := time.Duration(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := chk.Point(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp())
+	perNow := time.Duration(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := chk.Now(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp())
+	// The per-record loops use loop-local Strides; their amortized cost
+	// (local increment + one Now per CheckInterval calls) is measured
+	// as-is, forwards included.
+	stride := chk.Stride()
+	perStride := time.Duration(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := stride.Point(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp())
+	if perPoint <= 0 {
+		perPoint = time.Nanosecond
+	}
+	if perNow < perPoint {
+		perNow = perPoint
+	}
+	if perStride <= 0 {
+		perStride = time.Nanosecond
+	}
+
+	// A representative governed join under a context that never fires;
+	// the trace records exactly how many checkpoints it passed through.
+	R := datagen.Uniform(21, 4000, 0.004)
+	S := datagen.Uniform(22, 4000, 0.004)
+	rec := trace.New()
+	start := time.Now()
+	_, _, err := core.Collect(R, S, core.Config{
+		Method: core.PBSM, Memory: 64 << 10, Trace: rec, Ctx: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	checks := rec.Counter("cancel.checks")
+	nows := rec.Counter("cancel.checks.now")
+	if checks <= 0 || nows <= 0 || nows > checks {
+		t.Fatalf("implausible checkpoint counts (checks=%d, now=%d); budget assertion vacuous", checks, nows)
+	}
+	// Stride iterations are loop-local and not individually counted;
+	// bound them structurally for this fault-free PBSM/RPM config: the
+	// strided loops are partitionInput (one pass per input record) and
+	// repartitionPair (at most one more pass per record when a partition
+	// recurses) — re-derivation and DupSort never run here. Two passes.
+	records := int64(len(R) + len(S))
+	strideIters := 2 * records
+	cost := perPoint*time.Duration(checks-nows) +
+		perNow*time.Duration(nows) +
+		perStride*time.Duration(strideIters)
+	budget := elapsed * 2 / 100
+	t.Logf("checks=%d (now=%d) stride-iters≤%d per-point=%v per-now=%v per-stride=%v projected-cost=%v join=%v budget(2%%)=%v",
+		checks, nows, strideIters, perPoint, perNow, perStride, cost, elapsed, budget)
+	if cost > budget {
+		t.Fatalf("projected checkpoint cost %v exceeds 2%% budget %v (join %v)", cost, budget, elapsed)
+	}
+}

@@ -23,6 +23,26 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== lint: temp-file lifecycle =="
+# Join algorithms must manage temp files through diskio.Registry so every
+# exit path (success, error, cancellation) sweeps them. Bare os.Remove has
+# no business in a simulated-disk codebase, and direct Disk temp-file
+# calls in the join packages would bypass the per-join registry.
+bad=$(grep -rn 'os\.Remove' internal cmd | grep -v _test.go || true)
+if [ -n "$bad" ]; then
+    echo "lint: bare os.Remove outside tests:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+bad=$(grep -rnE '\.Disk\.(Create|Remove)\(' \
+    internal/pbsm internal/s3j internal/sssj internal/shj internal/extsort \
+    | grep -v _test.go || true)
+if [ -n "$bad" ]; then
+    echo "lint: direct Disk temp-file calls bypassing the registry:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 echo "== go vet ./... =="
 go vet ./...
 
@@ -37,16 +57,18 @@ go build ./...
 
 if [ "$short" = "-short" ]; then
     echo "== go test -short ./... =="
-    go test -short ./...
+    go test -short -timeout 10m ./...
     echo "ci.sh: short gate passed"
     exit 0
 fi
 
 echo "== go test -race ./... =="
-go test -race ./...
+go test -race -timeout 20m ./...
 
-echo "== chaos suite (fault-injection sweeps) =="
-go test -race -count=1 ./internal/chaos/
+echo "== chaos suite (fault-injection + cancellation sweeps) =="
+# -timeout turns a cancellation hang (a checkpoint regression) into a
+# test failure with stacks instead of a stuck CI job.
+go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/
 
 echo "== sjbench trace smoke (Chrome trace_event export) =="
 tracefile=$(mktemp /tmp/sjbench-trace.XXXXXX.json)

@@ -64,12 +64,13 @@ func main() {
 		"methods-j5": func() *bench.Table { _, t := bench.RunMethods(s, bench.J5); return t },
 		"robustness": func() *bench.Table { _, t := bench.RunRobustness(s, 0); return t },
 		"faults":     func() *bench.Table { _, t := bench.RunFaultSweep(s, 0); return t },
+		"cancel":     func() *bench.Table { _, t := bench.RunCancel(s, 0); return t },
 		"plancheck":  func() *bench.Table { _, t := bench.RunPlanCheck(s); return t },
 	}
 	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
-		"methods", "methods-j5", "robustness", "faults", "plancheck", "phases"}
+		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases"}
 
 	var names []string
 	if *exp == "all" {

@@ -9,7 +9,10 @@
 //	      [-n 20000] [-p 1] [-seed 1]
 //	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
 //	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-plan] [-v]
-//	      [-trace out.json] [-stats] [-pprof addr]
+//	      [-timeout 0] [-trace out.json] [-stats] [-pprof addr]
+//
+// -timeout bounds the join's wall time; an overrun aborts with a clean
+// deadline-exceeded error naming the phase, having swept all temp files.
 //
 // -mem is the memory budget in "paper megabytes" (20-byte KPEs), so
 // -mem 2.5 reproduces the paper's standard LA-join budget.
@@ -76,6 +79,7 @@ func main() {
 	mode := flag.String("mode", "replicate", "S3J mode: replicate or original")
 	memMB := flag.Float64("mem", 2.5, "memory budget in paper MB (20-byte KPEs)")
 	parallel := flag.Int("parallel", 1, "concurrent partition-pair joins (PBSM only)")
+	timeout := flag.Duration("timeout", 0, "abort the join after this wall time (0 = no deadline)")
 	doPlan := flag.Bool("plan", false, "print the analytic cost ranking and pick the cheapest method")
 	verbose := flag.Bool("v", false, "print each result pair")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run")
@@ -131,6 +135,7 @@ func main() {
 		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of 40-byte KPEs
 		Algorithm:    sweep.Kind(*alg),
 		PBSMParallel: *parallel,
+		Deadline:     *timeout,
 	}
 	if *traceOut != "" || *stats {
 		cfg.Trace = trace.New()

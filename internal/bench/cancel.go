@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/pbsm"
+)
+
+// CancelRow is one (method, cancel-point) cell of the cancellation-
+// latency experiment: a join canceled at a fraction of its own baseline
+// runtime, with the phase it died in and how long the stack took to
+// unwind after the cancellation fired.
+type CancelRow struct {
+	Method   string
+	At       float64       // cancel point as a fraction of baseline runtime
+	Baseline time.Duration // uncanceled wall time of the same join
+	Outcome  string        // phase of the JoinError, or "completed"
+	Latency  time.Duration // cancel() to Join-returned (0 when completed)
+	Orphans  int           // temp files left on the disk (must be 0)
+}
+
+// RunCancel measures cancellation latency across the join stack: for
+// every method it times an uncanceled baseline, then re-runs the same
+// join canceling the context at 10%, 50% and 90% of that baseline. The
+// latency column is the time from the cancellation firing to Join
+// returning — the checkpoint density of the dying phase — and the
+// orphans column shows the registry sweep holding (always 0).
+func RunCancel(s *Suite, runs int) ([]CancelRow, *Table) {
+	// Large enough that run-to-run CPU noise is small against the
+	// baseline, so a cancel at 10% really is mid-partition and one at 90%
+	// really is late in the join phase.
+	const n = 40000
+	R := datagen.Uniform(s.Seed+31, n, 0.003)
+	S := datagen.Uniform(s.Seed+32, n, 0.003)
+	mem := MemFrac(R, S, LAMemFrac)
+
+	methods := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"PBSM(RPM)", core.Config{Method: core.PBSM}},
+		{"PBSM(sort)", core.Config{Method: core.PBSM, PBSMDup: pbsm.DupSort}},
+		{"S3J", core.Config{Method: core.S3J}},
+		{"SSSJ", core.Config{Method: core.SSSJ}},
+		{"SHJ", core.Config{Method: core.SHJ}},
+	}
+
+	run := func(cfg core.Config, ctx context.Context) (*diskio.Disk, time.Duration, error) {
+		d := diskio.NewDisk(0, 0, s.transfer())
+		cfg.Memory = mem
+		cfg.Disk = d
+		cfg.Ctx = ctx
+		start := time.Now()
+		_, _, err := core.Collect(R, S, cfg)
+		return d, time.Since(start), err
+	}
+
+	var rows []CancelRow
+	for _, m := range methods {
+		// Warm up once (allocator, page-cache effects), then time the
+		// baseline — the canceled runs below are warm too, and a cold
+		// baseline would place every cancel point past their finish line.
+		if _, _, err := run(m.cfg, nil); err != nil {
+			panic(err) // uncanceled harness runs never fail
+		}
+		_, baseline, err := run(m.cfg, nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, at := range []float64{0.1, 0.5, 0.9} {
+			ctx, cancel := context.WithCancel(context.Background())
+			var firedAt atomic.Int64 // ns since epoch; 0 = never fired
+			timer := time.AfterFunc(time.Duration(at*float64(baseline)), func() {
+				firedAt.Store(time.Now().UnixNano())
+				cancel()
+			})
+			d, _, err := run(m.cfg, ctx)
+			returned := time.Now()
+			timer.Stop()
+			cancel()
+
+			row := CancelRow{Method: m.name, At: at, Baseline: baseline, Outcome: "completed",
+				Orphans: d.NumFiles()}
+			if err != nil {
+				var je *joinerr.JoinError
+				if !errors.As(err, &je) || !joinerr.IsCanceled(err) {
+					panic(fmt.Sprintf("cancel run failed with a non-cancellation error: %v", err))
+				}
+				row.Outcome = je.Phase
+				if f := firedAt.Load(); f > 0 {
+					row.Latency = returned.Sub(time.Unix(0, f))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	t := &Table{
+		Title:  "Cancellation latency: context canceled at a fraction of baseline runtime (beyond the paper)",
+		Note:   "latency is cancel-to-return; orphan temp files must be 0 on every abort",
+		Header: []string{"method", "cancel at", "baseline", "outcome", "abort latency", "orphans"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Method, fmt.Sprintf("%.0f%%", r.At*100),
+			fmt.Sprintf("%.1fms", float64(r.Baseline.Microseconds())/1000),
+			r.Outcome,
+			fmt.Sprintf("%.2fms", float64(r.Latency.Microseconds())/1000),
+			fint(int64(r.Orphans)))
+	}
+	return rows, t
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunCancel: every row is either a completed run or a clean abort
+// naming a phase; aborts never leave orphan files, and abort latency is
+// bounded by the run's own baseline (a canceled join must not run
+// longer than an uncanceled one would).
+func TestRunCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cancellation experiment")
+	}
+	rows, tab := RunCancel(NewSuite(0.02, 0.02, 1), 0)
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows, want 15 (5 methods x 3 cancel points)", len(rows))
+	}
+	if len(tab.Rows) != len(rows) {
+		t.Fatalf("table rows %d != result rows %d", len(tab.Rows), len(rows))
+	}
+	aborted := 0
+	for _, r := range rows {
+		if r.Orphans != 0 {
+			t.Errorf("%s@%.0f%%: %d orphan temp files", r.Method, r.At*100, r.Orphans)
+		}
+		if r.Outcome == "completed" {
+			continue
+		}
+		aborted++
+		if r.Outcome == "" {
+			t.Errorf("%s@%.0f%%: aborted without a phase", r.Method, r.At*100)
+		}
+		if r.Latency < 0 || r.Latency > r.Baseline+time.Second {
+			t.Errorf("%s@%.0f%%: abort latency %v implausible against baseline %v",
+				r.Method, r.At*100, r.Latency, r.Baseline)
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no run aborted; the experiment is vacuous")
+	}
+}

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -20,6 +22,8 @@ import (
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/s3j"
 	"spatialjoin/internal/sfc"
@@ -95,6 +99,35 @@ type Config struct {
 	// observes one disk at a time, so attach a separate Recorder to each
 	// concurrently-running join.
 	Trace *trace.Recorder
+
+	// Ctx, when non-nil, makes the join cancelable: every long-running
+	// loop and every disk request checks it cooperatively, and a canceled
+	// join unwinds with a JoinError of kind Canceled (or DeadlineExceeded)
+	// naming the phase it died in, having swept all its temp files. Nil
+	// (the default) disables cancellation at no cost.
+	Ctx context.Context
+	// Deadline, when positive, bounds the join's wall time: the join runs
+	// under Ctx (or a fresh background context) with this timeout and
+	// fails with kind DeadlineExceeded when it expires.
+	Deadline time.Duration
+	// Governor, when non-nil, admission-controls the join: it must
+	// acquire its Memory claim (and a join slot) before starting, queueing
+	// while the governor is at capacity — honoring Ctx/Deadline while
+	// queued — and failing fast with a JoinError{Phase: "admission"} when
+	// the claim alone exceeds the governor's budget. Share one Governor
+	// across the joins of one machine.
+	Governor *Governor
+}
+
+// Governor re-exports the admission controller of package govern so
+// embedding servers need only import core.
+type Governor = govern.Governor
+
+// NewGovernor creates an admission controller capping concurrent joins
+// and their aggregate memory claim; non-positive values leave the
+// respective dimension unlimited.
+func NewGovernor(maxJoins int, maxMemory int64) *Governor {
+	return govern.NewGovernor(maxJoins, maxMemory)
 }
 
 func (c *Config) method() Method {
@@ -163,6 +196,35 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	if err := validateInput("S", S); err != nil {
 		return Result{}, err
 	}
+
+	// Derive the cancellation context: the caller's Ctx, a Deadline, or
+	// both (the deadline nests inside the caller's context).
+	ctx := cfg.Ctx
+	if cfg.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	chk := govern.NewCheck(ctx)
+
+	// Admission comes first: a join that will queue or be rejected must
+	// not touch the disk or open spans. The queue wait honors ctx, so a
+	// deadline bounds time-to-admission too.
+	if cfg.Governor != nil {
+		release, aerr := cfg.Governor.Acquire(ctx, cfg.Memory)
+		if aerr != nil {
+			kind := joinerr.Classify(aerr)
+			if errors.Is(aerr, govern.ErrOverCapacity) {
+				kind = joinerr.KindAdmission
+			}
+			return Result{}, joinerr.WrapAs(string(cfg.method()), "admission", kind, aerr)
+		}
+		defer release()
+	}
+
 	disk := cfg.disk()
 	if cfg.Disk != nil {
 		// A caller-supplied disk may be shared by concurrent Joins, and
@@ -180,11 +242,41 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		disk.SetTracer(rec)
 		defer disk.SetTracer(nil)
 	}
+	if chk != nil {
+		// Every disk request now polls the context before touching the
+		// device, bounding a canceled join's residual I/O to one request.
+		// Joins on a shared disk are serialized above, so the hook cannot
+		// observe another join's context.
+		disk.SetCancel(chk.Now)
+		defer disk.SetCancel(nil)
+	}
 	before := disk.Stats()
 	res := Result{Method: cfg.method()}
 	root := rec.Begin("join:" + string(res.Method))
 	root.AddRecords(int64(len(R) + len(S)))
 	defer root.End()
+	// The checkpoint count funds the overhead-budget test: per-site cost
+	// times this counter must stay within budget. Recorded on every exit.
+	defer func() {
+		root.Count("cancel.checks", chk.Calls())
+		root.Count("cancel.checks.now", chk.NowCalls())
+	}()
+
+	// fail routes every error exit through one place so aborted joins
+	// leave a trace footprint: a "cancel" instant event naming the dying
+	// phase plus a join.aborted counter.
+	fail := func(err error) (Result, error) {
+		if joinerr.IsCanceled(err) {
+			phase := ""
+			var je *joinerr.JoinError
+			if errors.As(err, &je) {
+				phase = je.Phase
+			}
+			rec.Instant("cancel", trace.Attr{Key: "phase", Str: phase})
+			root.Count("join.aborted", 1)
+		}
+		return Result{}, err
+	}
 
 	switch res.Method {
 	case PBSM:
@@ -199,9 +291,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Parallel:          cfg.PBSMParallel,
 			BufPages:          cfg.BufPages,
 			Trace:             root,
+			Cancel:            chk,
 		}, emit)
 		if err != nil {
-			return Result{}, err
+			return fail(err)
 		}
 		res.PBSMStats = &st
 		res.Results = st.Results
@@ -216,9 +309,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Levels:    cfg.S3JLevels,
 			BufPages:  cfg.BufPages,
 			Trace:     root,
+			Cancel:    chk,
 		}, emit)
 		if err != nil {
-			return Result{}, err
+			return fail(err)
 		}
 		res.S3JStats = &st
 		res.Results = st.Results
@@ -230,9 +324,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Algorithm: cfg.algorithm(),
 			BufPages:  cfg.BufPages,
 			Trace:     root,
+			Cancel:    chk,
 		}, emit)
 		if err != nil {
-			return Result{}, err
+			return fail(err)
 		}
 		res.SSSJStats = &st
 		res.Results = st.Results
@@ -244,9 +339,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Algorithm: cfg.algorithm(),
 			BufPages:  cfg.BufPages,
 			Trace:     root,
+			Cancel:    chk,
 		}, emit)
 		if err != nil {
-			return Result{}, err
+			return fail(err)
 		}
 		res.SHJStats = &st
 		res.Results = st.Results
@@ -352,7 +448,28 @@ func Open(R, S []geom.KPE, cfg Config) *Iterator {
 		done:  make(chan struct{}),
 		fin:   make(chan struct{}),
 	}
+	// Derive the cancellation context here, once, and hand the derived
+	// context to the join (zeroing Deadline so Join does not derive a
+	// second one): the producer's emit path must honor the same context,
+	// or a canceled join with an absent consumer would block forever on a
+	// full pairs channel.
+	ctx := cfg.Ctx
+	var cancel context.CancelFunc
+	if cfg.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		cfg.Ctx, cfg.Deadline = ctx, 0
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	go func() {
+		if cancel != nil {
+			defer cancel()
+		}
 		defer close(it.fin)
 		defer close(it.pairs)
 		// Registered last so it runs first: err must be set before the
@@ -367,6 +484,9 @@ func Open(R, S []geom.KPE, cfg Config) *Iterator {
 			case it.pairs <- p:
 			case <-it.done:
 				// Consumer closed early: discard remaining results.
+			case <-ctxDone:
+				// Canceled: the join's own checkpoints unwind it; just
+				// stop delivering.
 			}
 		})
 		it.result, it.err = res, err

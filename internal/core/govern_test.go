@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
+)
+
+func governedInputs() (R, S []geom.KPE) {
+	return datagen.Uniform(7, 500, 0.01), datagen.Uniform(8, 500, 0.01)
+}
+
+// TestJoinWaitsForAdmission: with a one-slot governor held externally, a
+// Join queues — it does not touch its disk or emit — until the slot is
+// released, then runs to completion.
+func TestJoinWaitsForAdmission(t *testing.T) {
+	g := NewGovernor(1, 0)
+	release, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R, S := governedInputs()
+	var emitted atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Join(R, S, Config{Memory: 1 << 20, Governor: g},
+			func(geom.Pair) { emitted.Add(1) })
+		done <- err
+	}()
+	// The join must reach the queue, and must not start while queued.
+	for g.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if n := emitted.Load(); n != 0 {
+		t.Fatalf("queued join emitted %d pairs before admission", n)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("admitted join failed: %v", err)
+	}
+	if emitted.Load() == 0 {
+		t.Fatal("admitted join emitted nothing")
+	}
+	// Admitted counts the manual hold too; the join itself must have waited.
+	if st := g.Stats(); st.Admitted != 2 || st.Waited != 1 || st.Active != 0 {
+		t.Fatalf("governor state after join: %+v", st)
+	}
+}
+
+// TestJoinAdmissionFailFast: a join whose memory claim alone exceeds the
+// governor's budget fails immediately with a JoinError attributing the
+// admission phase, kind Admission.
+func TestJoinAdmissionFailFast(t *testing.T) {
+	g := NewGovernor(0, 100)
+	R, S := governedInputs()
+	_, err := Join(R, S, Config{Memory: 1 << 20, Governor: g}, func(geom.Pair) {})
+	var je *joinerr.JoinError
+	if !errors.As(err, &je) {
+		t.Fatalf("got %T: %v, want JoinError", err, err)
+	}
+	if je.Phase != "admission" || je.Kind != joinerr.KindAdmission {
+		t.Fatalf("got phase %q kind %v, want admission/admission", je.Phase, je.Kind)
+	}
+	if joinerr.IsCanceled(err) {
+		t.Fatal("admission rejection must not classify as cancellation")
+	}
+}
+
+// TestJoinDeadlineInQueue: a queued join whose Deadline expires while
+// waiting fails with kind DeadlineExceeded in the admission phase, and
+// the abandoned slot is reusable.
+func TestJoinDeadlineInQueue(t *testing.T) {
+	g := NewGovernor(1, 0)
+	release, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R, S := governedInputs()
+	_, err = Join(R, S, Config{Memory: 1 << 20, Governor: g, Deadline: 20 * time.Millisecond},
+		func(geom.Pair) {})
+	var je *joinerr.JoinError
+	if !errors.As(err, &je) {
+		t.Fatalf("got %T: %v, want JoinError", err, err)
+	}
+	if je.Phase != "admission" || je.Kind != joinerr.KindDeadlineExceeded {
+		t.Fatalf("got phase %q kind %v, want admission/deadline-exceeded", je.Phase, je.Kind)
+	}
+	release()
+	if _, err := Join(R, S, Config{Memory: 1 << 20, Governor: g}, func(geom.Pair) {}); err != nil {
+		t.Fatalf("join after abandoned queue slot: %v", err)
+	}
+}
+
+// TestJoinDeadlineMidJoin: an already-expired deadline stops the join at
+// its first checkpoint with a clean DeadlineExceeded error naming a
+// phase, and no temp files survive.
+func TestJoinDeadlineMidJoin(t *testing.T) {
+	R, S := governedInputs()
+	cfg := Config{Memory: 16 << 10, Deadline: time.Nanosecond}
+	d := cfg.disk()
+	cfg.Disk = d
+	_, err := Join(R, S, cfg, func(geom.Pair) {})
+	var je *joinerr.JoinError
+	if !errors.As(err, &je) {
+		t.Fatalf("got %T: %v, want JoinError", err, err)
+	}
+	if je.Kind != joinerr.KindDeadlineExceeded || je.Phase == "" {
+		t.Fatalf("got kind %v phase %q, want deadline-exceeded with a phase", je.Kind, je.Phase)
+	}
+	if !joinerr.IsCanceled(err) {
+		t.Fatalf("IsCanceled false for %v", err)
+	}
+	if n := d.NumFiles(); n != 0 {
+		t.Fatalf("%d temp files left by deadline-killed join: %v", n, d.FileNames())
+	}
+}
+
+// TestJoinCanceledContext: a pre-canceled caller context aborts the join
+// with kind Canceled.
+func TestJoinCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	R, S := governedInputs()
+	_, err := Join(R, S, Config{Memory: 16 << 10, Ctx: ctx}, func(geom.Pair) {})
+	if joinerr.KindOf(err) != joinerr.KindCanceled {
+		t.Fatalf("got %v (kind %v), want canceled", err, joinerr.KindOf(err))
+	}
+}
+
+// TestOpenHonorsCancel: the iterator path surfaces cancellation through
+// Err and terminates cleanly even when the consumer never pulls a row.
+func TestOpenHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	R, S := governedInputs()
+	it := Open(R, S, Config{Memory: 16 << 10, Ctx: ctx})
+	if _, ok := it.Next(); ok {
+		// A pair may have been emitted before the first checkpoint; drain.
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+	it.Close()
+	if err := it.Err(); !joinerr.IsCanceled(err) {
+		t.Fatalf("iterator error %v, want cancellation", err)
+	}
+}

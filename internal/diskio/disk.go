@@ -41,12 +41,13 @@ type Disk struct {
 	pt       float64
 	transfer time.Duration
 
-	mu    sync.Mutex
-	stats Stats
-	files map[string]*File
-	seq   int
-	fp    *FaultPolicy
-	tr    Tracer
+	mu     sync.Mutex
+	stats  Stats
+	files  map[string]*File
+	seq    int
+	fp     *FaultPolicy
+	tr     Tracer
+	cancel func() error
 }
 
 // Tracer receives rare storage-layer events: request retries after
@@ -144,6 +145,30 @@ func (d *Disk) tracer() Tracer {
 	return d.tr
 }
 
+// SetCancel installs (or, with nil, removes) a cancellation hook
+// consulted before every read and write request. When the hook returns a
+// non-nil error the request fails with it instead of touching the device
+// — so a canceled join stops issuing I/O within one request, the
+// "bounded number of page I/Os" half of the cancellation guarantee.
+// Create, Remove and Open never consult the hook: cleanup (sweeping temp
+// files after an abort) must always succeed.
+func (d *Disk) SetCancel(fn func() error) {
+	d.mu.Lock()
+	d.cancel = fn
+	d.mu.Unlock()
+}
+
+// checkCancel runs the installed cancellation hook, if any.
+func (d *Disk) checkCancel() error {
+	d.mu.Lock()
+	fn := d.cancel
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
 // emitEvent forwards an event to the tracer, if any. Called without
 // d.mu held so tracer implementations may take their own locks freely.
 func (d *Disk) emitEvent(kind, file string) {
@@ -208,6 +233,27 @@ func (d *Disk) Remove(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.files, name)
+}
+
+// NumFiles returns how many files currently exist on the disk. Tests
+// use it to prove a finished join — successful, failed or canceled —
+// left no orphan temp files behind.
+func (d *Disk) NumFiles() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files)
+}
+
+// FileNames returns the names of all files currently on the disk, in no
+// particular order. Diagnostic companion to NumFiles.
+func (d *Disk) FileNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	return names
 }
 
 // Open returns an existing file by name, or nil if absent.
@@ -348,6 +394,11 @@ func (w *Writer) flush() error {
 		return nil
 	}
 	d := w.f.d
+	if err := d.checkCancel(); err != nil {
+		// The buffer stays intact, but a canceled join never retries:
+		// the context error propagates out of the record layers.
+		return err
+	}
 	if fp := d.FaultPolicy(); fp != nil {
 		act, arg := fp.onWrite(w.n)
 		switch act {
@@ -448,6 +499,9 @@ func (r *Reader) ReadFull(p []byte) (bool, error) {
 func (r *Reader) fill() (bool, error) {
 	if r.lo >= r.hi {
 		return false, nil
+	}
+	if err := r.f.d.checkCancel(); err != nil {
+		return false, err
 	}
 	if fp := r.f.d.FaultPolicy(); fp != nil {
 		switch fp.onRead() {

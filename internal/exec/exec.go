@@ -17,6 +17,8 @@ import (
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/joinerr"
 )
 
 // Row is the tuple flowing between operators: a spatial object plus the
@@ -237,6 +239,31 @@ func NewSpatialJoin(left, right Operator, cfg core.Config) *SpatialJoin {
 	return &SpatialJoin{left: left, right: right, cfg: cfg}
 }
 
+// drainRows is Collect with a cancellation checkpoint per row, so a
+// canceled query stops pulling from its children promptly even when the
+// join itself never starts. The error carries the "drain" phase.
+func drainRows(op Operator, chk *govern.Check) ([]Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Row
+	st := chk.Stride()
+	for {
+		if err := st.Point(); err != nil {
+			return nil, joinerr.Wrap("exec", "drain", err)
+		}
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
 // Open implements Operator: it drains both children and starts the join.
 func (j *SpatialJoin) Open() error {
 	// The drain is charged to its own root span: it is the part of an
@@ -244,12 +271,13 @@ func (j *SpatialJoin) Open() error {
 	// that no index exists on the inputs), and the trace should show its
 	// cost next to the join's own phases.
 	drain := j.cfg.Trace.Begin("exec:drain")
-	leftRows, err := Collect(j.left)
+	chk := govern.NewCheck(j.cfg.Ctx)
+	leftRows, err := drainRows(j.left, chk)
 	if err != nil {
 		drain.End()
 		return fmt.Errorf("exec: spatial join left input: %w", err)
 	}
-	rightRows, err := Collect(j.right)
+	rightRows, err := drainRows(j.right, chk)
 	drain.AddRecords(int64(len(leftRows) + len(rightRows)))
 	drain.End()
 	if err != nil {

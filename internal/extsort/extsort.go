@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/govern"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/trace"
 )
@@ -38,6 +39,15 @@ type Config struct {
 	// Trace is the parent span the sort nests its run-formation and
 	// merge-pass spans under; nil disables instrumentation.
 	Trace *trace.Span
+	// Reg, when non-nil, registers the sort's intermediate files (runs
+	// file and merge outputs) — including the returned sorted file — so
+	// the owning join's sweep covers them even if it aborts after the
+	// sort returns. Nil gets a private registry with the pre-registry
+	// behaviour: eager removal on error, returned file unregistered.
+	Reg *diskio.Registry
+	// Cancel is the owning join's cancellation checkpoint; nil disables
+	// cancellation. Run formation and merge passes poll it per record.
+	Cancel *govern.Check
 }
 
 func (c *Config) bufPages() int {
@@ -82,10 +92,15 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 		sp.End()
 	}()
 
+	reg := cfg.Reg
+	if reg == nil {
+		reg = cfg.Disk.NewRegistry()
+	}
+
 	// Run formation: sort memory-sized chunks, append them to one runs
 	// file, and remember each run's record range.
 	phase = sp.Child("run-formation")
-	runsFile := cfg.Disk.Create("")
+	runsFile := reg.Create()
 	var runs []runRange
 	{
 		r := recfile.NewRecReader(in, rs, cfg.bufPages())
@@ -116,10 +131,15 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 			return nil
 		}
 		buf := make([]byte, rs)
+		chk := cfg.Cancel.Stride()
 		for {
+			if err := chk.Point(); err != nil {
+				reg.Remove(runsFile)
+				return nil, st, err
+			}
 			ok, err := r.Next(buf)
 			if err != nil {
-				cfg.Disk.Remove(runsFile.Name())
+				reg.Remove(runsFile)
 				return nil, st, err
 			}
 			if !ok {
@@ -128,17 +148,17 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 			chunk = append(chunk, buf...)
 			if int64(len(chunk)/rs) >= maxRecs {
 				if err := flushChunk(); err != nil {
-					cfg.Disk.Remove(runsFile.Name())
+					reg.Remove(runsFile)
 					return nil, st, err
 				}
 			}
 		}
 		if err := flushChunk(); err != nil {
-			cfg.Disk.Remove(runsFile.Name())
+			reg.Remove(runsFile)
 			return nil, st, err
 		}
 		if err := w.Flush(); err != nil {
-			cfg.Disk.Remove(runsFile.Name())
+			reg.Remove(runsFile)
 			return nil, st, err
 		}
 	}
@@ -163,7 +183,7 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 		phase = sp.Child("merge-pass")
 		phase.SetAttr("pass", int64(st.MergePass))
 		phase.SetAttr("runs", int64(len(runs)))
-		next := cfg.Disk.Create("")
+		next := reg.Create()
 		w := recfile.NewRecWriter(next, rs, cfg.bufPages())
 		var nextRuns []runRange
 		var written int64
@@ -174,19 +194,19 @@ func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 			}
 			n, err := mergeRuns(cur, w, runs[lo:hi], cfg, &st)
 			if err != nil {
-				cfg.Disk.Remove(cur.Name())
-				cfg.Disk.Remove(next.Name())
+				reg.Remove(cur)
+				reg.Remove(next)
 				return nil, st, err
 			}
 			nextRuns = append(nextRuns, runRange{written, written + n})
 			written += n
 		}
 		if err := w.Flush(); err != nil {
-			cfg.Disk.Remove(cur.Name())
-			cfg.Disk.Remove(next.Name())
+			reg.Remove(cur)
+			reg.Remove(next)
 			return nil, st, err
 		}
-		cfg.Disk.Remove(cur.Name())
+		reg.Remove(cur)
 		cur = next
 		runs = nextRuns
 		endPhase()
@@ -217,7 +237,11 @@ func mergeRuns(src *diskio.File, w *recfile.RecWriter, runs []runRange, cfg Conf
 	}
 	heap.Init(h)
 	var out int64
+	chk := cfg.Cancel.Stride()
 	for h.Len() > 0 {
+		if err := chk.Point(); err != nil {
+			return out, err
+		}
 		c := h.items[0]
 		if err := w.Write(c.buf); err != nil {
 			return out, err

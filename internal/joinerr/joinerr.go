@@ -9,19 +9,59 @@
 package joinerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
 
-// JoinError reports an I/O or integrity failure inside a join method.
+// Kind classifies why a join unwound, so a server embedding the library
+// can route the outcomes differently: I/O failures are retryable
+// elsewhere, cancellations are the caller's own doing, deadline
+// overruns want a bigger budget, admission rejections want backoff.
+type Kind int
+
+const (
+	// KindIO is the default: an I/O or integrity failure inside the
+	// join (transient fault beyond the retry budget, checksum mismatch,
+	// torn frame).
+	KindIO Kind = iota
+	// KindCanceled means the caller's context was canceled and the join
+	// unwound cooperatively.
+	KindCanceled
+	// KindDeadlineExceeded means the join's deadline passed before it
+	// finished.
+	KindDeadlineExceeded
+	// KindAdmission means the join never ran: the governor rejected it
+	// (it alone exceeds the aggregate budget).
+	KindAdmission
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCanceled:
+		return "canceled"
+	case KindDeadlineExceeded:
+		return "deadline-exceeded"
+	case KindAdmission:
+		return "admission"
+	}
+	return "io"
+}
+
+// JoinError reports an I/O, integrity, cancellation or admission failure
+// inside a join method.
 type JoinError struct {
 	// Method is the join method name ("pbsm", "s3j", "sssj", "shj").
 	Method string
 	// Phase is the method phase during which the failure occurred
-	// ("partition", "sort", "join", ...).
+	// ("partition", "sort", "join", "admission", ...).
 	Phase string
 	// File names the simulated disk file involved, when known.
 	File string
+	// Kind classifies the failure; KindIO unless the cause is a context
+	// error or the wrapper says otherwise.
+	Kind Kind
 	// Err is the underlying cause.
 	Err error
 }
@@ -42,10 +82,17 @@ func (e *JoinError) Unwrap() error { return e.Err }
 type filer interface{ FileName() string }
 
 // Wrap attaches method and phase context to err, extracting the file
-// name from the cause when it carries one. A nil err stays nil; an err
-// that is already a JoinError is returned unchanged (innermost context
-// wins — it names the phase closest to the failure).
+// name from the cause when it carries one and classifying context
+// errors as KindCanceled/KindDeadlineExceeded. A nil err stays nil; an
+// err that is already a JoinError is returned unchanged (innermost
+// context wins — it names the phase closest to the failure).
 func Wrap(method, phase string, err error) error {
+	return WrapAs(method, phase, Classify(err), err)
+}
+
+// WrapAs is Wrap with an explicit kind, for failures whose cause does
+// not self-classify (an admission rejection is a plain error).
+func WrapAs(method, phase string, kind Kind, err error) error {
 	if err == nil {
 		return nil
 	}
@@ -53,10 +100,39 @@ func Wrap(method, phase string, err error) error {
 	if errors.As(err, &je) {
 		return err
 	}
-	out := &JoinError{Method: method, Phase: phase, Err: err}
+	out := &JoinError{Method: method, Phase: phase, Kind: kind, Err: err}
 	var f filer
 	if errors.As(err, &f) {
 		out.File = f.FileName()
 	}
 	return out
+}
+
+// Classify derives the Kind of a cause: context errors map to the
+// cancellation kinds, everything else is KindIO.
+func Classify(err error) Kind {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return KindCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindDeadlineExceeded
+	}
+	return KindIO
+}
+
+// KindOf returns the Kind of a JoinError anywhere in err's chain, or
+// classifies the raw error if there is none.
+func KindOf(err error) Kind {
+	var je *JoinError
+	if errors.As(err, &je) {
+		return je.Kind
+	}
+	return Classify(err)
+}
+
+// IsCanceled reports whether err is a cooperative abort: a cancellation
+// or a deadline overrun (but not an admission rejection or I/O failure).
+func IsCanceled(err error) bool {
+	k := KindOf(err)
+	return k == KindCanceled || k == KindDeadlineExceeded
 }

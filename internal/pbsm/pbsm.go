@@ -30,6 +30,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
@@ -122,6 +123,10 @@ type Config struct {
 	// Trace is the parent span phase/pair/heal spans nest under; nil
 	// disables instrumentation.
 	Trace *trace.Span
+	// Cancel is the join's cancellation checkpoint; nil disables
+	// cancellation. Every data-dependent loop polls it, so a canceled
+	// join unwinds within a bounded amount of work.
+	Cancel *govern.Check
 }
 
 func (c *Config) tune() float64 {
@@ -234,7 +239,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Memory <= 0 {
 		return Stats{}, fmt.Errorf("pbsm: Config.Memory must be positive, got %d", cfg.Memory)
 	}
-	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm)}
+	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm), reg: cfg.Disk.NewRegistry()}
+	// One sweep covers every exit path — success, failure, cancellation —
+	// so no partition, repartition, spool or sort file outlives the join.
+	defer j.reg.Sweep()
 	err := j.run(R, S, emit)
 	j.stats.Tests += j.alg.Tests()
 	j.stats.Touches += j.alg.Touches()
@@ -261,6 +269,7 @@ type joiner struct {
 	cfg   Config
 	alg   sweep.Algorithm
 	stats Stats
+	reg   *diskio.Registry // every temp file of this join; swept on exit
 
 	start      time.Time // start of the whole join, for first-result stats
 	startUnits float64
@@ -354,9 +363,8 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 
 	var dupFile *diskio.File
 	if j.cfg.Dup == DupSort {
-		dupFile = j.cfg.Disk.Create("")
+		dupFile = j.reg.Create()
 		j.dupWriter = recfile.NewPairWriter(dupFile, j.cfg.bufPages())
-		defer j.cfg.Disk.Remove(dupFile.Name())
 	}
 
 	if p == 1 {
@@ -383,16 +391,8 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		j.stats.CopiesR, j.stats.CopiesS = copiesR, copiesS
 		pt.sp.SetAttr("copies", copiesR+copiesS)
 		pt.end()
-		defer func() {
-			for i := 0; i < p; i++ {
-				if filesR[i] != nil {
-					j.cfg.Disk.Remove(filesR[i].Name())
-				}
-				if filesS[i] != nil {
-					j.cfg.Disk.Remove(filesS[i].Name())
-				}
-			}
-		}()
+		// Partition files are registered at creation; the joiner's sweep
+		// removes whatever this run leaves behind, on every exit path.
 		if errR != nil {
 			return joinerr.Wrap("pbsm", PhasePartition.String(), errR)
 		}
@@ -414,8 +414,13 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 				return err
 			}
 		} else {
-			// Phases 2+3: repartition as needed and join each pair.
+			// Phases 2+3: repartition as needed and join each pair. A
+			// partition pair is an expensive unit, so poll immediately:
+			// cancellation latency is bounded by one pair, not 256.
 			for i := 0; i < p; i++ {
+				if err := j.cfg.Cancel.Now(); err != nil {
+					return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+				}
 				if err := j.processTopPair(filesR, filesS, i, g); err != nil {
 					return err
 				}
@@ -450,8 +455,8 @@ func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) e
 	if herr != nil {
 		return joinerr.Wrap("pbsm", PhaseJoin.String(), fmt.Errorf("%w (heal failed: %v)", err, herr))
 	}
-	j.cfg.Disk.Remove(filesR[i].Name())
-	j.cfg.Disk.Remove(filesS[i].Name())
+	j.reg.Remove(filesR[i])
+	j.reg.Remove(filesS[i])
 	filesR[i], filesS[i] = fr, fs
 	j.stats.Healed++
 	if err := j.processPair(fr, fs, reg, reg, 0); err != nil {
@@ -473,7 +478,7 @@ func (j *joiner) healPartition(g *grid, part int) (fr, fs *diskio.File, err erro
 	}
 	fs, err = j.rederive(j.baseS, g, part)
 	if err != nil {
-		j.cfg.Disk.Remove(fr.Name())
+		j.reg.Remove(fr)
 		return nil, nil, err
 	}
 	return fr, fs, nil
@@ -481,27 +486,32 @@ func (j *joiner) healPartition(g *grid, part int) (fr, fs *diskio.File, err erro
 
 // rederive writes a fresh copy of one partition's file for input ks.
 func (j *joiner) rederive(ks []geom.KPE, g *grid, part int) (*diskio.File, error) {
-	f := j.cfg.Disk.Create("")
+	f := j.reg.Create()
 	w := recfile.NewKPEWriter(f, j.cfg.bufPages())
 	stamp := make([]int, g.parts)
 	for i := range stamp {
 		stamp[i] = -1
 	}
 	parts := make([]int, 0, 8)
+	chk := j.cfg.Cancel.Stride()
 	for idx := range ks {
+		if err := chk.Point(); err != nil {
+			j.reg.Remove(f)
+			return nil, err
+		}
 		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
 		for _, pi := range parts {
 			if pi != part {
 				continue
 			}
 			if err := w.Write(ks[idx]); err != nil {
-				j.cfg.Disk.Remove(f.Name())
+				j.reg.Remove(f)
 				return nil, err
 			}
 		}
 	}
 	if err := w.Flush(); err != nil {
-		j.cfg.Disk.Remove(f.Name())
+		j.reg.Remove(f)
 		return nil, err
 	}
 	return f, nil
@@ -519,6 +529,8 @@ func (j *joiner) dupSortPhase(dupFile *diskio.File, sp *trace.Span) error {
 		Memory:     j.cfg.Memory,
 		BufPages:   j.cfg.bufPages(),
 		Trace:      sp,
+		Reg:        j.reg,
+		Cancel:     j.cfg.Cancel,
 		Less: func(a, b []byte) bool {
 			return geom.DecodePair(a).Less(geom.DecodePair(b))
 		},
@@ -526,11 +538,15 @@ func (j *joiner) dupSortPhase(dupFile *diskio.File, sp *trace.Span) error {
 	if err != nil {
 		return err
 	}
-	defer j.cfg.Disk.Remove(sorted.Name())
+	defer j.reg.Remove(sorted)
 	r := recfile.NewPairReader(sorted, j.cfg.bufPages())
 	var prev geom.Pair
 	first := true
+	chk := j.cfg.Cancel.Stride()
 	for {
+		if err := chk.Point(); err != nil {
+			return err
+		}
 		pr, ok, err := r.Next()
 		if err != nil {
 			return err
@@ -554,7 +570,7 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, 
 	writers := make([]*recfile.KPEWriter, g.parts)
 	buf := j.cfg.bufPagesFor(g.parts)
 	for i := range files {
-		files[i] = j.cfg.Disk.Create("")
+		files[i] = j.reg.Create()
 		writers[i] = recfile.NewKPEWriter(files[i], buf)
 	}
 	stamp := make([]int, g.parts)
@@ -563,7 +579,11 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, 
 	}
 	parts := make([]int, 0, 8)
 	var copies int64
+	chk := j.cfg.Cancel.Stride()
 	for idx := range ks {
+		if err := chk.Point(); err != nil {
+			return files, copies, err
+		}
 		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
 		for _, pi := range parts {
 			if err := writers[pi].Write(ks[idx]); err != nil {
@@ -598,6 +618,9 @@ func (j *joiner) verifyEmptySides(fr, fs *diskio.File) error {
 // processPair joins the partition pair (fr, fs), repartitioning
 // recursively when the pair exceeds the memory budget (§3.2.3).
 func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) error {
+	if err := j.cfg.Cancel.Now(); err != nil {
+		return err
+	}
 	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 	if nr == 0 || ns == 0 {
 		// Nothing can join — but an apparently empty file may be a torn
@@ -746,6 +769,10 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 				if failed() {
 					return
 				}
+				if err := j.cfg.Cancel.Now(); err != nil {
+					setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), err))
+					return
+				}
 				jb := jobs[idx]
 				// One span per pair job, parented under the join-phase
 				// span. Child/End lock the recorder internally, so
@@ -771,8 +798,8 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 						fs, herr = j.rederive(j.baseS, g, jb.part)
 					}
 					if herr == nil {
-						j.cfg.Disk.Remove(jb.fr.Name())
-						j.cfg.Disk.Remove(jb.fs.Name())
+						j.reg.Remove(jb.fr)
+						j.reg.Remove(jb.fs)
 						filesR[jb.part], filesS[jb.part] = fr, fs
 						j.stats.Healed++
 					}
@@ -843,12 +870,12 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 	writers := make([]*recfile.KPEWriter, n)
 	buf := j.cfg.bufPagesFor(n + 1)
 	for i := range files {
-		files[i] = j.cfg.Disk.Create("")
+		files[i] = j.reg.Create()
 		writers[i] = recfile.NewKPEWriter(files[i], buf)
 	}
 	removeFrom := func(lo int) {
 		for i := lo; i < n; i++ {
-			j.cfg.Disk.Remove(files[i].Name())
+			j.reg.Remove(files[i])
 		}
 	}
 	stamp := make([]int, n)
@@ -859,7 +886,11 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 	rd := recfile.NewKPEReader(src, buf)
 	gen := 0
 	var err error
+	chk := j.cfg.Cancel.Stride()
 	for err == nil {
+		if err = chk.Point(); err != nil {
+			break
+		}
 		var k geom.KPE
 		var ok bool
 		k, ok, err = rd.Next()
@@ -900,7 +931,7 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 		} else {
 			perr = j.processPair(fr, files[i], regR, andRegion{regS, inner}, depth+1)
 		}
-		j.cfg.Disk.Remove(files[i].Name())
+		j.reg.Remove(files[i])
 		if perr != nil {
 			removeFrom(i + 1)
 			return perr

@@ -24,6 +24,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sfc"
@@ -101,6 +102,9 @@ type Config struct {
 	// Trace is the parent span phase spans nest under; nil disables
 	// instrumentation.
 	Trace *trace.Span
+	// Cancel is the join's cancellation checkpoint; nil disables
+	// cancellation.
+	Cancel *govern.Check
 }
 
 // DefaultLevels gives 4^10 ≈ one million cells on the deepest grid,
@@ -215,7 +219,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Memory <= 0 {
 		return Stats{}, fmt.Errorf("s3j: Config.Memory must be positive, got %d", cfg.Memory)
 	}
-	j := &joiner{cfg: cfg, alg: cfg.algorithm()}
+	j := &joiner{cfg: cfg, alg: cfg.algorithm(), reg: cfg.Disk.NewRegistry()}
+	// One sweep covers every exit path, so no level or sort file outlives
+	// the join — success, failure or cancellation alike.
+	defer j.reg.Sweep()
 	err := j.run(R, S, emit)
 	j.stats.Tests = j.alg.Tests()
 	j.stats.Touches = j.alg.Touches()
@@ -247,6 +254,7 @@ type joiner struct {
 	cfg   Config
 	alg   sweep.Algorithm
 	stats Stats
+	reg   *diskio.Registry // every temp file of this join; swept on exit
 
 	start      time.Time
 	startUnits float64
@@ -294,15 +302,8 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	j.emit = emit
 	levels := j.cfg.levels()
 
-	var filesR, filesS []*diskio.File
-	defer func() {
-		for _, f := range filesR {
-			j.cfg.Disk.Remove(f.Name())
-		}
-		for _, f := range filesS {
-			j.cfg.Disk.Remove(f.Name())
-		}
-	}()
+	// Level files are registered at creation; the joiner's sweep removes
+	// whatever this run leaves behind, on every exit path.
 
 	// Phase 1: write the level files.
 	pt := j.begin(PhasePartition)
@@ -359,11 +360,15 @@ func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []in
 	counts := make([]int64, levels+1)
 	buf := j.cfg.bufPagesFor(levels + 1)
 	for l := range files {
-		files[l] = j.cfg.Disk.Create("")
+		files[l] = j.reg.Create()
 		writers[l] = newLevWriter(files[l], buf)
 	}
 	var cells [][2]uint32
+	chk := j.cfg.Cancel.Stride()
 	for i := range ks {
+		if err := chk.Point(); err != nil {
+			return files, counts, err
+		}
 		k := ks[i]
 		switch j.cfg.Mode {
 		case ModeOriginal:
@@ -411,6 +416,8 @@ func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, error)
 		Memory:     j.cfg.Memory,
 		BufPages:   j.cfg.bufPages(),
 		Trace:      sp,
+		Reg:        j.reg,
+		Cancel:     j.cfg.Cancel,
 		Less: func(a, b []byte) bool {
 			return decodeLevCode(a) < decodeLevCode(b)
 		},
@@ -420,7 +427,7 @@ func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, error)
 	}
 	j.stats.SortRuns += st.Runs
 	j.stats.MergePasses += st.MergePass
-	j.cfg.Disk.Remove(f.Name())
+	j.reg.Remove(f)
 	return sorted, nil
 }
 
@@ -478,6 +485,9 @@ func (j *joiner) scan(filesR, filesS []*diskio.File) error {
 	var stacks [2][]stackEntry
 	var resident int64
 	for h.Len() > 0 {
+		if err := j.cfg.Cancel.Point(); err != nil {
+			return err
+		}
 		c := h.items[0]
 		code, items, _, err := c.nextGroup(nil)
 		if err != nil {

@@ -21,6 +21,7 @@ import (
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
@@ -66,6 +67,9 @@ type Config struct {
 	// Trace is the parent span phase spans nest under; nil disables
 	// instrumentation.
 	Trace *trace.Span
+	// Cancel is the join's cancellation checkpoint; nil disables
+	// cancellation.
+	Cancel *govern.Check
 }
 
 func (c *Config) bufPages() int {
@@ -140,6 +144,11 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		return st, nil
 	}
 
+	// One sweep covers every exit path, so no bucket file outlives the
+	// join — success, failure or cancellation alike.
+	rg := cfg.Disk.NewRegistry()
+	defer rg.Sweep()
+
 	// Bucket count: like PBSM's formula (1), size bucket pairs for the
 	// memory budget, assuming S distributes like R.
 	n := int(math.Ceil(1.25 * float64(int64(len(R)+len(S))*geom.KPESize) / float64(cfg.Memory)))
@@ -162,7 +171,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		stride = 1
 	}
 	for i := range buckets {
-		b := &bucket{fR: cfg.Disk.Create(""), fS: cfg.Disk.Create("")}
+		b := &bucket{fR: rg.Create(), fS: rg.Create()}
 		buf := bufPagesFor(cfg, 2*n)
 		b.wR = recfile.NewKPEWriter(b.fR, buf)
 		b.wS = recfile.NewKPEWriter(b.fS, buf)
@@ -172,18 +181,12 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		}
 		buckets[i] = b
 	}
-	defer func() {
-		for _, b := range buckets {
-			if b.fR != nil {
-				cfg.Disk.Remove(b.fR.Name())
-			}
-			if b.fS != nil {
-				cfg.Disk.Remove(b.fS.Name())
-			}
-		}
-	}()
 	var err error
+	chk := cfg.Cancel.Stride()
 	for i := range R {
+		if err = chk.Point(); err != nil {
+			break
+		}
 		b := chooseBucket(buckets, R[i].Rect)
 		b.extent = b.extent.Union(R[i].Rect)
 		b.nR++
@@ -211,7 +214,11 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	t0, io0 = time.Now(), cfg.Disk.Stats()
 	sp = cfg.Trace.Child(PhaseProbePartition.String())
 	sp.AddRecords(int64(len(S)))
+	chk = cfg.Cancel.Stride()
 	for i := range S {
+		if err = chk.Point(); err != nil {
+			break
+		}
 		hit := false
 		for _, b := range buckets {
 			if b.nR > 0 && b.extent.Intersects(S[i].Rect) {
@@ -250,6 +257,11 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	t0, io0 = time.Now(), cfg.Disk.Stats()
 	sp = cfg.Trace.Child(PhaseJoin.String())
 	for _, b := range buckets {
+		// A bucket pair is an expensive unit, so poll immediately:
+		// cancellation latency is bounded by one pair, not 256.
+		if err = cfg.Cancel.Now(); err != nil {
+			break
+		}
 		nS := recfile.NumKPEs(b.fS)
 		if cfg.Trace != nil {
 			cfg.Trace.Observe("shj.bucket.fill", float64(int64(b.nR)+nS))

@@ -26,6 +26,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/extsort"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sweep"
@@ -69,6 +70,9 @@ type Config struct {
 	// Trace is the parent span phase spans nest under; nil disables
 	// instrumentation.
 	Trace *trace.Span
+	// Cancel is the join's cancellation checkpoint; nil disables
+	// cancellation.
+	Cancel *govern.Check
 }
 
 func (c *Config) bufPages() int {
@@ -129,29 +133,26 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	start := time.Now()
 	startUnits := cfg.Disk.Stats().CostUnits
 
+	// One sweep covers every exit path, so no raw copy or sorted run
+	// outlives the join — success, failure or cancellation alike.
+	reg := cfg.Disk.NewRegistry()
+	defer reg.Sweep()
+
 	// Phase 1: externally sort both relations by the left edge. Writing
 	// the unsorted copy is charged too: unlike PBSM's partition files the
 	// sort needs a materialized input it may read several times.
 	t0, io0 := time.Now(), cfg.Disk.Stats()
 	sortSpan := cfg.Trace.Child(PhaseSort.String())
 	sortSpan.AddRecords(int64(len(R) + len(S)))
-	sortedR, errR := sortByXL(R, cfg, &st, sortSpan)
+	sortedR, errR := sortByXL(R, cfg, reg, &st, sortSpan)
 	var sortedS *diskio.File
 	var errS error
 	if errR == nil {
-		sortedS, errS = sortByXL(S, cfg, &st, sortSpan)
+		sortedS, errS = sortByXL(S, cfg, reg, &st, sortSpan)
 	}
 	sortSpan.End()
 	st.PhaseCPU[PhaseSort] = time.Since(t0)
 	st.PhaseIO[PhaseSort] = cfg.Disk.Stats().Sub(io0)
-	defer func() {
-		if sortedR != nil {
-			cfg.Disk.Remove(sortedR.Name())
-		}
-		if sortedS != nil {
-			cfg.Disk.Remove(sortedS.Name())
-		}
-	}()
 	if errR != nil {
 		return st, joinerr.Wrap("sssj", PhaseSort.String(), errR)
 	}
@@ -164,9 +165,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	sweepSpan := cfg.Trace.Child(PhaseSweep.String())
 	sweepSpan.AddRecords(int64(len(R) + len(S)))
 	sw := &streamSweep{
-		rs: newPeekReader(recfile.NewKPEReader(sortedR, cfg.bufPages())),
-		ss: newPeekReader(recfile.NewKPEReader(sortedS, cfg.bufPages())),
-		st: &st,
+		rs:  newPeekReader(recfile.NewKPEReader(sortedR, cfg.bufPages())),
+		ss:  newPeekReader(recfile.NewKPEReader(sortedS, cfg.bufPages())),
+		st:  &st,
+		chk: cfg.Cancel,
 		emit: func(p geom.Pair) {
 			if st.Results == 0 {
 				st.FirstResultCPU = time.Since(start)
@@ -199,11 +201,15 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 }
 
 // sortByXL materializes ks on disk and externally sorts it by rect.XL.
-func sortByXL(ks []geom.KPE, cfg Config, st *Stats, span *trace.Span) (*diskio.File, error) {
-	raw := cfg.Disk.Create("")
-	defer cfg.Disk.Remove(raw.Name())
+func sortByXL(ks []geom.KPE, cfg Config, reg *diskio.Registry, st *Stats, span *trace.Span) (*diskio.File, error) {
+	raw := reg.Create()
+	defer reg.Remove(raw)
 	w := recfile.NewKPEWriter(raw, cfg.bufPages())
+	chk := cfg.Cancel.Stride()
 	for _, k := range ks {
+		if err := chk.Point(); err != nil {
+			return nil, err
+		}
 		if err := w.Write(k); err != nil {
 			return nil, err
 		}
@@ -217,6 +223,8 @@ func sortByXL(ks []geom.KPE, cfg Config, st *Stats, span *trace.Span) (*diskio.F
 		Memory:     cfg.Memory,
 		BufPages:   cfg.bufPages(),
 		Trace:      span,
+		Reg:        reg,
+		Cancel:     cfg.Cancel,
 		Less: func(a, b []byte) bool {
 			// rect.XL is the second field: bytes 8..16.
 			xa := math.Float64frombits(binary.LittleEndian.Uint64(a[8:]))
@@ -262,11 +270,16 @@ type streamSweep struct {
 	rs, ss           *peekReader
 	statusR, statusS sweep.Status
 	st               *Stats
+	chk              *govern.Check
 	emit             func(geom.Pair)
 }
 
 func (s *streamSweep) run() error {
+	chk := s.chk.Stride()
 	for {
+		if err := chk.Point(); err != nil {
+			return err
+		}
 		rk, rok, rerr := s.rs.peek()
 		if rerr != nil {
 			return rerr

@@ -251,6 +251,27 @@ func (r *Recorder) IOEvent(kind, file string) {
 	r.mu.Unlock()
 }
 
+// Instant records a zero-duration marker event with optional attributes
+// — the trace-visible footprint of a one-off occurrence that is not an
+// interval, such as a join aborted by cancellation (name "cancel", attr
+// "phase"). Events are stored as instant root spans like IOEvent's, but
+// without the "io." counter.
+func (r *Recorder) Instant(name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nextID++
+	r.spans = append(r.spans, SpanData{
+		ID:      r.nextID,
+		Name:    name,
+		Start:   time.Since(r.epoch),
+		Instant: true,
+		Attrs:   attrs,
+	})
+	r.mu.Unlock()
+}
+
 // Counter returns the current value of a counter (0 if absent).
 func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
