@@ -23,25 +23,20 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== lint: temp-file lifecycle =="
-# Join algorithms must manage temp files through diskio.Registry so every
-# exit path (success, error, cancellation) sweeps them. Bare os.Remove has
-# no business in a simulated-disk codebase, and direct Disk temp-file
-# calls in the join packages would bypass the per-join registry.
-bad=$(grep -rn 'os\.Remove' internal cmd | grep -v _test.go || true)
-if [ -n "$bad" ]; then
-    echo "lint: bare os.Remove outside tests:" >&2
-    echo "$bad" >&2
-    exit 1
-fi
-bad=$(grep -rnE '\.Disk\.(Create|Remove)\(' \
-    internal/pbsm internal/s3j internal/sssj internal/shj internal/extsort \
-    | grep -v _test.go || true)
-if [ -n "$bad" ]; then
-    echo "lint: direct Disk temp-file calls bypassing the registry:" >&2
-    echo "$bad" >&2
-    exit 1
-fi
+echo "== sjlint ./... =="
+# The project's own analyzer suite (internal/lint) type-checks the tree
+# and enforces the cross-cutting contracts: joinerr wrapping at API
+# boundaries, paired trace spans, govern checkpoints in record loops,
+# registry-managed temp files (the type-accurate successor of the old
+# grep lints), exhaustive Kind switches, and %w over %v for error
+# operands. See DESIGN.md §10.
+go run ./cmd/sjlint ./...
+
+echo "== sjlint -json smoke =="
+# The JSON output mode must always re-parse, including the empty-report
+# case; -checkjson validates the document shape and exits non-zero on a
+# malformed one.
+go run ./cmd/sjlint -json ./internal/tsv | go run ./cmd/sjlint -checkjson -
 
 echo "== go vet ./... =="
 go vet ./...

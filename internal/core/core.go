@@ -188,17 +188,14 @@ type Result struct {
 // delivered to emit exactly once. The inputs are not modified.
 func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	if cfg.Memory <= 0 {
-		return Result{}, fmt.Errorf("core: Config.Memory must be positive, got %d", cfg.Memory)
-	}
-	if err := validateInput("R", R); err != nil {
-		return Result{}, err
-	}
-	if err := validateInput("S", S); err != nil {
-		return Result{}, err
+		return Result{}, joinerr.Wrap("core", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 
-	// Derive the cancellation context: the caller's Ctx, a Deadline, or
-	// both (the deadline nests inside the caller's context).
+	// Derive the cancellation context first: the caller's Ctx, a
+	// Deadline, or both (the deadline nests inside the caller's
+	// context). Input validation below is a per-record scan over
+	// arbitrarily large inputs, so it honors the same checkpoints as
+	// every other record loop.
 	ctx := cfg.Ctx
 	if cfg.Deadline > 0 {
 		if ctx == nil {
@@ -209,6 +206,13 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		defer cancel()
 	}
 	chk := govern.NewCheck(ctx)
+
+	if err := validateInput("R", R, chk); err != nil {
+		return Result{}, joinerr.Wrap("core", "validate", err)
+	}
+	if err := validateInput("S", S, chk); err != nil {
+		return Result{}, joinerr.Wrap("core", "validate", err)
+	}
 
 	// Admission comes first: a join that will queue or be rejected must
 	// not touch the disk or open spans. The queue wait honors ctx, so a
@@ -348,7 +352,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		res.Results = st.Results
 		res.CPU = st.TotalCPU()
 	default:
-		return Result{}, fmt.Errorf("core: unknown method %q", cfg.Method)
+		return Result{}, joinerr.Wrap("core", "config", fmt.Errorf("unknown method %q", cfg.Method))
 	}
 
 	res.IO = disk.Stats().Sub(before)
@@ -393,17 +397,21 @@ func ioSnapshot(d *diskio.Disk) trace.IOStats {
 // method), and inverted rectangles would make replication and the
 // reference-point test disagree about coverage. Rejecting them up front
 // turns a silent wrong answer into a descriptive error.
-func validateInput(rel string, ks []geom.KPE) error {
+func validateInput(rel string, ks []geom.KPE, chk *govern.Check) error {
+	st := chk.Stride()
 	for i := range ks {
+		if err := st.Point(); err != nil {
+			return err
+		}
 		r := ks[i].Rect
 		for _, v := range [...]float64{r.XL, r.YL, r.XH, r.YH} {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("core: invalid input %s[%d] (id %d): rectangle [%g,%g]x[%g,%g] has a non-finite coordinate",
+				return fmt.Errorf("invalid input %s[%d] (id %d): rectangle [%g,%g]x[%g,%g] has a non-finite coordinate",
 					rel, i, ks[i].ID, r.XL, r.XH, r.YL, r.YH)
 			}
 		}
 		if r.XL > r.XH || r.YL > r.YH {
-			return fmt.Errorf("core: invalid input %s[%d] (id %d): inverted rectangle [%g,%g]x[%g,%g] (low edge beyond high edge)",
+			return fmt.Errorf("invalid input %s[%d] (id %d): inverted rectangle [%g,%g]x[%g,%g] (low edge beyond high edge)",
 				rel, i, ks[i].ID, r.XL, r.XH, r.YL, r.YH)
 		}
 	}

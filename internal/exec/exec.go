@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"spatialjoin/internal/core"
@@ -275,13 +276,13 @@ func (j *SpatialJoin) Open() error {
 	leftRows, err := drainRows(j.left, chk)
 	if err != nil {
 		drain.End()
-		return fmt.Errorf("exec: spatial join left input: %w", err)
+		return joinerr.Wrap("exec", "drain-left", fmt.Errorf("spatial join left input: %w", err))
 	}
 	rightRows, err := drainRows(j.right, chk)
 	drain.AddRecords(int64(len(leftRows) + len(rightRows)))
 	drain.End()
 	if err != nil {
-		return fmt.Errorf("exec: spatial join right input: %w", err)
+		return joinerr.Wrap("exec", "drain-right", fmt.Errorf("spatial join right input: %w", err))
 	}
 	// Re-key both sides densely: upstream operators may emit duplicate
 	// IDs (e.g. two join outputs sharing a base object), and the filter
@@ -308,7 +309,7 @@ func (j *SpatialJoin) Open() error {
 // Next implements Operator.
 func (j *SpatialJoin) Next() (Row, bool, error) {
 	if !j.opened {
-		return Row{}, false, fmt.Errorf("exec: spatial join not opened")
+		return Row{}, false, joinerr.Wrap("exec", "next", errors.New("spatial join not opened"))
 	}
 	p, ok := j.it.Next()
 	if !ok {

@@ -36,7 +36,8 @@ const (
 	KindAdmission
 )
 
-// String names the kind.
+// String names the kind. Unknown values print as "io", the safe
+// routing default (retryable elsewhere).
 func (k Kind) String() string {
 	switch k {
 	case KindCanceled:
@@ -45,8 +46,9 @@ func (k Kind) String() string {
 		return "deadline-exceeded"
 	case KindAdmission:
 		return "admission"
+	default:
+		return "io"
 	}
-	return "io"
 }
 
 // JoinError reports an I/O, integrity, cancellation or admission failure

@@ -1,0 +1,226 @@
+package lint_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/lint"
+)
+
+var analyzerNames = []string{"checkpoint", "joinwrap", "kindswitch", "registry", "spanend", "wrapverb"}
+
+// runFixture loads one testdata fixture package with a fresh driver and
+// runs a single analyzer over it.
+func runFixture(t *testing.T, analyzer, fixture string) ([]lint.Diagnostic, *lint.Driver) {
+	t.Helper()
+	d, err := lint.NewDriver(".")
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	as, err := lint.ByName(analyzer)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", analyzer, err)
+	}
+	dir := filepath.Join(d.ModuleRoot(), "internal", "lint", "testdata", "src", fixture)
+	diags, err := d.Run([]string{dir}, as)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", fixture, err)
+	}
+	return diags, d
+}
+
+// wantMarkers scans a fixture directory for "// want <analyzer>"
+// end-of-line markers and returns the expected diagnostic keys in the
+// same "file:line" form diagKeys produces.
+func wantMarkers(t *testing.T, modRoot, dir, analyzer string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", path, err)
+		}
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			t.Fatalf("Rel: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			if name := strings.TrimSpace(line[idx+len("// want "):]); name == analyzer {
+				want[fmt.Sprintf("%s:%d", filepath.ToSlash(rel), i+1)] = true
+			}
+		}
+	}
+	return want
+}
+
+func diagKeys(diags []lint.Diagnostic) map[string]bool {
+	keys := make(map[string]bool)
+	for _, d := range diags {
+		keys[fmt.Sprintf("%s:%d", d.File, d.Line)] = true
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAnalyzersCatchSeededViolations is the golden suite: each analyzer
+// must report exactly the marked lines of its seeded fixture and
+// nothing at all on the clean twin.
+func TestAnalyzersCatchSeededViolations(t *testing.T) {
+	for _, name := range analyzerNames {
+		t.Run(name, func(t *testing.T) {
+			diags, d := runFixture(t, name, name)
+			dir := filepath.Join(d.ModuleRoot(), "internal", "lint", "testdata", "src", name)
+			want := wantMarkers(t, d.ModuleRoot(), dir, name)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s carries no want markers", name)
+			}
+			for _, diag := range diags {
+				if diag.Analyzer != name {
+					t.Errorf("unexpected analyzer %q in finding %s", diag.Analyzer, diag)
+				}
+				if diag.Message == "" {
+					t.Errorf("empty message in finding %s", diag)
+				}
+			}
+			got := diagKeys(diags)
+			for _, k := range sortedKeys(want) {
+				if !got[k] {
+					t.Errorf("seeded violation at %s not reported", k)
+				}
+			}
+			for _, k := range sortedKeys(got) {
+				if !want[k] {
+					t.Errorf("unexpected finding at %s", k)
+				}
+			}
+		})
+		t.Run(name+"_clean", func(t *testing.T) {
+			diags, _ := runFixture(t, name, name+"_clean")
+			for _, diag := range diags {
+				t.Errorf("clean twin flagged: %s", diag)
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectives checks the suppression machinery on the
+// ignorefix fixture: the documented //lint:ignore silences its registry
+// finding, while the reasonless and unknown-analyzer directives are
+// reported as sjlint findings.
+func TestIgnoreDirectives(t *testing.T) {
+	diags, d := runFixture(t, "registry", "ignorefix")
+	path := filepath.Join(d.ModuleRoot(), "internal", "lint", "testdata", "src", "ignorefix", "ignorefix.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	want := make(map[int]bool) // lines of directives that must be reported
+	for i, line := range strings.Split(string(data), "\n") {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "//lint:ignore")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || fields[0] == "nosuchcheck" {
+			want[i+1] = true
+		}
+	}
+	if len(want) != 2 {
+		t.Fatalf("fixture should carry exactly 2 bad directives, found %d", len(want))
+	}
+	got := make(map[int]bool)
+	for _, diag := range diags {
+		if diag.Analyzer != "sjlint" {
+			t.Errorf("finding escaped suppression: %s", diag)
+			continue
+		}
+		got[diag.Line] = true
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("bad directive at line %d not reported", line)
+		}
+	}
+	for line := range got {
+		if !want[line] {
+			t.Errorf("unexpected sjlint finding at line %d", line)
+		}
+	}
+}
+
+// TestJSONRoundTrip feeds WriteJSON's output back through CheckJSON,
+// for a non-empty report and for the empty one (which must encode as an
+// array, not null).
+func TestJSONRoundTrip(t *testing.T) {
+	diags, _ := runFixture(t, "joinwrap", "joinwrap")
+	if len(diags) == 0 {
+		t.Fatal("joinwrap fixture produced no findings to round-trip")
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	n, err := lint.CheckJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("CheckJSON: %v", err)
+	}
+	if n != len(diags) {
+		t.Errorf("CheckJSON counted %d findings, want %d", n, len(diags))
+	}
+
+	buf.Reset()
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "[") {
+		t.Errorf("empty report is not a JSON array: %q", buf.String())
+	}
+	if n, err := lint.CheckJSON(buf.Bytes()); err != nil || n != 0 {
+		t.Errorf("CheckJSON on empty report: n=%d err=%v", n, err)
+	}
+}
+
+// TestModuleIsAnalyzerClean is the self-check: the tree that ships the
+// analyzers must satisfy them. Skipped in -short because it type-checks
+// the whole module.
+func TestModuleIsAnalyzerClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; run without -short")
+	}
+	d, err := lint.NewDriver(".")
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	diags, err := d.Run([]string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, diag := range diags {
+		t.Errorf("module not analyzer-clean: %s", diag)
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerKindswitch flags switches over joinerr.Kind that neither
+// cover every Kind constant nor carry a default clause. The taxonomy is
+// how embedders route outcomes (retry I/O failures, surface
+// cancellations, back off on admission rejects); a silent fall-through
+// on a newly added Kind would misroute it.
+var AnalyzerKindswitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over joinerr.Kind must be exhaustive or carry a default clause",
+	Run:  runKindswitch,
+}
+
+func runKindswitch(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := p.Info.Types[sw.Tag]
+			if !ok || !isNamed(tv.Type, pathJoinerr, "Kind") {
+				return true
+			}
+			checkKindSwitch(p, sw, namedType(tv.Type))
+			return true
+		})
+	}
+}
+
+func checkKindSwitch(p *Pass, sw *ast.SwitchStmt, kind *types.Named) {
+	// The universe: every package-level constant of type Kind declared
+	// in joinerr itself, resolved from the type-checked package so a
+	// new Kind constant widens the requirement automatically.
+	want := make(map[string]string) // constant exact value -> name
+	scope := kind.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(types.Unalias(c.Type()), kind) {
+			continue
+		}
+		want[c.Val().ExactString()] = c.Name()
+	}
+
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: future kinds have a route
+		}
+		for _, expr := range cc.List {
+			if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil {
+				delete(want, tv.Value.ExactString())
+			}
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	missing := make([]string, 0, len(want))
+	for _, name := range want {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	p.Reportf(sw.Pos(),
+		"switch over joinerr.Kind is not exhaustive and has no default: missing %s",
+		strings.Join(missing, ", "))
+}

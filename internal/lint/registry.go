@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerRegistry is the type-accurate replacement for the two grep
+// lints ci.sh used to carry: temp files must flow through the per-join
+// diskio.Registry so every exit path (success, error, cancellation)
+// sweeps them. It flags
+//
+//   - os.Remove anywhere in production code: the join stack works on a
+//     simulated disk, so a real-filesystem remove is at best dead code
+//     and at worst deletes a user file; and
+//
+//   - Create/Remove called directly on a *diskio.Disk from inside a
+//     join package, which would mint or delete a temp file behind the
+//     registry's back and break the leak-free guarantee.
+//
+// Unlike the greps, resolution goes through go/types: a local helper
+// named Remove, a variable named os, or a method on some other Disk
+// type no longer trips the check — and renaming an import no longer
+// evades it.
+var AnalyzerRegistry = &Analyzer{
+	Name: "registry",
+	Doc:  "temp files must go through diskio.Registry: no os.Remove, no direct Disk.Create/Remove in join packages",
+	Run:  runRegistry,
+}
+
+func runRegistry(p *Pass) {
+	inTempFilePkg := tempFilePackages[p.Pkg.Name()]
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			if isPkgFunc(fn, "os", "Remove") {
+				p.Reportf(call.Pos(),
+					"os.Remove bypasses the simulated disk; temp files live on diskio.Disk and are swept by the per-join Registry")
+				return true
+			}
+			if inTempFilePkg &&
+				(isMethodOn(fn, pathDiskio, "Disk", "Create") || isMethodOn(fn, pathDiskio, "Disk", "Remove")) {
+				p.Reportf(call.Pos(),
+					"direct (*diskio.Disk).%s bypasses the per-join Registry; use Registry.%s so every exit path sweeps the file",
+					fn.Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string // module-relative path
+	line     int
+	analyzer string
+}
+
+// Run loads the packages named by patterns, applies the analyzers, and
+// returns the surviving diagnostics sorted by file, line and analyzer.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line, or on the line directly above it, silences that
+// analyzer's findings for the line. The reason is mandatory — an
+// unexplained suppression is itself reported (as analyzer "sjlint"),
+// so every escape hatch in the tree documents why it exists.
+func (d *Driver) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, err := d.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := d.Load(dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ignores := make(map[string]map[int]map[string]bool) // file -> line -> analyzer
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			d.collectIgnores(f, known, ignores)
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     d.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				driver:   d,
+			})
+		}
+	}
+
+	var out []Diagnostic
+	for _, diag := range d.diags {
+		if suppressed(ignores, diag) {
+			continue
+		}
+		out = append(out, diag)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe: the same package can be loaded once per pattern set, and
+	// two analyzers never share a name, so equal adjacent entries are
+	// genuine duplicates.
+	dedup := out[:0]
+	for i, diag := range out {
+		if i == 0 || diag != out[i-1] {
+			dedup = append(dedup, diag)
+		}
+	}
+	return dedup, nil
+}
+
+func (d *Driver) report(diag Diagnostic) { d.diags = append(d.diags, diag) }
+
+// collectIgnores parses every //lint:ignore directive of one file into
+// the suppression index, reporting malformed directives.
+func (d *Driver) collectIgnores(f *ast.File, known map[string]bool, ignores map[string]map[int]map[string]bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := d.Fset.Position(c.Pos())
+			file := d.relPath(pos.Filename)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				d.report(Diagnostic{
+					File: file, Line: pos.Line, Col: pos.Column,
+					Analyzer: "sjlint",
+					Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+				})
+				continue
+			}
+			if !known[fields[0]] {
+				d.report(Diagnostic{
+					File: file, Line: pos.Line, Col: pos.Column,
+					Analyzer: "sjlint",
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", fields[0]),
+				})
+				continue
+			}
+			byLine := ignores[file]
+			if byLine == nil {
+				byLine = make(map[int]map[string]bool)
+				ignores[file] = byLine
+			}
+			byAnalyzer := byLine[pos.Line]
+			if byAnalyzer == nil {
+				byAnalyzer = make(map[string]bool)
+				byLine[pos.Line] = byAnalyzer
+			}
+			byAnalyzer[fields[0]] = true
+		}
+	}
+}
+
+func suppressed(ignores map[string]map[int]map[string]bool, diag Diagnostic) bool {
+	byLine := ignores[diag.File]
+	if byLine == nil {
+		return false
+	}
+	return byLine[diag.Line][diag.Analyzer] || byLine[diag.Line-1][diag.Analyzer]
+}
+
+// WriteText renders diagnostics one per line in the canonical
+// "file:line: analyzer: message" form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, diag := range diags {
+		if _, err := fmt.Fprintln(w, diag.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (an empty
+// slice encodes as [], so downstream parsers always see an array).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// CheckJSON validates that data is a well-formed sjlint -json document:
+// a JSON array of diagnostics whose entries carry a file, a positive
+// line and a known analyzer. It returns the number of findings.
+func CheckJSON(data []byte) (int, error) {
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return 0, fmt.Errorf("lint: JSON output does not re-parse: %w", err)
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	known["sjlint"] = true
+	for i, diag := range diags {
+		if diag.File == "" || diag.Line <= 0 {
+			return 0, fmt.Errorf("lint: entry %d lacks a file:line position", i)
+		}
+		if !known[diag.Analyzer] {
+			return 0, fmt.Errorf("lint: entry %d names unknown analyzer %q", i, diag.Analyzer)
+		}
+	}
+	return len(diags), nil
+}

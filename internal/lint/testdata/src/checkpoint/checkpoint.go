@@ -1,0 +1,34 @@
+// Package shj is a checkpoint fixture: record loops in a join package
+// with no govern checkpoint in the body.
+package shj
+
+import (
+	"spatialjoin/internal/geom"
+)
+
+// Sum scans every record without ever polling for cancellation.
+func Sum(ks []geom.KPE) float64 {
+	var total float64
+	for _, k := range ks { // want checkpoint
+		total += k.Rect.XL
+	}
+	return total
+}
+
+// CountPairs has the same problem on the result-pair record type.
+func CountPairs(ps []geom.Pair) int {
+	n := 0
+	for range ps { // want checkpoint
+		n++
+	}
+	return n
+}
+
+// Indexes ranges over plain ints: not a record loop, never flagged.
+func Indexes(parts []int) int {
+	n := 0
+	for _, p := range parts {
+		n += p
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+// Package shj is the clean checkpoint twin: every record loop either
+// polls a govern checkpoint directly or hands one to a helper.
+package shj
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+)
+
+// Sum polls a stride checkpoint once per record.
+func Sum(ks []geom.KPE, chk *govern.Check) (float64, error) {
+	var total float64
+	st := chk.Stride()
+	for _, k := range ks {
+		if err := st.Point(); err != nil {
+			return 0, err
+		}
+		total += k.Rect.XL
+	}
+	return total, nil
+}
+
+// Drain delegates: passing the Check to a helper counts as a
+// checkpoint, because the helper owns the polling.
+func Drain(ks []geom.KPE, chk *govern.Check) {
+	for _, k := range ks {
+		consume(k, chk)
+	}
+}
+
+func consume(geom.KPE, *govern.Check) {}

@@ -1,0 +1,23 @@
+// Package ignorefix exercises the //lint:ignore directive handling: a
+// valid suppression silences its finding, while a reasonless directive
+// and an unknown analyzer name are themselves reported.
+package ignorefix
+
+import "os"
+
+// Swept removes a real file under a documented suppression, so the
+// registry finding stays out of the report.
+func Swept(path string) error {
+	//lint:ignore registry fixture exercises a valid suppression
+	return os.Remove(path)
+}
+
+// A carries a directive with no reason: malformed, reported as sjlint.
+//
+//lint:ignore registry
+func A() {}
+
+// B names an analyzer that does not exist: reported as sjlint.
+//
+//lint:ignore nosuchcheck this analyzer does not exist
+func B() {}

@@ -1,0 +1,44 @@
+// Package pbsm is a joinwrap fixture: it declares itself a join package
+// (analyzer scoping is by package name) and leaks bare error
+// constructors across its exported API.
+package pbsm
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialjoin/internal/joinerr"
+)
+
+// Join is an exported boundary: both returns below hand bare
+// constructors to the caller.
+func Join(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative input %d", n) // want joinwrap
+	}
+	if n == 0 {
+		return errors.New("empty input") // want joinwrap
+	}
+	return nil
+}
+
+// Runner is exported, so its exported methods are boundaries too.
+type Runner struct{}
+
+// Run leaks a bare fmt.Errorf from an exported method.
+func (Runner) Run() error {
+	return fmt.Errorf("run failed") // want joinwrap
+}
+
+// helper is unexported: its constructor is the boundary's problem, not
+// its own.
+func helper() error { return fmt.Errorf("internal detail") }
+
+// Checked nests the constructor inside joinerr.Wrap's argument list,
+// which satisfies the contract even on this dirty twin.
+func Checked() error {
+	if err := helper(); err != nil {
+		return joinerr.Wrap("pbsm", "config", fmt.Errorf("setup: %w", err))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package pbsm is the clean joinwrap twin: every error that crosses the
+// exported API is a joinerr value.
+package pbsm
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/joinerr"
+)
+
+// Join wraps its config errors before returning them.
+func Join(n int) error {
+	if n < 0 {
+		return joinerr.Wrap("pbsm", "config", fmt.Errorf("negative input %d", n))
+	}
+	return nil
+}
+
+// Runner is an exported type with a compliant exported method.
+type Runner struct{}
+
+// Run returns a pre-classified error.
+func (Runner) Run() error {
+	return joinerr.WrapAs("pbsm", "join", joinerr.KindIO, fmt.Errorf("run failed"))
+}
+
+// helper may build bare errors; only the boundary must wrap.
+func helper() error { return fmt.Errorf("internal detail") }
+
+// Parallel shows the closure exemption: function literals deliver their
+// errors through captured state the boundary wraps.
+func Parallel() error {
+	var firstErr error
+	work := func() error { return fmt.Errorf("worker detail") }
+	if err := work(); err != nil {
+		firstErr = joinerr.Wrap("pbsm", "join", err)
+	}
+	return firstErr
+}

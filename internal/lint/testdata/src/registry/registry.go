@@ -1,0 +1,23 @@
+// Package extsort is a registry fixture: it is one of the temp-file
+// packages, so direct Disk.Create/Remove calls are violations, and
+// os.Remove is a violation anywhere.
+package extsort
+
+import (
+	"os"
+
+	"spatialjoin/internal/diskio"
+)
+
+// Cleanup deletes a real filesystem path: on the simulated disk this is
+// dead code at best and a destroyed user file at worst.
+func Cleanup(path string) error {
+	return os.Remove(path) // want registry
+}
+
+// MakeTemp mints and deletes a temp file behind the registry's back.
+func MakeTemp(d *diskio.Disk) *diskio.File {
+	f := d.Create("tmp") // want registry
+	d.Remove("tmp")      // want registry
+	return f
+}

@@ -1,0 +1,16 @@
+// Package wrapfix is a wrapverb fixture: fmt.Errorf flattens error
+// causes with %v where %w would keep them inspectable.
+package wrapfix
+
+import "fmt"
+
+// Describe loses the chain: errors.Is/As cannot see through the %v.
+func Describe(err error) error {
+	return fmt.Errorf("join failed: %v", err) // want wrapverb
+}
+
+// Mixed operands: only the error's verb is flagged, and width/precision
+// bookkeeping keeps the operand mapping accurate.
+func Mixed(part int, err error) error {
+	return fmt.Errorf("part %03d: %v", part, err) // want wrapverb
+}

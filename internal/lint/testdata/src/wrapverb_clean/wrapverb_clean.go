@@ -1,0 +1,20 @@
+// Package wrapfix is the clean wrapverb twin: error operands use %w,
+// and %v on non-error operands stays legal.
+package wrapfix
+
+import "fmt"
+
+// Describe preserves the chain with %w.
+func Describe(err error) error {
+	return fmt.Errorf("join failed: %w", err)
+}
+
+// Detail formats a non-error operand with %v: not a finding.
+func Detail(part any) error {
+	return fmt.Errorf("bad partition descriptor %v", part)
+}
+
+// Both wraps the cause and prints context values.
+func Both(part int, err error) error {
+	return fmt.Errorf("part %d of %v: %w", part, "grid", err)
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerWrapverb flags fmt.Errorf calls that format an error operand
+// with %v where %w would preserve the chain for errors.Is/As. The two
+// verbs print identically, so switching costs nothing and keeps wrapped
+// causes (fault kinds, corruption details, context errors) inspectable
+// all the way up the join stack.
+var AnalyzerWrapverb = &Analyzer{
+	Name: "wrapverb",
+	Doc:  "fmt.Errorf applies %v to an error operand where %w would preserve the chain",
+	Run:  runWrapverb,
+}
+
+func runWrapverb(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(p.Info, call), "fmt", "Errorf") {
+				return true
+			}
+			checkWrapVerbs(p, call)
+			return true
+		})
+	}
+}
+
+// checkWrapVerbs maps the %v verbs of a literal format string to their
+// operands and reports the ones whose operand is an error.
+func checkWrapVerbs(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for _, v := range verbOperands(format) {
+		if v.verb != 'v' {
+			continue
+		}
+		argIdx := 1 + v.operand
+		if argIdx >= len(call.Args) {
+			continue // fmt's own vet catches arity mismatches
+		}
+		arg := call.Args[argIdx]
+		tv, ok := p.Info.Types[arg]
+		if !ok || !implementsError(tv.Type) {
+			continue
+		}
+		p.Reportf(arg.Pos(),
+			"error operand %s formatted with %%v; use %%w so the cause stays inspectable with errors.Is/As",
+			types.ExprString(arg))
+	}
+}
+
+type verbOperand struct {
+	verb    rune
+	operand int // 0-based operand index the verb consumes
+}
+
+// verbOperands scans a Printf-style format string and pairs each verb
+// with the operand index it consumes, accounting for flags, width and
+// precision (including the *-consumes-an-operand forms). Explicit
+// argument indexes ([n]) are honored.
+func verbOperands(format string) []verbOperand {
+	var out []verbOperand
+	operand := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(rs) && strings.ContainsRune("+-# 0", rs[i]) {
+			i++
+		}
+		// Width (a * consumes an operand).
+		if i < len(rs) && rs[i] == '*' {
+			operand++
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				operand++
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index.
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+				num = num*10 + int(rs[j]-'0')
+				j++
+			}
+			if j < len(rs) && rs[j] == ']' && num > 0 {
+				operand = num - 1
+				i = j + 1
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verbOperand{verb: rs[i], operand: operand})
+		operand++
+	}
+	return out
+}

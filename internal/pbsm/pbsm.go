@@ -234,10 +234,10 @@ func (s *Stats) ReplicationRate(nr, ns int) float64 {
 // result pair exactly once to emit. The inputs are never modified.
 func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Disk == nil {
-		return Stats{}, fmt.Errorf("pbsm: Config.Disk is required")
+		return Stats{}, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Disk is required"))
 	}
 	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("pbsm: Config.Memory must be positive, got %d", cfg.Memory)
+		return Stats{}, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm), reg: cfg.Disk.NewRegistry()}
 	// One sweep covers every exit path — success, failure, cancellation —
@@ -453,7 +453,7 @@ func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) e
 	}
 	fr, fs, herr := j.healPartition(g, i)
 	if herr != nil {
-		return joinerr.Wrap("pbsm", PhaseJoin.String(), fmt.Errorf("%w (heal failed: %v)", err, herr))
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), fmt.Errorf("%w (heal failed: %w)", err, herr))
 	}
 	j.reg.Remove(filesR[i])
 	j.reg.Remove(filesS[i])
@@ -774,70 +774,10 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 					return
 				}
 				jb := jobs[idx]
-				// One span per pair job, parented under the join-phase
-				// span. Child/End lock the recorder internally, so
-				// concurrent workers need no extra synchronization.
-				jsp := pt.sp.Child("pair")
-				jsp.SetAttr("part", int64(jb.part))
-				fr, fs := jb.fr, jb.fs
-				rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
-				var ss []geom.KPE
-				if err == nil {
-					ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
-				}
-				if err != nil && recfile.IsCorrupt(err) {
-					// A parallel job reads its whole pair before emitting
-					// anything, so checksum failures here are always safe
-					// to heal by re-derivation.
-					hsp := jsp.Child("heal")
-					hsp.SetAttr("part", int64(jb.part))
-					j.emitMu.Lock()
-					var herr error
-					fr, herr = j.rederive(j.baseR, g, jb.part)
-					if herr == nil {
-						fs, herr = j.rederive(j.baseS, g, jb.part)
-					}
-					if herr == nil {
-						j.reg.Remove(jb.fr)
-						j.reg.Remove(jb.fs)
-						filesR[jb.part], filesS[jb.part] = fr, fs
-						j.stats.Healed++
-					}
-					j.emitMu.Unlock()
-					if herr == nil {
-						rs, err = recfile.ReadAllKPEs(fr, j.cfg.bufPages())
-						if err == nil {
-							ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
-						}
-					}
-					hsp.End()
-				}
-				if err != nil {
-					jsp.End()
-					setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), err))
+				if err := j.runPairJob(pt.sp, alg, jb.fr, jb.fs, jb.part, filesR, filesS, g, failed); err != nil {
+					setErr(err)
 					return
 				}
-				jsp.AddRecords(int64(len(rs) + len(ss)))
-				reg := gridRegion{g: g, part: jb.part}
-				alg.Join(rs, ss, func(r, s geom.KPE) {
-					j.emitMu.Lock()
-					j.stats.RawResults++
-					switch j.cfg.Dup {
-					case DupRPM:
-						x := geom.RefPoint(r.Rect, s.Rect)
-						if reg.contains(x) {
-							j.deliver(geom.Pair{R: r.ID, S: s.ID})
-						}
-					case DupSort:
-						if !failed() {
-							if werr := j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID}); werr != nil {
-								setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), werr))
-							}
-						}
-					}
-					j.emitMu.Unlock()
-				})
-				jsp.End()
 			}
 		}()
 	}
@@ -845,6 +785,87 @@ func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) erro
 	errMu.Lock()
 	defer errMu.Unlock()
 	return firstErr
+}
+
+// runPairJob reads, joins and — if a side is corrupt — heals one
+// parallel pair. One span per pair job, parented under the join-phase
+// span; Child/End lock the recorder internally, so concurrent workers
+// need no extra synchronization. Both the pair span and the heal span
+// close via defer, so no early return can leak an open span.
+func (j *joiner) runPairJob(psp *trace.Span, alg sweep.Algorithm, fr, fs *diskio.File, part int, filesR, filesS []*diskio.File, g *grid, failed func() bool) error {
+	jsp := psp.Child("pair")
+	defer jsp.End()
+	jsp.SetAttr("part", int64(part))
+	rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+	var ss []geom.KPE
+	if err == nil {
+		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+	}
+	if err != nil && recfile.IsCorrupt(err) {
+		// A parallel job reads its whole pair before emitting anything,
+		// so checksum failures here are always safe to heal by
+		// re-derivation.
+		rs, ss, err = j.healPairJob(jsp, part, filesR, filesS, g, err)
+	}
+	if err != nil {
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
+	}
+	jsp.AddRecords(int64(len(rs) + len(ss)))
+	reg := gridRegion{g: g, part: part}
+	var werr error
+	alg.Join(rs, ss, func(r, s geom.KPE) {
+		j.emitMu.Lock()
+		j.stats.RawResults++
+		switch j.cfg.Dup {
+		case DupRPM:
+			x := geom.RefPoint(r.Rect, s.Rect)
+			if reg.contains(x) {
+				j.deliver(geom.Pair{R: r.ID, S: s.ID})
+			}
+		case DupSort:
+			if werr == nil && !failed() {
+				werr = j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+			}
+		}
+		j.emitMu.Unlock()
+	})
+	if werr != nil {
+		return joinerr.Wrap("pbsm", PhaseJoin.String(), werr)
+	}
+	return nil
+}
+
+// healPairJob re-derives both sides of a corrupt parallel pair from the
+// base inputs, swaps the fresh files into the shared slices, and
+// re-reads them. The registry and file-slice updates happen under
+// emitMu because workers share both. On heal failure the original
+// corruption error is returned with the heal error joined in, matching
+// the sequential top-pair path.
+func (j *joiner) healPairJob(jsp *trace.Span, part int, filesR, filesS []*diskio.File, g *grid, orig error) (rs, ss []geom.KPE, err error) {
+	hsp := jsp.Child("heal")
+	defer hsp.End()
+	hsp.SetAttr("part", int64(part))
+	j.emitMu.Lock()
+	fr, herr := j.rederive(j.baseR, g, part)
+	var fs *diskio.File
+	if herr == nil {
+		fs, herr = j.rederive(j.baseS, g, part)
+	}
+	if herr == nil {
+		j.reg.Remove(filesR[part])
+		j.reg.Remove(filesS[part])
+		filesR[part], filesS[part] = fr, fs
+		j.stats.Healed++
+	}
+	j.emitMu.Unlock()
+	if herr != nil {
+		return nil, nil, fmt.Errorf("%w (heal failed: %w)", orig, herr)
+	}
+	rs, err = recfile.ReadAllKPEs(fr, j.cfg.bufPages())
+	if err == nil {
+		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
+	}
+	return rs, ss, err
 }
 
 // repartitionPair splits the larger side of an oversized pair with a

@@ -214,10 +214,10 @@ func (s *Stats) ReplicationRate(nr, ns int) float64 {
 // result pair exactly once to emit. The inputs are never modified.
 func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Disk == nil {
-		return Stats{}, fmt.Errorf("s3j: Config.Disk is required")
+		return Stats{}, joinerr.Wrap("s3j", "config", fmt.Errorf("Config.Disk is required"))
 	}
 	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("s3j: Config.Memory must be positive, got %d", cfg.Memory)
+		return Stats{}, joinerr.Wrap("s3j", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 	j := &joiner{cfg: cfg, alg: cfg.algorithm(), reg: cfg.Disk.NewRegistry()}
 	// One sweep covers every exit path, so no level or sort file outlives

@@ -132,10 +132,10 @@ type bucket struct {
 // (probe side), delivering each result pair exactly once to emit.
 func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Disk == nil {
-		return Stats{}, fmt.Errorf("shj: Config.Disk is required")
+		return Stats{}, joinerr.Wrap("shj", "config", fmt.Errorf("Config.Disk is required"))
 	}
 	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("shj: Config.Memory must be positive, got %d", cfg.Memory)
+		return Stats{}, joinerr.Wrap("shj", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 	var st Stats
 	alg := sweep.New(cfg.Algorithm)
@@ -375,6 +375,7 @@ func BucketExtents(R []geom.KPE, n int) []geom.Rect {
 			ebs[i] = eb{extent: R[idx].Rect, seeded: true}
 		}
 	}
+	//lint:ignore checkpoint inspection/test helper outside any join run; it has no Config and no cancellation plumbing to checkpoint against
 	for i := range R {
 		best, bestEnl, bestArea := -1, math.Inf(1), math.Inf(1)
 		for j := range ebs {

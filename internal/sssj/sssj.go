@@ -124,10 +124,10 @@ func (s *Stats) TotalCPU() time.Duration {
 // each result pair exactly once to emit. The inputs are not modified.
 func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Disk == nil {
-		return Stats{}, fmt.Errorf("sssj: Config.Disk is required")
+		return Stats{}, joinerr.Wrap("sssj", "config", fmt.Errorf("Config.Disk is required"))
 	}
 	if cfg.Memory <= 0 {
-		return Stats{}, fmt.Errorf("sssj: Config.Memory must be positive, got %d", cfg.Memory)
+		return Stats{}, joinerr.Wrap("sssj", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 	var st Stats
 	start := time.Now()

@@ -46,13 +46,13 @@ func Read(r io.Reader) ([]geom.KPE, error) {
 		}
 		id, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("tsv: line %d: bad id %q: %v", lineNo, fields[0], err)
+			return nil, fmt.Errorf("tsv: line %d: bad id %q: %w", lineNo, fields[0], err)
 		}
 		var c [4]float64
 		for i := 0; i < 4; i++ {
 			c[i], err = strconv.ParseFloat(fields[i+1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("tsv: line %d: bad coordinate %q: %v", lineNo, fields[i+1], err)
+				return nil, fmt.Errorf("tsv: line %d: bad coordinate %q: %w", lineNo, fields[i+1], err)
 			}
 		}
 		rect := geom.NewRect(c[0], c[1], c[2], c[3])

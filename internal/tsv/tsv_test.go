@@ -2,7 +2,9 @@ package tsv
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -72,6 +74,25 @@ func TestReadErrors(t *testing.T) {
 	for i, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestReadErrorsUnwrap(t *testing.T) {
+	// Parse failures wrap the strconv cause with %w, so callers can
+	// still reach the *strconv.NumError underneath.
+	cases := []string{
+		"x\t0.1\t0.1\t0.2\t0.2\n", // bad id
+		"1\t0.1\tfoo\t0.2\t0.2\n", // bad coordinate
+	}
+	for i, in := range cases {
+		_, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+		var numErr *strconv.NumError
+		if !errors.As(err, &numErr) {
+			t.Errorf("case %d: %v does not unwrap to *strconv.NumError", i, err)
 		}
 	}
 }
