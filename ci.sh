@@ -67,9 +67,17 @@ go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./inter
 
 echo "== sjbench trace smoke (Chrome trace_event export) =="
 tracefile=$(mktemp /tmp/sjbench-trace.XXXXXX.json)
-trap 'rm -f "$tracefile"' EXIT
+benchdir=$(mktemp -d /tmp/sjbench-bench.XXXXXX)
+trap 'rm -f "$tracefile"; rm -rf "$benchdir"' EXIT
 # sjbench self-validates: re-reads the file, parses the JSON array and
 # checks span-tree coverage >= 95%, printing "trace OK" on success.
 go run ./cmd/sjbench -exp phases -phases-n 2000 -trace "$tracefile" | grep "trace OK"
+
+echo "== sjbench parallel smoke (BENCH_*.json artifacts) =="
+# The quick parallel sweep still runs every method x workers cell and
+# asserts identical results and emission order at every worker count;
+# sjbench re-reads the emitted BENCH_parallel.json / BENCH_baseline.json
+# and validates cell completeness, printing "bench OK" on success.
+go run ./cmd/sjbench -exp parallel -quick -bench-dir "$benchdir" | grep "bench OK"
 
 echo "ci.sh: all checks passed"

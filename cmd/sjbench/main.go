@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	sjbench [-format table|csv] [-exp all|table1|table2|table3|fig3|fig4|fig5|fig6|fig11|fig12|fig13|fig14]
+//	sjbench [-format table|csv] [-exp all|table1|table2|table3|fig3|fig4|fig5|fig6|fig11|fig12|fig13|fig14|parallel|...]
 //	        [-la-scale 1.0] [-cal-scale 0.15] [-seed 1] [-maxp 10]
+//	        [-quick] [-bench-dir .]
+//
+// The parallel experiment sweeps worker counts over the
+// scheduler-driven phases and writes self-validated BENCH_parallel.json
+// and BENCH_baseline.json artifacts to -bench-dir; -quick shrinks it to
+// a CI smoke.
 //
 // The -la-scale and -cal-scale flags scale the synthetic dataset
 // cardinalities relative to Table 1 of the paper (the CAL_ST self-join J5
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -34,11 +41,19 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the instrumented 'phases' PBSM run and self-validate it")
 	phasesN := flag.Int("phases-n", 10000, "per-relation cardinality of the 'phases' experiment")
+	quick := flag.Bool("quick", false, "shrink the 'parallel' experiment to a CI smoke (timings meaningless, structure and determinism checks intact)")
+	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' experiment")
 	flag.Parse()
 
 	s := bench.NewSuite(*laScale, *calScale, *seed)
 	var phasesRuns []bench.PhasesRun
+	var parallelRep *bench.ParallelReport
 	runners := map[string]func() *bench.Table{
+		"parallel": func() *bench.Table {
+			rep, t := bench.RunParallel(s, *quick)
+			parallelRep = rep
+			return t
+		},
 		"phases": func() *bench.Table {
 			runs, t := bench.RunPhases(s, *phasesN)
 			phasesRuns = runs
@@ -70,7 +85,8 @@ func main() {
 	order := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
-		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases"}
+		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases",
+		"parallel"}
 
 	var names []string
 	if *exp == "all" {
@@ -101,6 +117,13 @@ func main() {
 		tab.Fprint(os.Stdout)
 	}
 
+	if parallelRep != nil {
+		if err := writeAndValidateBench(*benchDir, parallelRep); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *traceOut != "" {
 		if phasesRuns == nil {
 			tab := runners["phases"]()
@@ -111,6 +134,51 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeAndValidateBench persists the parallel experiment as
+// BENCH_parallel.json (the full worker sweep) and BENCH_baseline.json
+// (its serial slice — the wall-time trajectory point future changes diff
+// against), then proves the artifacts are usable: each file is re-read,
+// re-parsed, and structurally validated — every method × workers cell
+// present with consistent result hashes.
+func writeAndValidateBench(dir string, rep *bench.ParallelReport) error {
+	write := func(name string, r *bench.ParallelReport, wantCells int) (string, error) {
+		path := filepath.Join(dir, name)
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		var back bench.ParallelReport
+		if err := json.Unmarshal(raw, &back); err != nil {
+			return "", fmt.Errorf("%s does not re-parse: %w", path, err)
+		}
+		if err := back.Validate(); err != nil {
+			return "", fmt.Errorf("%s: %w", path, err)
+		}
+		if len(back.Cells) != wantCells {
+			return "", fmt.Errorf("%s: %d cells, want %d", path, len(back.Cells), wantCells)
+		}
+		return path, nil
+	}
+	full, err := write("BENCH_parallel.json", rep, len(rep.Cells))
+	if err != nil {
+		return err
+	}
+	base := rep.Baseline()
+	basePath, err := write("BENCH_baseline.json", base, len(base.Cells))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench OK: %s (%d cells), %s (%d cells)\n", full, len(rep.Cells), basePath, len(base.Cells))
+	return nil
 }
 
 // writeAndValidateTrace exports the instrumented PBSM run as a Chrome

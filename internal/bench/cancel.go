@@ -58,6 +58,7 @@ func RunCancel(s *Suite, runs int) ([]CancelRow, *Table) {
 		cfg.Memory = mem
 		cfg.Disk = d
 		cfg.Ctx = ctx
+		cfg.Parallel = 1 // cancel timing targets the serial cost model
 		start := time.Now()
 		_, _, err := core.Collect(R, S, cfg)
 		return d, time.Since(start), err

@@ -74,6 +74,7 @@ func RunFaultSweep(s *Suite, runs int) ([]FaultSweepRow, *Table) {
 		}
 		cfg.Memory = mem
 		cfg.Disk = d
+		cfg.Parallel = 1 // deterministic fault points need the serial path
 		pairs, res, err := core.Collect(R, S, cfg)
 		if err != nil {
 			return nil, res, err

@@ -16,6 +16,9 @@ import (
 // configs itself).
 func (s *Suite) runCore(R, S []geom.KPE, cfg core.Config) core.Result {
 	cfg.Transfer = s.transfer()
+	// The paper experiments measure the serial cost model; the parallel
+	// experiment (RunParallel) varies Config.Parallel explicitly.
+	cfg.Parallel = 1
 	res, err := core.Join(R, S, cfg, func(geom.Pair) {})
 	if err != nil {
 		panic(err)

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/shj"
+)
+
+// ParallelWorkers is the worker-count sweep of the parallel-speedup
+// experiment: serial, then doubling up to twice the typical core budget.
+var ParallelWorkers = []int{1, 2, 4, 8}
+
+// ParallelCell is one method × worker-count measurement. Hashes make the
+// determinism contract checkable from the serialized artifact alone:
+// SetHash is order-normalized (equal ⇔ same result multiset), OrderHash
+// folds pairs in emission order (equal ⇔ same result *sequence* — the
+// stronger guarantee the scheduler's collector provides).
+type ParallelCell struct {
+	Method  string `json:"method"`
+	Workers int    `json:"workers"`
+	Results int64  `json:"results"`
+
+	SetHash   uint64 `json:"set_hash"`
+	OrderHash uint64 `json:"order_hash"`
+
+	// WallNS is real elapsed time of the whole join; PhaseNS is real
+	// elapsed time of the method's parallel phase (named by Phase).
+	WallNS  int64  `json:"wall_ns"`
+	Phase   string `json:"phase"`
+	PhaseNS int64  `json:"phase_ns"`
+
+	// Speedups are relative to the same method's workers=1 cell.
+	SpeedupWall  float64 `json:"speedup_wall"`
+	SpeedupPhase float64 `json:"speedup_phase"`
+}
+
+// ParallelReport is the serialized form of the experiment — the schema
+// of BENCH_parallel.json (and, restricted to workers=1, of
+// BENCH_baseline.json).
+type ParallelReport struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Records     int   `json:"records_per_input"`
+	MemoryBytes int64 `json:"memory_bytes"`
+	// LatencyNS is the real per-cost-unit device latency
+	// (diskio.SetLatency) the runs slept under.
+	LatencyNS int64 `json:"latency_ns_per_cost_unit"`
+
+	Workers []int          `json:"workers"`
+	Cells   []ParallelCell `json:"cells"`
+}
+
+// parallelMethodNames are the methods the experiment sweeps — the three
+// with a scheduler-driven parallel phase.
+var parallelMethodNames = []string{"PBSM", "S3J", "SHJ"}
+
+// Baseline extracts the serial (workers=1) slice of the report, the
+// content of BENCH_baseline.json: the trajectory point future sessions
+// diff wall times against.
+func (r *ParallelReport) Baseline() *ParallelReport {
+	b := *r
+	b.Experiment = "baseline"
+	b.Workers = []int{1}
+	b.Cells = nil
+	for _, c := range r.Cells {
+		if c.Workers == 1 {
+			b.Cells = append(b.Cells, c)
+		}
+	}
+	return &b
+}
+
+// Validate checks a (possibly re-parsed) report for structural
+// completeness and for the determinism contract: every method × worker
+// cell present exactly once, and all cells of a method agreeing on
+// result count and both hashes.
+func (r *ParallelReport) Validate() error {
+	if len(r.Workers) == 0 {
+		return fmt.Errorf("bench: report has no worker sweep")
+	}
+	seen := make(map[string]ParallelCell)
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("%s/%d", c.Method, c.Workers)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("bench: duplicate cell %s", key)
+		}
+		seen[key] = c
+	}
+	for _, m := range parallelMethodNames {
+		var base ParallelCell
+		for i, w := range r.Workers {
+			c, ok := seen[fmt.Sprintf("%s/%d", m, w)]
+			if !ok {
+				return fmt.Errorf("bench: missing cell %s/%d", m, w)
+			}
+			if c.WallNS <= 0 || c.PhaseNS <= 0 {
+				return fmt.Errorf("bench: cell %s/%d has non-positive timings", m, w)
+			}
+			if i == 0 {
+				base = c
+				continue
+			}
+			if c.Results != base.Results || c.SetHash != base.SetHash || c.OrderHash != base.OrderHash {
+				return fmt.Errorf("bench: %s results diverge between %d and %d workers", m, base.Workers, w)
+			}
+		}
+	}
+	return nil
+}
+
+// pairHasher folds emitted pairs into two 64-bit digests without storing
+// them: an order-sensitive FNV-style chain and an order-independent sum
+// of per-pair hashes.
+type pairHasher struct {
+	order uint64
+	set   uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func (h *pairHasher) add(p geom.Pair) {
+	var b [geom.PairSize]byte
+	binary.LittleEndian.PutUint64(b[0:], p.R)
+	binary.LittleEndian.PutUint64(b[8:], p.S)
+	ph := fnv64a(b[:])
+	h.set += ph
+	h.order = (h.order ^ ph) * fnvPrime64
+}
+
+// parallelMethod describes one swept method: its base configuration and
+// how to pull the wall time of its parallel phase out of the result.
+type parallelMethod struct {
+	name      string
+	phase     string
+	cfg       core.Config
+	phaseWall func(core.Result) time.Duration
+}
+
+func parallelMethods() []parallelMethod {
+	return []parallelMethod{
+		{"PBSM", "join", core.Config{Method: core.PBSM},
+			func(r core.Result) time.Duration { return r.PBSMStats.PhaseCPU[pbsm.PhaseJoin] }},
+		{"S3J", "sort", core.Config{Method: core.S3J, S3JMode: s3j.ModeReplicate},
+			func(r core.Result) time.Duration { return r.S3JStats.PhaseCPU[s3j.PhaseSort] }},
+		{"SHJ", "join", core.Config{Method: core.SHJ},
+			func(r core.Result) time.Duration { return r.SHJStats.PhaseCPU[shj.PhaseJoin] }},
+	}
+}
+
+// RunParallel measures wall-clock speedup of the scheduler-driven phases
+// as the worker count sweeps ParallelWorkers, on a disk whose charged
+// cost is realized as actual latency (diskio.SetLatency). That models
+// the regime parallel workers exploit — overlapping device waits — and
+// makes the experiment meaningful even on a single-core host, where
+// pure-CPU phases cannot speed up. Every cell's result stream is hashed
+// and checked against the serial run: identical multiset AND identical
+// emission order at every worker count, the scheduler's determinism
+// contract. quick shrinks the workload to a CI smoke (cells and
+// contract checks intact, timings meaningless).
+func RunParallel(s *Suite, quick bool) (*ParallelReport, *Table) {
+	n, frac, lat := 24000, 0.08, 4*time.Microsecond
+	if quick {
+		n, frac, lat = 1500, 0.15, 250*time.Nanosecond
+	}
+	R := datagen.Uniform(s.Seed+51, n, 0.003)
+	S := datagen.Uniform(s.Seed+52, n, 0.003)
+	mem := MemFrac(R, S, frac)
+
+	rep := &ParallelReport{
+		Experiment:  "parallel",
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Records:     n,
+		MemoryBytes: mem,
+		LatencyNS:   int64(lat),
+		Workers:     append([]int(nil), ParallelWorkers...),
+	}
+
+	run := func(m parallelMethod, workers int) ParallelCell {
+		d := diskio.NewDisk(0, 0, s.transfer())
+		d.SetLatency(lat)
+		cfg := m.cfg
+		cfg.Disk = d
+		cfg.Memory = mem
+		cfg.Parallel = workers
+		var h pairHasher
+		t0 := time.Now()
+		res, err := core.Join(R, S, cfg, h.add)
+		if err != nil {
+			panic(err) // harness configs never fail
+		}
+		return ParallelCell{
+			Method:    m.name,
+			Workers:   workers,
+			Results:   res.Results,
+			SetHash:   h.set,
+			OrderHash: h.order,
+			WallNS:    time.Since(t0).Nanoseconds(),
+			Phase:     m.phase,
+			PhaseNS:   m.phaseWall(res).Nanoseconds(),
+		}
+	}
+
+	for _, m := range parallelMethods() {
+		var base ParallelCell
+		for i, w := range ParallelWorkers {
+			if i == 0 && !quick {
+				run(m, w) // warm-up: allocator and page-cache effects
+			}
+			c := run(m, w)
+			if i == 0 {
+				base = c
+				c.SpeedupWall, c.SpeedupPhase = 1, 1
+			} else {
+				if c.Results != base.Results || c.SetHash != base.SetHash || c.OrderHash != base.OrderHash {
+					panic(fmt.Sprintf("bench: %s at %d workers diverged from serial: results %d vs %d, set %x vs %x, order %x vs %x",
+						m.name, w, c.Results, base.Results, c.SetHash, base.SetHash, c.OrderHash, base.OrderHash))
+				}
+				c.SpeedupWall = float64(base.WallNS) / float64(c.WallNS)
+				c.SpeedupPhase = float64(base.PhaseNS) / float64(c.PhaseNS)
+			}
+			rep.Cells = append(rep.Cells, c)
+		}
+	}
+
+	tab := &Table{
+		Title: "Parallel speedup — scheduler-driven phases under real device latency",
+		Note: fmt.Sprintf("uniform %d x %d rectangles, M = %.1f paper-MB, %s/cost-unit latency, GOMAXPROCS=%d; identical results and emission order asserted at every worker count",
+			n, n, PaperMB(mem), lat, rep.GoMaxProcs),
+		Header: []string{"method", "workers", "wall (s)", "speedup", "phase", "phase wall (s)", "speedup", "results"},
+	}
+	for _, c := range rep.Cells {
+		tab.AddRow(c.Method, fmt.Sprintf("%d", c.Workers),
+			fmt.Sprintf("%.3f", float64(c.WallNS)/1e9), fmt.Sprintf("%.2fx", c.SpeedupWall),
+			c.Phase, fmt.Sprintf("%.3f", float64(c.PhaseNS)/1e9), fmt.Sprintf("%.2fx", c.SpeedupPhase),
+			fint(c.Results))
+	}
+	return rep, tab
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunParallelQuick exercises the parallel-speedup experiment at CI
+// scale: every method × worker cell must be present, the determinism
+// contract (RunParallel panics on any divergence) must hold, and the
+// report must survive a JSON round trip with Validate still passing.
+func TestRunParallelQuick(t *testing.T) {
+	rep, tab := RunParallel(testSuite(), true)
+	if !rep.Quick {
+		t.Fatal("quick flag not recorded")
+	}
+	if got, want := len(rep.Cells), len(parallelMethodNames)*len(ParallelWorkers); got != want {
+		t.Fatalf("got %d cells, want %d", got, want)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+
+	base := rep.Baseline()
+	if got, want := len(base.Cells), len(parallelMethodNames); got != want {
+		t.Fatalf("baseline has %d cells, want %d", got, want)
+	}
+	for _, c := range base.Cells {
+		if c.Workers != 1 {
+			t.Fatalf("baseline cell %s has %d workers", c.Method, c.Workers)
+		}
+	}
+
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	for _, m := range parallelMethodNames {
+		if !strings.Contains(buf.String(), m) {
+			t.Fatalf("printed table missing %s", m)
+		}
+	}
+}
+
+// TestParallelReportValidate covers the failure arms of Validate on
+// hand-built reports.
+func TestParallelReportValidate(t *testing.T) {
+	cell := func(m string, w int, res int64, set, order uint64) ParallelCell {
+		return ParallelCell{Method: m, Workers: w, Results: res, SetHash: set, OrderHash: order, WallNS: 1, PhaseNS: 1}
+	}
+	good := &ParallelReport{Workers: []int{1, 2}}
+	for _, m := range parallelMethodNames {
+		good.Cells = append(good.Cells, cell(m, 1, 10, 7, 9), cell(m, 2, 10, 7, 9))
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	missing := &ParallelReport{Workers: []int{1, 2}, Cells: good.Cells[:len(good.Cells)-1]}
+	if err := missing.Validate(); err == nil || !strings.Contains(err.Error(), "missing cell") {
+		t.Fatalf("missing cell not detected: %v", err)
+	}
+
+	diverged := &ParallelReport{Workers: []int{1, 2}}
+	for _, m := range parallelMethodNames {
+		diverged.Cells = append(diverged.Cells, cell(m, 1, 10, 7, 9), cell(m, 2, 10, 7, 8))
+	}
+	if err := diverged.Validate(); err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("order-hash divergence not detected: %v", err)
+	}
+
+	dup := &ParallelReport{Workers: []int{1}, Cells: []ParallelCell{cell("PBSM", 1, 1, 1, 1), cell("PBSM", 1, 1, 1, 1)}}
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate cell not detected: %v", err)
+	}
+
+	empty := &ParallelReport{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

@@ -37,8 +37,10 @@ func RunPhases(s *Suite, n int) ([]PhasesRun, *Table) {
 		{Name: "S3J", Res: core.Result{}, Rec: trace.New()},
 	}
 	cfgs := []core.Config{
-		{Method: core.PBSM, Memory: mem, Transfer: s.transfer()},
-		{Method: core.S3J, Memory: mem, S3JMode: s3j.ModeReplicate, Transfer: s.transfer()},
+		// Parallel: 1 keeps the span trees serial-shaped (one activation
+		// per phase, no worker child spans).
+		{Method: core.PBSM, Memory: mem, Transfer: s.transfer(), Parallel: 1},
+		{Method: core.S3J, Memory: mem, S3JMode: s3j.ModeReplicate, Transfer: s.transfer(), Parallel: 1},
 	}
 	for i := range runs {
 		cfg := cfgs[i]

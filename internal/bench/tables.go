@@ -72,6 +72,7 @@ func RunTable2(s *Suite) ([]Table2Row, *Table) {
 			Memory:    MemFrac(R, S, LAMemFrac),
 			Algorithm: sweep.TrieKind,
 			Transfer:  s.transfer(),
+			Parallel:  1, // paper tables use the serial cost model
 		}, func(geom.Pair) {})
 		if err != nil {
 			panic(err)

@@ -46,12 +46,21 @@ type variant struct {
 
 func variants() []variant {
 	return []variant{
-		{"pbsm", core.Config{Method: core.PBSM}},
+		// Serial variants pin Parallel: 1 so the sweep keeps explicit
+		// coverage of the inline path regardless of GOMAXPROCS.
+		{"pbsm", core.Config{Method: core.PBSM, Parallel: 1}},
+		// Legacy PBSM-only worker override (kept for coverage of the
+		// override plumbing) alongside the shared-scheduler twins: every
+		// method's parallel phases under fault injection, cancellation,
+		// and the race detector.
 		{"pbsm-parallel", core.Config{Method: core.PBSM, PBSMParallel: 4}},
-		{"pbsm-dupsort", core.Config{Method: core.PBSM, PBSMDup: pbsm.DupSort}},
-		{"s3j", core.Config{Method: core.S3J}},
-		{"sssj", core.Config{Method: core.SSSJ}},
-		{"shj", core.Config{Method: core.SHJ}},
+		{"pbsm-dupsort", core.Config{Method: core.PBSM, PBSMDup: pbsm.DupSort, Parallel: 1}},
+		{"pbsm-dupsort-parallel", core.Config{Method: core.PBSM, PBSMDup: pbsm.DupSort, Parallel: 4}},
+		{"s3j", core.Config{Method: core.S3J, Parallel: 1}},
+		{"s3j-parallel", core.Config{Method: core.S3J, Parallel: 4}},
+		{"sssj", core.Config{Method: core.SSSJ, Parallel: 1}},
+		{"shj", core.Config{Method: core.SHJ, Parallel: 1}},
+		{"shj-parallel", core.Config{Method: core.SHJ, Parallel: 4}},
 	}
 }
 

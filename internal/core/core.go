@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -59,6 +60,15 @@ type Config struct {
 	// sweep for PBSM, nested loops for S³J — each method's best general
 	// choice per §3.2.2 and §4.4.1.
 	Algorithm sweep.Kind
+	// Parallel is the worker count for the parallel phases of every
+	// method (PBSM's partition pairs, SHJ's bucket joins, S³J's level
+	// sorts and the run formation and merge groups inside each external
+	// sort), all running on the shared scheduler of package sched. Zero
+	// selects GOMAXPROCS; 1 (or negative) forces sequential execution.
+	// The result set AND its emission order are identical at every
+	// worker count — parallelism changes only wall-clock time, never
+	// the simulated I/O accounting.
+	Parallel int
 
 	// PBSMDup selects PBSM's duplicate-elimination strategy; default
 	// DupRPM (the paper's improvement). Ignored for S³J.
@@ -68,8 +78,10 @@ type Config struct {
 	PBSMTuneFactor        float64
 	PBSMTilesPerPartition int
 	PBSMMaxRecurse        int
-	// PBSMParallel joins this many partition pairs concurrently (< 2 =
-	// sequential). The result set is unchanged; emission order is not.
+	// PBSMParallel overrides Parallel for PBSM's join phase when
+	// non-zero, kept for callers that tuned it before the shared
+	// Parallel knob existed. Result pairs now arrive in deterministic
+	// (sequential) order at any worker count.
 	PBSMParallel int
 
 	// S3JMode selects original or replicated S³J; default ModeReplicate
@@ -142,6 +154,23 @@ func (c *Config) disk() *diskio.Disk {
 		return c.Disk
 	}
 	return diskio.NewDisk(c.PageSize, c.PT, c.Transfer)
+}
+
+// parallel resolves the worker count: 0 = all processors, otherwise the
+// configured value (1 or negative = serial).
+func (c *Config) parallel() int {
+	if c.Parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallel
+}
+
+// pbsmParallel honors the legacy PBSM-specific override when set.
+func (c *Config) pbsmParallel() int {
+	if c.PBSMParallel != 0 {
+		return c.PBSMParallel
+	}
+	return c.parallel()
 }
 
 func (c *Config) algorithm() sweep.Kind {
@@ -292,7 +321,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			TuneFactor:        cfg.PBSMTuneFactor,
 			TilesPerPartition: cfg.PBSMTilesPerPartition,
 			MaxRecurse:        cfg.PBSMMaxRecurse,
-			Parallel:          cfg.PBSMParallel,
+			Parallel:          cfg.pbsmParallel(),
+			Gov:               cfg.Governor,
 			BufPages:          cfg.BufPages,
 			Trace:             root,
 			Cancel:            chk,
@@ -312,6 +342,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Curve:     cfg.Curve,
 			Levels:    cfg.S3JLevels,
 			BufPages:  cfg.BufPages,
+			Parallel:  cfg.parallel(),
+			Gov:       cfg.Governor,
 			Trace:     root,
 			Cancel:    chk,
 		}, emit)
@@ -342,6 +374,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Memory:    cfg.Memory,
 			Algorithm: cfg.algorithm(),
 			BufPages:  cfg.BufPages,
+			Parallel:  cfg.parallel(),
+			Gov:       cfg.Governor,
 			Trace:     root,
 			Cancel:    chk,
 		}, emit)

@@ -41,13 +41,14 @@ type Disk struct {
 	pt       float64
 	transfer time.Duration
 
-	mu     sync.Mutex
-	stats  Stats
-	files  map[string]*File
-	seq    int
-	fp     *FaultPolicy
-	tr     Tracer
-	cancel func() error
+	mu      sync.Mutex
+	stats   Stats
+	files   map[string]*File
+	seq     int
+	fp      *FaultPolicy
+	tr      Tracer
+	cancel  func() error
+	latency time.Duration
 }
 
 // Tracer receives rare storage-layer events: request retries after
@@ -115,6 +116,23 @@ func NewDisk(pageSize int, pt float64, transfer time.Duration) *Disk {
 
 // PageSize returns the page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetLatency turns the accounting-only cost model into real wall-clock
+// latency: every subsequent request sleeps perUnit for each cost unit it
+// is charged (PT + pages transferred). Zero (the default) disables the
+// sleep and restores pure accounting.
+//
+// The sleep happens outside the Disk mutex, so requests from different
+// goroutines overlap — exactly the behavior of a device that can serve
+// queued requests while callers wait. The parallel-speedup benchmark
+// (bench.RunParallel) relies on this to measure I/O-overlap wins in real
+// wall time; everything else (tests, the paper experiments) leaves the
+// latency at zero so the simulation stays instantaneous.
+func (d *Disk) SetLatency(perUnit time.Duration) {
+	d.mu.Lock()
+	d.latency = perUnit
+	d.mu.Unlock()
+}
 
 // SetFaultPolicy installs (or, with nil, removes) a fault-injection
 // policy consulted on every subsequent read and write request.
@@ -276,11 +294,14 @@ func (d *Disk) chargeRead(bytes int) {
 	if p == 0 {
 		return
 	}
+	units := d.pt + float64(p)
 	d.mu.Lock()
 	d.stats.ReadRequests++
 	d.stats.PagesRead += p
-	d.stats.CostUnits += d.pt + float64(p)
+	d.stats.CostUnits += units
+	lat := d.latency
 	d.mu.Unlock()
+	sleepUnits(lat, units)
 }
 
 func (d *Disk) chargeWrite(bytes int) {
@@ -288,11 +309,22 @@ func (d *Disk) chargeWrite(bytes int) {
 	if p == 0 {
 		return
 	}
+	units := d.pt + float64(p)
 	d.mu.Lock()
 	d.stats.WriteRequests++
 	d.stats.PagesWritten += p
-	d.stats.CostUnits += d.pt + float64(p)
+	d.stats.CostUnits += units
+	lat := d.latency
 	d.mu.Unlock()
+	sleepUnits(lat, units)
+}
+
+// sleepUnits realizes a charged cost as wall-clock latency (SetLatency).
+// Called with the Disk mutex released so concurrent requests overlap.
+func sleepUnits(perUnit time.Duration, units float64) {
+	if perUnit > 0 {
+		time.Sleep(time.Duration(units * float64(perUnit)))
+	}
 }
 
 // chargeLatencySpike bills an extra positioning, the cost of an injected
@@ -300,7 +332,9 @@ func (d *Disk) chargeWrite(bytes int) {
 func (d *Disk) chargeLatencySpike(file string) {
 	d.mu.Lock()
 	d.stats.CostUnits += d.pt
+	lat := d.latency
 	d.mu.Unlock()
+	sleepUnits(lat, d.pt)
 	d.emitEvent("latency-fault", file)
 }
 

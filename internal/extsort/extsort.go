@@ -9,6 +9,15 @@
 // produced, multiway merge passes follow, each reading and writing the
 // data once — exactly the I/O behaviour §5.1 of the paper accounts for.
 //
+// Both stages decompose into independent units — run-formation chunks
+// cover disjoint record ranges of the input, and the merge groups of one
+// pass share no runs — so both run on the shared worker pool of package
+// sched when Config.Parallel asks for it. Chunk boundaries and group
+// assignments are identical in serial and parallel mode (each unit
+// writes its own output file), so parallelism changes wall-clock time
+// only: the same runs with the same contents are formed and merged
+// either way, and Stats.Runs/MergePass/Comparisons are reproducible.
+//
 // All I/O errors — injected transient faults that survive the recfile
 // retry, torn frames, checksum mismatches — abort the sort and are
 // returned to the caller; a sort never silently drops or reorders
@@ -22,6 +31,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sched"
 	"spatialjoin/internal/trace"
 )
 
@@ -36,11 +46,20 @@ type Config struct {
 	Memory     int64 // in-memory workspace budget in bytes
 	BufPages   int   // pages per sequential I/O buffer (default 4)
 	Less       Less
+	// Parallel is the worker count for run formation and the merge
+	// groups of each pass (< 2 = sequential). Parallel workers hold one
+	// memory-budget-sized working set EACH; gate the overshoot with Gov
+	// when several sorts share a machine.
+	Parallel int
+	// Gov, when non-nil, admission-controls the extra parallel worker
+	// slots: each claims its working set via TryAcquire and silently
+	// degrades to fewer workers when the machine is over-committed.
+	Gov *govern.Governor
 	// Trace is the parent span the sort nests its run-formation and
 	// merge-pass spans under; nil disables instrumentation.
 	Trace *trace.Span
-	// Reg, when non-nil, registers the sort's intermediate files (runs
-	// file and merge outputs) — including the returned sorted file — so
+	// Reg, when non-nil, registers the sort's intermediate files (run
+	// and merge-output files) — including the returned sorted file — so
 	// the owning join's sweep covers them even if it aborts after the
 	// sort returns. Nil gets a private registry with the pre-registry
 	// behaviour: eager removal on error, returned file unregistered.
@@ -57,12 +76,36 @@ func (c *Config) bufPages() int {
 	return c.BufPages
 }
 
+func (c *Config) workers() int {
+	if c.Parallel < 2 {
+		return 1
+	}
+	return c.Parallel
+}
+
 // Stats reports what a Sort did.
 type Stats struct {
 	Records     int64 // records sorted
 	Runs        int   // initial runs formed
 	MergePass   int   // number of merge passes performed (0 if one run)
 	Comparisons int64
+}
+
+// runRange is one sorted run: its file and its record count. Every run
+// owns a whole file, so merge groups and run-formation chunks touch
+// disjoint files and can run concurrently.
+type runRange struct {
+	f    *diskio.File
+	recs int64
+}
+
+// removeRuns removes every run file of rs.
+func removeRuns(reg *diskio.Registry, rs []runRange) {
+	for _, r := range rs {
+		if r.f != nil {
+			reg.Remove(r.f)
+		}
+	}
 }
 
 // Sort sorts the records of in and returns a new file with the sorted
@@ -72,184 +115,241 @@ type Stats struct {
 func Sort(in *diskio.File, cfg Config) (*diskio.File, Stats, error) {
 	var st Stats
 	rs := cfg.RecordSize
-	maxRecs := cfg.Memory / int64(rs)
-	if maxRecs < 2 {
-		maxRecs = 2
-	}
 	st.Records = recfile.NumRecs(in, rs)
 
-	// One span for the whole sort, one child per internal phase. The
-	// deferred end closes whatever phase an error return leaves open.
 	sp := cfg.Trace.Child("extsort")
+	defer sp.End()
 	sp.AddRecords(st.Records)
-	var phase *trace.Span
-	endPhase := func() {
-		phase.End()
-		phase = nil
-	}
-	defer func() {
-		endPhase()
-		sp.End()
-	}()
 
 	reg := cfg.Reg
 	if reg == nil {
 		reg = cfg.Disk.NewRegistry()
 	}
 
-	// Run formation: sort memory-sized chunks, append them to one runs
-	// file, and remember each run's record range.
-	phase = sp.Child("run-formation")
-	runsFile := reg.Create()
-	var runs []runRange
-	{
-		r := recfile.NewRecReader(in, rs, cfg.bufPages())
-		w := recfile.NewRecWriter(runsFile, rs, cfg.bufPages())
-		chunk := make([]byte, 0, maxRecs*int64(rs))
-		var written int64
-		flushChunk := func() error {
-			n := len(chunk) / rs
-			if n == 0 {
-				return nil
-			}
-			idx := make([]int, n)
-			for i := range idx {
-				idx[i] = i
-			}
-			sort.Slice(idx, func(a, b int) bool {
-				st.Comparisons++
-				return cfg.Less(chunk[idx[a]*rs:idx[a]*rs+rs], chunk[idx[b]*rs:idx[b]*rs+rs])
-			})
-			for _, i := range idx {
-				if err := w.Write(chunk[i*rs : i*rs+rs]); err != nil {
-					return err
-				}
-			}
-			runs = append(runs, runRange{written, written + int64(n)})
-			written += int64(n)
-			chunk = chunk[:0]
-			return nil
-		}
-		buf := make([]byte, rs)
-		chk := cfg.Cancel.Stride()
-		for {
-			if err := chk.Point(); err != nil {
-				reg.Remove(runsFile)
-				return nil, st, err
-			}
-			ok, err := r.Next(buf)
-			if err != nil {
-				reg.Remove(runsFile)
-				return nil, st, err
-			}
-			if !ok {
-				break
-			}
-			chunk = append(chunk, buf...)
-			if int64(len(chunk)/rs) >= maxRecs {
-				if err := flushChunk(); err != nil {
-					reg.Remove(runsFile)
-					return nil, st, err
-				}
-			}
-		}
-		if err := flushChunk(); err != nil {
-			reg.Remove(runsFile)
-			return nil, st, err
-		}
-		if err := w.Flush(); err != nil {
-			reg.Remove(runsFile)
-			return nil, st, err
-		}
+	runs, err := formRuns(in, cfg, reg, sp, &st)
+	if err != nil {
+		removeRuns(reg, runs)
+		return nil, st, err
 	}
-	endPhase()
 	st.Runs = len(runs)
 	sp.SetAttr("runs", int64(st.Runs))
-	if len(runs) <= 1 {
-		return runsFile, st, nil
+	if len(runs) == 0 {
+		// Empty input: return an empty but finalized stream (exactly one
+		// end-of-stream frame), which readers verify as intact.
+		f := reg.Create()
+		w := recfile.NewRecWriter(f, rs, cfg.bufPages())
+		if ferr := w.Flush(); ferr != nil {
+			reg.Remove(f)
+			return nil, st, ferr
+		}
+		return f, st, nil
 	}
 
-	// Merge passes. The fan-in is limited by the memory budget: one input
-	// buffer per run plus one output buffer.
+	for len(runs) > 1 {
+		st.MergePass++
+		next, merr := mergePass(runs, cfg, reg, sp, &st)
+		if merr != nil {
+			removeRuns(reg, runs)
+			removeRuns(reg, next)
+			return nil, st, merr
+		}
+		removeRuns(reg, runs)
+		runs = next
+	}
+	return runs[0].f, st, nil
+}
+
+// formRuns sorts memory-sized chunks of the input into one run file per
+// chunk. Chunks cover the fixed record ranges [i·maxRecs, (i+1)·maxRecs)
+// regardless of worker count, so the runs a parallel formation produces
+// are byte-identical to the serial ones.
+func formRuns(in *diskio.File, cfg Config, reg *diskio.Registry, sp *trace.Span, st *Stats) ([]runRange, error) {
+	ph := sp.Child("run-formation")
+	defer ph.End()
+	rs := cfg.RecordSize
+	maxRecs := cfg.Memory / int64(rs)
+	if maxRecs < 2 {
+		maxRecs = 2
+	}
+	total := st.Records
+	if total == 0 {
+		return nil, nil
+	}
+	n := int((total + maxRecs - 1) / maxRecs)
+	runs := make([]runRange, n)
+	for i := range runs {
+		lo := int64(i) * maxRecs
+		hi := lo + maxRecs
+		if hi > total {
+			hi = total
+		}
+		runs[i] = runRange{f: reg.Create(), recs: hi - lo}
+	}
+	comps := make([]int64, n)
+	err := sched.Run(n, sched.Options{
+		Workers: cfg.workers(),
+		Name:    "sort-chunk",
+		Span:    ph,
+		Cancel:  cfg.Cancel,
+		Gov:     cfg.Gov,
+		UnitMem: maxRecs * int64(rs),
+	}, func(w, i int) error {
+		c, uerr := formOneRun(in, runs[i], int64(i)*maxRecs, cfg)
+		comps[i] = c
+		return uerr
+	})
+	for _, c := range comps {
+		st.Comparisons += c
+	}
+	return runs, err
+}
+
+// formOneRun reads the chunk's record range directly into an in-memory
+// buffer (one copy: frame payload to chunk tail), sorts it in place, and
+// writes the run file sequentially from the sorted buffer.
+func formOneRun(in *diskio.File, run runRange, lo int64, cfg Config) (int64, error) {
+	rs := cfg.RecordSize
+	r := recfile.NewRecRangeReader(in, rs, cfg.bufPages(), lo, lo+run.recs)
+	chunk := make([]byte, 0, run.recs*int64(rs))
+	chk := cfg.Cancel.Stride()
+	for int64(len(chunk)/rs) < run.recs {
+		if err := chk.Point(); err != nil {
+			return 0, err
+		}
+		k := len(chunk)
+		chunk = chunk[:k+rs]
+		ok, err := r.Next(chunk[k:])
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			// The range reader promises exactly run.recs records and
+			// reports torn tails itself; a clean end here means the
+			// length-derived count and the stream disagree.
+			return 0, &recfile.CorruptError{File: in.Name(), Detail: "record range shorter than the length-derived count"}
+		}
+	}
+	var comps int64
+	sort.Sort(&chunkSorter{buf: chunk, rs: rs, tmp: make([]byte, rs), less: cfg.Less, comps: &comps})
+	w := recfile.NewRecWriter(run.f, rs, cfg.bufPages())
+	for k := 0; k < len(chunk); k += rs {
+		if err := chk.Point(); err != nil {
+			return comps, err
+		}
+		if err := w.Write(chunk[k : k+rs]); err != nil {
+			return comps, err
+		}
+	}
+	return comps, w.Flush()
+}
+
+// chunkSorter sorts a chunk of fixed-size records in place (swap via one
+// record-sized scratch buffer), so the run can be written with one
+// sequential pass over the buffer instead of through an index
+// permutation in random memory order.
+type chunkSorter struct {
+	buf   []byte
+	rs    int
+	tmp   []byte
+	less  Less
+	comps *int64
+}
+
+func (s *chunkSorter) Len() int { return len(s.buf) / s.rs }
+
+func (s *chunkSorter) Less(i, j int) bool {
+	*s.comps++
+	return s.less(s.buf[i*s.rs:(i+1)*s.rs], s.buf[j*s.rs:(j+1)*s.rs])
+}
+
+func (s *chunkSorter) Swap(i, j int) {
+	a := s.buf[i*s.rs : (i+1)*s.rs]
+	b := s.buf[j*s.rs : (j+1)*s.rs]
+	copy(s.tmp, a)
+	copy(a, b)
+	copy(b, s.tmp)
+}
+
+// mergePass merges groups of up to fanin runs, each group into its own
+// output file. The fan-in is limited by the memory budget — one input
+// buffer per run plus one output buffer per group — and group boundaries
+// depend only on the run list, never on the worker count.
+func mergePass(runs []runRange, cfg Config, reg *diskio.Registry, sp *trace.Span, st *Stats) ([]runRange, error) {
+	ph := sp.Child("merge-pass")
+	defer ph.End()
+	ph.SetAttr("pass", int64(st.MergePass))
+	ph.SetAttr("runs", int64(len(runs)))
+
 	bufBytes := int64(cfg.bufPages() * cfg.Disk.PageSize())
 	fanin := int(cfg.Memory/bufBytes) - 1
 	if fanin < 2 {
 		fanin = 2
 	}
-
-	cur := runsFile
-	for len(runs) > 1 {
-		st.MergePass++
-		phase = sp.Child("merge-pass")
-		phase.SetAttr("pass", int64(st.MergePass))
-		phase.SetAttr("runs", int64(len(runs)))
-		next := reg.Create()
-		w := recfile.NewRecWriter(next, rs, cfg.bufPages())
-		var nextRuns []runRange
-		var written int64
-		for lo := 0; lo < len(runs); lo += fanin {
-			hi := lo + fanin
-			if hi > len(runs) {
-				hi = len(runs)
-			}
-			n, err := mergeRuns(cur, w, runs[lo:hi], cfg, &st)
-			if err != nil {
-				reg.Remove(cur)
-				reg.Remove(next)
-				return nil, st, err
-			}
-			nextRuns = append(nextRuns, runRange{written, written + n})
-			written += n
-		}
-		if err := w.Flush(); err != nil {
-			reg.Remove(cur)
-			reg.Remove(next)
-			return nil, st, err
-		}
-		reg.Remove(cur)
-		cur = next
-		runs = nextRuns
-		endPhase()
+	groups := (len(runs) + fanin - 1) / fanin
+	next := make([]runRange, groups)
+	for gi := range next {
+		next[gi].f = reg.Create()
 	}
-	return cur, st, nil
+	comps := make([]int64, groups)
+	err := sched.Run(groups, sched.Options{
+		Workers: cfg.workers(),
+		Name:    "merge-group",
+		Span:    ph,
+		Cancel:  cfg.Cancel,
+		Gov:     cfg.Gov,
+		UnitMem: int64(fanin+1) * bufBytes,
+	}, func(w, gi int) error {
+		lo := gi * fanin
+		hi := lo + fanin
+		if hi > len(runs) {
+			hi = len(runs)
+		}
+		n, c, uerr := mergeRuns(next[gi].f, runs[lo:hi], cfg)
+		next[gi].recs = n
+		comps[gi] = c
+		return uerr
+	})
+	for _, c := range comps {
+		st.Comparisons += c
+	}
+	return next, err
 }
 
-// runRange is a run's record-index range within the runs file.
-type runRange struct{ lo, hi int64 }
-
-// mergeRuns merges the given record ranges of src into w and returns the
-// number of records written.
-func mergeRuns(src *diskio.File, w *recfile.RecWriter, runs []runRange, cfg Config, st *Stats) (int64, error) {
+// mergeRuns merges the given runs into out and returns the number of
+// records written plus the comparisons spent.
+func mergeRuns(out *diskio.File, runs []runRange, cfg Config) (int64, int64, error) {
 	rs := cfg.RecordSize
-	h := &mergeHeap{less: cfg.Less, st: st}
+	var comps int64
+	h := &mergeHeap{less: cfg.Less, comps: &comps}
 	for _, rr := range runs {
 		c := &cursor{
-			r:   recfile.NewRecRangeReader(src, rs, cfg.bufPages(), rr.lo, rr.hi),
+			r:   recfile.NewRecRangeReader(rr.f, rs, cfg.bufPages(), 0, rr.recs),
 			buf: make([]byte, rs),
 		}
 		ok, err := c.advance()
 		if err != nil {
-			return 0, err
+			return 0, comps, err
 		}
 		if ok {
 			h.items = append(h.items, c)
 		}
 	}
 	heap.Init(h)
-	var out int64
+	w := recfile.NewRecWriter(out, rs, cfg.bufPages())
+	var n int64
 	chk := cfg.Cancel.Stride()
 	for h.Len() > 0 {
 		if err := chk.Point(); err != nil {
-			return out, err
+			return n, comps, err
 		}
 		c := h.items[0]
 		if err := w.Write(c.buf); err != nil {
-			return out, err
+			return n, comps, err
 		}
-		out++
+		n++
 		ok, err := c.advance()
 		if err != nil {
-			return out, err
+			return n, comps, err
 		}
 		if ok {
 			heap.Fix(h, 0)
@@ -257,7 +357,7 @@ func mergeRuns(src *diskio.File, w *recfile.RecWriter, runs []runRange, cfg Conf
 			heap.Pop(h)
 		}
 	}
-	return out, nil
+	return n, comps, w.Flush()
 }
 
 type cursor struct {
@@ -270,12 +370,12 @@ func (c *cursor) advance() (bool, error) { return c.r.Next(c.buf) }
 type mergeHeap struct {
 	items []*cursor
 	less  Less
-	st    *Stats
+	comps *int64
 }
 
 func (h *mergeHeap) Len() int { return len(h.items) }
 func (h *mergeHeap) Less(i, j int) bool {
-	h.st.Comparisons++
+	*h.comps++
 	return h.less(h.items[i].buf, h.items[j].buf)
 }
 func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }

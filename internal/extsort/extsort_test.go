@@ -192,3 +192,40 @@ func TestSortIOCharged(t *testing.T) {
 		t.Fatalf("sort I/O not charged: %+v (want ≥%d pages each way)", delta, minPages)
 	}
 }
+
+// TestSortParallelIdenticalOutput: the parallel sort produces a
+// byte-identical sorted file and the same run/pass structure as the
+// serial one — chunk boundaries and merge groups do not depend on the
+// worker count.
+func TestSortParallelIdenticalOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 6000)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 512 // plenty of duplicates: ties must land identically
+	}
+	run := func(parallel int) ([]uint64, Stats) {
+		d := diskio.NewDisk(64, 5, time.Millisecond)
+		in := writeU64s(d, vals)
+		out, st, err := Sort(in, Config{
+			Disk: d, RecordSize: recSize, Memory: 1024,
+			Less: u64Less, Parallel: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readU64s(out), st
+	}
+	serial, sst := run(1)
+	par, pst := run(4)
+	if sst.Runs != pst.Runs || sst.MergePass != pst.MergePass {
+		t.Fatalf("structure diverged: serial %+v parallel %+v", sst, pst)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("record counts diverged: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("pos %d: serial %d parallel %d", i, serial[i], par[i])
+		}
+	}
+}

@@ -173,6 +173,9 @@ type GovernorStats struct {
 	Rejected int64 // fail-fast ErrOverCapacity rejections
 	Aborted  int64 // queue waits ended by context cancellation/deadline
 
+	WorkerGrants   int64 // TryAcquire grants (extra parallel worker slots)
+	WorkerDeclined int64 // TryAcquire denials (workers degraded to fewer slots)
+
 	Active       int   // joins currently admitted
 	ActiveMemory int64 // memory currently claimed
 	Queued       int   // joins currently waiting
@@ -284,6 +287,47 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 		g.wake()
 		g.mu.Unlock()
 		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire claims mem extra bytes without queueing and without
+// consuming a join slot. It is the admission path for *parallel worker
+// slots* inside an already-admitted join: the join's own Acquire claim
+// covers its serial working set, and each extra concurrent worker
+// multiplies that working set, so the scheduler asks the governor for
+// the overshoot before spinning the worker up. The claim is granted
+// only when it fits right now AND nobody is queued (a worker slot must
+// never starve a whole join waiting FIFO at the head); otherwise
+// TryAcquire reports false and the caller simply runs with fewer
+// workers — graceful degradation instead of blocking under a lock the
+// running join already holds resources against. The release function is
+// idempotent and must be called when the worker finishes.
+func (g *Governor) TryAcquire(mem int64) (release func(), ok bool) {
+	if mem < 0 {
+		mem = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.waiters) > 0 || (g.maxMem > 0 && g.mem+mem > g.maxMem) {
+		g.stats.WorkerDeclined++
+		return nil, false
+	}
+	g.mem += mem
+	g.stats.WorkerGrants++
+	return g.releaseMemFunc(mem), true
+}
+
+// releaseMemFunc returns the idempotent release closure for one
+// memory-only TryAcquire grant (no join slot to return).
+func (g *Governor) releaseMemFunc(mem int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.mem -= mem
+			g.wake()
+			g.mu.Unlock()
+		})
 	}
 }
 

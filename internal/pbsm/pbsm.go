@@ -33,6 +33,7 @@ import (
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/trace"
 )
@@ -115,11 +116,17 @@ type Config struct {
 	// Values < 1 select 8.
 	MaxRecurse int
 	// Parallel joins this many partition pairs concurrently in the join
-	// phase (values < 2 keep the phase sequential). Result pairs arrive
-	// in nondeterministic order but remain exactly-once; emit must be
-	// safe for the internal serialization this option adds. Parallelism
-	// changes only wall-clock CPU, never the I/O cost accounting.
+	// phase (values < 2 keep the phase sequential) on the shared
+	// scheduler of package sched. Each worker joins its pairs with a
+	// private internal algorithm; result pairs are buffered per pair and
+	// released in partition order, so the emitted sequence is IDENTICAL
+	// to a sequential run's. Parallelism changes only wall-clock time,
+	// never the I/O cost accounting, the result set or its order.
 	Parallel int
+	// Gov, when non-nil, admission-controls the memory the extra
+	// parallel workers claim beyond the join's own admission (one
+	// partition pair's working set each).
+	Gov *govern.Governor
 	// Trace is the parent span phase/pair/heal spans nest under; nil
 	// disables instrumentation.
 	Trace *trace.Span
@@ -155,6 +162,13 @@ func (c *Config) maxRecurse() int {
 		return 8
 	}
 	return c.MaxRecurse
+}
+
+func (c *Config) workers() int {
+	if c.Parallel < 2 {
+		return 1
+	}
+	return c.Parallel
 }
 
 // bufPagesFor sizes each stream's I/O buffer when streams files are open
@@ -275,7 +289,13 @@ type joiner struct {
 	startUnits float64
 	emit       func(geom.Pair)
 	dupWriter  *recfile.PairWriter // result spool when Dup == DupSort
-	emitMu     sync.Mutex          // serializes emission in parallel mode
+
+	// par is true while the join phase runs on parallel workers; stats
+	// mutations inside the phase then go through mu (or, for result
+	// delivery, through the collector's own serialization). It is set
+	// before the workers start and cleared after they have all joined.
+	par bool
+	mu  sync.Mutex
 
 	// baseR/baseS/grid are kept for self-healing: when a top-level
 	// partition file fails checksum verification before its pair emitted
@@ -307,11 +327,12 @@ func markHealable(err error) error {
 // may begin/end many times (once per partition pair in the join phase),
 // so each activation is its own span while the Stats fields accumulate.
 type phaseTimer struct {
-	j     *joiner
-	phase Phase
-	t0    time.Time
-	io0   diskio.Stats
-	sp    *trace.Span
+	j        *joiner
+	phase    Phase
+	t0       time.Time
+	io0      diskio.Stats
+	sp       *trace.Span
+	statless bool
 }
 
 func (j *joiner) begin(p Phase) phaseTimer {
@@ -320,25 +341,43 @@ func (j *joiner) begin(p Phase) phaseTimer {
 
 // beginNamed attributes costs to phase p but names the trace span
 // differently — the heal path charges the partition phase, yet must be
-// visible as "heal" in the trace.
+// visible as "heal" in the trace. Activations opened inside the parallel
+// join region are span-only: the region's single outer timer charges the
+// phase once (overlapping workers would double-count wall time, and
+// concurrent writes to the Stats arrays would race).
 func (j *joiner) beginNamed(p Phase, name string) phaseTimer {
-	return phaseTimer{
-		j:     j,
-		phase: p,
-		t0:    time.Now(),
-		io0:   j.cfg.Disk.Stats(),
-		sp:    j.cfg.Trace.Child(name),
+	pt := phaseTimer{j: j, phase: p, sp: j.cfg.Trace.Child(name)}
+	if j.par {
+		pt.statless = true
+		return pt
 	}
+	pt.t0 = time.Now()
+	pt.io0 = j.cfg.Disk.Stats()
+	return pt
 }
 
 func (pt phaseTimer) end() {
-	pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
-	pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+	if !pt.statless {
+		pt.j.stats.PhaseCPU[pt.phase] += time.Since(pt.t0)
+		pt.j.stats.PhaseIO[pt.phase].Add(pt.j.cfg.Disk.Stats().Sub(pt.io0))
+	}
 	pt.sp.End()
 }
 
+// bump mutates the rarely-updated Stats counters (Healed, Repartitions,
+// MemoryOverflows): under the stats mutex when the join phase is
+// parallel, lock-free on the serial path.
+func (j *joiner) bump(f func()) {
+	if j.par {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+	}
+	f()
+}
+
 // deliver hands one duplicate-free pair to the caller, recording
-// time-to-first-result. Parallel workers call it with emitMu held.
+// time-to-first-result. In parallel mode it is only ever invoked as the
+// collector's sink, which serializes it.
 func (j *joiner) deliver(p geom.Pair) {
 	if j.stats.Results == 0 {
 		j.stats.FirstResultCPU = time.Since(j.start)
@@ -373,7 +412,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		pt.sp.AddRecords(int64(len(R) + len(S)))
 		rs := append([]geom.KPE(nil), R...)
 		ss := append([]geom.KPE(nil), S...)
-		err := j.joinLoaded(rs, ss, wholeSpace{}, wholeSpace{})
+		err := j.joinLoaded(j.alg, j.deliver, rs, ss, wholeSpace{}, wholeSpace{})
 		pt.end()
 		if err != nil {
 			return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
@@ -409,9 +448,42 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 			}
 		}
 
-		if j.cfg.Parallel > 1 {
-			if err := j.processAllParallel(g, filesR, filesS); err != nil {
-				return err
+		if workers := j.cfg.workers(); workers > 1 {
+			// Phases 2+3, parallel: every top pair is one ordered unit on
+			// the shared scheduler — including oversized pairs (their
+			// repartition recursion stays inside the unit) and corrupt
+			// ones (healing swaps only the unit's own file slots). The
+			// collector buffers each pair's results and releases them in
+			// partition order, so the emitted sequence is identical to a
+			// sequential run's. One outer timer charges the whole region
+			// to the join phase; activations inside are span-only.
+			pt := j.begin(PhaseJoin)
+			pt.sp.SetAttr("workers", int64(workers))
+			col := sched.NewCollector(p, j.deliver)
+			algs := make([]sweep.Algorithm, workers)
+			for w := range algs {
+				algs[w] = sweep.New(j.cfg.Algorithm)
+			}
+			j.par = true
+			err := sched.Run(p, sched.Options{
+				Workers: workers,
+				Name:    "pair-worker",
+				Span:    pt.sp,
+				Cancel:  j.cfg.Cancel,
+				Gov:     j.cfg.Gov,
+				UnitMem: j.cfg.Memory,
+			}, func(w, i int) error {
+				defer col.Done(i)
+				return j.processTopPair(algs[w], func(pr geom.Pair) { col.Emit(i, pr) }, filesR, filesS, i, g)
+			})
+			j.par = false
+			pt.end()
+			for _, a := range algs {
+				j.stats.Tests += a.Tests()
+				j.stats.Touches += a.Touches()
+			}
+			if err != nil {
+				return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
 			}
 		} else {
 			// Phases 2+3: repartition as needed and join each pair. A
@@ -421,7 +493,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 				if err := j.cfg.Cancel.Now(); err != nil {
 					return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
 				}
-				if err := j.processTopPair(filesR, filesS, i, g); err != nil {
+				if err := j.processTopPair(j.alg, j.deliver, filesR, filesS, i, g); err != nil {
 					return err
 				}
 			}
@@ -443,10 +515,12 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 
 // processTopPair joins top-level partition pair i, healing it once by
 // re-derivation from the base inputs if a checksum failure is detected
-// before the pair emitted anything.
-func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) error {
+// before the pair emitted anything. It is safe as a concurrent scheduler
+// unit: it touches only slot i of the shared file slices, and its stats
+// mutations go through bump.
+func (j *joiner) processTopPair(alg sweep.Algorithm, sink func(geom.Pair), filesR, filesS []*diskio.File, i int, g *grid) error {
 	reg := gridRegion{g: g, part: i}
-	err := j.processPair(filesR[i], filesS[i], reg, reg, 0)
+	err := j.processPair(alg, sink, filesR[i], filesS[i], reg, reg, 0)
 	var he *healableError
 	if err == nil || !errors.As(err, &he) {
 		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
@@ -458,8 +532,8 @@ func (j *joiner) processTopPair(filesR, filesS []*diskio.File, i int, g *grid) e
 	j.reg.Remove(filesR[i])
 	j.reg.Remove(filesS[i])
 	filesR[i], filesS[i] = fr, fs
-	j.stats.Healed++
-	if err := j.processPair(fr, fs, reg, reg, 0); err != nil {
+	j.bump(func() { j.stats.Healed++ })
+	if err := j.processPair(alg, sink, fr, fs, reg, reg, 0); err != nil {
 		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
 	}
 	return nil
@@ -617,7 +691,7 @@ func (j *joiner) verifyEmptySides(fr, fs *diskio.File) error {
 
 // processPair joins the partition pair (fr, fs), repartitioning
 // recursively when the pair exceeds the memory budget (§3.2.3).
-func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) error {
+func (j *joiner) processPair(alg sweep.Algorithm, sink func(geom.Pair), fr, fs *diskio.File, regR, regS region, depth int) error {
 	if err := j.cfg.Cancel.Now(); err != nil {
 		return err
 	}
@@ -633,10 +707,10 @@ func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) 
 	}
 	size := (nr + ns) * geom.KPESize
 	if size > j.cfg.Memory && depth < j.cfg.maxRecurse() {
-		return j.repartitionPair(fr, fs, regR, regS, depth)
+		return j.repartitionPair(alg, sink, fr, fs, regR, regS, depth)
 	}
 	if size > j.cfg.Memory {
-		j.stats.MemoryOverflows++
+		j.bump(func() { j.stats.MemoryOverflows++ })
 	}
 
 	pt := j.begin(PhaseJoin)
@@ -647,7 +721,7 @@ func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) 
 		var ss []geom.KPE
 		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
 		if err == nil {
-			return j.joinLoaded(rs, ss, regR, regS)
+			return j.joinLoaded(alg, sink, rs, ss, regR, regS)
 		}
 	}
 	if depth == 0 {
@@ -659,219 +733,39 @@ func (j *joiner) processPair(fr, fs *diskio.File, regR, regS region, depth int) 
 }
 
 // joinLoaded runs the internal algorithm on an in-memory partition pair
-// and routes each produced pair through duplicate handling.
-func (j *joiner) joinLoaded(rs, ss []geom.KPE, regR, regS region) error {
+// and routes each produced pair through duplicate handling. In parallel
+// mode the per-result bookkeeping runs under the stats mutex; the sink
+// (a collector emit) then serializes ordered delivery itself.
+func (j *joiner) joinLoaded(alg sweep.Algorithm, sink func(geom.Pair), rs, ss []geom.KPE, regR, regS region) error {
 	var werr error
-	j.alg.Join(rs, ss, func(r, s geom.KPE) {
+	par := j.par
+	alg.Join(rs, ss, func(r, s geom.KPE) {
+		if par {
+			j.mu.Lock()
+		}
 		j.stats.RawResults++
 		switch j.cfg.Dup {
 		case DupRPM:
 			x := geom.RefPoint(r.Rect, s.Rect)
 			if regR.contains(x) && regS.contains(x) {
-				j.deliver(geom.Pair{R: r.ID, S: s.ID})
+				sink(geom.Pair{R: r.ID, S: s.ID})
 			}
 		case DupSort:
 			if werr == nil {
 				werr = j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
 			}
 		}
+		if par {
+			j.mu.Unlock()
+		}
 	})
 	return werr
 }
 
-// processAllParallel runs the join phase with a worker pool: pairs that
-// fit in memory are joined concurrently (each worker with its own
-// internal algorithm, sharing the thread-safe disk); oversized pairs are
-// repartitioned sequentially first, since repartitioning recursion
-// mutates shared files. Duplicate handling is unchanged — the Reference
-// Point Method is stateless, so only the emit path needs serialization.
-func (j *joiner) processAllParallel(g *grid, filesR, filesS []*diskio.File) error {
-	type job struct {
-		fr, fs *diskio.File
-		part   int
-	}
-	var jobs []job
-	for i := 0; i < g.parts; i++ {
-		fr, fs := filesR[i], filesS[i]
-		nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
-		if nr == 0 || ns == 0 {
-			if err := j.verifyEmptySides(fr, fs); err != nil {
-				if !recfile.IsCorrupt(err) {
-					return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
-				}
-				// Torn below a frame header: the sequential top-pair
-				// path re-detects the corruption and heals the pair by
-				// re-derivation from the base inputs.
-				if err := j.processTopPair(filesR, filesS, i, g); err != nil {
-					return err
-				}
-			}
-			continue
-		}
-		if (nr+ns)*geom.KPESize > j.cfg.Memory {
-			// Oversized: sequential repartitioning path as usual, with
-			// the same healing treatment as a sequential top pair.
-			if err := j.processTopPair(filesR, filesS, i, g); err != nil {
-				return err
-			}
-			continue
-		}
-		jobs = append(jobs, job{fr, fs, i})
-	}
-
-	pt := j.begin(PhaseJoin)
-	defer pt.end()
-	workers := j.cfg.Parallel
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Pre-filled buffered channel: a worker that bails out early after an
-	// error never leaves a sender blocked.
-	ch := make(chan int, len(jobs))
-	for i := range jobs {
-		ch <- i
-	}
-	close(ch)
-
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return firstErr != nil
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			alg := sweep.New(j.cfg.Algorithm)
-			defer func() {
-				j.emitMu.Lock()
-				j.stats.Tests += alg.Tests()
-				j.stats.Touches += alg.Touches()
-				j.emitMu.Unlock()
-			}()
-			for idx := range ch {
-				if failed() {
-					return
-				}
-				if err := j.cfg.Cancel.Now(); err != nil {
-					setErr(joinerr.Wrap("pbsm", PhaseJoin.String(), err))
-					return
-				}
-				jb := jobs[idx]
-				if err := j.runPairJob(pt.sp, alg, jb.fr, jb.fs, jb.part, filesR, filesS, g, failed); err != nil {
-					setErr(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	errMu.Lock()
-	defer errMu.Unlock()
-	return firstErr
-}
-
-// runPairJob reads, joins and — if a side is corrupt — heals one
-// parallel pair. One span per pair job, parented under the join-phase
-// span; Child/End lock the recorder internally, so concurrent workers
-// need no extra synchronization. Both the pair span and the heal span
-// close via defer, so no early return can leak an open span.
-func (j *joiner) runPairJob(psp *trace.Span, alg sweep.Algorithm, fr, fs *diskio.File, part int, filesR, filesS []*diskio.File, g *grid, failed func() bool) error {
-	jsp := psp.Child("pair")
-	defer jsp.End()
-	jsp.SetAttr("part", int64(part))
-	rs, err := recfile.ReadAllKPEs(fr, j.cfg.bufPages())
-	var ss []geom.KPE
-	if err == nil {
-		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
-	}
-	if err != nil && recfile.IsCorrupt(err) {
-		// A parallel job reads its whole pair before emitting anything,
-		// so checksum failures here are always safe to heal by
-		// re-derivation.
-		rs, ss, err = j.healPairJob(jsp, part, filesR, filesS, g, err)
-	}
-	if err != nil {
-		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
-	}
-	jsp.AddRecords(int64(len(rs) + len(ss)))
-	reg := gridRegion{g: g, part: part}
-	var werr error
-	alg.Join(rs, ss, func(r, s geom.KPE) {
-		j.emitMu.Lock()
-		j.stats.RawResults++
-		switch j.cfg.Dup {
-		case DupRPM:
-			x := geom.RefPoint(r.Rect, s.Rect)
-			if reg.contains(x) {
-				j.deliver(geom.Pair{R: r.ID, S: s.ID})
-			}
-		case DupSort:
-			if werr == nil && !failed() {
-				werr = j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
-			}
-		}
-		j.emitMu.Unlock()
-	})
-	if werr != nil {
-		return joinerr.Wrap("pbsm", PhaseJoin.String(), werr)
-	}
-	return nil
-}
-
-// healPairJob re-derives both sides of a corrupt parallel pair from the
-// base inputs, swaps the fresh files into the shared slices, and
-// re-reads them. The registry and file-slice updates happen under
-// emitMu because workers share both. On heal failure the original
-// corruption error is returned with the heal error joined in, matching
-// the sequential top-pair path.
-func (j *joiner) healPairJob(jsp *trace.Span, part int, filesR, filesS []*diskio.File, g *grid, orig error) (rs, ss []geom.KPE, err error) {
-	hsp := jsp.Child("heal")
-	defer hsp.End()
-	hsp.SetAttr("part", int64(part))
-	j.emitMu.Lock()
-	fr, herr := j.rederive(j.baseR, g, part)
-	var fs *diskio.File
-	if herr == nil {
-		fs, herr = j.rederive(j.baseS, g, part)
-	}
-	if herr == nil {
-		j.reg.Remove(filesR[part])
-		j.reg.Remove(filesS[part])
-		filesR[part], filesS[part] = fr, fs
-		j.stats.Healed++
-	}
-	j.emitMu.Unlock()
-	if herr != nil {
-		return nil, nil, fmt.Errorf("%w (heal failed: %w)", orig, herr)
-	}
-	rs, err = recfile.ReadAllKPEs(fr, j.cfg.bufPages())
-	if err == nil {
-		ss, err = recfile.ReadAllKPEs(fs, j.cfg.bufPages())
-	}
-	return rs, ss, err
-}
-
 // repartitionPair splits the larger side of an oversized pair with a
 // finer grid and recurses on each sub-pair against the unsplit side.
-func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth int) error {
-	j.stats.Repartitions++
+func (j *joiner) repartitionPair(alg sweep.Algorithm, sink func(geom.Pair), fr, fs *diskio.File, regR, regS region, depth int) error {
+	j.bump(func() { j.stats.Repartitions++ })
 	nr, ns := recfile.NumKPEs(fr), recfile.NumKPEs(fs)
 	size := (nr + ns) * geom.KPESize
 	n := int(math.Ceil(j.cfg.tune() * float64(size) / float64(j.cfg.Memory)))
@@ -948,9 +842,9 @@ func (j *joiner) repartitionPair(fr, fs *diskio.File, regR, regS region, depth i
 		inner := gridRegion{g: sub, part: i}
 		var perr error
 		if splitR {
-			perr = j.processPair(files[i], fs, andRegion{regR, inner}, regS, depth+1)
+			perr = j.processPair(alg, sink, files[i], fs, andRegion{regR, inner}, regS, depth+1)
 		} else {
-			perr = j.processPair(fr, files[i], regR, andRegion{regS, inner}, depth+1)
+			perr = j.processPair(alg, sink, fr, files[i], regR, andRegion{regS, inner}, depth+1)
 		}
 		j.reg.Remove(files[i])
 		if perr != nil {

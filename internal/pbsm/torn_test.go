@@ -59,7 +59,7 @@ func TestTornEmptyLookingPartitionNotSkipped(t *testing.T) {
 		t.Fatalf("NumKPEs of torn file = %d, want 0 (precondition)", n)
 	}
 
-	err := j.processPair(fr, fs, wholeSpace{}, wholeSpace{}, 0)
+	err := j.processPair(j.alg, func(geom.Pair) {}, fr, fs, wholeSpace{}, wholeSpace{}, 0)
 	if err == nil {
 		t.Fatal("torn-below-header partition file was skipped as empty")
 	}
@@ -71,7 +71,7 @@ func TestTornEmptyLookingPartitionNotSkipped(t *testing.T) {
 		t.Fatalf("top-level tear must be healable, got %v", err)
 	}
 
-	err = j.processPair(fr, fs, wholeSpace{}, wholeSpace{}, 1)
+	err = j.processPair(j.alg, func(geom.Pair) {}, fr, fs, wholeSpace{}, wholeSpace{}, 1)
 	if err == nil || !recfile.IsCorrupt(err) {
 		t.Fatalf("sub-pair tear must surface as corruption, got %v", err)
 	}

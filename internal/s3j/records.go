@@ -6,6 +6,7 @@ import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sfc"
 )
 
 // levRecSize is the serialized size of a level-file record: the 8-byte
@@ -59,9 +60,15 @@ type groupCursor struct {
 	buf    [levRecSize]byte
 	peeked bool
 	pkCode uint64
-	pkKPE  geom.KPE
-	level  int
-	rel    int // 0 = R, 1 = S
+	// pkLo caches sfc.CodeInterval(pkCode, level)'s start, the cursor's
+	// heap key. The heap compares cursors O(log n) times per group, so
+	// recomputing the interval in every Less call would redo the same
+	// bit-interleaving work many times per record; computing it once per
+	// lookahead in fillPeek keeps Less to one integer compare.
+	pkLo  uint64
+	pkKPE geom.KPE
+	level int
+	rel   int // 0 = R, 1 = S
 }
 
 func newGroupCursor(f *diskio.File, bufPages, level, rel int) *groupCursor {
@@ -79,6 +86,7 @@ func (c *groupCursor) fillPeek() (bool, error) {
 		return false, err
 	}
 	c.pkCode, c.pkKPE = decodeLevRec(c.buf[:])
+	c.pkLo, _ = sfc.CodeInterval(c.pkCode, c.level)
 	c.peeked = true
 	return true, nil
 }

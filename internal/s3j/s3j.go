@@ -27,6 +27,7 @@ import (
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sfc"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/trace"
@@ -105,6 +106,16 @@ type Config struct {
 	// Cancel is the join's cancellation checkpoint; nil disables
 	// cancellation.
 	Cancel *govern.Check
+	// Parallel is the worker count for the sorting phase (< 2 = serial):
+	// level files sort concurrently on the shared scheduler, and each
+	// sort parallelizes its own run formation and merge groups. The
+	// partitioning and scan phases are sequential by construction (one
+	// writer per level file; one globally ordered scan). Results and
+	// level-file contents are identical at every worker count.
+	Parallel int
+	// Gov, when non-nil, admission-controls the memory the extra
+	// parallel sort workers claim beyond the join's own budget.
+	Gov *govern.Governor
 }
 
 // DefaultLevels gives 4^10 ≈ one million cells on the deepest grid,
@@ -143,6 +154,13 @@ func (c *Config) bufPagesFor(streams int) int {
 		return c.bufPages()
 	}
 	return per
+}
+
+func (c *Config) workers() int {
+	if c.Parallel < 2 {
+		return 1
+	}
+	return c.Parallel
 }
 
 func (c *Config) algorithm() sweep.Algorithm {
@@ -331,16 +349,44 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	// Phase 2: sort every level file by locational code. Level 0 has a
 	// single cell (all codes zero) and needs no sort — the optimization
 	// §4.4.2 enables by never computing codes for the lowest level.
+	// Each (relation, level) sort is an independent unit: it reads and
+	// replaces one file slot nobody else touches, so the units run on the
+	// shared scheduler. Per-unit sort stats land in unit-indexed slots
+	// and are summed afterwards, keeping the accumulation race-free.
 	pt = j.begin(PhaseSort)
+	type sortUnit struct {
+		files []*diskio.File
+		l     int
+	}
+	units := make([]sortUnit, 0, 2*levels)
 	for l := 1; l <= levels; l++ {
-		if filesR[l], err = j.sortLevel(filesR[l], pt.sp); err != nil {
-			pt.end()
-			return joinerr.Wrap("s3j", PhaseSort.String(), err)
+		units = append(units, sortUnit{filesR, l}, sortUnit{filesS, l})
+	}
+	unitStats := make([]extsort.Stats, len(units))
+	err = sched.Run(len(units), sched.Options{
+		Workers: j.cfg.workers(),
+		Name:    "sort-level",
+		Span:    pt.sp,
+		Cancel:  j.cfg.Cancel,
+		Gov:     j.cfg.Gov,
+		UnitMem: j.cfg.Memory,
+	}, func(w, i int) error {
+		u := units[i]
+		sorted, st, serr := j.sortLevel(u.files[u.l], pt.sp)
+		if serr != nil {
+			return serr
 		}
-		if filesS[l], err = j.sortLevel(filesS[l], pt.sp); err != nil {
-			pt.end()
-			return joinerr.Wrap("s3j", PhaseSort.String(), err)
-		}
+		u.files[u.l] = sorted
+		unitStats[i] = st
+		return nil
+	})
+	if err != nil {
+		pt.end()
+		return joinerr.Wrap("s3j", PhaseSort.String(), err)
+	}
+	for _, st := range unitStats {
+		j.stats.SortRuns += st.Runs
+		j.stats.MergePasses += st.MergePass
 	}
 	pt.end()
 
@@ -405,16 +451,20 @@ func (j *joiner) partitionInput(ks []geom.KPE, levels int) ([]*diskio.File, []in
 }
 
 // sortLevel sorts one level file by locational code, replacing it. The
-// sort's spans nest under sp, the sort-phase span.
-func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, error) {
+// sort's spans nest under sp, the sort-phase span. It is safe to call
+// from concurrent workers: it touches only its own file (plus the
+// mutex-protected registry) and reports stats by return value.
+func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, extsort.Stats, error) {
 	if numLevRecs(f) == 0 {
-		return f, nil
+		return f, extsort.Stats{}, nil
 	}
 	sorted, st, err := extsort.Sort(f, extsort.Config{
 		Disk:       j.cfg.Disk,
 		RecordSize: levRecSize,
 		Memory:     j.cfg.Memory,
 		BufPages:   j.cfg.bufPages(),
+		Parallel:   j.cfg.Parallel,
+		Gov:        j.cfg.Gov,
 		Trace:      sp,
 		Reg:        j.reg,
 		Cancel:     j.cfg.Cancel,
@@ -423,12 +473,10 @@ func (j *joiner) sortLevel(f *diskio.File, sp *trace.Span) (*diskio.File, error)
 		},
 	})
 	if err != nil {
-		return f, err
+		return f, st, err
 	}
-	j.stats.SortRuns += st.Runs
-	j.stats.MergePasses += st.MergePass
 	j.reg.Remove(f)
-	return sorted, nil
+	return sorted, st, nil
 }
 
 // stackEntry is one active cell on a relation's root-path stack during
@@ -577,11 +625,12 @@ type cursorHeap struct {
 func (h *cursorHeap) Len() int { return len(h.items) }
 
 func (h *cursorHeap) Less(a, b int) bool {
+	// The interval start is cached on the cursor by fillPeek (computed
+	// once per lookahead record), so each heap comparison is three
+	// integer compares instead of two bit-interleaving expansions.
 	ca, cb := h.items[a], h.items[b]
-	loA, _ := sfc.CodeInterval(ca.pkCode, ca.level)
-	loB, _ := sfc.CodeInterval(cb.pkCode, cb.level)
-	if loA != loB {
-		return loA < loB
+	if ca.pkLo != cb.pkLo {
+		return ca.pkLo < cb.pkLo
 	}
 	if ca.level != cb.level {
 		return ca.level < cb.level

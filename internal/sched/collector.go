@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"sync"
+
+	"spatialjoin/internal/geom"
+)
+
+// Collector restores deterministic emission order to a parallel run:
+// result pairs of unit 0 stream straight through, pairs of later units
+// are buffered until every earlier unit has finished, and then flush in
+// unit order. The delivered sequence is therefore EXACTLY the sequence
+// a serial run of the same units would emit, at the cost of buffering
+// the results of units that finish ahead of the emission head.
+//
+// The sink is only ever invoked with the collector's mutex held, so it
+// needs no synchronization of its own — but it must not call back into
+// the Collector, and it must not take a lock that an Emit caller holds.
+type Collector struct {
+	mu   sync.Mutex
+	sink func(geom.Pair)
+	buf  [][]geom.Pair
+	done []bool
+	head int // first unit not yet finished; its pairs stream directly
+}
+
+// NewCollector creates a collector over n units delivering to sink.
+func NewCollector(n int, sink func(geom.Pair)) *Collector {
+	return &Collector{
+		sink: sink,
+		buf:  make([][]geom.Pair, n),
+		done: make([]bool, n),
+	}
+}
+
+// Emit delivers one pair of unit i: streamed when i is the emission
+// head, buffered otherwise. Safe for concurrent use.
+func (c *Collector) Emit(i int, p geom.Pair) {
+	c.mu.Lock()
+	if i == c.head {
+		c.sink(p)
+	} else {
+		c.buf[i] = append(c.buf[i], p)
+	}
+	c.mu.Unlock()
+}
+
+// Done marks unit i finished. When i is the emission head, the head
+// advances over every finished unit, flushing each one's buffer — and
+// the first unfinished unit it lands on streams from then on. Each unit
+// must call Done exactly once, after its last Emit.
+func (c *Collector) Done(i int) {
+	c.mu.Lock()
+	c.done[i] = true
+	for c.head < len(c.done) && c.done[c.head] {
+		c.head++
+		if c.head < len(c.buf) {
+			for _, p := range c.buf[c.head] {
+				c.sink(p)
+			}
+			c.buf[c.head] = nil
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+// Package sched is the shared work scheduler of the join stack: one
+// bounded worker pool implementation that every parallel phase runs on —
+// PBSM's partition pairs, SHJ's bucket joins, S³J's per-level sorts, and
+// extsort's run-formation chunks and merge groups. Centralizing the pool
+// gives the stack one set of parallel-execution invariants instead of
+// one bespoke worker loop per package:
+//
+//   - Cancellation: every worker polls the join's govern.Check before
+//     each unit, so a canceled join unwinds within one unit per worker.
+//   - Error propagation: the first error wins, later units are skipped,
+//     and Run returns after every worker has wound down — no goroutine
+//     outlives the call.
+//   - Memory accounting: worker slot 0 is covered by the join's own
+//     governor admission; each EXTRA slot claims Options.UnitMem from
+//     the governor via TryAcquire and simply does not start when the
+//     claim is denied. An over-committed machine degrades to fewer
+//     workers (ultimately serial) instead of thrashing.
+//   - Tracing: each parallel worker runs under its own child span, so
+//     per-worker wall time and I/O deltas land in the trace tree.
+//     Worker spans overlap in time; their I/O deltas are snapshots of
+//     the shared disk counters and therefore overlap too — attribute
+//     I/O to the enclosing phase span, not to a single worker.
+//   - Determinism: units are handed out in index order, and the
+//     Collector (see collector.go) restores emission order to exactly
+//     the serial order when callers stream results.
+//
+// With fewer than two workers or fewer than two units, Run executes the
+// units inline in index order on the calling goroutine — the serial
+// path is the parallel path with the pool edited out, so a join at
+// Parallel=1 behaves byte-for-byte like the pre-scheduler code.
+package sched
+
+import (
+	"sync"
+
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/trace"
+)
+
+// Options configures one Run.
+type Options struct {
+	// Workers is the maximum number of concurrent workers. Values < 2
+	// (and unit counts < 2) select the inline serial path.
+	Workers int
+	// Name names the per-worker trace spans; default "worker".
+	Name string
+	// Span is the parent the per-worker spans nest under; nil disables
+	// instrumentation. The serial path opens no extra spans.
+	Span *trace.Span
+	// Cancel is the owning join's cancellation checkpoint, polled
+	// immediately before every unit; nil disables cancellation.
+	Cancel *govern.Check
+	// Gov, when non-nil, admission-controls the extra worker slots:
+	// slot 0 always runs (the join's own admission claim covers one
+	// serial working set), and each further slot must TryAcquire
+	// UnitMem bytes or it is not started.
+	Gov *govern.Governor
+	// UnitMem is the worst-case working-set bytes one concurrent unit
+	// adds beyond the join's serial claim; only meaningful with Gov.
+	UnitMem int64
+}
+
+func (o *Options) name() string {
+	if o.Name == "" {
+		return "worker"
+	}
+	return o.Name
+}
+
+// Run executes unit(w, i) for every i in [0, n), at most Options.Workers
+// at a time. w is a stable worker-slot index in [0, workers): a slot
+// runs its units sequentially on one goroutine, so callers may keep
+// per-slot state (a sweep algorithm, a scratch buffer) without locking.
+// Units are dispatched in index order; completion order is unspecified.
+// The first unit error (or cancellation) is returned, remaining units
+// are skipped, and Run does not return before all workers have exited.
+func Run(n int, o Options, unit func(w, i int) error) error {
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := o.Cancel.Now(); err != nil {
+				return err
+			}
+			if err := unit(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Pre-filled closed channel: a worker that bails out early after an
+	// error never leaves a sender blocked.
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Slot 0 is funded by the join's own admission; every extra
+		// slot multiplies the working set and must claim the overshoot.
+		// A denied claim is not an error — the pool just stays smaller.
+		var release func()
+		if w > 0 && o.Gov != nil {
+			rel, ok := o.Gov.TryAcquire(o.UnitMem)
+			if !ok {
+				break
+			}
+			release = rel
+		}
+		wg.Add(1)
+		go func(w int, release func()) {
+			defer wg.Done()
+			if release != nil {
+				defer release()
+			}
+			sp := o.Span.Child(o.name())
+			defer sp.End()
+			sp.SetAttr("slot", int64(w))
+			for i := range ch {
+				if failed() {
+					return
+				}
+				if err := o.Cancel.Now(); err != nil {
+					setErr(err)
+					return
+				}
+				if err := unit(w, i); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}(w, release)
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}

@@ -24,6 +24,7 @@ import (
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
 	"spatialjoin/internal/recfile"
+	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/trace"
 )
@@ -70,6 +71,16 @@ type Config struct {
 	// Cancel is the join's cancellation checkpoint; nil disables
 	// cancellation.
 	Cancel *govern.Check
+	// Parallel joins this many bucket pairs concurrently in the join
+	// phase (values < 2 keep it sequential) on the shared scheduler.
+	// Each worker uses a private internal algorithm; results are
+	// buffered per bucket and released in bucket order, so the emitted
+	// sequence is identical to a sequential run's.
+	Parallel int
+	// Gov, when non-nil, admission-controls the memory the extra
+	// parallel workers claim beyond the join's own admission (one bucket
+	// pair's working set each).
+	Gov *govern.Governor
 }
 
 func (c *Config) bufPages() int {
@@ -77,6 +88,13 @@ func (c *Config) bufPages() int {
 		return 4
 	}
 	return c.BufPages
+}
+
+func (c *Config) workers() int {
+	if c.Parallel < 2 {
+		return 1
+	}
+	return c.Parallel
 }
 
 // Stats reports what a spatial hash join did.
@@ -253,9 +271,15 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	}
 
 	// Join phase: each bucket pair in memory. No duplicate handling is
-	// needed — every R rectangle exists exactly once.
+	// needed — every R rectangle exists exactly once. A serial pre-scan
+	// classifies the buckets — skipping (and tear-verifying) the empty
+	// ones, counting overflows — so the joinable pairs become
+	// independent units on the shared scheduler; per-worker algorithms
+	// keep the sweep state private and the collector releases results in
+	// bucket order, identical to a sequential run's.
 	t0, io0 = time.Now(), cfg.Disk.Stats()
 	sp = cfg.Trace.Child(PhaseJoin.String())
+	var units []*bucket
 	for _, b := range buckets {
 		// A bucket pair is an expensive unit, so poll immediately:
 		// cancellation latency is bounded by one pair, not 256.
@@ -282,25 +306,57 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		if (int64(b.nR)+nS)*geom.KPESize > cfg.Memory {
 			st.Overflows++
 		}
-		var rs, ss []geom.KPE
-		rs, err = recfile.ReadAllKPEs(b.fR, cfg.bufPages())
-		if err == nil {
-			ss, err = recfile.ReadAllKPEs(b.fS, cfg.bufPages())
+		units = append(units, b)
+	}
+	if err == nil {
+		workers := cfg.workers()
+		algs := make([]sweep.Algorithm, workers)
+		algs[0] = alg
+		for w := 1; w < workers; w++ {
+			algs[w] = sweep.New(cfg.Algorithm)
 		}
-		if err != nil {
-			break
-		}
-		sp.AddRecords(int64(len(rs) + len(ss)))
-		alg.Join(rs, ss, func(r, s geom.KPE) {
+		col := sched.NewCollector(len(units), func(p geom.Pair) {
 			st.Results++
-			emit(geom.Pair{R: r.ID, S: s.ID})
+			emit(p)
 		})
+		recs := make([]int64, len(units))
+		err = sched.Run(len(units), sched.Options{
+			Workers: workers,
+			Name:    "bucket-worker",
+			Span:    sp,
+			Cancel:  cfg.Cancel,
+			Gov:     cfg.Gov,
+			UnitMem: cfg.Memory,
+		}, func(w, i int) error {
+			defer col.Done(i)
+			b := units[i]
+			rs, uerr := recfile.ReadAllKPEs(b.fR, cfg.bufPages())
+			if uerr != nil {
+				return uerr
+			}
+			ss, uerr := recfile.ReadAllKPEs(b.fS, cfg.bufPages())
+			if uerr != nil {
+				return uerr
+			}
+			recs[i] = int64(len(rs) + len(ss))
+			algs[w].Join(rs, ss, func(r, s geom.KPE) {
+				col.Emit(i, geom.Pair{R: r.ID, S: s.ID})
+			})
+			return nil
+		})
+		// The span is not safe for concurrent AddRecords, so per-unit
+		// record counts accumulate in unit slots and post here.
+		for _, n := range recs {
+			sp.AddRecords(n)
+		}
+		for _, a := range algs {
+			st.Tests += a.Tests()
+			st.Touches += a.Touches()
+		}
 	}
 	sp.End()
 	st.PhaseCPU[PhaseJoin] = time.Since(t0)
 	st.PhaseIO[PhaseJoin] = cfg.Disk.Stats().Sub(io0)
-	st.Tests = alg.Tests()
-	st.Touches = alg.Touches()
 	if err != nil {
 		return st, joinerr.Wrap("shj", PhaseJoin.String(), err)
 	}

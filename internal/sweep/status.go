@@ -26,6 +26,15 @@ type Status interface {
 // nested-loops kind has no status structure and maps to the list.
 func NewStatus(kind Kind, ymin, ymax float64, tests, touches *int64) Status {
 	if kind == TrieKind {
+		if ymax <= ymin {
+			// Degenerate y-extent: every key would scale to 0 (see
+			// newTrieStatus), collapsing the whole trie onto the root
+			// spine — an O(n) scan per probe with trie-node overhead on
+			// top, strictly worse than the plain list. Fall back to the
+			// list status, which handles identical keys at the same
+			// asymptotic cost without the indirection.
+			return &listStatus{tests: tests, touches: touches}
+		}
 		return newTrieStatus(ymin, ymax, 0, tests, touches)
 	}
 	return &listStatus{tests: tests, touches: touches}
@@ -72,6 +81,15 @@ type trieStatus struct {
 
 // newTrieStatus builds a trie status over y-extent [ymin, ymax]; depth 0
 // selects DefaultTrieDepth.
+//
+// The trie's performance depends on the scale function spreading y-keys
+// over the [0, 2^depth) key space. When ymax <= ymin the inverse scale
+// stays 0 and EVERY key maps to bucket 0: all intervals land on the
+// root spine, probes degenerate to a linear scan of all residents, and
+// the sweep as a whole degrades to O(n²) with a higher constant than
+// the list status. Callers must guard the extent (NewStatus falls back
+// to listStatus); this constructor keeps the degenerate arithmetic
+// well-defined (scale clamps to 0) rather than dividing by zero.
 func newTrieStatus(ymin, ymax float64, depth int, tests, touches *int64) *trieStatus {
 	if depth <= 0 {
 		depth = DefaultTrieDepth

@@ -132,3 +132,65 @@ func TestStatusSweepTieBreaking(t *testing.T) {
 	}
 	sort.Slice(got, func(i, j int) bool { return got[i].Less(got[j]) })
 }
+
+// TestStatusTrieDegenerateExtentFallsBackToList: with ymax <= ymin the
+// trie's key scale collapses every y to bucket 0, piling all intervals
+// onto the root spine — a linear scan per probe with trie overhead on
+// top. NewStatus must fall back to the list status and still produce
+// the exact result set.
+func TestStatusTrieDegenerateExtentFallsBackToList(t *testing.T) {
+	for _, ext := range [][2]float64{{0.5, 0.5}, {0.7, 0.2}} {
+		var tests, touches int64
+		st := NewStatus(TrieKind, ext[0], ext[1], &tests, &touches)
+		if _, ok := st.(*listStatus); !ok {
+			t.Fatalf("extent [%g,%g]: got %T, want *listStatus fallback", ext[0], ext[1], st)
+		}
+	}
+
+	// A healthy extent still selects the trie.
+	var tests, touches int64
+	if st := NewStatus(TrieKind, 0, 1, &tests, &touches); func() bool { _, ok := st.(*trieStatus); return !ok }() {
+		t.Fatalf("extent [0,1]: got %T, want *trieStatus", st)
+	}
+
+	// Correctness on inputs whose rectangles all share one y-extent —
+	// the workload that produces a degenerate joint extent upstream.
+	rs := make([]geom.KPE, 40)
+	ss := make([]geom.KPE, 40)
+	for i := range rs {
+		x := float64(i) / 50
+		rs[i] = geom.KPE{ID: uint64(i), Rect: geom.NewRect(x, 0.5, x+0.1, 0.5)}
+		ss[i] = geom.KPE{ID: uint64(100 + i), Rect: geom.NewRect(x+0.05, 0.5, x+0.12, 0.5)}
+	}
+	want := naive(rs, ss)
+	got := statusSweepExtent(TrieKind, 0.5, 0.5, rs, ss)
+	comparePairs(t, "degenerate-trie", got, want)
+}
+
+// statusSweepExtent is statusSweep with an explicit y-extent.
+func statusSweepExtent(kind Kind, ymin, ymax float64, rs, ss []geom.KPE) []geom.Pair {
+	rc := append([]geom.KPE(nil), rs...)
+	sc := append([]geom.KPE(nil), ss...)
+	sortByXL(rc)
+	sortByXL(sc)
+	var tests, touches int64
+	stR := NewStatus(kind, ymin, ymax, &tests, &touches)
+	stS := NewStatus(kind, ymin, ymax, &tests, &touches)
+	var out []geom.Pair
+	i, j := 0, 0
+	for i < len(rc) || j < len(sc) {
+		if j >= len(sc) || (i < len(rc) && rc[i].Rect.XL <= sc[j].Rect.XL) {
+			r := rc[i]
+			i++
+			stS.Probe(r, func(s geom.KPE) { out = append(out, geom.Pair{R: r.ID, S: s.ID}) })
+			stR.Insert(r)
+		} else {
+			s := sc[j]
+			j++
+			stR.Probe(s, func(r geom.KPE) { out = append(out, geom.Pair{R: r.ID, S: s.ID}) })
+			stS.Insert(s)
+		}
+	}
+	sortPairs(out)
+	return out
+}
