@@ -60,10 +60,13 @@ fi
 echo "== go test -race ./... =="
 go test -race -timeout 20m ./...
 
-echo "== chaos suite (fault-injection + cancellation sweeps) =="
+echo "== chaos suite (fault-injection + cancellation + kill-a-shard sweeps) =="
 # -timeout turns a cancellation hang (a checkpoint regression) into a
-# test failure with stacks instead of a stuck CI job.
-go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/
+# test failure with stacks instead of a stuck CI job. internal/shard and
+# the shard kill sweep in internal/chaos spawn real worker processes and
+# SIGKILL them at seeded points; -count=1 keeps the process-level chaos
+# uncached.
+go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/ ./internal/shard/
 
 echo "== sjbench trace smoke (Chrome trace_event export) =="
 tracefile=$(mktemp /tmp/sjbench-trace.XXXXXX.json)
@@ -79,5 +82,13 @@ echo "== sjbench parallel smoke (BENCH_*.json artifacts) =="
 # sjbench re-reads the emitted BENCH_parallel.json / BENCH_baseline.json
 # and validates cell completeness, printing "bench OK" on success.
 go run ./cmd/sjbench -exp parallel -quick -bench-dir "$benchdir" | grep "bench OK"
+
+echo "== sjbench shards smoke (multi-process invariance + kill recovery) =="
+# The quick shards sweep spawns real worker processes (sjbench re-execs
+# itself with -shard-worker), checks the result sequence hash-matches
+# the single-process run at every shard count, SIGKILLs a worker at each
+# chaos point, and validates the emitted BENCH_shards.json, printing
+# "bench OK" on success.
+go run ./cmd/sjbench -exp shards -quick -bench-dir "$benchdir" | grep "bench OK"
 
 echo "ci.sh: all checks passed"

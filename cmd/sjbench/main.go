@@ -30,9 +30,22 @@ import (
 	"time"
 
 	"spatialjoin/internal/bench"
+	"spatialjoin/internal/shard"
 )
 
 func main() {
+	// Worker mode must win before flag parsing: a shard coordinator
+	// re-executes this binary with -shard-worker and speaks the frame
+	// protocol on stdin/stdout; nothing else may touch those pipes.
+	for _, arg := range os.Args[1:] {
+		if arg == "-shard-worker" || arg == "--shard-worker" {
+			if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "sjbench: shard worker: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	exp := flag.String("exp", "all", "experiment to run (all, table1..table3, fig3..fig14, abl-*)")
 	laScale := flag.Float64("la-scale", 1.0, "scale of the LA_RR/LA_ST cardinalities")
 	calScale := flag.Float64("cal-scale", 0.15, "scale of the CAL_ST cardinality (join J5)")
@@ -41,17 +54,27 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the instrumented 'phases' PBSM run and self-validate it")
 	phasesN := flag.Int("phases-n", 10000, "per-relation cardinality of the 'phases' experiment")
-	quick := flag.Bool("quick", false, "shrink the 'parallel' experiment to a CI smoke (timings meaningless, structure and determinism checks intact)")
-	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' experiment")
+	quick := flag.Bool("quick", false, "shrink the 'parallel' and 'shards' experiments to a CI smoke (timings meaningless, structure and determinism checks intact)")
+	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' and 'shards' experiments")
+	flag.Bool("shard-worker", false, "run as a shard worker process (frame protocol on stdin/stdout); handled before flag parsing")
 	flag.Parse()
 
 	s := bench.NewSuite(*laScale, *calScale, *seed)
 	var phasesRuns []bench.PhasesRun
 	var parallelRep *bench.ParallelReport
+	var shardRep *bench.ShardReport
 	runners := map[string]func() *bench.Table{
 		"parallel": func() *bench.Table {
 			rep, t := bench.RunParallel(s, *quick)
 			parallelRep = rep
+			return t
+		},
+		"shards": func() *bench.Table {
+			// nil worker command: workers re-exec this binary with
+			// -shard-worker (the default the shard package derives from
+			// os.Executable).
+			rep, t := bench.RunShards(s, *quick, nil, nil)
+			shardRep = rep
 			return t
 		},
 		"phases": func() *bench.Table {
@@ -86,7 +109,7 @@ func main() {
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
 		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases",
-		"parallel"}
+		"parallel", "shards"}
 
 	var names []string
 	if *exp == "all" {
@@ -119,6 +142,13 @@ func main() {
 
 	if parallelRep != nil {
 		if err := writeAndValidateBench(*benchDir, parallelRep); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if shardRep != nil {
+		if err := writeAndValidateShards(*benchDir, shardRep); err != nil {
 			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,6 +208,34 @@ func writeAndValidateBench(dir string, rep *bench.ParallelReport) error {
 		return err
 	}
 	fmt.Printf("bench OK: %s (%d cells), %s (%d cells)\n", full, len(rep.Cells), basePath, len(base.Cells))
+	return nil
+}
+
+// writeAndValidateShards persists the shards experiment as
+// BENCH_shards.json, then proves the artifact is usable: re-read,
+// re-parsed and structurally validated — shard-count invariance hashes
+// and kill-recovery measurements intact.
+func writeAndValidateShards(dir string, rep *bench.ShardReport) error {
+	path := filepath.Join(dir, "BENCH_shards.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var back bench.ShardReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return fmt.Errorf("%s does not re-parse: %w", path, err)
+	}
+	if err := back.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("bench OK: %s (%d invariance cells, %d kill cells)\n", path, len(back.Cells), len(back.KillCells))
 	return nil
 }
 

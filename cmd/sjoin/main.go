@@ -8,8 +8,12 @@
 //	sjoin [-r la_rr] [-s la_st] [-rfile data.tsv] [-sfile data.tsv]
 //	      [-n 20000] [-p 1] [-seed 1]
 //	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
-//	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-plan] [-v]
-//	      [-timeout 0] [-trace out.json] [-stats] [-pprof addr]
+//	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-shards 1]
+//	      [-plan] [-v] [-timeout 0] [-trace out.json] [-stats] [-pprof addr]
+//
+// -shards N (PBSM with RPM only) executes the join as N worker OS
+// processes under the fault-tolerant coordinator of internal/shard; the
+// result sequence is identical to -shards 1 at any N.
 //
 // -timeout bounds the join's wall time; an overrun aborts with a clean
 // deadline-exceeded error naming the phase, having swept all temp files.
@@ -38,6 +42,7 @@ import (
 	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/plan"
 	"spatialjoin/internal/s3j"
+	"spatialjoin/internal/shard"
 	"spatialjoin/internal/shj"
 	"spatialjoin/internal/sssj"
 	"spatialjoin/internal/sweep"
@@ -66,6 +71,19 @@ func dataset(name string, seed int64, n int, p float64) ([]geom.KPE, error) {
 }
 
 func main() {
+	// Worker mode must win before flag parsing: a shard coordinator
+	// re-executes this binary with -shard-worker and speaks the frame
+	// protocol on stdin/stdout; nothing else may touch those pipes.
+	for _, arg := range os.Args[1:] {
+		if arg == "-shard-worker" || arg == "--shard-worker" {
+			if err := shard.WorkerMain(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "sjoin: shard worker: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	rName := flag.String("r", "la_rr", "left relation (la_rr, la_st, cal_st, uniform)")
 	sName := flag.String("s", "la_st", "right relation")
 	rFile := flag.String("rfile", "", "load left relation from a TSV file (id xl yl xh yh) instead of -r")
@@ -79,6 +97,8 @@ func main() {
 	mode := flag.String("mode", "replicate", "S3J mode: replicate or original")
 	memMB := flag.Float64("mem", 2.5, "memory budget in paper MB (20-byte KPEs)")
 	parallel := flag.Int("parallel", 1, "concurrent partition-pair joins (PBSM only)")
+	shards := flag.Int("shards", 1, "worker OS processes (PBSM+RPM only; >1 re-executes this binary with -shard-worker per shard)")
+	flag.Bool("shard-worker", false, "run as a shard worker process (frame protocol on stdin/stdout); handled before flag parsing")
 	timeout := flag.Duration("timeout", 0, "abort the join after this wall time (0 = no deadline)")
 	doPlan := flag.Bool("plan", false, "print the analytic cost ranking and pick the cheapest method")
 	verbose := flag.Bool("v", false, "print each result pair")
@@ -135,6 +155,7 @@ func main() {
 		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of 40-byte KPEs
 		Algorithm:    sweep.Kind(*alg),
 		PBSMParallel: *parallel,
+		Shards:       *shards,
 		Deadline:     *timeout,
 	}
 	if *traceOut != "" || *stats {

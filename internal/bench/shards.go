@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/shard"
+)
+
+// ShardCounts is the shard-count sweep of the multi-process experiment.
+var ShardCounts = []int{1, 2, 4}
+
+// ShardCell is one measurement of the sharded executor: a plain
+// shard-count cell (Kill == "") of the invariance sweep, or a
+// kill-recovery cell where one worker was SIGKILLed at a deterministic
+// point and the coordinator had to self-heal. The hashes carry the
+// determinism contract into the artifact: SetHash equal ⇔ same result
+// multiset, OrderHash equal ⇔ same emission sequence as the
+// single-process baseline.
+type ShardCell struct {
+	Shards int    `json:"shards"`
+	Kill   string `json:"kill,omitempty"`
+
+	Results   int64  `json:"results"`
+	SetHash   uint64 `json:"set_hash"`
+	OrderHash uint64 `json:"order_hash"`
+
+	WallNS int64 `json:"wall_ns"`
+
+	Spawns    int `json:"spawns"`
+	Kills     int `json:"kills"`
+	Restarts  int `json:"restarts"`
+	Absorbed  int `json:"absorbed"`
+	Rederived int `json:"rederived"`
+
+	// RecoveryNS totals the coordinator's failure-detection → first
+	// re-progress latency; MaxRecoveryNS is the worst single recovery.
+	RecoveryNS    int64 `json:"recovery_ns"`
+	MaxRecoveryNS int64 `json:"max_recovery_ns"`
+}
+
+// ShardReport is the serialized experiment — the schema of
+// BENCH_shards.json.
+type ShardReport struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+
+	Records     int   `json:"records_per_input"`
+	MemoryBytes int64 `json:"memory_bytes"`
+
+	// The single-process ground truth every cell must hash-match.
+	BaselineResults   int64  `json:"baseline_results"`
+	BaselineSetHash   uint64 `json:"baseline_set_hash"`
+	BaselineOrderHash uint64 `json:"baseline_order_hash"`
+
+	Shards []int `json:"shards"`
+	// Cells is the fault-free shard-count invariance sweep; KillCells
+	// are the kill-recovery scenarios.
+	Cells     []ShardCell `json:"cells"`
+	KillCells []ShardCell `json:"kill_cells"`
+}
+
+// Validate checks a (possibly re-parsed) report for structural
+// completeness and the two contracts the experiment exists to prove:
+// shard-count invariance (every cell's set AND order hash equals the
+// single-process baseline) and measured kill recovery (every kill cell
+// actually killed a worker, recovered, and still hash-matches).
+func (r *ShardReport) Validate() error {
+	if r.BaselineResults <= 0 {
+		return fmt.Errorf("bench: shard report has an empty baseline")
+	}
+	if len(r.Shards) == 0 {
+		return fmt.Errorf("bench: shard report has no shard sweep")
+	}
+	seen := make(map[int]bool)
+	for _, c := range r.Cells {
+		if c.Kill != "" {
+			return fmt.Errorf("bench: invariance cell at %d shards carries kill %q", c.Shards, c.Kill)
+		}
+		if seen[c.Shards] {
+			return fmt.Errorf("bench: duplicate invariance cell at %d shards", c.Shards)
+		}
+		seen[c.Shards] = true
+		if err := r.checkCell(c, "invariance"); err != nil {
+			return err
+		}
+		if c.Kills != 0 || c.Restarts != 0 || c.Absorbed != 0 {
+			return fmt.Errorf("bench: fault-free cell at %d shards reports faults: %+v", c.Shards, c)
+		}
+	}
+	for _, n := range r.Shards {
+		if !seen[n] {
+			return fmt.Errorf("bench: missing invariance cell at %d shards", n)
+		}
+	}
+	if len(r.KillCells) < 3 {
+		return fmt.Errorf("bench: %d kill cells, want >= 3 (one per kill point)", len(r.KillCells))
+	}
+	points := make(map[string]bool)
+	for _, c := range r.KillCells {
+		if c.Kill == "" {
+			return fmt.Errorf("bench: kill cell without a kill point")
+		}
+		points[c.Kill] = true
+		if err := r.checkCell(c, "kill "+c.Kill); err != nil {
+			return err
+		}
+		if c.Kills < 1 {
+			return fmt.Errorf("bench: kill cell %q recorded no kill", c.Kill)
+		}
+		if c.Restarts+c.Absorbed < 1 {
+			return fmt.Errorf("bench: kill cell %q neither restarted nor absorbed", c.Kill)
+		}
+		if c.RecoveryNS <= 0 || c.MaxRecoveryNS <= 0 {
+			return fmt.Errorf("bench: kill cell %q has no measured recovery latency", c.Kill)
+		}
+	}
+	for _, p := range []string{shard.KillSpawn, shard.KillMidPairs, shard.KillMidEmit} {
+		if !points[p] {
+			return fmt.Errorf("bench: kill point %q not covered", p)
+		}
+	}
+	return nil
+}
+
+func (r *ShardReport) checkCell(c ShardCell, label string) error {
+	if c.WallNS <= 0 {
+		return fmt.Errorf("bench: %s cell at %d shards has non-positive wall time", label, c.Shards)
+	}
+	if c.Results != r.BaselineResults || c.SetHash != r.BaselineSetHash || c.OrderHash != r.BaselineOrderHash {
+		return fmt.Errorf("bench: %s cell at %d shards diverged from the single-process baseline: results %d vs %d, set %x vs %x, order %x vs %x",
+			label, c.Shards, c.Results, r.BaselineResults, c.SetHash, r.BaselineSetHash, c.OrderHash, r.BaselineOrderHash)
+	}
+	return nil
+}
+
+// RunShards measures the multi-process executor: shard-count invariance
+// (the result sequence hash-matches a single-process run at every shard
+// count) and kill-recovery latency (one worker SIGKILLed per scenario at
+// each of the three chaos points; the coordinator restarts it and the
+// artifact records how long detection → first re-progress took).
+// workerCmd/workerEnv override the worker command — tests pass the
+// helper-process re-exec; the sjbench binary passes nil and workers
+// re-exec sjbench itself with -shard-worker. quick shrinks the workload
+// to a CI smoke (cells and contracts intact, timings meaningless).
+func RunShards(s *Suite, quick bool, workerCmd, workerEnv []string) (*ShardReport, *Table) {
+	n, frac := 12000, 0.06
+	if quick {
+		n, frac = 1500, 0.15
+	}
+	R := datagen.Uniform(s.Seed+71, n, 0.003)
+	S := datagen.Uniform(s.Seed+72, n, 0.003)
+	mem := MemFrac(R, S, frac)
+
+	var base pairHasher
+	baseRes, err := core.Join(R, S, core.Config{Memory: mem, Parallel: 1}, base.add)
+	if err != nil {
+		panic(err) // harness configs never fail
+	}
+
+	rep := &ShardReport{
+		Experiment:        "shards",
+		Quick:             quick,
+		Records:           n,
+		MemoryBytes:       mem,
+		BaselineResults:   baseRes.Results,
+		BaselineSetHash:   base.set,
+		BaselineOrderHash: base.order,
+		Shards:            append([]int(nil), ShardCounts...),
+	}
+
+	run := func(shards int, chaos *shard.ChaosSpec, kill string) ShardCell {
+		cfg := shard.Config{
+			Shards:    shards,
+			Memory:    mem,
+			WorkerCmd: workerCmd,
+			WorkerEnv: workerEnv,
+			Chaos:     chaos,
+		}
+		var h pairHasher
+		t0 := time.Now()
+		res, err := shard.Join(R, S, cfg, h.add)
+		if err != nil {
+			panic(fmt.Sprintf("bench: sharded join (%d shards, kill %q): %v", shards, kill, err))
+		}
+		return ShardCell{
+			Shards:        shards,
+			Kill:          kill,
+			Results:       res.Results,
+			SetHash:       h.set,
+			OrderHash:     h.order,
+			WallNS:        time.Since(t0).Nanoseconds(),
+			Spawns:        res.Stats.Spawns,
+			Kills:         res.Stats.Kills,
+			Restarts:      res.Stats.Restarts,
+			Absorbed:      res.Stats.Absorbed,
+			Rederived:     res.Stats.Rederived,
+			RecoveryNS:    res.Stats.RecoveryNS,
+			MaxRecoveryNS: res.Stats.MaxRecoveryNS,
+		}
+	}
+
+	for _, sc := range ShardCounts {
+		rep.Cells = append(rep.Cells, run(sc, nil, ""))
+	}
+	// Kill scenarios run at two shards: the victim's partitions must be
+	// recoverable while the other shard keeps streaming.
+	killSpecs := []shard.KillSpec{
+		{Point: shard.KillSpawn},
+		{Point: shard.KillMidPairs, AfterParts: 1},
+		{Point: shard.KillMidEmit, AfterPairs: 3},
+	}
+	for _, k := range killSpecs {
+		chaos := &shard.ChaosSpec{Kills: []shard.ChaosKill{{Shard: 0, Attempt: 1, Kill: k}}}
+		rep.KillCells = append(rep.KillCells, run(2, chaos, k.Point))
+	}
+
+	if err := rep.Validate(); err != nil {
+		panic(err)
+	}
+
+	tab := &Table{
+		Title: "Sharded execution — multi-process invariance and kill recovery",
+		Note: fmt.Sprintf("uniform %d x %d rectangles, M = %.1f paper-MB; every cell's result sequence hash-matches the single-process run (set AND order); kill cells SIGKILL one worker and measure detection -> re-progress latency",
+			n, n, PaperMB(mem)),
+		Header: []string{"shards", "kill", "wall (s)", "spawns", "kills", "restarts", "rederived", "recovery (ms)", "results"},
+	}
+	row := func(c ShardCell) {
+		kill := c.Kill
+		if kill == "" {
+			kill = "-"
+		}
+		recovery := "-"
+		if c.RecoveryNS > 0 {
+			recovery = fmt.Sprintf("%.2f", float64(c.RecoveryNS)/1e6)
+		}
+		tab.AddRow(fmt.Sprintf("%d", c.Shards), kill,
+			fmt.Sprintf("%.3f", float64(c.WallNS)/1e9),
+			fmt.Sprintf("%d", c.Spawns), fmt.Sprintf("%d", c.Kills),
+			fmt.Sprintf("%d", c.Restarts), fmt.Sprintf("%d", c.Rederived),
+			recovery, fint(c.Results))
+	}
+	for _, c := range rep.Cells {
+		row(c)
+	}
+	for _, c := range rep.KillCells {
+		row(c)
+	}
+	return rep, tab
+}

@@ -1,0 +1,95 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spatialjoin/internal/bench"
+	"spatialjoin/internal/shard"
+)
+
+// TestShardWorkerHelper is the helper-process re-exec target; a no-op
+// without the environment marker.
+func TestShardWorkerHelper(t *testing.T) {
+	shard.RunHelperWorker()
+}
+
+// TestRunShardsQuick runs the quick experiment end to end (spawning
+// real worker processes via the helper re-exec) and checks the report
+// validates — both live and after a JSON round trip, the form the
+// checked-in artifact is consumed in.
+func TestRunShardsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cmd, env := shard.HelperWorkerCmd("TestShardWorkerHelper")
+	s := bench.NewSuite(1, 0.15, 1)
+	rep, tab := bench.RunShards(s, true, cmd, env)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if tab == nil || len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	if want := len(bench.ShardCounts) + 3; len(tab.Rows) != want {
+		t.Fatalf("%d table rows, want %d", len(tab.Rows), want)
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bench.ShardReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("report does not survive the JSON round trip: %v", err)
+	}
+}
+
+// TestShardReportValidateRejects seeds defects a hand-edited or
+// corrupted artifact could carry.
+func TestShardReportValidateRejects(t *testing.T) {
+	good := func() *bench.ShardReport {
+		r := &bench.ShardReport{
+			Experiment: "shards", Records: 10, MemoryBytes: 1 << 20,
+			BaselineResults: 5, BaselineSetHash: 0xabc, BaselineOrderHash: 0xdef,
+			Shards: []int{1, 2},
+		}
+		for _, n := range r.Shards {
+			r.Cells = append(r.Cells, bench.ShardCell{
+				Shards: n, Results: 5, SetHash: 0xabc, OrderHash: 0xdef, WallNS: 100, Spawns: n,
+			})
+		}
+		for _, p := range []string{shard.KillSpawn, shard.KillMidPairs, shard.KillMidEmit} {
+			r.KillCells = append(r.KillCells, bench.ShardCell{
+				Shards: 2, Kill: p, Results: 5, SetHash: 0xabc, OrderHash: 0xdef,
+				WallNS: 100, Spawns: 3, Kills: 1, Restarts: 1,
+				RecoveryNS: 42, MaxRecoveryNS: 42,
+			})
+		}
+		return r
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	cases := map[string]func(*bench.ShardReport){
+		"order hash diverges":  func(r *bench.ShardReport) { r.Cells[1].OrderHash++ },
+		"set hash diverges":    func(r *bench.ShardReport) { r.KillCells[0].SetHash++ },
+		"missing shard count":  func(r *bench.ShardReport) { r.Cells = r.Cells[1:] },
+		"kill without kill":    func(r *bench.ShardReport) { r.KillCells[0].Kills = 0 },
+		"no recovery latency":  func(r *bench.ShardReport) { r.KillCells[1].RecoveryNS = 0 },
+		"kill point uncovered": func(r *bench.ShardReport) { r.KillCells[2].Kill = shard.KillSpawn },
+		"faults in clean cell": func(r *bench.ShardReport) { r.Cells[0].Kills = 1 },
+		"no kill cells":        func(r *bench.ShardReport) { r.KillCells = nil },
+	}
+	for name, corrupt := range cases {
+		r := good()
+		corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

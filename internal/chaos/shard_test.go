@@ -1,0 +1,261 @@
+// Kill-a-shard chaos: worker processes are SIGKILLed at seeded,
+// deterministic points — right after spawn, between partition seals, and
+// mid-emission of a partition's results — across shard counts. The only
+// acceptable outcome is full self-healing: the coordinator restarts or
+// absorbs the dead shard and the result sequence (set AND order) is
+// byte-identical to the single-process join. Orphaned temp directories,
+// leaked goroutines, and stats that disagree with the trace's kill
+// events are all failures.
+package chaos
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/shard"
+	"spatialjoin/internal/trace"
+)
+
+// TestShardWorkerHelper is the helper-process re-exec target that turns
+// this test binary into a shard worker; without the environment marker
+// it is a no-op.
+func TestShardWorkerHelper(t *testing.T) {
+	shard.RunHelperWorker()
+}
+
+const shardMemory = 32 << 10 // several top-level partitions at nRecs
+
+// shardBaseline is the fault-free single-process ground truth.
+func shardBaseline(t *testing.T) []geom.Pair {
+	t.Helper()
+	R, S := dataset()
+	pairs, _, err := core.Collect(R, S, core.Config{Memory: shardMemory, Parallel: 1})
+	if err != nil {
+		t.Fatalf("baseline join: %v", err)
+	}
+	return pairs
+}
+
+func shardChaosConfig(t *testing.T, shards int, tmpRoot string) shard.Config {
+	t.Helper()
+	cmd, env := shard.HelperWorkerCmd("TestShardWorkerHelper")
+	return shard.Config{
+		Shards:    shards,
+		Memory:    shardMemory,
+		WorkerCmd: cmd,
+		WorkerEnv: env,
+		TmpRoot:   tmpRoot,
+	}
+}
+
+// countInstants tallies the named instant events in a recorder.
+func countInstants(rec *trace.Recorder, name string) int {
+	n := 0
+	for _, s := range rec.Spans() {
+		if s.Instant && s.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// assertSameSequence requires got to equal want element-for-element.
+func assertSameSequence(t *testing.T, label string, got, want []geom.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d is %+v, want %+v — emission order diverged", label, i, got[i], want[i])
+		}
+	}
+}
+
+// assertNoOrphans requires the temp root to be empty: the coordinator's
+// manifest sweep must have removed every worker scratch directory, even
+// for SIGKILLed workers.
+func assertNoOrphans(t *testing.T, label, tmpRoot string) {
+	t.Helper()
+	ents, err := os.ReadDir(tmpRoot)
+	if err != nil {
+		t.Fatalf("%s: reading temp root: %v", label, err)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("%s: %d orphaned temp entries: %v", label, len(ents), names)
+	}
+}
+
+// settleGoroutines polls for the goroutine count to return to the
+// baseline; supervision goroutines unwind asynchronously after Join
+// returns.
+func settleGoroutines(t *testing.T, label string, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s: goroutines leaked: %d before, %d after\n%s",
+				label, before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardKillSweep is the tentpole invariant: for every (shard count,
+// kill point) cell, SIGKILL one worker at a deterministic instant and
+// require the join to self-heal to the exact single-process result
+// sequence with zero orphans and zero goroutine leaks, and with
+// coordinator stats agreeing with the trace's kill/retry events.
+func TestShardKillSweep(t *testing.T) {
+	want := shardBaseline(t)
+	shardCounts := []int{1, 2, 4}
+	kills := []shard.KillSpec{
+		{Point: shard.KillSpawn},
+		{Point: shard.KillMidPairs, AfterParts: 1},
+		{Point: shard.KillMidEmit, AfterPairs: 3},
+	}
+	seeds := []int{0, 1, 2}
+	if testing.Short() {
+		shardCounts = []int{2}
+		seeds = []int{0}
+	}
+	for _, n := range shardCounts {
+		for _, kill := range kills {
+			for _, seed := range seeds {
+				kill, seed := kill, seed
+				label := kill.Point
+				t.Run(labelFor(n, label, seed), func(t *testing.T) {
+					tmpRoot := t.TempDir()
+					cfg := shardChaosConfig(t, n, tmpRoot)
+					// The victim shard is seeded; the kill hits its first
+					// attempt, so the coordinator must restart it once.
+					cfg.Chaos = &shard.ChaosSpec{Kills: []shard.ChaosKill{
+						{Shard: seed % n, Attempt: 1, Kill: kill},
+					}}
+					rec := trace.New()
+					cfg.Trace = rec
+
+					before := runtime.NumGoroutine()
+					var got []geom.Pair
+					R, S := dataset()
+					res, err := shard.Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+					if err != nil {
+						t.Fatalf("join did not self-heal: %v", err)
+					}
+					assertSameSequence(t, label, got, want)
+
+					if res.Stats.Kills < 1 {
+						t.Fatalf("no kill recorded in stats: %+v", res.Stats)
+					}
+					if res.Stats.Restarts < 1 {
+						t.Fatalf("no restart recorded in stats: %+v", res.Stats)
+					}
+					if got, want := countInstants(rec, "shard-kill"), res.Stats.Kills; got != want {
+						t.Fatalf("trace records %d shard-kill instants, stats say %d", got, want)
+					}
+					if got, want := countInstants(rec, "shard-retry"), res.Stats.Restarts; got != want {
+						t.Fatalf("trace records %d shard-retry instants, stats say %d", got, want)
+					}
+					// A mid-emit kill always leaves its in-flight partition
+					// unsealed, so something must be re-derived. (Mid-pairs
+					// can legitimately re-derive nothing when the victim's
+					// last partition sealed before the kill.)
+					if kill.Point == shard.KillMidEmit && res.Stats.Rederived < 1 {
+						t.Fatalf("mid-emit kill but nothing re-derived: %+v", res.Stats)
+					}
+					if res.Stats.Recoveries < 1 || res.Stats.RecoveryNS <= 0 {
+						t.Fatalf("recovery latency not measured: %+v", res.Stats)
+					}
+					if res.Stats.WorkerLiveFiles != 0 {
+						t.Fatalf("workers leaked %d simulated-disk files", res.Stats.WorkerLiveFiles)
+					}
+					assertNoOrphans(t, label, tmpRoot)
+					settleGoroutines(t, label, before)
+				})
+			}
+		}
+	}
+}
+
+func labelFor(shards int, point string, seed int) string {
+	return point + "-s" + string(rune('0'+shards)) + "-v" + string(rune('0'+seed))
+}
+
+// TestShardAbsorbAfterRepeatedKills kills EVERY attempt of one shard;
+// the coordinator must exhaust the restart budget and absorb the
+// shard's partitions into its own process, still producing the exact
+// sequence.
+func TestShardAbsorbAfterRepeatedKills(t *testing.T) {
+	want := shardBaseline(t)
+	tmpRoot := t.TempDir()
+	cfg := shardChaosConfig(t, 2, tmpRoot)
+	cfg.MaxRestarts = 1
+	var kills []shard.ChaosKill
+	for attempt := 1; attempt <= cfg.MaxRestarts+1; attempt++ {
+		kills = append(kills, shard.ChaosKill{
+			Shard: 1, Attempt: attempt,
+			Kill: shard.KillSpec{Point: shard.KillMidPairs, AfterParts: 1},
+		})
+	}
+	cfg.Chaos = &shard.ChaosSpec{Kills: kills}
+	rec := trace.New()
+	cfg.Trace = rec
+
+	before := runtime.NumGoroutine()
+	var got []geom.Pair
+	R, S := dataset()
+	res, err := shard.Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join did not absorb the failing shard: %v", err)
+	}
+	assertSameSequence(t, "absorb", got, want)
+	if res.Stats.Absorbed != 1 {
+		t.Fatalf("Absorbed=%d, want 1: %+v", res.Stats.Absorbed, res.Stats)
+	}
+	if res.Stats.Kills != cfg.MaxRestarts+1 {
+		t.Fatalf("Kills=%d, want %d", res.Stats.Kills, cfg.MaxRestarts+1)
+	}
+	if got := countInstants(rec, "shard-absorb"); got != 1 {
+		t.Fatalf("trace records %d shard-absorb instants, want 1", got)
+	}
+	assertNoOrphans(t, "absorb", tmpRoot)
+	settleGoroutines(t, "absorb", before)
+}
+
+// TestShardNoOrphanTempFiles is the orphan-window regression: across a
+// pile of killed-worker runs, the coordinator-swept manifest must leave
+// the temp root empty every time — the scratch directory is registered
+// before the worker is spawned, so even a SIGKILL between directory
+// creation and first write cannot orphan it.
+func TestShardNoOrphanTempFiles(t *testing.T) {
+	runs := 6
+	if testing.Short() {
+		runs = 2
+	}
+	tmpRoot := t.TempDir()
+	R, S := dataset()
+	for i := 0; i < runs; i++ {
+		cfg := shardChaosConfig(t, 2, tmpRoot)
+		cfg.Chaos = &shard.ChaosSpec{Kills: []shard.ChaosKill{
+			{Shard: i % 2, Attempt: 1, Kill: shard.KillSpec{Point: shard.KillSpawn}},
+		}}
+		if _, err := shard.Join(R, S, cfg, func(geom.Pair) {}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		assertNoOrphans(t, "run", tmpRoot)
+	}
+}

@@ -84,6 +84,20 @@ type Config struct {
 	// (sequential) order at any worker count.
 	PBSMParallel int
 
+	// Shards, when > 1, executes the join as that many worker OS
+	// processes under the coordinator of package shard: each shard is
+	// its own fault domain with a private disk, temp-file registry and
+	// governor memory slice, supervised with heartbeats and restarted
+	// (or absorbed) on failure. Requires Method PBSM with DupRPM — the
+	// Reference Point Method's globally duplicate-free per-partition
+	// output is what makes multi-process merge correct — and the shard
+	// package linked in (importing it registers the executor). The
+	// result set AND its emission order are identical at every shard
+	// count. Fields Disk and Trace's I/O attribution do not apply to
+	// the worker processes' private disks; I/O is aggregated in
+	// Result.IO instead.
+	Shards int
+
 	// S3JMode selects original or replicated S³J; default ModeReplicate
 	// (the paper's improvement). Ignored for PBSM.
 	S3JMode s3j.Mode
@@ -243,6 +257,28 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		return Result{}, joinerr.Wrap("core", "validate", err)
 	}
 
+	// Sharded execution delegates to the registered multi-process
+	// executor before this process's disk, spans or admission are
+	// touched: the shard coordinator performs its own admission (the
+	// full Memory claim, then sliced across workers) and its own
+	// tracing against cfg.Trace.
+	if cfg.Shards > 1 {
+		if cfg.method() != PBSM {
+			return Result{}, joinerr.Wrap("core", "config",
+				fmt.Errorf("Shards=%d requires Method PBSM, got %q", cfg.Shards, cfg.method()))
+		}
+		if cfg.PBSMDup == pbsm.DupSort {
+			return Result{}, joinerr.Wrap("core", "config",
+				fmt.Errorf("Shards=%d is incompatible with DupSort: sharded merge relies on the Reference Point Method's duplicate-free partition output", cfg.Shards))
+		}
+		if sharder == nil {
+			return Result{}, joinerr.Wrap("core", "config",
+				fmt.Errorf("Shards=%d but no shard executor is linked in (import spatialjoin/internal/shard)", cfg.Shards))
+		}
+		cfg.Ctx, cfg.Deadline = ctx, 0
+		return sharder(R, S, cfg, emit)
+	}
+
 	// Admission comes first: a join that will queue or be rejected must
 	// not touch the disk or open spans. The queue wait honors ctx, so a
 	// deadline bounds time-to-admission too.
@@ -394,6 +430,18 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	res.Total = res.CPU + res.IOTime
 	root.SetAttr("results", res.Results)
 	return res, nil
+}
+
+// sharder is the multi-process executor package shard installs via
+// RegisterSharder; a function variable (not an import) because the
+// shard package imports core for its Config/Result types — the same
+// inversion that keeps core free of process-management code.
+var sharder func(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error)
+
+// RegisterSharder installs the sharded executor behind Config.Shards.
+// Called from the shard package's init; last registration wins.
+func RegisterSharder(fn func(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error)) {
+	sharder = fn
 }
 
 // joinLocks serializes Joins sharing one caller-supplied Disk (see

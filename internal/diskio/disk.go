@@ -49,6 +49,7 @@ type Disk struct {
 	tr      Tracer
 	cancel  func() error
 	latency time.Duration
+	backoff *Backoff
 }
 
 // Tracer receives rare storage-layer events: request retries after
@@ -204,6 +205,37 @@ func (d *Disk) NoteRetry(file string) {
 	d.stats.Retries++
 	d.mu.Unlock()
 	d.emitEvent("retry", file)
+}
+
+// SetBackoff installs (or, with nil, removes) the retry backoff policy
+// the record layers consult between attempts via RetrySleep. The
+// default nil policy preserves the historical behavior: retries happen
+// immediately, with no pause.
+func (d *Disk) SetBackoff(b *Backoff) {
+	d.mu.Lock()
+	d.backoff = b
+	d.mu.Unlock()
+}
+
+// Backoff returns the installed retry policy, or nil.
+func (d *Disk) Backoff() *Backoff {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.backoff
+}
+
+// RetrySleep pauses before retry attempt (1-based) of a request against
+// the named file, according to the installed backoff policy. The sleep
+// is cancellation-aware: it polls the disk's cancel hook (SetCancel)
+// and returns its error early, so a canceled join does not serve out a
+// backoff it will never use. With no policy installed it only polls the
+// hook once — the legacy immediate retry.
+func (d *Disk) RetrySleep(file string, attempt int) error {
+	b := d.Backoff()
+	if b == nil {
+		return d.checkCancel()
+	}
+	return b.Sleep(file, attempt, d.checkCancel)
 }
 
 // PT returns the positioning-to-transfer ratio of the cost model.

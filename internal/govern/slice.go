@@ -1,0 +1,30 @@
+package govern
+
+// Slice splits a memory budget into n per-shard admission slices that
+// sum exactly to total: each slice gets total/n bytes and the first
+// total%n slices absorb the remainder byte. The split is deterministic
+// — same (total, n), same slices — so a coordinator and its restarted
+// workers always agree on who owns how much of the admitted budget.
+//
+// Slices govern *admission* only (each shard worker runs its own
+// single-join Governor over its slice); they never feed partition or
+// repartition arithmetic, which always uses the full join Memory so
+// sharded and single-process runs recurse identically.
+func Slice(total int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	if total < 0 {
+		total = 0
+	}
+	out := make([]int64, n)
+	base := total / int64(n)
+	rem := total % int64(n)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package govern
+
+import "testing"
+
+func TestSlice(t *testing.T) {
+	cases := []struct {
+		total int64
+		n     int
+		want  []int64
+	}{
+		{100, 4, []int64{25, 25, 25, 25}},
+		{10, 3, []int64{4, 3, 3}},
+		{2, 4, []int64{1, 1, 0, 0}},
+		{0, 2, []int64{0, 0}},
+		{-5, 2, []int64{0, 0}},
+		{7, 1, []int64{7}},
+	}
+	for _, c := range cases {
+		got := Slice(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("Slice(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		var sum int64
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Slice(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+				break
+			}
+			sum += got[i]
+		}
+		if wantTotal := c.total; wantTotal < 0 {
+			wantTotal = 0
+			if sum != wantTotal {
+				t.Errorf("Slice(%d, %d) sums to %d, want %d", c.total, c.n, sum, wantTotal)
+			}
+		} else if sum != wantTotal {
+			t.Errorf("Slice(%d, %d) sums to %d, want %d", c.total, c.n, sum, wantTotal)
+		}
+	}
+	if got := Slice(100, 0); got != nil {
+		t.Errorf("Slice(100, 0) = %v, want nil", got)
+	}
+}

@@ -34,6 +34,12 @@ const (
 	// KindAdmission means the join never ran: the governor rejected it
 	// (it alone exceeds the aggregate budget).
 	KindAdmission
+	// KindShard means a shard worker process failed — it was killed, it
+	// exited abnormally, it stalled past its heartbeat window, or its
+	// frame stream failed to decode — and the coordinator exhausted its
+	// restart budget. The cause chain carries the worker's exit status
+	// (shard.WorkerExitError) when the process died.
+	KindShard
 )
 
 // String names the kind. Unknown values print as "io", the safe
@@ -46,6 +52,8 @@ func (k Kind) String() string {
 		return "deadline-exceeded"
 	case KindAdmission:
 		return "admission"
+	case KindShard:
+		return "shard-failed"
 	default:
 		return "io"
 	}

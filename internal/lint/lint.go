@@ -117,6 +117,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerJoinwrap,
 		AnalyzerKindswitch,
 		AnalyzerRegistry,
+		AnalyzerShardwrap,
 		AnalyzerSpanend,
 		AnalyzerWrapverb,
 	}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerShardwrap enforces the process-boundary error contract of the
+// shard layer: an error surfacing from the frame protocol
+// (FrameReader.Next) or from worker process management (the
+// Wait/Start/Run family on an exec.Cmd-shaped type) must not cross a
+// function boundary bare. The coordinator's retry policy routes
+// failures by their joinerr Kind — a naked pipe or wait error would
+// fall outside the taxonomy and turn a retryable shard fault into an
+// unclassified abort.
+//
+// The check is scoped to packages named "shard" and flags two shapes:
+// a boundary call returned directly (`return fr.Next()` has the wrong
+// arity, but `return cmd.Wait()` does not), and a bare `return err`
+// where err was last assigned from a boundary call — including the
+// `if err := cmd.Wait(); err != nil { return err }` idiom. Any call
+// wrapping the value (joinerr.Wrap, joinerr.WrapAs, a local helper, a
+// re-wrapping fmt.Errorf) satisfies the check: the analyzer trusts
+// wrappers because the real call sites wrap with joinerr, whose
+// constructors are idempotent on already-classified errors.
+var AnalyzerShardwrap = &Analyzer{
+	Name: "shardwrap",
+	Doc:  "errors from the shard frame protocol and worker process management must cross function boundaries as joinerr values, not bare",
+	Run:  runShardwrap,
+}
+
+// shardBoundaryMethods lists the process-boundary calls per receiver
+// type name. Matching by type name (not import path) lets the fixture
+// packages declare stand-in types, and covers both os/exec.Cmd and any
+// future wrapper named Cmd.
+var shardBoundaryMethods = map[string]map[string]bool{
+	"FrameReader": {"Next": true},
+	"Cmd":         {"Wait": true, "Run": true, "Start": true, "Output": true, "CombinedOutput": true},
+}
+
+func runShardwrap(p *Pass) {
+	if p.Pkg.Name() != "shard" {
+		return
+	}
+	for _, f := range p.Files {
+		// Every function body is analyzed independently — declarations
+		// and literals alike (the coordinator's frame pump and shipper
+		// run in goroutine literals).
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				shardwrapBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// shardwrapBody checks one function body, shallowly (nested literals
+// get their own pass from the file walk above).
+func shardwrapBody(p *Pass, body *ast.BlockStmt) {
+	// tainted maps an error variable's object to whether its current
+	// value came from an unwrapped boundary call. The walk visits
+	// statements in source order, which is exact for the straight-line
+	// assign-check-return shapes this contract is about.
+	tainted := make(map[types.Object]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			boundary := len(s.Rhs) == 1 && isShardBoundaryCall(p.Info, s.Rhs[0])
+			for _, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if boundary && implementsError(obj.Type()) {
+					tainted[obj] = true
+				} else {
+					// Any other assignment overwrites the value; a
+					// wrapped re-assignment clears the taint.
+					delete(tainted, obj)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				res = ast.Unparen(res)
+				if isShardBoundaryCall(p.Info, res) {
+					fn := calleeFunc(p.Info, res.(*ast.CallExpr))
+					p.Reportf(res.Pos(),
+						"%s's error is returned bare across a shard function boundary; wrap it with joinerr so the coordinator can classify the failure",
+						fn.Name())
+					continue
+				}
+				if id, ok := res.(*ast.Ident); ok {
+					obj := p.Info.Uses[id]
+					if obj != nil && tainted[obj] {
+						p.Reportf(res.Pos(),
+							"%s carries a bare error from a shard process boundary; wrap it with joinerr so the coordinator can classify the failure",
+							id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isShardBoundaryCall reports whether expr is a call to one of the
+// process-boundary methods.
+func isShardBoundaryCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedType(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	methods := shardBoundaryMethods[named.Obj().Name()]
+	return methods[fn.Name()]
+}

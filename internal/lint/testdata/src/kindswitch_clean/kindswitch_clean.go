@@ -13,6 +13,8 @@ func RouteAll(k joinerr.Kind) string {
 		return "surface"
 	case joinerr.KindAdmission:
 		return "back off"
+	case joinerr.KindShard:
+		return "requeue"
 	}
 	return "unreachable"
 }

@@ -1,0 +1,58 @@
+// Package shard is a shardwrap fixture: it declares itself the shard
+// package (analyzer scoping is by package name), stands in local types
+// for the frame reader and the worker process handle, and leaks their
+// errors bare across function boundaries.
+package shard
+
+// FrameReader stands in for the frame protocol's reader; matching is
+// by type name, so the fixture needs no import of the real package.
+type FrameReader struct{}
+
+// Next mimics the protocol reader's signature.
+func (*FrameReader) Next() (byte, []byte, error) { return 0, nil, nil }
+
+// Cmd stands in for os/exec.Cmd.
+type Cmd struct{}
+
+// Wait mimics process wait.
+func (*Cmd) Wait() error { return nil }
+
+// Start mimics process start.
+func (*Cmd) Start() error { return nil }
+
+// Pump leaks the frame reader's error bare after the usual
+// assign-and-check.
+func Pump(fr *FrameReader) error {
+	_, _, err := fr.Next()
+	if err != nil {
+		return err // want shardwrap
+	}
+	return nil
+}
+
+// WaitDirect returns the process wait error with no classification at
+// all.
+func WaitDirect(c *Cmd) error {
+	return c.Wait() // want shardwrap
+}
+
+// InitIdiom leaks through the if-init form.
+func InitIdiom(c *Cmd) error {
+	if err := c.Start(); err != nil {
+		return err // want shardwrap
+	}
+	return nil
+}
+
+// InGoroutine leaks inside a function literal; literals are analyzed
+// like declarations (the real coordinator pumps frames in one).
+func InGoroutine(fr *FrameReader) {
+	report := func() error {
+		_, _, err := fr.Next()
+		if err != nil {
+			return err // want shardwrap
+		}
+		return nil
+	}
+	_ = report
+}

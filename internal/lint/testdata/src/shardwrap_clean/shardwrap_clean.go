@@ -1,0 +1,63 @@
+// Package shard is the clean shardwrap twin: every process-boundary
+// error is wrapped — by joinerr, by a rewrapping fmt.Errorf, or by a
+// local helper — before it crosses a function boundary.
+package shard
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/joinerr"
+)
+
+// FrameReader stands in for the frame protocol's reader.
+type FrameReader struct{}
+
+// Next mimics the protocol reader's signature.
+func (*FrameReader) Next() (byte, []byte, error) { return 0, nil, nil }
+
+// Cmd stands in for os/exec.Cmd.
+type Cmd struct{}
+
+// Wait mimics process wait.
+func (*Cmd) Wait() error { return nil }
+
+// Start mimics process start.
+func (*Cmd) Start() error { return nil }
+
+// Pump wraps the frame reader's error at the call site.
+func Pump(fr *FrameReader) error {
+	_, _, err := fr.Next()
+	if err != nil {
+		return joinerr.WrapAs("shard", "frame", joinerr.KindShard, err)
+	}
+	return nil
+}
+
+// WaitWrapped classifies the wait error before returning it.
+func WaitWrapped(c *Cmd) error {
+	if err := c.Wait(); err != nil {
+		return joinerr.WrapAs("shard", "supervise", joinerr.KindShard, err)
+	}
+	return nil
+}
+
+// Rewrapped overwrites the tainted variable with a wrapped value; the
+// reassignment clears the taint.
+func Rewrapped(fr *FrameReader) error {
+	_, _, err := fr.Next()
+	if err != nil {
+		err = fmt.Errorf("shard frame: %w", err)
+		return err
+	}
+	return nil
+}
+
+// NonBoundary returns an unrelated error bare; only the process
+// boundaries are in scope for this analyzer.
+func NonBoundary(ok bool) error {
+	var err error
+	if !ok {
+		err = fmt.Errorf("unrelated")
+	}
+	return err
+}

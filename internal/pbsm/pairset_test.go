@@ -1,0 +1,117 @@
+package pbsm
+
+import (
+	"testing"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+)
+
+// TestPairExecMatchesJoin proves the pair-subset API's core contract:
+// planning the grid once, deriving each partition's slices from source
+// and running every pair through a PairExec in partition order emits
+// EXACTLY the pair sequence the single-process Join emits — same set,
+// same order — including when pairs recurse through repartitioning.
+func TestPairExecMatchesJoin(t *testing.T) {
+	R := datagen.Uniform(71, 1200, 0.004)
+	S := datagen.Uniform(72, 1200, 0.004)
+	// Small memory forces several partitions and some repartitioning.
+	for _, memory := range []int64{6 << 10, 48 << 10, 4 << 20} {
+		serialDisk := diskio.NewDisk(4096, 20, time.Microsecond)
+		var want []geom.Pair
+		wantStats, err := Join(R, S, Config{Disk: serialDisk, Memory: memory}, func(p geom.Pair) {
+			want = append(want, p)
+		})
+		if err != nil {
+			t.Fatalf("memory %d: serial join: %v", memory, err)
+		}
+
+		cfg := Config{Disk: diskio.NewDisk(4096, 20, time.Microsecond), Memory: memory}
+		gs := PlanGrid(len(R), len(S), cfg)
+		if gs.Parts != wantStats.P {
+			t.Fatalf("memory %d: PlanGrid parts = %d, serial P = %d", memory, gs.Parts, wantStats.P)
+		}
+		parts := make([]int, gs.Parts)
+		for i := range parts {
+			parts[i] = i
+		}
+		rsl, err := PartitionSlices(R, gs, parts, nil)
+		if err != nil {
+			t.Fatalf("memory %d: PartitionSlices(R): %v", memory, err)
+		}
+		ssl, err := PartitionSlices(S, gs, parts, nil)
+		if err != nil {
+			t.Fatalf("memory %d: PartitionSlices(S): %v", memory, err)
+		}
+		ex, err := NewPairExec(cfg, gs)
+		if err != nil {
+			t.Fatalf("memory %d: NewPairExec: %v", memory, err)
+		}
+		var got []geom.Pair
+		for _, p := range parts {
+			if err := ex.RunPair(p, rsl[p], ssl[p], func(pr geom.Pair) {
+				got = append(got, pr)
+			}); err != nil {
+				t.Fatalf("memory %d: RunPair(%d): %v", memory, p, err)
+			}
+		}
+		st := ex.Stats()
+		ex.Close()
+		if cfg.Disk.NumFiles() != 0 {
+			t.Fatalf("memory %d: PairExec leaked %d files", memory, cfg.Disk.NumFiles())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("memory %d: pair-subset run emitted %d pairs, serial %d", memory, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("memory %d: emission diverges at %d: %v vs %v", memory, i, got[i], want[i])
+			}
+		}
+		if st.Results != int64(len(want)) {
+			t.Errorf("memory %d: Stats.Results = %d, want %d", memory, st.Results, len(want))
+		}
+		if memory == 6<<10 && wantStats.Repartitions == 0 {
+			t.Error("6KiB case never repartitioned; the test lost its recursion coverage")
+		}
+	}
+}
+
+// TestPartitionCountsMatchSlices cross-checks the two derivations.
+func TestPartitionCountsMatchSlices(t *testing.T) {
+	R := datagen.Uniform(73, 800, 0.004)
+	cfg := Config{Memory: 24 << 10}
+	gs := PlanGrid(len(R), len(R), cfg)
+	if gs.Parts < 2 {
+		t.Fatalf("want a multi-partition grid, got %d", gs.Parts)
+	}
+	counts, err := PartitionCounts(R, gs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]int, gs.Parts)
+	for i := range parts {
+		parts[i] = i
+	}
+	slices, err := PartitionSlices(R, gs, parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if int64(len(slices[i])) != c {
+			t.Errorf("partition %d: count %d, slice length %d", i, c, len(slices[i]))
+		}
+	}
+}
+
+// TestPairExecRejectsDupSort pins the RPM-only restriction: without the
+// Reference Point Method per-pair output is not globally duplicate-free
+// and cannot be sharded.
+func TestPairExecRejectsDupSort(t *testing.T) {
+	cfg := Config{Disk: diskio.NewDisk(4096, 20, time.Microsecond), Memory: 1 << 20, Dup: DupSort}
+	if _, err := NewPairExec(cfg, GridSpec{NX: 1, NY: 1, Parts: 1}); err == nil {
+		t.Fatal("NewPairExec accepted DupSort")
+	}
+}

@@ -1,0 +1,27 @@
+package plan
+
+import "testing"
+
+func TestPairCost(t *testing.T) {
+	d := DefaultDevice
+	mem := int64(1 << 20)
+	small := PairCost(100, 100, mem, d)
+	big := PairCost(10000, 10000, mem, d)
+	if small <= 0 || big <= small {
+		t.Fatalf("PairCost not monotone in size: small=%v big=%v", small, big)
+	}
+	// A pair over budget pays repartition passes on top of the two base
+	// passes over the same data.
+	fits := PairCost(10000, 10000, 64<<20, d)
+	over := PairCost(10000, 10000, 128<<10, d)
+	if over <= fits {
+		t.Fatalf("over-budget pair (%v) not costlier than fitting pair (%v)", over, fits)
+	}
+	// Determinism: same inputs, same estimate.
+	if PairCost(1234, 567, mem, d) != PairCost(1234, 567, mem, d) {
+		t.Fatal("PairCost is not deterministic")
+	}
+	if c := PairCost(0, 0, mem, d); c != 0 {
+		t.Fatalf("empty pair cost = %v, want 0", c)
+	}
+}

@@ -241,6 +241,9 @@ func (w *RecWriter) emit(last bool) error {
 		}
 		retries++
 		w.f.Disk().NoteRetry(w.f.Name())
+		if err := w.f.Disk().RetrySleep(w.f.Name(), retries); err != nil {
+			return err
+		}
 	}
 	w.idx++
 	w.n = 0
@@ -268,6 +271,9 @@ func (w *RecWriter) Flush() error {
 		}
 		retries++
 		w.f.Disk().NoteRetry(w.f.Name())
+		if err := w.f.Disk().RetrySleep(w.f.Name(), retries); err != nil {
+			return err
+		}
 	}
 }
 
@@ -342,6 +348,9 @@ func (r *RecReader) readRetry(p []byte) (int, error) {
 		}
 		retries++
 		r.f.Disk().NoteRetry(r.f.Name())
+		if err := r.f.Disk().RetrySleep(r.f.Name(), retries); err != nil {
+			return got, err
+		}
 	}
 }
 

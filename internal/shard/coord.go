@@ -1,0 +1,934 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/plan"
+	"spatialjoin/internal/sched"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/trace"
+)
+
+// Config controls a sharded join.
+type Config struct {
+	// Shards is the number of worker processes. Values < 2 still run
+	// the full coordinator/worker machinery with one worker; the shard
+	// count never changes the result set or its order, only the fault
+	// isolation and the wall clock.
+	Shards int
+	// Memory is the full join budget, identical in meaning to
+	// core.Config.Memory: it drives the partition-count formula and the
+	// repartition recursion in every worker. Required (> 0).
+	Memory int64
+	// Algorithm selects the internal plane-sweep; default list sweep.
+	Algorithm sweep.Kind
+	// TuneFactor, TilesPerPartition, BufPages, MaxRecurse mirror the
+	// pbsm.Config knobs and must match the values a single-process run
+	// would use for the determinism contract to hold.
+	TuneFactor        float64
+	TilesPerPartition int
+	BufPages          int
+	MaxRecurse        int
+	// PageSize, PT, Transfer parameterize each worker's private
+	// simulated disk; non-positive values select the diskio defaults.
+	PageSize int
+	PT       float64
+	Transfer time.Duration
+
+	// WorkerCmd is the argv of a worker process; default
+	// {os.Executable(), "-shard-worker"}, which is what the sjoin and
+	// sjbench binaries expose. Test binaries install a helper-process
+	// command via HelperWorkerCmd. WorkerEnv appends to the inherited
+	// environment.
+	WorkerCmd []string
+	WorkerEnv []string
+
+	// TmpRoot hosts the per-run scratch directory; "" means the OS
+	// default temp dir.
+	TmpRoot string
+
+	// MaxRestarts bounds restarts per shard; past it the shard is
+	// absorbed into the coordinator process. Default 2. Negative means
+	// absorb on first failure.
+	MaxRestarts int
+	// Heartbeat is the worker heartbeat interval; default 100ms.
+	Heartbeat time.Duration
+	// StallTimeout kills a worker that produced no frame for this long;
+	// default 5s (generous: heartbeats make healthy silence impossible).
+	StallTimeout time.Duration
+	// ShardDeadline bounds ONE attempt's wall clock; 0 means none. An
+	// overrun kills the worker and counts as a shard failure (retried),
+	// NOT as the join's deadline.
+	ShardDeadline time.Duration
+	// Backoff paces restarts; default capped exponential with jitter
+	// (base 5ms, cap 250ms, factor 2, jitter 0.5).
+	Backoff *diskio.Backoff
+
+	// Chaos injects deterministic worker self-kills; see ChaosSpec.
+	Chaos *ChaosSpec
+
+	// Trace receives shard spans, kill/retry/absorb instants and
+	// counters; nil disables instrumentation.
+	Trace *trace.Recorder
+	// Ctx cancels the whole join; nil means background.
+	Ctx context.Context
+	// Governor admission-controls the join (the full Memory is claimed
+	// once, then sliced across shards); nil disables admission.
+	Governor *govern.Governor
+}
+
+// ChaosKill schedules one deterministic worker self-kill.
+type ChaosKill struct {
+	Shard   int
+	Attempt int
+	Kill    KillSpec
+}
+
+// ChaosSpec is the coordinator-side chaos schedule: each entry makes
+// the given shard's given attempt carry a KillSpec in its job frame.
+// Killing every attempt of a shard exercises the absorb path.
+type ChaosSpec struct {
+	Kills []ChaosKill
+}
+
+func (c *ChaosSpec) lookup(shard, attempt int) *KillSpec {
+	if c == nil {
+		return nil
+	}
+	for i := range c.Kills {
+		if c.Kills[i].Shard == shard && c.Kills[i].Attempt == attempt {
+			k := c.Kills[i].Kill
+			return &k
+		}
+	}
+	return nil
+}
+
+// Stats counts what the coordinator did; the chaos suite cross-checks
+// them against the trace's kill/retry/absorb instants.
+type Stats struct {
+	Shards     int // worker processes planned
+	Partitions int // top-level partitions
+
+	Spawns    int // worker processes started (restarts included)
+	Kills     int // attempts that ended with a dead worker process
+	Restarts  int // restart attempts after failures
+	Rederived int // partitions re-derived from source for retries/absorbs
+	Absorbed  int // shards absorbed into the coordinator after restart exhaustion
+
+	Recoveries    int   // failures recovered from (restart or absorb)
+	RecoveryNS    int64 // total detection→first-progress latency
+	MaxRecoveryNS int64 // worst single recovery
+
+	WorkerLiveFiles int // files left on worker disks after their sweeps (leak if ≠ 0)
+}
+
+// Result is what a sharded join reports, mirroring core.Result: the IO
+// and CPU aggregates span every worker process plus any absorbed local
+// work.
+type Result struct {
+	Results int64
+	IO      diskio.Stats
+	CPU     time.Duration
+	IOTime  time.Duration
+	Total   time.Duration
+	Stats   Stats
+}
+
+// coordinator is the per-join state of a sharded run.
+type coordinator struct {
+	cfg     Config
+	R, S    []geom.KPE
+	gs      pbsm.GridSpec
+	chk     *govern.Check
+	rec     *trace.Recorder
+	root    *trace.Span
+	man     *manifest
+	backoff *diskio.Backoff
+	st      *joinState
+
+	// Aggregates folded in under st.mu: worker reports plus absorb runs.
+	ioAgg  diskio.Stats
+	cpuAgg time.Duration
+}
+
+// joinState is the shared, mutex-guarded merge state: per-partition
+// result buffers, seal flags, and the collector that restores serial
+// emission order. Lock order: st.mu before the collector's internal
+// mutex (seal calls Emit/Done while holding st.mu); the sink must take
+// no locks.
+type joinState struct {
+	mu      sync.Mutex
+	col     *sched.Collector
+	bufs    map[int][]geom.Pair
+	sealed  []bool
+	stats   Stats
+	pending map[int]time.Time // shard → failure detection time
+	results int64             // written only inside the collector sink
+}
+
+func (st *joinState) locked(f func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f()
+}
+
+// addPairs buffers a pairs frame. The partition must be in the
+// attempt's assignment and unsealed.
+func (st *joinState) addPairs(part int, allowed map[int]bool, ps []geom.Pair) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !allowed[part] {
+		return protoErrf("pairs frame for partition %d outside the attempt's assignment", part)
+	}
+	if st.sealed[part] {
+		return protoErrf("pairs frame for already-sealed partition %d", part)
+	}
+	st.bufs[part] = append(st.bufs[part], ps...)
+	return nil
+}
+
+// seal finalizes one partition: cross-checks the worker's count,
+// releases the buffered pairs through the collector (which emits in
+// partition order), and records recovery latency when the owning shard
+// had a pending failure.
+func (st *joinState) seal(part, shard int, allowed map[int]bool, count int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !allowed[part] {
+		return protoErrf("seal frame for partition %d outside the attempt's assignment", part)
+	}
+	if st.sealed[part] {
+		return protoErrf("seal frame for already-sealed partition %d", part)
+	}
+	if int64(len(st.bufs[part])) != count {
+		return protoErrf("partition %d sealed with %d pairs but %d arrived", part, count, len(st.bufs[part]))
+	}
+	st.sealLocked(part, shard)
+	return nil
+}
+
+// sealLocked releases partition part; caller holds st.mu.
+func (st *joinState) sealLocked(part, shard int) {
+	for _, p := range st.bufs[part] {
+		st.col.Emit(part, p)
+	}
+	delete(st.bufs, part)
+	st.sealed[part] = true
+	st.col.Done(part)
+	st.recoverLocked(shard)
+}
+
+// recoverLocked closes a pending failure window for shard: detection →
+// first subsequent progress.
+func (st *joinState) recoverLocked(shard int) {
+	t, ok := st.pending[shard]
+	if !ok {
+		return
+	}
+	delete(st.pending, shard)
+	d := time.Since(t).Nanoseconds()
+	st.stats.Recoveries++
+	st.stats.RecoveryNS += d
+	if d > st.stats.MaxRecoveryNS {
+		st.stats.MaxRecoveryNS = d
+	}
+}
+
+// noteFailure discards the unsealed buffers of a failed attempt and
+// opens the shard's recovery window.
+func (st *joinState) noteFailure(shard int, parts []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, p := range parts {
+		if !st.sealed[p] {
+			delete(st.bufs, p)
+		}
+	}
+	if _, ok := st.pending[shard]; !ok {
+		st.pending[shard] = time.Now()
+	}
+}
+
+// unsealed filters parts down to those not yet sealed.
+func (st *joinState) unsealed(parts []int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		if !st.sealed[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// manifest tracks every scratch directory the run may create, so the
+// coordinator can sweep them after ANY worker exit — clean, crashed or
+// SIGKILLed. Directories are registered BEFORE the owning worker is
+// spawned; there is no window in which an abnormal exit orphans files.
+type manifest struct {
+	mu   sync.Mutex
+	root string
+	dirs map[string]bool
+}
+
+func (m *manifest) add(dir string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirs == nil {
+		m.dirs = make(map[string]bool)
+	}
+	m.dirs[dir] = true
+}
+
+// sweep removes one registered directory (after its worker exited).
+func (m *manifest) sweep(dir string) {
+	m.mu.Lock()
+	delete(m.dirs, dir)
+	m.mu.Unlock()
+	_ = os.RemoveAll(dir)
+}
+
+// sweepRoot removes the per-run root and everything beneath it — the
+// backstop covering coordinator unwinding with workers mid-flight.
+func (m *manifest) sweepRoot() {
+	m.mu.Lock()
+	m.dirs = nil
+	root := m.root
+	m.mu.Unlock()
+	if root != "" {
+		_ = os.RemoveAll(root)
+	}
+}
+
+func (c *Config) maxRestarts() int {
+	if c.MaxRestarts == 0 {
+		return 2
+	}
+	if c.MaxRestarts < 0 {
+		return 0
+	}
+	return c.MaxRestarts
+}
+
+func (c *Config) heartbeat() time.Duration {
+	if c.Heartbeat <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Heartbeat
+}
+
+func (c *Config) stallTimeout() time.Duration {
+	if c.StallTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.StallTimeout
+}
+
+func (c *Config) workerCmd() ([]string, error) {
+	if len(c.WorkerCmd) > 0 {
+		return c.WorkerCmd, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	return []string{exe, "-shard-worker"}, nil
+}
+
+func (c *Config) backoffPolicy() *diskio.Backoff {
+	if c.Backoff != nil {
+		return c.Backoff
+	}
+	return &diskio.Backoff{Base: 5 * time.Millisecond, Cap: 250 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 1}
+}
+
+// Join runs the sharded join: plan once, assign partitions to shards,
+// execute each shard in a worker process under supervision, and merge
+// the sealed partition results back into exact serial emission order.
+// The emitted sequence — set AND order — is identical to a
+// single-process PBSM+RPM run of the same configuration, at any shard
+// count, under any schedule of worker failures the coordinator
+// survives.
+func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
+	if cfg.Memory <= 0 {
+		return Result{}, joinerr.Wrap("shard", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
+	}
+	workerCmd, err := cfg.workerCmd()
+	if err != nil {
+		return Result{}, joinerr.Wrap("shard", "config", fmt.Errorf("resolving worker command: %w", err))
+	}
+	cfg.WorkerCmd = workerCmd
+
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chk := govern.NewCheck(ctx)
+
+	if cfg.Governor != nil {
+		release, aerr := cfg.Governor.Acquire(ctx, cfg.Memory)
+		if aerr != nil {
+			kind := joinerr.Classify(aerr)
+			if errors.Is(aerr, govern.ErrOverCapacity) {
+				kind = joinerr.KindAdmission
+			}
+			return Result{}, joinerr.WrapAs("shard", "admission", kind, aerr)
+		}
+		defer release()
+	}
+
+	rec := cfg.Trace
+	root := rec.Begin("shard:join")
+	defer root.End()
+
+	pcfg := pbsm.Config{Memory: cfg.Memory, TuneFactor: cfg.TuneFactor, TilesPerPartition: cfg.TilesPerPartition}
+	gs := pbsm.PlanGrid(len(R), len(S), pcfg)
+
+	countsR, err := pbsm.PartitionCounts(R, gs, chk)
+	if err != nil {
+		return Result{}, err
+	}
+	countsS, err := pbsm.PartitionCounts(S, gs, chk)
+	if err != nil {
+		return Result{}, err
+	}
+	dev := plan.Device{PageSize: cfg.PageSize, PT: cfg.PT, BufPages: cfg.BufPages}
+	if dev.PageSize <= 0 {
+		dev.PageSize = diskio.DefaultPageSize
+	}
+	if dev.PT <= 0 {
+		dev.PT = diskio.DefaultPT
+	}
+	if dev.BufPages < 1 {
+		dev.BufPages = 4
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	assignment := assignShards(countsR, countsS, cfg.Memory, dev, shards)
+	slices := govern.Slice(cfg.Memory, len(assignment))
+
+	tmpRoot, err := os.MkdirTemp(cfg.TmpRoot, "sjshard-")
+	if err != nil {
+		return Result{}, joinerr.WrapAs("shard", "setup", joinerr.KindShard, err)
+	}
+	man := &manifest{root: tmpRoot}
+	defer man.sweepRoot()
+
+	st := &joinState{
+		bufs:    make(map[int][]geom.Pair),
+		sealed:  make([]bool, gs.Parts),
+		pending: make(map[int]time.Time),
+	}
+	st.col = sched.NewCollector(gs.Parts, func(p geom.Pair) {
+		st.results++
+		emit(p)
+	})
+	st.stats.Shards = len(assignment)
+	st.stats.Partitions = gs.Parts
+	root.SetAttr("shards", int64(len(assignment)))
+	root.SetAttr("partitions", int64(gs.Parts))
+
+	c := &coordinator{
+		cfg:     cfg,
+		R:       R,
+		S:       S,
+		gs:      gs,
+		chk:     chk,
+		rec:     rec,
+		root:    root,
+		man:     man,
+		backoff: cfg.backoffPolicy(),
+	}
+	c.st = st
+
+	// One goroutine per shard; the first FATAL error cancels the rest.
+	// Shard-local failures never reach this level — they are retried or
+	// absorbed inside runShard.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for id, parts := range assignment {
+		wg.Add(1)
+		go func(id int, parts []int, slice int64) {
+			defer wg.Done()
+			if err := c.runShard(runCtx, id, parts, slice); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				cancelRun()
+			}
+		}(id, parts, slices[id])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		root.Count("shard.aborted", 1)
+		return Result{}, firstErr
+	}
+	for p := 0; p < gs.Parts; p++ {
+		if !st.sealed[p] {
+			return Result{}, joinerr.WrapAs("shard", "merge", joinerr.KindShard,
+				fmt.Errorf("internal: partition %d never sealed", p))
+		}
+	}
+
+	res := Result{Results: st.results, Stats: st.stats}
+	res.IO = c.ioAgg
+	res.CPU = c.cpuAgg
+	nominal := diskio.NewDisk(cfg.PageSize, cfg.PT, cfg.Transfer)
+	res.IOTime = nominal.CostTime(res.IO.CostUnits)
+	res.Total = res.CPU + res.IOTime
+	root.Count("shard.spawns", int64(st.stats.Spawns))
+	root.Count("shard.kills", int64(st.stats.Kills))
+	root.Count("shard.restarts", int64(st.stats.Restarts))
+	root.Count("shard.absorbed", int64(st.stats.Absorbed))
+	root.Count("shard.rederived", int64(st.stats.Rederived))
+	return res, nil
+}
+
+// runShard supervises one shard to completion: spawn, monitor, and on
+// failure discard unsealed work, re-derive, and restart with backoff —
+// or absorb the remainder locally once the restart budget is spent.
+func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice int64) error {
+	for attempt := 1; ; attempt++ {
+		remaining := c.st.unsealed(parts)
+		if len(remaining) == 0 && attempt > 1 {
+			// Everything sealed before the worker died (it fell over
+			// between its last seal and its done frame): nothing to
+			// re-run, only the lost report.
+			c.st.locked(func() { c.st.recoverLocked(id) })
+			return nil
+		}
+		if attempt > 1 {
+			c.st.locked(func() { c.st.stats.Rederived += len(remaining) })
+		}
+		err := c.runAttempt(ctx, id, attempt, remaining, slice)
+		if err == nil {
+			c.st.locked(func() { c.st.recoverLocked(id) })
+			return nil
+		}
+		c.st.noteFailure(id, remaining)
+		var wexit *WorkerExitError
+		if errors.As(err, &wexit) {
+			c.st.locked(func() { c.st.stats.Kills++ })
+			c.rec.Instant("shard-kill",
+				trace.Attr{Key: "shard", Val: int64(id)},
+				trace.Attr{Key: "attempt", Val: int64(attempt)})
+		}
+		if fatalKind(err) {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return joinerr.Wrap("shard", "supervise", cerr)
+		}
+		if attempt > c.cfg.maxRestarts() {
+			c.st.locked(func() { c.st.stats.Absorbed++ })
+			c.rec.Instant("shard-absorb", trace.Attr{Key: "shard", Val: int64(id)})
+			left := c.st.unsealed(parts)
+			c.st.locked(func() { c.st.stats.Rederived += len(left) })
+			if aerr := c.absorb(id, left); aerr != nil {
+				return aerr
+			}
+			c.st.locked(func() { c.st.recoverLocked(id) })
+			return nil
+		}
+		c.st.locked(func() { c.st.stats.Restarts++ })
+		c.rec.Instant("shard-retry",
+			trace.Attr{Key: "shard", Val: int64(id)},
+			trace.Attr{Key: "attempt", Val: int64(attempt)})
+		if serr := c.backoff.Sleep(fmt.Sprintf("shard-%d", id), attempt, c.chk.Now); serr != nil {
+			return joinerr.Wrap("shard", "backoff", serr)
+		}
+	}
+}
+
+// fatalKind reports whether a shard failure must propagate instead of
+// being retried: cooperative aborts and admission rejections are the
+// caller's signal, not a fault domain's.
+func fatalKind(err error) bool {
+	switch joinerr.KindOf(err) {
+	case joinerr.KindCanceled, joinerr.KindDeadlineExceeded, joinerr.KindAdmission:
+		return true
+	default:
+		return false
+	}
+}
+
+// workerEvent is one decoded frame (or the stream's end) from a worker.
+type workerEvent struct {
+	t      FrameType
+	part   int
+	pairs  []geom.Pair
+	count  int64
+	report *WorkerReport
+	fail   error
+	err    error // protocol/read error; nil with t==0 never happens
+}
+
+// runAttempt executes one worker process for shard id over parts.
+// A nil return means the worker completed cleanly and all its
+// partitions sealed.
+func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []int, slice int64) error {
+	sp := c.root.Child("shard-attempt")
+	defer sp.End()
+	sp.SetAttr("shard", int64(id))
+	sp.SetAttr("attempt", int64(attempt))
+	sp.AddRecords(int64(len(parts)))
+
+	rsl, err := pbsm.PartitionSlices(c.R, c.gs, parts, c.chk)
+	if err != nil {
+		return err
+	}
+	ssl, err := pbsm.PartitionSlices(c.S, c.gs, parts, c.chk)
+	if err != nil {
+		return err
+	}
+
+	tmpDir := filepath.Join(c.man.root, fmt.Sprintf("shard-%d-a%d", id, attempt))
+	c.man.add(tmpDir)
+	defer c.man.sweep(tmpDir)
+
+	spec := &JobSpec{
+		Shard:             id,
+		Attempt:           attempt,
+		Parts:             parts,
+		Grid:              c.gs,
+		Memory:            c.cfg.Memory,
+		MemSlice:          slice,
+		Algorithm:         c.cfg.Algorithm,
+		TuneFactor:        c.cfg.TuneFactor,
+		TilesPerPartition: c.cfg.TilesPerPartition,
+		MaxRecurse:        c.cfg.MaxRecurse,
+		BufPages:          c.cfg.BufPages,
+		PageSize:          c.cfg.PageSize,
+		PT:                c.cfg.PT,
+		TransferNS:        c.cfg.Transfer.Nanoseconds(),
+		HeartbeatNS:       c.cfg.heartbeat().Nanoseconds(),
+		TmpDir:            tmpDir,
+		Kill:              c.cfg.Chaos.lookup(id, attempt),
+	}
+
+	cmd := exec.Command(c.cfg.WorkerCmd[0], c.cfg.WorkerCmd[1:]...)
+	cmd.Env = append(os.Environ(), c.cfg.WorkerEnv...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	c.st.locked(func() { c.st.stats.Spawns++ })
+
+	// Input shipper: job spec, partition chunks, go. A worker dying
+	// mid-ship surfaces as a write error here and as EOF on the event
+	// stream; the event loop owns the verdict.
+	shipDone := make(chan struct{})
+	go func() {
+		defer close(shipDone)
+		defer stdin.Close()
+		_ = c.shipInput(NewFrameWriter(stdin), spec, rsl, ssl)
+	}()
+
+	// Frame pump: decode on the reading goroutine (payload buffers are
+	// reused), deliver decoded events.
+	events := make(chan workerEvent, 64)
+	go func() {
+		defer close(events)
+		fr := NewFrameReader(stdout)
+		for {
+			t, payload, rerr := fr.Next()
+			if rerr != nil {
+				if rerr != io.EOF {
+					events <- workerEvent{err: joinerr.WrapAs("shard", "frame", joinerr.KindShard, rerr)}
+				}
+				return
+			}
+			ev := workerEvent{t: t}
+			switch t {
+			case FrameBeat:
+			case FramePairs:
+				ev.part, ev.pairs, ev.err = decodePairs(payload)
+			case FrameSeal:
+				ev.part, ev.count, ev.err = decodeSeal(payload)
+			case FrameDone:
+				r := &WorkerReport{}
+				ev.err = unmarshalJSON(payload, r)
+				ev.report = r
+			case FrameFail:
+				var f workerFailure
+				if derr := unmarshalJSON(payload, &f); derr != nil {
+					ev.err = derr
+				} else {
+					ev.fail = f.toError()
+				}
+			default:
+				ev.err = protoErrf("unexpected frame type %d from worker", t)
+			}
+			if ev.err != nil {
+				ev.err = joinerr.WrapAs("shard", "frame", joinerr.KindShard, ev.err)
+			}
+			events <- ev
+		}
+	}()
+
+	allowed := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		allowed[p] = true
+	}
+
+	kill := func() { _ = cmd.Process.Kill() }
+	stall := time.NewTimer(c.cfg.stallTimeout())
+	defer stall.Stop()
+	var deadlineCh <-chan time.Time
+	if c.cfg.ShardDeadline > 0 {
+		dt := time.NewTimer(c.cfg.ShardDeadline)
+		defer dt.Stop()
+		deadlineCh = dt.C
+	}
+
+	var (
+		report   *WorkerReport
+		failErr  error // structured fail frame
+		loopErr  error // protocol violation or supervision verdict
+		killedBy string
+	)
+	for events != nil {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				events = nil
+				continue
+			}
+			// Any frame is proof of life.
+			if !stall.Stop() {
+				select {
+				case <-stall.C:
+				default:
+				}
+			}
+			stall.Reset(c.cfg.stallTimeout())
+			if loopErr != nil || killedBy != "" {
+				continue // draining after a verdict
+			}
+			switch {
+			case ev.err != nil:
+				loopErr = ev.err
+				kill()
+			case ev.fail != nil:
+				failErr = ev.fail
+			case ev.t == FramePairs:
+				if perr := c.st.addPairs(ev.part, allowed, ev.pairs); perr != nil {
+					loopErr = joinerr.WrapAs("shard", "merge", joinerr.KindShard, perr)
+					kill()
+				}
+			case ev.t == FrameSeal:
+				if perr := c.st.seal(ev.part, id, allowed, ev.count); perr != nil {
+					loopErr = joinerr.WrapAs("shard", "merge", joinerr.KindShard, perr)
+					kill()
+				}
+			case ev.t == FrameDone:
+				report = ev.report
+			}
+		case <-stall.C:
+			killedBy = fmt.Sprintf("stalled: no frame for %v", c.cfg.stallTimeout())
+			kill()
+		case <-deadlineCh:
+			killedBy = fmt.Sprintf("attempt exceeded shard deadline %v", c.cfg.ShardDeadline)
+			deadlineCh = nil
+			kill()
+		case <-ctx.Done():
+			loopErr = joinerr.Wrap("shard", "supervise", ctx.Err())
+			kill()
+		}
+	}
+	<-shipDone
+	waitErr := cmd.Wait()
+
+	switch {
+	case loopErr != nil:
+		return loopErr
+	case failErr != nil:
+		return failErr
+	case killedBy != "":
+		return joinerr.WrapAs("shard", "supervise", joinerr.KindShard,
+			c.exitError(id, attempt, waitErr, errors.New(killedBy)))
+	case report != nil && waitErr == nil:
+		missing := 0
+		for _, p := range parts {
+			c.st.mu.Lock()
+			if !c.st.sealed[p] {
+				missing++
+			}
+			c.st.mu.Unlock()
+		}
+		if missing > 0 {
+			return joinerr.WrapAs("shard", "merge", joinerr.KindShard,
+				protoErrf("worker finished with %d partitions unsealed", missing))
+		}
+		c.applyReport(report)
+		return nil
+	default:
+		cause := errors.New("worker exited before its done frame")
+		if s := bytes.TrimSpace(stderr.Bytes()); len(s) > 0 {
+			if len(s) > 512 {
+				s = s[:512]
+			}
+			cause = fmt.Errorf("worker exited before its done frame; stderr: %s", s)
+		}
+		return joinerr.WrapAs("shard", "supervise", joinerr.KindShard,
+			c.exitError(id, attempt, waitErr, cause))
+	}
+}
+
+// exitError builds the WorkerExitError carrying the process's status.
+func (c *coordinator) exitError(id, attempt int, waitErr, cause error) error {
+	we := &WorkerExitError{Shard: id, Attempt: attempt, ExitCode: -1, Err: cause}
+	var ee *exec.ExitError
+	if errors.As(waitErr, &ee) {
+		we.ExitCode = ee.ExitCode()
+		if ws, ok := ee.Sys().(interface {
+			Signaled() bool
+			Signal() os.Signal
+		}); ok && ws.Signaled() {
+			we.Signal = ws.Signal().String()
+		}
+	} else if waitErr == nil {
+		we.ExitCode = 0
+	}
+	return we
+}
+
+// shipInput writes the job conversation to one worker.
+func (c *coordinator) shipInput(fw *FrameWriter, spec *JobSpec, rsl, ssl map[int][]geom.KPE) error {
+	payload, err := marshalJSON(spec)
+	if err != nil {
+		return err
+	}
+	if err := fw.Write(FrameJob, payload); err != nil {
+		return err
+	}
+	var scratch []byte
+	ship := func(part int, side byte, ks []geom.KPE) error {
+		for off := 0; ; off += partChunkRecords {
+			end := off + partChunkRecords
+			if end > len(ks) {
+				end = len(ks)
+			}
+			last := end == len(ks)
+			if off == 0 || off < end {
+				scratch = encodePartChunk(scratch, part, side, last, ks[off:end])
+				if err := fw.Write(FramePart, scratch); err != nil {
+					return err
+				}
+			}
+			if last {
+				return nil
+			}
+		}
+	}
+	for _, part := range spec.Parts {
+		if err := ship(part, 'R', rsl[part]); err != nil {
+			return err
+		}
+		if err := ship(part, 'S', ssl[part]); err != nil {
+			return err
+		}
+	}
+	return fw.Write(FrameGo, nil)
+}
+
+// applyReport folds a clean worker's accounting into the aggregates.
+func (c *coordinator) applyReport(r *WorkerReport) {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	c.ioAgg.Add(r.IO)
+	c.cpuAgg += time.Duration(r.CPUNanos)
+	c.st.stats.WorkerLiveFiles += r.LiveFiles
+}
+
+// absorb runs the remaining partitions of a given-up shard in the
+// coordinator process, through the same PairExec a worker would use —
+// graceful degradation, not a different algorithm.
+func (c *coordinator) absorb(id int, parts []int) error {
+	sp := c.root.Child("shard-absorb-run")
+	defer sp.End()
+	sp.SetAttr("shard", int64(id))
+	sp.AddRecords(int64(len(parts)))
+	if len(parts) == 0 {
+		return nil
+	}
+	rsl, err := pbsm.PartitionSlices(c.R, c.gs, parts, c.chk)
+	if err != nil {
+		return err
+	}
+	ssl, err := pbsm.PartitionSlices(c.S, c.gs, parts, c.chk)
+	if err != nil {
+		return err
+	}
+	disk := diskio.NewDisk(c.cfg.PageSize, c.cfg.PT, c.cfg.Transfer)
+	ex, err := pbsm.NewPairExec(pbsm.Config{
+		Disk:              disk,
+		Memory:            c.cfg.Memory,
+		Algorithm:         c.cfg.Algorithm,
+		Dup:               pbsm.DupRPM,
+		TuneFactor:        c.cfg.TuneFactor,
+		TilesPerPartition: c.cfg.TilesPerPartition,
+		BufPages:          c.cfg.BufPages,
+		MaxRecurse:        c.cfg.MaxRecurse,
+		Cancel:            c.chk,
+	}, c.gs)
+	if err != nil {
+		return err
+	}
+	defer ex.Close()
+	start := time.Now()
+	var buf []geom.Pair
+	for _, part := range parts {
+		buf = buf[:0]
+		if rerr := ex.RunPair(part, rsl[part], ssl[part], func(p geom.Pair) {
+			buf = append(buf, p)
+		}); rerr != nil {
+			return rerr
+		}
+		c.st.mu.Lock()
+		c.st.bufs[part] = append([]geom.Pair(nil), buf...)
+		c.st.sealLocked(part, id)
+		c.st.mu.Unlock()
+	}
+	ex.Close()
+	c.st.mu.Lock()
+	c.ioAgg.Add(disk.Stats())
+	c.cpuAgg += time.Since(start)
+	c.st.stats.WorkerLiveFiles += disk.NumFiles()
+	c.st.mu.Unlock()
+	return nil
+}

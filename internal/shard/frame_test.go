@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinerr"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := map[FrameType][]byte{
+		FrameJob:   []byte(`{"shard":3}`),
+		FrameGo:    nil,
+		FramePairs: {1, 2, 3, 4, 5},
+		FrameBeat:  {},
+	}
+	order := []FrameType{FrameJob, FrameGo, FramePairs, FrameBeat}
+	for _, ty := range order {
+		if err := fw.Write(ty, payloads[ty]); err != nil {
+			t.Fatalf("Write(%d): %v", ty, err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for _, ty := range order {
+		got, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if got != ty {
+			t.Fatalf("frame type %d, want %d", got, ty)
+		}
+		if !bytes.Equal(payload, payloads[ty]) {
+			t.Fatalf("frame %d payload %v, want %v", ty, payload, payloads[ty])
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("at end: err %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(FramePairs, []byte("hello frame")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload bit.
+	raw[frameHeaderSize+3] ^= 0x40
+	fr := NewFrameReader(bytes.NewReader(raw))
+	_, _, err := fr.Next()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("corrupted frame: err %v, want ProtocolError", err)
+	}
+}
+
+func TestFrameTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(FrameSeal, encodeSeal(7, 42)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		fr := NewFrameReader(bytes.NewReader(raw[:cut]))
+		_, _, err := fr.Next()
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("stream cut at %d/%d bytes: err %v, want ProtocolError", cut, len(raw), err)
+		}
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.Write(FramePairs, make([]byte, maxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// A corrupt header claiming an absurd length must fail without
+	// attempting the allocation.
+	hdr := make([]byte, frameHeaderSize)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xff, 0xff, 0xff, 0xff
+	fr := NewFrameReader(bytes.NewReader(hdr))
+	_, _, err := fr.Next()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("absurd length: err %v, want ProtocolError", err)
+	}
+}
+
+func TestPartChunkCodec(t *testing.T) {
+	ks := []geom.KPE{
+		{ID: 1, Rect: geom.Rect{XL: 0.1, YL: 0.2, XH: 0.3, YH: 0.4}},
+		{ID: 99, Rect: geom.Rect{XL: 0.5, YL: 0.6, XH: 0.7, YH: 0.8}},
+	}
+	payload := encodePartChunk(nil, 5, 'S', true, ks)
+	part, side, last, got, err := decodePartChunk(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != 5 || side != 'S' || !last || len(got) != len(ks) {
+		t.Fatalf("decoded (%d, %q, %v, %d records)", part, side, last, len(got))
+	}
+	for i := range ks {
+		if got[i] != ks[i] {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], ks[i])
+		}
+	}
+	if _, _, _, _, err := decodePartChunk(payload[:len(payload)-1]); err == nil {
+		t.Fatal("short part chunk accepted")
+	}
+}
+
+func TestPairsAndSealCodec(t *testing.T) {
+	ps := []geom.Pair{{R: 1, S: 2}, {R: 3, S: 4}, {R: 5, S: 6}}
+	payload := encodePairs(nil, 9, ps)
+	part, got, err := decodePairs(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != 9 || len(got) != 3 {
+		t.Fatalf("decoded part %d with %d pairs", part, len(got))
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("pair %d: %+v, want %+v", i, got[i], ps[i])
+		}
+	}
+	part, n, err := decodeSeal(encodeSeal(4, 12345))
+	if err != nil || part != 4 || n != 12345 {
+		t.Fatalf("seal decoded (%d, %d, %v)", part, n, err)
+	}
+	if _, _, err := decodeSeal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short seal accepted")
+	}
+}
+
+func TestWorkerFailureRoundTrip(t *testing.T) {
+	// A joinerr-wrapped failure keeps its Kind across the process
+	// boundary; that Kind is what the coordinator's retry policy reads.
+	for _, kind := range []joinerr.Kind{joinerr.KindShard, joinerr.KindCanceled, joinerr.KindAdmission} {
+		cause := joinerr.WrapAs("shard", "worker", kind, errors.New("boom"))
+		back := failureFromError(cause).toError()
+		if got := joinerr.KindOf(back); got != kind {
+			t.Fatalf("kind %v survived the wire as %v", kind, got)
+		}
+	}
+}

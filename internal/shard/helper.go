@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"os"
+)
+
+// helperEnv marks a test binary re-exec as a shard worker. The Go
+// helper-process pattern: a test declares
+//
+//	func TestShardWorkerHelper(t *testing.T) { shard.RunHelperWorker() }
+//
+// and spawns workers with HelperWorkerCmd("TestShardWorkerHelper"); the
+// re-executed test binary runs only that test, which turns into
+// WorkerMain. Without the environment marker the function is a no-op,
+// so the helper test passes vacuously in normal runs.
+const helperEnv = "SPATIALJOIN_SHARD_WORKER"
+
+// RunHelperWorker turns the current process into a shard worker if the
+// helper environment marker is set; otherwise it returns immediately.
+// When it does run, it never returns: the process exits with the
+// worker's status.
+func RunHelperWorker() {
+	if os.Getenv(helperEnv) != "1" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// HelperWorkerCmd builds the WorkerCmd/WorkerEnv pair that re-executes
+// the current test binary as a shard worker through the named helper
+// test.
+func HelperWorkerCmd(testName string) (cmd, env []string) {
+	return []string{os.Args[0], "-test.run=^" + testName + "$"},
+		[]string{helperEnv + "=1"}
+}

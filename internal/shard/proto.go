@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/sweep"
+)
+
+// JobSpec is the first frame of every worker conversation: everything a
+// worker needs to execute its partition subset EXACTLY as the
+// single-process join would. Memory is the full join budget — it feeds
+// the repartition arithmetic and must match the planning run — while
+// MemSlice is this shard's admission slice of it.
+type JobSpec struct {
+	Shard   int   `json:"shard"`
+	Attempt int   `json:"attempt"`
+	Parts   []int `json:"parts"` // assigned top-level partitions, ascending
+
+	Grid     pbsm.GridSpec `json:"grid"`
+	Memory   int64         `json:"memory"`
+	MemSlice int64         `json:"mem_slice"`
+
+	Algorithm         sweep.Kind `json:"algorithm,omitempty"`
+	TuneFactor        float64    `json:"tune_factor,omitempty"`
+	TilesPerPartition int        `json:"tiles_per_partition,omitempty"`
+	MaxRecurse        int        `json:"max_recurse,omitempty"`
+	BufPages          int        `json:"buf_pages,omitempty"`
+	PageSize          int        `json:"page_size,omitempty"`
+	PT                float64    `json:"pt,omitempty"`
+	TransferNS        int64      `json:"transfer_ns,omitempty"`
+
+	HeartbeatNS int64 `json:"heartbeat_ns,omitempty"`
+
+	// TmpDir is the scratch directory the coordinator created for this
+	// attempt and recorded in its sweep manifest BEFORE spawning the
+	// worker; the worker writes its journal there. Registering the name
+	// first is what closes the orphan window — there is no instant at
+	// which the worker owns files the coordinator does not know about.
+	TmpDir string `json:"tmp_dir,omitempty"`
+
+	// Kill, when set, makes the worker SIGKILL itself at the specified
+	// point — the deterministic chaos hook. A self-delivered SIGKILL is
+	// indistinguishable from an external one: no handler runs, no
+	// deferred cleanup, the pipe just tears.
+	Kill *KillSpec `json:"kill,omitempty"`
+}
+
+// KillSpec says where a chaos worker kills itself.
+type KillSpec struct {
+	// Point is one of KillSpawn, KillMidPairs, KillMidEmit.
+	Point string `json:"point"`
+	// AfterParts applies to KillMidPairs: die after sealing this many
+	// partitions.
+	AfterParts int `json:"after_parts,omitempty"`
+	// AfterPairs applies to KillMidEmit: die after flushing this many
+	// result pairs, before the partition they belong to seals.
+	AfterPairs int `json:"after_pairs,omitempty"`
+}
+
+// The chaos kill points: immediately after job receipt (nothing done),
+// between partitions (some work sealed), and mid-emission of a
+// partition's results (unsealed results in flight, which the
+// coordinator must discard).
+const (
+	KillSpawn    = "spawn"
+	KillMidPairs = "mid-pairs"
+	KillMidEmit  = "mid-emit"
+)
+
+// WorkerReport is the done-frame payload: what the worker did, for the
+// coordinator's aggregate accounting and the leak invariants.
+type WorkerReport struct {
+	Results   int64                `json:"results"`
+	IO        diskio.Stats         `json:"io"`
+	CPUNanos  int64                `json:"cpu_ns"`
+	P         int                  `json:"p"`
+	Reparts   int                  `json:"repartitions"`
+	Overflows int                  `json:"memory_overflows"`
+	Tests     int64                `json:"tests"`
+	Touches   int64                `json:"touches"`
+	Governor  govern.GovernorStats `json:"governor"`
+	// LiveFiles is the worker's disk file count after its registry
+	// sweep; anything but zero is a temp-file leak.
+	LiveFiles int `json:"live_files"`
+}
+
+// workerFailure is the fail-frame payload: a structured abort that
+// survives the process boundary with its joinerr Kind intact, so the
+// coordinator can distinguish a cooperative cancellation (propagate)
+// from a shard-local failure (retry).
+type workerFailure struct {
+	Method string `json:"method"`
+	Phase  string `json:"phase"`
+	File   string `json:"file,omitempty"`
+	Kind   int    `json:"kind"`
+	Msg    string `json:"msg"`
+}
+
+// failureFromError flattens an error for the wire.
+func failureFromError(err error) workerFailure {
+	f := workerFailure{Method: "shard", Phase: "worker", Kind: int(joinerr.KindOf(err)), Msg: err.Error()}
+	var je *joinerr.JoinError
+	if errors.As(err, &je) {
+		f.Method, f.Phase, f.File = je.Method, je.Phase, je.File
+	}
+	return f
+}
+
+// toError rebuilds the structured error on the coordinator side.
+func (f workerFailure) toError() error {
+	return &joinerr.JoinError{
+		Method: f.Method,
+		Phase:  f.Phase,
+		File:   f.File,
+		Kind:   joinerr.Kind(f.Kind),
+		Err:    fmt.Errorf("worker reported: %s", f.Msg),
+	}
+}
+
+// WorkerExitError reports a worker process that died without a clean
+// protocol shutdown — killed, crashed, or exited while frames were
+// still owed. It carries the exit status for the KindShard error chain.
+type WorkerExitError struct {
+	Shard    int
+	Attempt  int
+	ExitCode int    // -1 when terminated by a signal
+	Signal   string // signal name when killed, "" otherwise
+	Err      error  // the protocol or wait error observed
+}
+
+// Error implements error.
+func (e *WorkerExitError) Error() string {
+	status := fmt.Sprintf("exit code %d", e.ExitCode)
+	if e.Signal != "" {
+		status = "signal " + e.Signal
+	}
+	return fmt.Sprintf("shard %d attempt %d: worker died (%s): %v", e.Shard, e.Attempt, status, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *WorkerExitError) Unwrap() error { return e.Err }
+
+// Payload codecs for the binary frames. Part frames chunk a partition's
+// records so one huge partition never exceeds the frame cap:
+//
+//	part uint32 | side uint8 ('R'/'S') | last uint8 | count uint32 | count × KPE
+//
+// Pairs frames carry results of one partition:
+//
+//	part uint32 | count uint32 | count × Pair
+//
+// Seal frames cross-check the partition's total result count:
+//
+//	part uint32 | results uint64
+
+const (
+	partChunkHeader = 10
+	pairsHeader     = 8
+	sealPayload     = 12
+	// partChunkRecords bounds records per part frame chunk.
+	partChunkRecords = (1 << 20) / geom.KPESize
+)
+
+func encodePartChunk(buf []byte, part int, side byte, last bool, ks []geom.KPE) []byte {
+	need := partChunkHeader + len(ks)*geom.KPESize
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(part))
+	buf[4] = side
+	buf[5] = 0
+	if last {
+		buf[5] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[6:], uint32(len(ks)))
+	off := partChunkHeader
+	for i := range ks {
+		off += geom.EncodeKPE(buf[off:], ks[i])
+	}
+	return buf
+}
+
+func decodePartChunk(payload []byte) (part int, side byte, last bool, ks []geom.KPE, err error) {
+	if len(payload) < partChunkHeader {
+		return 0, 0, false, nil, protoErrf("part frame too short (%d bytes)", len(payload))
+	}
+	part = int(binary.LittleEndian.Uint32(payload[0:]))
+	side = payload[4]
+	last = payload[5] == 1
+	n := int(binary.LittleEndian.Uint32(payload[6:]))
+	if len(payload) != partChunkHeader+n*geom.KPESize {
+		return 0, 0, false, nil, protoErrf("part frame length %d does not match %d records", len(payload), n)
+	}
+	if side != 'R' && side != 'S' {
+		return 0, 0, false, nil, protoErrf("part frame side %q", side)
+	}
+	ks = make([]geom.KPE, n)
+	off := partChunkHeader
+	for i := range ks {
+		ks[i] = geom.DecodeKPE(payload[off:])
+		off += geom.KPESize
+	}
+	return part, side, last, ks, nil
+}
+
+func encodePairs(buf []byte, part int, ps []geom.Pair) []byte {
+	need := pairsHeader + len(ps)*geom.PairSize
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(part))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(ps)))
+	off := pairsHeader
+	for i := range ps {
+		off += geom.EncodePair(buf[off:], ps[i])
+	}
+	return buf
+}
+
+func decodePairs(payload []byte) (part int, ps []geom.Pair, err error) {
+	if len(payload) < pairsHeader {
+		return 0, nil, protoErrf("pairs frame too short (%d bytes)", len(payload))
+	}
+	part = int(binary.LittleEndian.Uint32(payload[0:]))
+	n := int(binary.LittleEndian.Uint32(payload[4:]))
+	if len(payload) != pairsHeader+n*geom.PairSize {
+		return 0, nil, protoErrf("pairs frame length %d does not match %d pairs", len(payload), n)
+	}
+	ps = make([]geom.Pair, n)
+	off := pairsHeader
+	for i := range ps {
+		ps[i] = geom.DecodePair(payload[off:])
+		off += geom.PairSize
+	}
+	return part, ps, nil
+}
+
+func encodeSeal(part int, results int64) []byte {
+	buf := make([]byte, sealPayload)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(part))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(results))
+	return buf
+}
+
+func decodeSeal(payload []byte) (part int, results int64, err error) {
+	if len(payload) != sealPayload {
+		return 0, 0, protoErrf("seal frame length %d, want %d", len(payload), sealPayload)
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])), int64(binary.LittleEndian.Uint64(payload[4:])), nil
+}
+
+// marshalJSON wraps encoding for the two JSON frame payloads.
+func marshalJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, protoErrf("encoding %T: %v", v, err)
+	}
+	return b, nil
+}
+
+func unmarshalJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return protoErrf("decoding %T: %v", v, err)
+	}
+	return nil
+}
+
+// transfer converts the wire nanoseconds back to a duration.
+func (j *JobSpec) transfer() time.Duration { return time.Duration(j.TransferNS) }
+
+// heartbeat returns the worker's heartbeat interval.
+func (j *JobSpec) heartbeat() time.Duration {
+	if j.HeartbeatNS <= 0 {
+		return 100 * time.Millisecond
+	}
+	return time.Duration(j.HeartbeatNS)
+}

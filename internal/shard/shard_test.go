@@ -1,0 +1,144 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/shard"
+	"spatialjoin/internal/trace"
+)
+
+// TestShardWorkerHelper is not a test: it is the re-exec target the
+// helper-process pattern uses to turn this test binary into a shard
+// worker. Without the environment marker it is a no-op.
+func TestShardWorkerHelper(t *testing.T) {
+	shard.RunHelperWorker()
+}
+
+const (
+	testRecs   = 1500
+	testMemory = 32 << 10 // small enough for several top-level partitions
+)
+
+func testData() (r, s []geom.KPE) {
+	return datagen.Uniform(101, testRecs, 0.004), datagen.Uniform(202, testRecs, 0.004)
+}
+
+// serialPairs is the single-process ground truth: same memory, same
+// method, same duplicate elimination.
+func serialPairs(t *testing.T, r, s []geom.KPE) []geom.Pair {
+	t.Helper()
+	pairs, _, err := core.Collect(r, s, core.Config{Memory: testMemory, Parallel: 1})
+	if err != nil {
+		t.Fatalf("serial join: %v", err)
+	}
+	return pairs
+}
+
+func shardConfig(t *testing.T, n int) shard.Config {
+	t.Helper()
+	cmd, env := shard.HelperWorkerCmd("TestShardWorkerHelper")
+	return shard.Config{
+		Shards:    n,
+		Memory:    testMemory,
+		WorkerCmd: cmd,
+		WorkerEnv: env,
+		TmpRoot:   t.TempDir(),
+	}
+}
+
+func TestShardJoinMatchesSerial(t *testing.T) {
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	for _, n := range []int{1, 2, 4} {
+		cfg := shardConfig(t, n)
+		var got []geom.Pair
+		res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d results, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: result %d is %+v, want %+v — emission order diverged", n, i, got[i], want[i])
+			}
+		}
+		if res.Results != int64(len(want)) {
+			t.Fatalf("shards=%d: Results=%d, want %d", n, res.Results, len(want))
+		}
+		if res.Stats.Kills != 0 || res.Stats.Restarts != 0 || res.Stats.Absorbed != 0 {
+			t.Fatalf("shards=%d: unexpected fault stats %+v", n, res.Stats)
+		}
+		if res.Stats.WorkerLiveFiles != 0 {
+			t.Fatalf("shards=%d: workers leaked %d files", n, res.Stats.WorkerLiveFiles)
+		}
+		if res.Stats.Spawns < res.Stats.Shards {
+			t.Fatalf("shards=%d: %d spawns for %d shards", n, res.Stats.Spawns, res.Stats.Shards)
+		}
+		if res.IO.CostUnits <= 0 || res.CPU <= 0 {
+			t.Fatalf("shards=%d: accounting empty: %+v", n, res)
+		}
+	}
+}
+
+func TestShardJoinThroughCore(t *testing.T) {
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	cmd, env := shard.HelperWorkerCmd("TestShardWorkerHelper")
+	// core.Config has no worker-command knob; route through shard.Join
+	// for the command but verify the core dispatch path with the real
+	// os.Executable default being impossible here (test binary would
+	// rerun the whole suite). Instead prove core.Join validates and
+	// delegates: a DupSort config must be rejected.
+	_, _, err := core.Collect(r, s, core.Config{Memory: testMemory, Shards: 2, PBSMDup: 1})
+	if err == nil {
+		t.Fatal("core.Join accepted Shards>1 with DupSort")
+	}
+	// And the registered path works end to end when the worker command
+	// is the helper: exercise the adapter directly.
+	rec := trace.New()
+	var got []geom.Pair
+	res, err := shard.Join(r, s, shard.Config{
+		Shards: 2, Memory: testMemory,
+		WorkerCmd: cmd, WorkerEnv: env,
+		TmpRoot: t.TempDir(),
+		Trace:   rec,
+	}, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	if res.Stats.Shards != 2 {
+		t.Fatalf("Stats.Shards=%d, want 2", res.Stats.Shards)
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no trace spans recorded")
+	}
+}
+
+func TestShardJoinCancel(t *testing.T) {
+	r, s := testData()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := shardConfig(t, 2)
+	cfg.Ctx = ctx
+	_, err := shard.Join(r, s, cfg, func(geom.Pair) {})
+	if err == nil {
+		t.Fatal("canceled join succeeded")
+	}
+}
+
+func TestShardJoinConfigErrors(t *testing.T) {
+	r, s := testData()
+	if _, err := shard.Join(r, s, shard.Config{}, func(geom.Pair) {}); err == nil {
+		t.Fatal("zero Memory accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/govern"
+	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/pbsm"
+)
+
+// WorkerMain is the entry point of a shard worker process: it speaks
+// the frame protocol on (in, out) — normally the process's stdin and
+// stdout — executes its assigned partition pairs on a private simulated
+// disk, and exits. The binaries expose it behind a -shard-worker flag;
+// test packages reach it through RunHelperWorker.
+//
+// The conversation: read the JobSpec, acquire the shard's governor
+// slice, receive both relations' partition slices, then for each
+// assigned partition (ascending) run the pair, stream its result pairs,
+// and seal it with a count cross-check. Heartbeats flow throughout on a
+// separate goroutine. A clean run ends with a done frame carrying the
+// worker's report; a failed run ends with a fail frame carrying the
+// structured error. The error returned by WorkerMain is for the
+// process's exit status only — everything the coordinator needs is on
+// the pipe.
+func WorkerMain(in io.Reader, out io.Writer) error {
+	fr := NewFrameReader(in)
+	fw := NewFrameWriter(out)
+
+	spec, rsl, ssl, err := workerReceive(fr)
+	if err != nil {
+		// Best effort: the coordinator learns more from a fail frame
+		// than from a bare exit, but a torn pipe can defeat both.
+		_ = sendFail(fw, err)
+		return err
+	}
+
+	// Heartbeats: the watchdog on the other side resets on ANY frame,
+	// so the beat goroutine only needs to cover gaps between result
+	// flushes (a long repartition recursion, a big in-memory sweep).
+	stop := make(chan struct{})
+	beatDone := make(chan struct{})
+	go func() {
+		defer close(beatDone)
+		t := time.NewTicker(spec.heartbeat())
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if fw.Write(FrameBeat, nil) != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-beatDone
+	}()
+
+	report, err := workerRun(spec, rsl, ssl, fw)
+	if err != nil {
+		_ = sendFail(fw, err)
+		return err
+	}
+	payload, err := marshalJSON(report)
+	if err != nil {
+		_ = sendFail(fw, err)
+		return err
+	}
+	if err := fw.Write(FrameDone, payload); err != nil {
+		return joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+	}
+	return nil
+}
+
+// workerReceive reads the job spec and both relations' partition
+// slices, honoring the spawn kill point.
+func workerReceive(fr *FrameReader) (*JobSpec, map[int][]geom.KPE, map[int][]geom.KPE, error) {
+	t, payload, err := fr.Next()
+	if err != nil {
+		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+	}
+	if t != FrameJob {
+		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("first frame is type %d, want job", t))
+	}
+	spec := &JobSpec{}
+	if err := unmarshalJSON(payload, spec); err != nil {
+		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+	}
+	if !spec.Grid.Valid() || spec.Memory <= 0 {
+		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("job spec invalid: grid %+v, memory %d", spec.Grid, spec.Memory))
+	}
+
+	// The journal marks the scratch dir live; the coordinator registered
+	// the dir in its manifest before we were spawned, so even a SIGKILL
+	// right here leaves nothing unaccounted for.
+	if spec.TmpDir != "" {
+		if err := os.MkdirAll(spec.TmpDir, 0o755); err != nil {
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+		}
+		journal := fmt.Sprintf("shard %d attempt %d started\n", spec.Shard, spec.Attempt)
+		if err := os.WriteFile(filepath.Join(spec.TmpDir, "journal"), []byte(journal), 0o644); err != nil {
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+		}
+	}
+
+	if k := spec.Kill; k != nil && k.Point == KillSpawn {
+		selfKill()
+	}
+
+	rsl := make(map[int][]geom.KPE, len(spec.Parts))
+	ssl := make(map[int][]geom.KPE, len(spec.Parts))
+	for _, p := range spec.Parts {
+		rsl[p], ssl[p] = nil, nil
+	}
+	for {
+		t, payload, err := fr.Next()
+		if err != nil {
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+		}
+		switch t {
+		case FrameGo:
+			return spec, rsl, ssl, nil
+		case FramePart:
+			part, side, _, ks, err := decodePartChunk(payload)
+			if err != nil {
+				return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+			}
+			dst := rsl
+			if side == 'S' {
+				dst = ssl
+			}
+			if _, ok := dst[part]; !ok {
+				return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("part frame for unassigned partition %d", part))
+			}
+			dst[part] = append(dst[part], ks...)
+		default:
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("unexpected frame type %d during input", t))
+		}
+	}
+}
+
+// workerRun executes the assigned pairs and streams results.
+func workerRun(spec *JobSpec, rsl, ssl map[int][]geom.KPE, fw *FrameWriter) (*WorkerReport, error) {
+	// The shard's governor slice: admission control over this worker's
+	// share of the join budget. The slice never feeds pair arithmetic —
+	// PairExec gets the full Memory so repartition recursion matches the
+	// single-process run exactly.
+	gov := govern.NewGovernor(1, spec.MemSlice)
+	release, err := gov.Acquire(nil, spec.MemSlice)
+	if err != nil {
+		return nil, joinerr.WrapAs("shard", "admission", joinerr.KindAdmission, err)
+	}
+	defer release()
+
+	disk := diskio.NewDisk(spec.PageSize, spec.PT, spec.transfer())
+	ex, err := pbsm.NewPairExec(pbsm.Config{
+		Disk:              disk,
+		Memory:            spec.Memory,
+		Algorithm:         spec.Algorithm,
+		Dup:               pbsm.DupRPM,
+		TuneFactor:        spec.TuneFactor,
+		TilesPerPartition: spec.TilesPerPartition,
+		BufPages:          spec.BufPages,
+		MaxRecurse:        spec.MaxRecurse,
+	}, spec.Grid)
+	if err != nil {
+		return nil, err
+	}
+	defer ex.Close()
+
+	start := time.Now()
+	sender := &resultSender{fw: fw, kill: spec.Kill}
+	for _, part := range spec.Parts {
+		sender.beginPart(part)
+		if err := ex.RunPair(part, rsl[part], ssl[part], sender.send); err != nil {
+			return nil, err
+		}
+		if sender.err != nil {
+			return nil, joinerr.WrapAs("shard", "emit", joinerr.KindShard, sender.err)
+		}
+		if err := sender.seal(); err != nil {
+			return nil, joinerr.WrapAs("shard", "emit", joinerr.KindShard, err)
+		}
+	}
+
+	st := ex.Stats()
+	ex.Close()
+	report := &WorkerReport{
+		Results:   st.Results,
+		IO:        disk.Stats(),
+		CPUNanos:  time.Since(start).Nanoseconds(),
+		P:         st.P,
+		Reparts:   st.Repartitions,
+		Overflows: st.MemoryOverflows,
+		Tests:     st.Tests,
+		Touches:   st.Touches,
+		Governor:  gov.Stats(),
+		LiveFiles: disk.NumFiles(),
+	}
+	return report, nil
+}
+
+// resultSender batches one partition's result pairs into pairs frames
+// and seals the partition when the pair completes. It also hosts the
+// mid-emit and mid-pairs chaos kill points: counting SENT pairs and
+// SEALED partitions makes the kill instant deterministic.
+type resultSender struct {
+	fw      *FrameWriter
+	kill    *KillSpec
+	part    int
+	buf     []geom.Pair
+	scratch []byte
+	sent    int64 // pairs flushed for the current partition
+	total   int64 // pairs flushed over the worker's lifetime
+	sealed  int   // partitions sealed
+	err     error
+}
+
+const senderBatch = 512
+
+func (s *resultSender) beginPart(part int) {
+	s.part = part
+	s.sent = 0
+	s.buf = s.buf[:0]
+}
+
+// send is the PairExec sink. It must not return an error (the sink
+// signature has none), so a write failure latches into s.err and
+// further pairs are dropped; the worker surfaces the error after the
+// pair returns.
+func (s *resultSender) send(p geom.Pair) {
+	if s.err != nil {
+		return
+	}
+	s.buf = append(s.buf, p)
+	if len(s.buf) >= senderBatch {
+		s.flush()
+	}
+}
+
+func (s *resultSender) flush() {
+	if s.err != nil || len(s.buf) == 0 {
+		return
+	}
+	// The mid-emit kill wants to die with unsealed pairs already on the
+	// wire: flush up to the threshold, then go down.
+	if k := s.kill; k != nil && k.Point == KillMidEmit && s.total+int64(len(s.buf)) >= int64(k.AfterPairs) {
+		s.scratch = encodePairs(s.scratch, s.part, s.buf)
+		_ = s.fw.Write(FramePairs, s.scratch)
+		selfKill()
+	}
+	s.scratch = encodePairs(s.scratch, s.part, s.buf)
+	s.err = s.fw.Write(FramePairs, s.scratch)
+	s.sent += int64(len(s.buf))
+	s.total += int64(len(s.buf))
+	s.buf = s.buf[:0]
+}
+
+func (s *resultSender) seal() error {
+	s.flush()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.fw.Write(FrameSeal, encodeSeal(s.part, s.sent)); err != nil {
+		return err
+	}
+	s.sealed++
+	if k := s.kill; k != nil && k.Point == KillMidPairs && s.sealed >= k.AfterParts {
+		selfKill()
+	}
+	return nil
+}
+
+// sendFail ships a structured failure; the worker exits non-zero after.
+func sendFail(fw *FrameWriter, cause error) error {
+	payload, err := marshalJSON(failureFromError(cause))
+	if err != nil {
+		return err
+	}
+	return fw.Write(FrameFail, payload)
+}
+
+// selfKill delivers SIGKILL to the current process: the deterministic
+// chaos primitive. SIGKILL cannot be caught or deferred over, so dying
+// here is indistinguishable from the coordinator (or an operator)
+// killing the worker at the same instant.
+func selfKill() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery is asynchronous in principle; never proceed.
+	select {}
+}
