@@ -66,7 +66,15 @@ echo "== chaos suite (fault-injection + cancellation + kill-a-shard sweeps) =="
 # the shard kill sweep in internal/chaos spawn real worker processes and
 # SIGKILL them at seeded points; -count=1 keeps the process-level chaos
 # uncached.
-go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/ ./internal/shard/
+go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/ ./internal/shard/ ./internal/metrics/
+
+echo "== metrics endpoint smoke (/metrics exposition + progress) =="
+# A latency-slowed PBSM join scraped mid-flight over metrics.Handler:
+# every response must parse as Prometheus text, the progress fraction
+# must be monotone and finish at exactly 1.0, and /metricsz must emit
+# valid JSONL. The disabled-mode budget test bounds Config.Metrics==nil
+# overhead at 1% the same way the trace and cancellation budgets do.
+go test -count=1 -run 'TestMetricsEndpointSmoke|TestMetricsDisabledOverheadBudget' .
 
 echo "== sjbench trace smoke (Chrome trace_event export) =="
 tracefile=$(mktemp /tmp/sjbench-trace.XXXXXX.json)

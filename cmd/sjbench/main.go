@@ -24,12 +24,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"spatialjoin/internal/bench"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/shard"
 )
 
@@ -56,10 +59,26 @@ func main() {
 	phasesN := flag.Int("phases-n", 10000, "per-relation cardinality of the 'phases' experiment")
 	quick := flag.Bool("quick", false, "shrink the 'parallel' and 'shards' experiments to a CI smoke (timings meaningless, structure and determinism checks intact)")
 	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' and 'shards' experiments")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (e.g. localhost:9090 or :0): /metrics Prometheus text, /metricsz JSONL; also embeds the final snapshot in BENCH_*.json")
 	flag.Bool("shard-worker", false, "run as a shard worker process (frame protocol on stdin/stdout); handled before flag parsing")
 	flag.Parse()
 
 	s := bench.NewSuite(*laScale, *calScale, *seed)
+	if *metricsAddr != "" {
+		reg := metrics.New()
+		s.Metrics = reg
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if serr := http.Serve(ln, metrics.Handler(reg)); serr != nil {
+				fmt.Fprintf(os.Stderr, "sjbench: metrics server: %v\n", serr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sjbench: metrics at http://%s/metrics\n", ln.Addr())
+	}
 	var phasesRuns []bench.PhasesRun
 	var parallelRep *bench.ParallelReport
 	var shardRep *bench.ShardReport

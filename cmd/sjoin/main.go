@@ -10,6 +10,7 @@
 //	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
 //	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-shards 1]
 //	      [-plan] [-v] [-timeout 0] [-trace out.json] [-stats] [-pprof addr]
+//	      [-progress] [-metrics-addr addr]
 //
 // -shards N (PBSM with RPM only) executes the join as N worker OS
 // processes under the fault-tolerant coordinator of internal/shard; the
@@ -26,19 +27,28 @@
 // -trace writes the same run as a Chrome trace_event file loadable in
 // chrome://tracing or Perfetto; -pprof serves net/http/pprof on the
 // given address (e.g. localhost:6060) for live CPU/heap profiling.
+//
+// -progress prints a live percent-complete/ETA ticker to stderr, driven
+// by the cost-model progress estimator; -metrics-addr serves the live
+// metrics registry on the given address (":0" picks a free port, the
+// bound address is printed to stderr): /metrics is Prometheus text
+// exposition, /metricsz is self-describing JSONL.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/estimate"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/plan"
 	"spatialjoin/internal/s3j"
@@ -49,6 +59,37 @@ import (
 	"spatialjoin/internal/trace"
 	"spatialjoin/internal/tsv"
 )
+
+// startProgressTicker prints the join's live percent-complete and ETA
+// to stderr twice a second, reading the progress gauges the join
+// publishes. The returned stop function ends the ticker and prints the
+// final 100% line.
+func startProgressTicker(reg *metrics.Registry) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	line := func() {
+		snap := reg.Snapshot()
+		frac := snap.Value(metrics.JoinProgressFraction)
+		eta := snap.Value(metrics.JoinProgressETASeconds)
+		fmt.Fprintf(os.Stderr, "\rsjoin: progress %5.1f%%  eta %6.1fs ", 100*frac, eta)
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				line()
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+				line()
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
 
 func dataset(name string, seed int64, n int, p float64) ([]geom.KPE, error) {
 	var ds datagen.Dataset
@@ -105,6 +146,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	stats := flag.Bool("stats", false, "print the phase-tree trace summary after the join")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	progress := flag.Bool("progress", false, "print a live progress/ETA ticker to stderr during the join")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (e.g. localhost:9090 or :0): /metrics Prometheus text, /metricsz JSONL")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -178,6 +221,26 @@ func main() {
 		fail(fmt.Errorf("unknown -mode %q", *mode))
 	}
 
+	// Metrics and progress share one process registry; the join publishes
+	// into it live, the HTTP handler and the stderr ticker only read.
+	var reg *metrics.Registry
+	if *metricsAddr != "" || *progress {
+		reg = metrics.New()
+		cfg.Metrics = reg
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			if serr := http.Serve(ln, metrics.Handler(reg)); serr != nil {
+				fmt.Fprintf(os.Stderr, "sjoin: metrics server: %v\n", serr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sjoin: metrics at http://%s/metrics\n", ln.Addr())
+	}
+
 	if *doPlan {
 		w := plan.Workload{
 			NR: len(R), NS: len(S),
@@ -195,11 +258,18 @@ func main() {
 		fmt.Printf("          choosing %s\n", cfg.Method)
 	}
 
+	var stopProgress func()
+	if *progress {
+		stopProgress = startProgressTicker(reg)
+	}
 	res, err := core.Join(R, S, cfg, func(pr geom.Pair) {
 		if *verbose {
 			fmt.Printf("%d\t%d\n", pr.R, pr.S)
 		}
 	})
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -51,6 +51,13 @@ type ParallelReport struct {
 	Quick      bool   `json:"quick"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 
+	// Runtime stamps the measuring environment; Validate rejects
+	// reports without it, so every artifact names the toolchain its
+	// wall times came from. Metrics is the final flattened snapshot of
+	// the run's metrics registry, empty when none was attached.
+	Runtime RuntimeInfo        `json:"runtime"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	Records     int   `json:"records_per_input"`
 	MemoryBytes int64 `json:"memory_bytes"`
 	// LatencyNS is the real per-cost-unit device latency
@@ -86,6 +93,9 @@ func (r *ParallelReport) Baseline() *ParallelReport {
 // cell present exactly once, and all cells of a method agreeing on
 // result count and both hashes.
 func (r *ParallelReport) Validate() error {
+	if r.Runtime.GoVersion == "" {
+		return fmt.Errorf("bench: report carries no runtime stamp (re-generate with a current sjbench)")
+	}
 	if len(r.Workers) == 0 {
 		return fmt.Errorf("bench: report has no worker sweep")
 	}
@@ -193,6 +203,7 @@ func RunParallel(s *Suite, quick bool) (*ParallelReport, *Table) {
 		Experiment:  "parallel",
 		Quick:       quick,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Runtime:     CaptureRuntime(),
 		Records:     n,
 		MemoryBytes: mem,
 		LatencyNS:   int64(lat),
@@ -206,6 +217,7 @@ func RunParallel(s *Suite, quick bool) (*ParallelReport, *Table) {
 		cfg.Disk = d
 		cfg.Memory = mem
 		cfg.Parallel = workers
+		cfg.Metrics = s.Metrics
 		var h pairHasher
 		t0 := time.Now()
 		res, err := core.Join(R, S, cfg, h.add)
@@ -245,6 +257,7 @@ func RunParallel(s *Suite, quick bool) (*ParallelReport, *Table) {
 			rep.Cells = append(rep.Cells, c)
 		}
 	}
+	rep.Metrics = flattenMetrics(s.Metrics.Snapshot())
 
 	tab := &Table{
 		Title: "Parallel speedup — scheduler-driven phases under real device latency",

@@ -60,7 +60,7 @@ func TestParallelReportValidate(t *testing.T) {
 	cell := func(m string, w int, res int64, set, order uint64) ParallelCell {
 		return ParallelCell{Method: m, Workers: w, Results: res, SetHash: set, OrderHash: order, WallNS: 1, PhaseNS: 1}
 	}
-	good := &ParallelReport{Workers: []int{1, 2}}
+	good := &ParallelReport{Workers: []int{1, 2}, Runtime: CaptureRuntime()}
 	for _, m := range parallelMethodNames {
 		good.Cells = append(good.Cells, cell(m, 1, 10, 7, 9), cell(m, 2, 10, 7, 9))
 	}
@@ -68,12 +68,12 @@ func TestParallelReportValidate(t *testing.T) {
 		t.Fatalf("good report rejected: %v", err)
 	}
 
-	missing := &ParallelReport{Workers: []int{1, 2}, Cells: good.Cells[:len(good.Cells)-1]}
+	missing := &ParallelReport{Workers: []int{1, 2}, Runtime: CaptureRuntime(), Cells: good.Cells[:len(good.Cells)-1]}
 	if err := missing.Validate(); err == nil || !strings.Contains(err.Error(), "missing cell") {
 		t.Fatalf("missing cell not detected: %v", err)
 	}
 
-	diverged := &ParallelReport{Workers: []int{1, 2}}
+	diverged := &ParallelReport{Workers: []int{1, 2}, Runtime: CaptureRuntime()}
 	for _, m := range parallelMethodNames {
 		diverged.Cells = append(diverged.Cells, cell(m, 1, 10, 7, 9), cell(m, 2, 10, 7, 8))
 	}
@@ -81,9 +81,14 @@ func TestParallelReportValidate(t *testing.T) {
 		t.Fatalf("order-hash divergence not detected: %v", err)
 	}
 
-	dup := &ParallelReport{Workers: []int{1}, Cells: []ParallelCell{cell("PBSM", 1, 1, 1, 1), cell("PBSM", 1, 1, 1, 1)}}
+	dup := &ParallelReport{Workers: []int{1}, Runtime: CaptureRuntime(), Cells: []ParallelCell{cell("PBSM", 1, 1, 1, 1), cell("PBSM", 1, 1, 1, 1)}}
 	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("duplicate cell not detected: %v", err)
+	}
+
+	unstamped := &ParallelReport{Workers: []int{1}}
+	if err := unstamped.Validate(); err == nil || !strings.Contains(err.Error(), "runtime stamp") {
+		t.Fatalf("missing runtime stamp not detected: %v", err)
 	}
 
 	empty := &ParallelReport{}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"runtime"
+
+	"spatialjoin/internal/metrics"
+)
+
+// RuntimeInfo pins the environment a BENCH_*.json artifact was measured
+// in. Wall-time trajectories are only comparable between runs of the
+// same toolchain on the same class of machine; the stamp makes a stale
+// or cross-machine comparison visible in the artifact itself.
+type RuntimeInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureRuntime reads the current process's runtime stamp.
+func CaptureRuntime() RuntimeInfo {
+	return RuntimeInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// flattenMetrics renders a final registry snapshot as flat name→value
+// pairs for embedding in an artifact: labeled series append {key=value}
+// to the name, histograms contribute .count/.sum/.min/.max fields. Nil
+// for an empty snapshot, so reports without a registry omit the block.
+func flattenMetrics(snap metrics.Snapshot) map[string]float64 {
+	if len(snap.Points) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(snap.Points))
+	for _, p := range snap.Points {
+		key := p.Name
+		if p.Label != "" {
+			key = p.Name + "{" + p.LabelKey + "=" + p.Label + "}"
+		}
+		if p.Hist != nil {
+			out[key+".count"] = float64(p.Hist.Count)
+			out[key+".sum"] = p.Hist.Sum
+			if p.Hist.Count > 0 {
+				out[key+".min"] = p.Hist.Min
+				out[key+".max"] = p.Hist.Max
+			}
+			continue
+		}
+		out[key] = p.Value
+	}
+	return out
+}

@@ -47,6 +47,12 @@ type ShardReport struct {
 	Experiment string `json:"experiment"`
 	Quick      bool   `json:"quick"`
 
+	// Runtime stamps the measuring environment (Validate requires it);
+	// Metrics is the final flattened registry snapshot, empty when no
+	// registry was attached.
+	Runtime RuntimeInfo        `json:"runtime"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	Records     int   `json:"records_per_input"`
 	MemoryBytes int64 `json:"memory_bytes"`
 
@@ -68,6 +74,9 @@ type ShardReport struct {
 // single-process baseline) and measured kill recovery (every kill cell
 // actually killed a worker, recovered, and still hash-matches).
 func (r *ShardReport) Validate() error {
+	if r.Runtime.GoVersion == "" {
+		return fmt.Errorf("bench: report carries no runtime stamp (re-generate with a current sjbench)")
+	}
 	if r.BaselineResults <= 0 {
 		return fmt.Errorf("bench: shard report has an empty baseline")
 	}
@@ -163,6 +172,7 @@ func RunShards(s *Suite, quick bool, workerCmd, workerEnv []string) (*ShardRepor
 	rep := &ShardReport{
 		Experiment:        "shards",
 		Quick:             quick,
+		Runtime:           CaptureRuntime(),
 		Records:           n,
 		MemoryBytes:       mem,
 		BaselineResults:   baseRes.Results,
@@ -178,6 +188,7 @@ func RunShards(s *Suite, quick bool, workerCmd, workerEnv []string) (*ShardRepor
 			WorkerCmd: workerCmd,
 			WorkerEnv: workerEnv,
 			Chaos:     chaos,
+			Metrics:   s.Metrics,
 		}
 		var h pairHasher
 		t0 := time.Now()
@@ -216,6 +227,7 @@ func RunShards(s *Suite, quick bool, workerCmd, workerEnv []string) (*ShardRepor
 		chaos := &shard.ChaosSpec{Kills: []shard.ChaosKill{{Shard: 0, Attempt: 1, Kill: k}}}
 		rep.KillCells = append(rep.KillCells, run(2, chaos, k.Point))
 	}
+	rep.Metrics = flattenMetrics(s.Metrics.Snapshot())
 
 	if err := rep.Validate(); err != nil {
 		panic(err)

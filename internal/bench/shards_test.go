@@ -54,6 +54,7 @@ func TestShardReportValidateRejects(t *testing.T) {
 	good := func() *bench.ShardReport {
 		r := &bench.ShardReport{
 			Experiment: "shards", Records: 10, MemoryBytes: 1 << 20,
+			Runtime:         bench.CaptureRuntime(),
 			BaselineResults: 5, BaselineSetHash: 0xabc, BaselineOrderHash: 0xdef,
 			Shards: []int{1, 2},
 		}
@@ -84,6 +85,7 @@ func TestShardReportValidateRejects(t *testing.T) {
 		"kill point uncovered": func(r *bench.ShardReport) { r.KillCells[2].Kill = shard.KillSpawn },
 		"faults in clean cell": func(r *bench.ShardReport) { r.Cells[0].Kills = 1 },
 		"no kill cells":        func(r *bench.ShardReport) { r.KillCells = nil },
+		"no runtime stamp":     func(r *bench.ShardReport) { r.Runtime.GoVersion = "" },
 	}
 	for name, corrupt := range cases {
 		r := good()

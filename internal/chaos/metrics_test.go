@@ -1,0 +1,139 @@
+// Metrics reconciliation under chaos: the live metrics layer must agree
+// exactly with the two observability systems that already exist — the
+// per-join Result/Stats accounting and the trace's instant events —
+// even while the fault injector is forcing retries, heals, worker kills
+// and restarts. A metrics layer that drifts under pressure is worse
+// than none: it would be trusted precisely when it lies.
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/metrics"
+	"spatialjoin/internal/shard"
+	"spatialjoin/internal/trace"
+)
+
+// sumLabeled totals a labeled counter family across its children in a
+// snapshot (Sub output included).
+func sumLabeled(s metrics.Snapshot, name string) float64 {
+	total := 0.0
+	for _, p := range s.Points {
+		if p.Name == name {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// TestMetricsReconcileWithResultStats runs faulty PBSM joins with a
+// registry attached and requires every successful run's snapshot delta
+// to equal the join's own Result accounting: disk requests and retries,
+// healed partitions, suppressed duplicates, and a progress fraction
+// parked at exactly 1.
+func TestMetricsReconcileWithResultStats(t *testing.T) {
+	reg := metrics.New()
+	v := variant{"pbsm-parallel", core.Config{Method: core.PBSM, PBSMParallel: 4}}
+	R, S := dataset()
+
+	reconciled, healedRuns := 0, 0
+	for seed := int64(1); seed <= 25; seed++ {
+		d := diskio.NewDisk(4096, 20, time.Microsecond)
+		d.SetFaultPolicy(diskio.NewFaultPolicy(faultConfig(seed)))
+		cfg := v.cfg
+		cfg.Memory = memory
+		cfg.Disk = d
+		cfg.Metrics = reg
+		before := reg.Snapshot()
+		_, res, err := core.Collect(R, S, cfg)
+		if err != nil {
+			continue // clean failure; nothing to reconcile against
+		}
+		delta := reg.Snapshot().Sub(before)
+
+		check := func(name string, want int64) {
+			t.Helper()
+			if got := delta.Value(name); got != float64(want) {
+				t.Fatalf("seed %d: metric %s delta %.0f, Result says %d", seed, name, got, want)
+			}
+		}
+		check("diskio.retries", res.IO.Retries)
+		check("diskio.read.requests", res.IO.ReadRequests)
+		check("diskio.write.requests", res.IO.WriteRequests)
+		check("pbsm.healed", int64(res.PBSMStats.Healed))
+		check("pbsm.dup.suppressed", res.PBSMStats.RawResults-res.PBSMStats.Results)
+		check("core.joins.completed", 1)
+		if frac := reg.Snapshot().Value(metrics.JoinProgressFraction); frac != 1 {
+			t.Fatalf("seed %d: progress fraction %v after a completed join, want exactly 1", seed, frac)
+		}
+		if res.PBSMStats.Healed > 0 {
+			healedRuns++
+		}
+		reconciled++
+	}
+	if reconciled == 0 {
+		t.Fatal("no run survived its fault schedule; reconciliation was vacuous")
+	}
+	if healedRuns == 0 {
+		t.Log("note: no surviving run healed a partition (heal counter only reconciled at zero)")
+	}
+	t.Logf("reconciled %d/25 runs (%d with heals)", reconciled, healedRuns)
+}
+
+// TestShardMetricsReconcileWithTrace SIGKILLs one worker mid-stream and
+// requires the shard metrics to agree with both the coordinator's Stats
+// and the trace's kill/retry instants: same kills, same restarts, one
+// recovery observation per closed failure window, one seal per
+// partition.
+func TestShardMetricsReconcileWithTrace(t *testing.T) {
+	reg := metrics.New()
+	tmpRoot := t.TempDir()
+	cfg := shardChaosConfig(t, 2, tmpRoot)
+	cfg.Chaos = &shard.ChaosSpec{Kills: []shard.ChaosKill{
+		{Shard: 0, Attempt: 1, Kill: shard.KillSpec{Point: shard.KillMidPairs, AfterParts: 1}},
+	}}
+	rec := trace.New()
+	cfg.Trace = rec
+	cfg.Metrics = reg
+
+	before := reg.Snapshot()
+	R, S := dataset()
+	res, err := shard.Join(R, S, cfg, func(geom.Pair) {})
+	if err != nil {
+		t.Fatalf("join did not self-heal: %v", err)
+	}
+	delta := reg.Snapshot().Sub(before)
+
+	if got, want := delta.Value("shard.kills"), float64(countInstants(rec, "shard-kill")); got != want {
+		t.Fatalf("metric shard.kills %.0f, trace records %.0f shard-kill instants", got, want)
+	}
+	if got, want := delta.Value("shard.kills"), float64(res.Stats.Kills); got != want {
+		t.Fatalf("metric shard.kills %.0f, stats say %d", got, res.Stats.Kills)
+	}
+	if got, want := sumLabeled(delta, "shard.restarts"), float64(countInstants(rec, "shard-retry")); got != want {
+		t.Fatalf("metric shard.restarts %.0f, trace records %.0f shard-retry instants", got, want)
+	}
+	if got, want := sumLabeled(delta, "shard.restarts"), float64(res.Stats.Restarts); got != want {
+		t.Fatalf("metric shard.restarts %.0f, stats say %d", got, res.Stats.Restarts)
+	}
+	if got, want := delta.Value("shard.spawns"), float64(res.Stats.Spawns); got != want {
+		t.Fatalf("metric shard.spawns %.0f, stats say %d", got, res.Stats.Spawns)
+	}
+	if got, want := delta.Value("shard.rederived"), float64(res.Stats.Rederived); got != want {
+		t.Fatalf("metric shard.rederived %.0f, stats say %d", got, res.Stats.Rederived)
+	}
+	if got, want := delta.Value("shard.seals"), float64(res.Stats.Partitions); got != want {
+		t.Fatalf("metric shard.seals %.0f, want one per partition (%d)", got, res.Stats.Partitions)
+	}
+	hv := delta.Hist("shard.recovery.seconds")
+	if got, want := hv.Count, int64(res.Stats.Recoveries); got != want {
+		t.Fatalf("recovery histogram has %d observations, stats say %d recoveries", got, want)
+	}
+	if res.Stats.Recoveries > 0 && hv.Sum <= 0 {
+		t.Fatalf("recovery histogram sum %v with %d recoveries", hv.Sum, res.Stats.Recoveries)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/s3j"
 	"spatialjoin/internal/sfc"
@@ -143,6 +144,20 @@ type Config struct {
 	// the claim alone exceeds the governor's budget. Share one Governor
 	// across the joins of one machine.
 	Governor *Governor
+
+	// Metrics, when non-nil, publishes live process-lifetime series for
+	// this join and every layer under it: disk request/byte/retry/fault
+	// counters, governor admission gauges, per-pool scheduler
+	// occupancy, method counters (replication copies, RPM tests,
+	// duplicates suppressed), shard supervision, and the per-join
+	// progress estimator (join.progress.*) behind `sjoin -progress` and
+	// the /metrics endpoint. Share ONE Registry per process; because
+	// counters are process-lifetime totals, per-join deltas come from
+	// Snapshot().Sub(before). The progress gauges describe one join at
+	// a time — concurrent joins sharing a registry still get exact
+	// counters but an interleaved progress signal. Nil (the default)
+	// disables everything at one pointer test per site.
+	Metrics *metrics.Registry
 }
 
 // Governor re-exports the admission controller of package govern so
@@ -319,6 +334,19 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		disk.SetCancel(chk.Now)
 		defer disk.SetCancel(nil)
 	}
+	// Metrics mirror the tracer attach/detach pattern: the registry is
+	// process-lifetime, the disk attachment is per-join (shared disks are
+	// serialized above, so detaching on exit never races another join).
+	if cfg.Metrics != nil {
+		disk.SetMetrics(cfg.Metrics)
+		defer disk.SetMetrics(nil)
+		if cfg.Governor != nil {
+			cfg.Governor.SetMetrics(cfg.Metrics)
+		}
+	}
+	jm := newJoinMetrics(cfg.Metrics)
+	jm.begin()
+	prog := metrics.NewProgress(cfg.Metrics)
 	before := disk.Stats()
 	res := Result{Method: cfg.method()}
 	root := rec.Begin("join:" + string(res.Method))
@@ -335,6 +363,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	// leave a trace footprint: a "cancel" instant event naming the dying
 	// phase plus a join.aborted counter.
 	fail := func(err error) (Result, error) {
+		jm.end(0, err)
 		if joinerr.IsCanceled(err) {
 			phase := ""
 			var je *joinerr.JoinError
@@ -362,6 +391,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			BufPages:          cfg.BufPages,
 			Trace:             root,
 			Cancel:            chk,
+			Metrics:           cfg.Metrics,
+			Progress:          prog,
 		}, emit)
 		if err != nil {
 			return fail(err)
@@ -382,6 +413,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Gov:       cfg.Governor,
 			Trace:     root,
 			Cancel:    chk,
+			Metrics:   cfg.Metrics,
+			Progress:  prog,
 		}, emit)
 		if err != nil {
 			return fail(err)
@@ -414,6 +447,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 			Gov:       cfg.Governor,
 			Trace:     root,
 			Cancel:    chk,
+			Metrics:   cfg.Metrics,
+			Progress:  prog,
 		}, emit)
 		if err != nil {
 			return fail(err)
@@ -422,13 +457,15 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		res.Results = st.Results
 		res.CPU = st.TotalCPU()
 	default:
-		return Result{}, joinerr.Wrap("core", "config", fmt.Errorf("unknown method %q", cfg.Method))
+		return fail(joinerr.Wrap("core", "config", fmt.Errorf("unknown method %q", cfg.Method)))
 	}
 
 	res.IO = disk.Stats().Sub(before)
 	res.IOTime = disk.CostTime(res.IO.CostUnits)
 	res.Total = res.CPU + res.IOTime
 	root.SetAttr("results", res.Results)
+	prog.Done()
+	jm.end(res.Results, nil)
 	return res, nil
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import "spatialjoin/internal/metrics"
+
+// Metric names owned by package core: whole-join lifecycle counters,
+// the process-level view a daemon scrapes to see joins flowing.
+const (
+	// metJoinsStarted counts joins that passed validation + admission.
+	metJoinsStarted = "core.joins.started"
+	// metJoinsCompleted counts joins that returned success.
+	metJoinsCompleted = "core.joins.completed"
+	// metJoinsFailed counts joins that returned an error (including
+	// cancellation).
+	metJoinsFailed = "core.joins.failed"
+	// metJoinsActive is the number of joins currently executing in this
+	// process (post-admission, pre-return).
+	metJoinsActive = "core.joins.active"
+	// metResults counts result pairs delivered to callers.
+	metResults = "core.results"
+)
+
+// joinMetrics is the per-Join handle set; nil without a registry, with
+// every method nil-safe.
+type joinMetrics struct {
+	started   *metrics.Counter
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	active    *metrics.Gauge
+	results   *metrics.Counter
+}
+
+// newJoinMetrics resolves the lifecycle handles, or nil without a
+// registry.
+func newJoinMetrics(r *metrics.Registry) *joinMetrics {
+	if r == nil {
+		return nil
+	}
+	return &joinMetrics{
+		started:   r.Counter(metJoinsStarted),
+		completed: r.Counter(metJoinsCompleted),
+		failed:    r.Counter(metJoinsFailed),
+		active:    r.Gauge(metJoinsActive),
+		results:   r.Counter(metResults),
+	}
+}
+
+// begin marks one join entering execution.
+func (jm *joinMetrics) begin() {
+	if jm == nil {
+		return
+	}
+	jm.started.Inc()
+	jm.active.Add(1)
+}
+
+// end marks the join leaving execution, with its outcome.
+func (jm *joinMetrics) end(results int64, err error) {
+	if jm == nil {
+		return
+	}
+	jm.active.Add(-1)
+	if err != nil {
+		jm.failed.Inc()
+		return
+	}
+	jm.completed.Inc()
+	jm.results.Add(results)
+}

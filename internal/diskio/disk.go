@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,6 +51,11 @@ type Disk struct {
 	cancel  func() error
 	latency time.Duration
 	backoff *Backoff
+
+	// met holds the live-metrics handles installed by SetMetrics, read
+	// on every request with one atomic load so the disabled mode costs a
+	// pointer test (see metrics.go).
+	met atomic.Pointer[diskMetrics]
 }
 
 // Tracer receives rare storage-layer events: request retries after
@@ -188,9 +194,14 @@ func (d *Disk) checkCancel() error {
 	return fn()
 }
 
-// emitEvent forwards an event to the tracer, if any. Called without
-// d.mu held so tracer implementations may take their own locks freely.
+// emitEvent forwards an event to the tracer, if any, and counts
+// injected faults on the live registry (retries are metered separately
+// in NoteRetry). Called without d.mu held so tracer implementations
+// may take their own locks freely.
 func (d *Disk) emitEvent(kind, file string) {
+	if kind != "retry" {
+		d.meterFault(kind)
+	}
 	if tr := d.tracer(); tr != nil {
 		tr.IOEvent(kind, file)
 	}
@@ -204,6 +215,7 @@ func (d *Disk) NoteRetry(file string) {
 	d.mu.Lock()
 	d.stats.Retries++
 	d.mu.Unlock()
+	d.meterRetry()
 	d.emitEvent("retry", file)
 }
 
@@ -333,6 +345,7 @@ func (d *Disk) chargeRead(bytes int) {
 	d.stats.CostUnits += units
 	lat := d.latency
 	d.mu.Unlock()
+	d.meterRead(p)
 	sleepUnits(lat, units)
 }
 
@@ -348,6 +361,7 @@ func (d *Disk) chargeWrite(bytes int) {
 	d.stats.CostUnits += units
 	lat := d.latency
 	d.mu.Unlock()
+	d.meterWrite(p)
 	sleepUnits(lat, units)
 }
 

@@ -157,6 +157,7 @@ type Governor struct {
 	mem     int64
 	waiters []*waiter
 	stats   GovernorStats
+	met     *govMetrics // live-metrics handles (nil = detached)
 }
 
 // waiter is one queued Acquire. ready is closed (with the grant already
@@ -175,6 +176,9 @@ type GovernorStats struct {
 
 	WorkerGrants   int64 // TryAcquire grants (extra parallel worker slots)
 	WorkerDeclined int64 // TryAcquire denials (workers degraded to fewer slots)
+
+	WorkerGrantedMem  int64 // bytes granted to worker slots over the governor's lifetime
+	WorkerDeclinedMem int64 // bytes declined to worker slots over the governor's lifetime
 
 	Active       int   // joins currently admitted
 	ActiveMemory int64 // memory currently claimed
@@ -216,6 +220,9 @@ func (g *Governor) admit(mem int64) {
 	g.active++
 	g.mem += mem
 	g.stats.Admitted++
+	if g.met != nil {
+		g.met.admitted.Inc()
+	}
 }
 
 // wake admits queued requests from the head while they fit. Strict FIFO:
@@ -229,6 +236,7 @@ func (g *Governor) wake() {
 		g.admit(w.mem)
 		close(w.ready)
 	}
+	g.syncGauges()
 }
 
 // Acquire claims mem bytes and one join slot, queueing while the
@@ -244,18 +252,26 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 	g.mu.Lock()
 	if g.maxMem > 0 && mem > g.maxMem {
 		g.stats.Rejected++
+		if g.met != nil {
+			g.met.rejected.Inc()
+		}
 		g.mu.Unlock()
 		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrOverCapacity, mem, g.maxMem)
 	}
 	// Fast path: capacity available and nobody queued ahead of us.
 	if len(g.waiters) == 0 && g.fits(mem) {
 		g.admit(mem)
+		g.syncGauges()
 		g.mu.Unlock()
 		return g.releaseFunc(mem), nil
 	}
 	w := &waiter{mem: mem, ready: make(chan struct{})}
 	g.waiters = append(g.waiters, w)
 	g.stats.Waited++
+	if g.met != nil {
+		g.met.waited.Inc()
+	}
+	g.syncGauges()
 	g.mu.Unlock()
 
 	var done <-chan struct{}
@@ -283,6 +299,9 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 			}
 		}
 		g.stats.Aborted++
+		if g.met != nil {
+			g.met.aborted.Inc()
+		}
 		// Our departure may unblock a smaller request queued behind us.
 		g.wake()
 		g.mu.Unlock()
@@ -310,10 +329,21 @@ func (g *Governor) TryAcquire(mem int64) (release func(), ok bool) {
 	defer g.mu.Unlock()
 	if len(g.waiters) > 0 || (g.maxMem > 0 && g.mem+mem > g.maxMem) {
 		g.stats.WorkerDeclined++
+		g.stats.WorkerDeclinedMem += mem
+		if g.met != nil {
+			g.met.wDeclined.Inc()
+			g.met.wDenied.Add(mem)
+		}
 		return nil, false
 	}
 	g.mem += mem
 	g.stats.WorkerGrants++
+	g.stats.WorkerGrantedMem += mem
+	if g.met != nil {
+		g.met.wGrants.Inc()
+		g.met.wGranted.Add(mem)
+	}
+	g.syncGauges()
 	return g.releaseMemFunc(mem), true
 }
 

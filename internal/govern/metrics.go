@@ -1,0 +1,85 @@
+package govern
+
+import "spatialjoin/internal/metrics"
+
+// Metric names owned by package govern. Gauges mirror the live
+// admission state that was previously visible only as a terminal
+// GovernorStats snapshot; counters accumulate process-wide across every
+// join sharing the governor (closing the gap where per-join stats
+// readers dropped TryAcquire declines on the floor).
+const (
+	// metQueueDepth is the number of Acquire calls queued right now.
+	metQueueDepth = "govern.queue.depth"
+	// metActiveJoins is the number of currently admitted joins.
+	metActiveJoins = "govern.joins.active"
+	// metActiveMemory is the aggregate memory currently claimed, bytes.
+	metActiveMemory = "govern.memory.active.bytes"
+	// metAdmitted counts grants handed out (with or without queueing).
+	metAdmitted = "govern.admitted.total"
+	// metWaited counts grants that queued before admission.
+	metWaited = "govern.waited.total"
+	// metRejected counts fail-fast ErrOverCapacity rejections.
+	metRejected = "govern.rejected.total"
+	// metAborted counts queue waits ended by cancellation/deadline.
+	metAborted = "govern.aborted.total"
+	// metWorkerGrants counts TryAcquire worker-slot grants.
+	metWorkerGrants = "govern.worker.grants"
+	// metWorkerDeclined counts TryAcquire worker-slot declines.
+	metWorkerDeclined = "govern.worker.declined"
+	// metWorkerGrantedBytes counts memory granted to worker slots.
+	metWorkerGrantedBytes = "govern.worker.granted.bytes"
+	// metWorkerDeclinedBytes counts memory declined to worker slots.
+	metWorkerDeclinedBytes = "govern.worker.declined.bytes"
+)
+
+// govMetrics is the handle set resolved by one SetMetrics call.
+type govMetrics struct {
+	queue     *metrics.Gauge
+	active    *metrics.Gauge
+	mem       *metrics.Gauge
+	admitted  *metrics.Counter
+	waited    *metrics.Counter
+	rejected  *metrics.Counter
+	aborted   *metrics.Counter
+	wGrants   *metrics.Counter
+	wDeclined *metrics.Counter
+	wGranted  *metrics.Counter
+	wDenied   *metrics.Counter
+}
+
+// SetMetrics attaches (or, with nil, detaches) a live-metrics registry.
+// Idempotent; safe to call while joins are in flight.
+func (g *Governor) SetMetrics(r *metrics.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r == nil {
+		g.met = nil
+		return
+	}
+	g.met = &govMetrics{
+		queue:     r.Gauge(metQueueDepth),
+		active:    r.Gauge(metActiveJoins),
+		mem:       r.Gauge(metActiveMemory),
+		admitted:  r.Counter(metAdmitted),
+		waited:    r.Counter(metWaited),
+		rejected:  r.Counter(metRejected),
+		aborted:   r.Counter(metAborted),
+		wGrants:   r.Counter(metWorkerGrants),
+		wDeclined: r.Counter(metWorkerDeclined),
+		wGranted:  r.Counter(metWorkerGrantedBytes),
+		wDenied:   r.Counter(metWorkerDeclinedBytes),
+	}
+	g.syncGauges()
+}
+
+// syncGauges publishes the live admission state. Caller holds g.mu;
+// the gauge stores themselves are atomic, so scrapes never block on
+// the governor lock.
+func (g *Governor) syncGauges() {
+	if g.met == nil {
+		return
+	}
+	g.met.queue.Set(int64(len(g.waiters)))
+	g.met.active.Set(int64(g.active))
+	g.met.mem.Set(g.mem)
+}

@@ -1,0 +1,89 @@
+// Package iocost is the leaf-level I/O cost model shared by the
+// analytic planner (internal/plan), the shard coordinator's LPT
+// assignment, and the per-join progress estimator inside the methods
+// themselves. It lives below every other join package — it depends
+// only on internal/geom — so packages that core imports (pbsm, s3j,
+// shj) can price work units without the plan → core import cycle.
+//
+// Costs are in the simulator's deterministic units (PT positioning
+// cost plus one unit per page transferred), so estimates compare
+// directly against measured diskio.Stats.CostUnits.
+package iocost
+
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Device describes the simulated disk parameters.
+type Device struct {
+	PageSize int     // bytes per page
+	PT       float64 // positioning-to-transfer ratio
+	BufPages int     // sequential buffer size in pages
+}
+
+// DefaultDevice matches the diskio defaults.
+var DefaultDevice = Device{PageSize: 8192, PT: 20, BufPages: 4}
+
+// Pages converts a byte volume to pages (fractional; the model works in
+// expectations).
+func (d Device) Pages(bytes float64) float64 {
+	return bytes / float64(d.PageSize)
+}
+
+// PassCost returns the cost units of streaming `pages` pages through a
+// buffer of b pages: the transfers plus one positioning per request.
+func (d Device) PassCost(pages float64, b int) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	if b < 1 {
+		b = 1
+	}
+	return pages + d.PT*math.Ceil(pages/float64(b))
+}
+
+// BufFor bounds the per-stream buffer by the memory budget across the
+// given number of concurrently open streams.
+func (d Device) BufFor(memory int64, streams int) int {
+	if streams < 1 {
+		streams = 1
+	}
+	per := int(memory / int64(streams) / int64(d.PageSize))
+	if per < 1 {
+		return 1
+	}
+	if per > d.BufPages {
+		return d.BufPages
+	}
+	return per
+}
+
+// PairCost predicts the I/O cost units of executing one PBSM top-level
+// partition pair holding nr + ns record copies under the given memory
+// budget: the pair's data is written once in the partition phase and
+// read once in the join phase, plus one extra write+read of the larger
+// side per expected repartition level when the pair exceeds the budget.
+// The shard coordinator ranks partitions by this cost to balance shard
+// assignments (largest-cost-first bin packing), and the PBSM progress
+// estimator weights partition pairs by it; like the method predictors
+// it is a planning estimate, not an accounting of the run.
+func PairCost(nr, ns int64, memory int64, d Device) float64 {
+	bytes := float64(nr+ns) * float64(geom.KPESize)
+	pg := d.Pages(bytes)
+	cost := d.PassCost(pg, d.BufPages) * 2
+	if memory <= 0 {
+		return cost
+	}
+	larger := nr
+	if ns > larger {
+		larger = ns
+	}
+	largerPg := d.Pages(float64(larger) * float64(geom.KPESize))
+	for over := bytes; over > float64(memory); over /= 2 {
+		// Each repartition level streams the larger side out and back in.
+		cost += d.PassCost(largerPg, d.BufPages) * 2
+	}
+	return cost
+}

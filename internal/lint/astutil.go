@@ -14,6 +14,7 @@ const (
 	pathGovern  = "spatialjoin/internal/govern"
 	pathJoinerr = "spatialjoin/internal/joinerr"
 	pathDiskio  = "spatialjoin/internal/diskio"
+	pathMetrics = "spatialjoin/internal/metrics"
 )
 
 // parentMap records the immediate parent of every node in a file, the

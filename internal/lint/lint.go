@@ -116,6 +116,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerCheckpoint,
 		AnalyzerJoinwrap,
 		AnalyzerKindswitch,
+		AnalyzerMetricname,
 		AnalyzerRegistry,
 		AnalyzerShardwrap,
 		AnalyzerSpanend,

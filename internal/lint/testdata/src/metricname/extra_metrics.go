@@ -1,0 +1,5 @@
+package mfix
+
+// metGoodVec lives in a *_metrics.go file, which the convention also
+// accepts.
+const metGoodVec = "mfix.units.done"

@@ -1,0 +1,9 @@
+package mfix
+
+// Metric names owned by the fixture package. metGood conforms; the
+// other two are format violations flagged at their registration sites.
+const (
+	metGood    = "mfix.records.seen"
+	metBadCase = "Mfix.Records.Seen"
+	metNoDots  = "mfixrecords"
+)

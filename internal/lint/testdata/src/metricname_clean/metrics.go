@@ -1,0 +1,12 @@
+package mclean
+
+// Metric names owned by the clean fixture, all conforming.
+const (
+	metSeen  = "mclean.records.seen"
+	metDepth = "mclean.queue.depth"
+	metFrac  = "mclean.progress.fraction"
+	metLat   = "mclean.latency.seconds"
+	metDone  = "mclean.units.done"
+	metBusy  = "mclean.workers.active"
+	metHeat  = "mclean.heartbeat.age.seconds"
+)

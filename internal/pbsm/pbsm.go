@@ -32,6 +32,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sweep"
@@ -134,6 +135,13 @@ type Config struct {
 	// cancellation. Every data-dependent loop polls it, so a canceled
 	// join unwinds within a bounded amount of work.
 	Cancel *govern.Check
+	// Metrics, when non-nil, publishes live counters (pairs completed,
+	// duplicates suppressed, RPM tests, replication copies) and feeds
+	// the per-pool scheduler series.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, receives the join's planned pair costs
+	// and per-pair completions for the percent-complete/ETA estimator.
+	Progress *metrics.Progress
 }
 
 func (c *Config) tune() float64 {
@@ -254,6 +262,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		return Stats{}, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
 	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm), reg: cfg.Disk.NewRegistry()}
+	j.pairsDone = j.pairsDoneCounter()
 	// One sweep covers every exit path — success, failure, cancellation —
 	// so no partition, repartition, spool or sort file outlives the join.
 	defer j.reg.Sweep()
@@ -276,6 +285,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		t.Count("pbsm.healed", int64(j.stats.Healed))
 		t.Count("pbsm.repartitions", int64(j.stats.Repartitions))
 	}
+	j.publishMetrics()
 	return j.stats, err
 }
 
@@ -302,6 +312,12 @@ type joiner struct {
 	// anything, the partition is re-derived from the base inputs.
 	baseR, baseS []geom.KPE
 	grid         *grid
+
+	// pairCost holds each top pair's planned iocost.PairCost (progress
+	// weights; nil without a Progress), read-only once the join phase
+	// starts. pairsDone is the live pairs counter handle (nil-safe).
+	pairCost  []float64
+	pairsDone *metrics.Counter
 }
 
 // healableError tags a corruption error that was detected before the
@@ -408,6 +424,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 
 	if p == 1 {
 		// Everything fits: a single in-memory join, no partition files.
+		j.cfg.Progress.SetTotal(1)
 		pt := j.begin(PhaseJoin)
 		pt.sp.AddRecords(int64(len(R) + len(S)))
 		rs := append([]geom.KPE(nil), R...)
@@ -417,6 +434,8 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		if err != nil {
 			return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
 		}
+		j.pairsDone.Inc()
+		j.cfg.Progress.Add(1)
 	} else {
 		g := newGrid(p*j.cfg.tilesPerPart(), p)
 		j.stats.NT = g.nx * g.ny
@@ -447,6 +466,9 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 					float64(recfile.NumKPEs(filesR[i])+recfile.NumKPEs(filesS[i])))
 			}
 		}
+		// Price every top pair for the progress estimator while the
+		// partition sizes are at hand.
+		j.initProgress(filesR, filesS, p)
 
 		if workers := j.cfg.workers(); workers > 1 {
 			// Phases 2+3, parallel: every top pair is one ordered unit on
@@ -472,9 +494,14 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 				Cancel:  j.cfg.Cancel,
 				Gov:     j.cfg.Gov,
 				UnitMem: j.cfg.Memory,
+				Metrics: j.cfg.Metrics,
 			}, func(w, i int) error {
 				defer col.Done(i)
-				return j.processTopPair(algs[w], func(pr geom.Pair) { col.Emit(i, pr) }, filesR, filesS, i, g)
+				err := j.processTopPair(algs[w], func(pr geom.Pair) { col.Emit(i, pr) }, filesR, filesS, i, g)
+				if err == nil {
+					j.pairDone(i)
+				}
+				return err
 			})
 			j.par = false
 			pt.end()
@@ -496,6 +523,7 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 				if err := j.processTopPair(j.alg, j.deliver, filesR, filesS, i, g); err != nil {
 					return err
 				}
+				j.pairDone(i)
 			}
 		}
 	}

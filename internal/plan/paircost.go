@@ -1,30 +1,12 @@
 package plan
 
-import "spatialjoin/internal/geom"
+import "spatialjoin/internal/iocost"
 
 // PairCost predicts the I/O cost units of executing one PBSM top-level
-// partition pair holding nr + ns record copies under the given memory
-// budget: the pair's data is written once in the partition phase and
-// read once in the join phase, plus one extra write+read of the larger
-// side per expected repartition level when the pair exceeds the budget.
-// The shard coordinator ranks partitions by this cost to balance
-// shard assignments (largest-cost-first bin packing); like the method
-// predictors it is a planning estimate, not an accounting of the run.
+// partition pair; it delegates to iocost.PairCost, which lives in a
+// leaf package so that pbsm's progress estimator can share the exact
+// model the shard coordinator assigns by. Kept here so planner-side
+// callers need only one import.
 func PairCost(nr, ns int64, memory int64, d Device) float64 {
-	bytes := float64(nr+ns) * float64(geom.KPESize)
-	pg := d.pages(bytes)
-	cost := d.passCost(pg, d.BufPages) * 2
-	if memory <= 0 {
-		return cost
-	}
-	larger := nr
-	if ns > larger {
-		larger = ns
-	}
-	largerPg := d.pages(float64(larger) * float64(geom.KPESize))
-	for over := bytes; over > float64(memory); over /= 2 {
-		// Each repartition level streams the larger side out and back in.
-		cost += d.passCost(largerPg, d.BufPages) * 2
-	}
-	return cost
+	return iocost.PairCost(nr, ns, memory, d)
 }

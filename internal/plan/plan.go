@@ -18,18 +18,18 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/estimate"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/iocost"
 	"spatialjoin/internal/sfc"
 )
 
-// Device describes the simulated disk parameters.
-type Device struct {
-	PageSize int     // bytes per page
-	PT       float64 // positioning-to-transfer ratio
-	BufPages int     // sequential buffer size in pages
-}
+// Device describes the simulated disk parameters. It is an alias of
+// iocost.Device — the cost model lives in that leaf package so pbsm,
+// shard and the progress estimator can share it without importing the
+// planner (which depends on core).
+type Device = iocost.Device
 
 // DefaultDevice matches the diskio defaults.
-var DefaultDevice = Device{PageSize: 8192, PT: 20, BufPages: 4}
+var DefaultDevice = iocost.DefaultDevice
 
 // Prediction is the analytic I/O estimate for one method.
 type Prediction struct {
@@ -50,40 +50,6 @@ type Workload struct {
 	Memory  int64
 }
 
-// pages converts a byte volume to pages (fractional; the model works in
-// expectations).
-func (d Device) pages(bytes float64) float64 {
-	return bytes / float64(d.PageSize)
-}
-
-// passCost returns the cost units of streaming `pages` pages through a
-// buffer of b pages: the transfers plus one positioning per request.
-func (d Device) passCost(pages float64, b int) float64 {
-	if pages <= 0 {
-		return 0
-	}
-	if b < 1 {
-		b = 1
-	}
-	return pages + d.PT*math.Ceil(pages/float64(b))
-}
-
-// bufFor bounds the per-stream buffer by the memory budget across the
-// given number of concurrently open streams.
-func (d Device) bufFor(memory int64, streams int) int {
-	if streams < 1 {
-		streams = 1
-	}
-	per := int(memory / int64(streams) / int64(d.PageSize))
-	if per < 1 {
-		return 1
-	}
-	if per > d.BufPages {
-		return d.BufPages
-	}
-	return per
-}
-
 // PBSM predicts the partition-write plus join-read cost of PBSM with the
 // Reference Point Method (repartitioning, which the paper measures as a
 // minor contribution, is not modeled).
@@ -101,9 +67,9 @@ func PBSM(w Workload, d Device) Prediction {
 		rep = estimate.ReplicationRate(sample, nx, ny)
 	}
 	vol := rep * float64(w.NR+w.NS) * geom.KPESize
-	pg := d.pages(vol)
-	write := d.passCost(pg, d.bufFor(w.Memory, p))
-	read := d.passCost(pg, d.BufPages)
+	pg := d.Pages(vol)
+	write := d.PassCost(pg, d.BufFor(w.Memory, p))
+	read := d.PassCost(pg, d.BufPages)
 	return Prediction{
 		Method:      core.PBSM,
 		IOUnits:     write + read,
@@ -127,10 +93,10 @@ func S3J(w Workload, d Device) Prediction {
 	}
 	rec := float64(geom.KPESize + 8) // level-file records carry the code
 	vol := rep * float64(w.NR+w.NS) * rec
-	pg := d.pages(vol)
-	write := d.passCost(pg, d.bufFor(w.Memory, levels+1))
-	sortPasses := d.passCost(pg, d.BufPages) + d.passCost(pg, d.BufPages)
-	read := d.passCost(pg, d.bufFor(w.Memory, 2*(levels+1)))
+	pg := d.Pages(vol)
+	write := d.PassCost(pg, d.BufFor(w.Memory, levels+1))
+	sortPasses := d.PassCost(pg, d.BufPages) + d.PassCost(pg, d.BufPages)
+	read := d.PassCost(pg, d.BufFor(w.Memory, 2*(levels+1)))
 	return Prediction{
 		Method:      core.S3J,
 		IOUnits:     write + sortPasses + read,
@@ -144,16 +110,16 @@ func S3J(w Workload, d Device) Prediction {
 // exceeds the sort workspace).
 func SSSJ(w Workload, d Device) Prediction {
 	vol := float64(w.NR+w.NS) * geom.KPESize
-	pg := d.pages(vol)
+	pg := d.Pages(vol)
 	passes := 4.0 // write raw, sort read+write (run formation), sweep read
-	io := d.passCost(pg, d.BufPages) * passes
+	io := d.PassCost(pg, d.BufPages) * passes
 	if vol > float64(w.Memory) {
 		// Multi-run sorts add merge passes over the data.
 		runs := vol / float64(w.Memory)
 		fanin := math.Max(2, float64(w.Memory)/float64(d.BufPages*d.PageSize)-1)
 		extra := math.Ceil(math.Log(runs) / math.Log(fanin))
 		if extra > 0 {
-			io += d.passCost(pg, d.BufPages) * 2 * extra
+			io += d.PassCost(pg, d.BufPages) * 2 * extra
 			passes += 2 * extra
 		}
 	}

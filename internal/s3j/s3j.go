@@ -26,6 +26,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sfc"
@@ -116,6 +117,14 @@ type Config struct {
 	// Gov, when non-nil, admission-controls the memory the extra
 	// parallel sort workers claim beyond the join's own budget.
 	Gov *govern.Governor
+	// Metrics, when non-nil, publishes live counters (duplicates
+	// suppressed, RPM tests, replication copies, level sorts) and feeds
+	// the per-pool scheduler series.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, receives record-weighted phase
+	// completions for the percent-complete/ETA estimator: each level
+	// sort contributes its record count, the scan its total copies.
+	Progress *metrics.Progress
 }
 
 // DefaultLevels gives 4^10 ≈ one million cells on the deepest grid,
@@ -265,6 +274,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			t.Observe("s3j.level.fill", float64(n))
 		}
 	}
+	j.publishMetrics()
 	return j.stats, err
 }
 
@@ -346,6 +356,13 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	pt.sp.SetAttr("copies", j.stats.CopiesR+j.stats.CopiesS)
 	pt.end()
 
+	// Declare the planned cost in record weights: every copy is sorted
+	// once (levels ≥ 1) and scanned once (all levels), so progress
+	// advances by each sort unit's records and by the final scan.
+	scanWork := float64(j.stats.CopiesR + j.stats.CopiesS)
+	sortWork := scanWork - float64(countsR[0]+countsS[0])
+	j.cfg.Progress.SetTotal(sortWork + scanWork)
+
 	// Phase 2: sort every level file by locational code. Level 0 has a
 	// single cell (all codes zero) and needs no sort — the optimization
 	// §4.4.2 enables by never computing codes for the lowest level.
@@ -370,14 +387,18 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		Cancel:  j.cfg.Cancel,
 		Gov:     j.cfg.Gov,
 		UnitMem: j.cfg.Memory,
+		Metrics: j.cfg.Metrics,
 	}, func(w, i int) error {
 		u := units[i]
+		records := recfile.NumKPEs(u.files[u.l])
 		sorted, st, serr := j.sortLevel(u.files[u.l], pt.sp)
 		if serr != nil {
 			return serr
 		}
 		u.files[u.l] = sorted
 		unitStats[i] = st
+		j.levelSortDone()
+		j.cfg.Progress.Add(float64(records))
 		return nil
 	})
 	if err != nil {
@@ -395,6 +416,9 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 	pt.sp.AddRecords(j.stats.CopiesR + j.stats.CopiesS)
 	err = j.scan(filesR, filesS)
 	pt.end()
+	if err == nil {
+		j.cfg.Progress.Add(scanWork)
+	}
 	return joinerr.Wrap("s3j", PhaseJoin.String(), err)
 }
 

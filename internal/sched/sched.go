@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"spatialjoin/internal/govern"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/trace"
 )
 
@@ -58,6 +59,9 @@ type Options struct {
 	// UnitMem is the worst-case working-set bytes one concurrent unit
 	// adds beyond the join's serial claim; only meaningful with Gov.
 	UnitMem int64
+	// Metrics, when non-nil, publishes per-pool live series (units
+	// queued/running/done, worker occupancy) labeled by Name.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) name() string {
@@ -79,12 +83,23 @@ func Run(n int, o Options, unit func(w, i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	pm := o.poolMetrics()
+	if pm != nil {
+		pm.queued.Add(int64(n))
+		defer pm.drain()
+	}
 	if workers < 2 || n < 2 {
+		if pm != nil {
+			pm.workers.Set(1)
+		}
 		for i := 0; i < n; i++ {
 			if err := o.Cancel.Now(); err != nil {
 				return err
 			}
-			if err := unit(0, i); err != nil {
+			pm.unitStart()
+			err := unit(0, i)
+			pm.unitEnd()
+			if err != nil {
 				return err
 			}
 		}
@@ -130,10 +145,16 @@ func Run(n int, o Options, unit func(w, i int) error) error {
 			release = rel
 		}
 		wg.Add(1)
+		if pm != nil {
+			pm.workers.Add(1)
+		}
 		go func(w int, release func()) {
 			defer wg.Done()
 			if release != nil {
 				defer release()
+			}
+			if pm != nil {
+				defer pm.workers.Add(-1)
 			}
 			sp := o.Span.Child(o.name())
 			defer sp.End()
@@ -146,7 +167,10 @@ func Run(n int, o Options, unit func(w, i int) error) error {
 					setErr(err)
 					return
 				}
-				if err := unit(w, i); err != nil {
+				pm.unitStart()
+				err := unit(w, i)
+				pm.unitEnd()
+				if err != nil {
 					setErr(err)
 					return
 				}

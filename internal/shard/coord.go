@@ -10,12 +10,14 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/plan"
 	"spatialjoin/internal/sched"
@@ -84,6 +86,12 @@ type Config struct {
 	// Trace receives shard spans, kill/retry/absorb instants and
 	// counters; nil disables instrumentation.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, publishes the coordinator's live view:
+	// spawn/kill/restart/absorb/rederive/seal counters, a per-shard
+	// heartbeat-age gauge sampled by the supervision watchdog, and the
+	// recovery-latency histogram. Same registry the rest of the stack
+	// shares; nil disables it.
+	Metrics *metrics.Registry
 	// Ctx cancels the whole join; nil means background.
 	Ctx context.Context
 	// Governor admission-controls the join (the full Memory is claimed
@@ -159,6 +167,7 @@ type coordinator struct {
 	root    *trace.Span
 	man     *manifest
 	backoff *diskio.Backoff
+	met     *shardMetrics
 	st      *joinState
 
 	// Aggregates folded in under st.mu: worker reports plus absorb runs.
@@ -177,6 +186,7 @@ type joinState struct {
 	bufs    map[int][]geom.Pair
 	sealed  []bool
 	stats   Stats
+	met     *shardMetrics
 	pending map[int]time.Time // shard → failure detection time
 	results int64             // written only inside the collector sink
 }
@@ -230,6 +240,7 @@ func (st *joinState) sealLocked(part, shard int) {
 	delete(st.bufs, part)
 	st.sealed[part] = true
 	st.col.Done(part)
+	st.met.seal()
 	st.recoverLocked(shard)
 }
 
@@ -247,6 +258,7 @@ func (st *joinState) recoverLocked(shard int) {
 	if d > st.stats.MaxRecoveryNS {
 		st.stats.MaxRecoveryNS = d
 	}
+	st.met.recovered(float64(d) / float64(time.Second))
 }
 
 // noteFailure discards the unsealed buffers of a failed attempt and
@@ -432,9 +444,11 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	man := &manifest{root: tmpRoot}
 	defer man.sweepRoot()
 
+	met := newShardMetrics(cfg.Metrics)
 	st := &joinState{
 		bufs:    make(map[int][]geom.Pair),
 		sealed:  make([]bool, gs.Parts),
+		met:     met,
 		pending: make(map[int]time.Time),
 	}
 	st.col = sched.NewCollector(gs.Parts, func(p geom.Pair) {
@@ -456,6 +470,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		root:    root,
 		man:     man,
 		backoff: cfg.backoffPolicy(),
+		met:     met,
 	}
 	c.st = st
 
@@ -524,6 +539,7 @@ func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice i
 		}
 		if attempt > 1 {
 			c.st.locked(func() { c.st.stats.Rederived += len(remaining) })
+			c.met.rederive(len(remaining))
 		}
 		err := c.runAttempt(ctx, id, attempt, remaining, slice)
 		if err == nil {
@@ -534,6 +550,7 @@ func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice i
 		var wexit *WorkerExitError
 		if errors.As(err, &wexit) {
 			c.st.locked(func() { c.st.stats.Kills++ })
+			c.met.kill()
 			c.rec.Instant("shard-kill",
 				trace.Attr{Key: "shard", Val: int64(id)},
 				trace.Attr{Key: "attempt", Val: int64(attempt)})
@@ -546,9 +563,11 @@ func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice i
 		}
 		if attempt > c.cfg.maxRestarts() {
 			c.st.locked(func() { c.st.stats.Absorbed++ })
+			c.met.absorb()
 			c.rec.Instant("shard-absorb", trace.Attr{Key: "shard", Val: int64(id)})
 			left := c.st.unsealed(parts)
 			c.st.locked(func() { c.st.stats.Rederived += len(left) })
+			c.met.rederive(len(left))
 			if aerr := c.absorb(id, left); aerr != nil {
 				return aerr
 			}
@@ -556,6 +575,7 @@ func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice i
 			return nil
 		}
 		c.st.locked(func() { c.st.stats.Restarts++ })
+		c.met.restart(id)
 		c.rec.Instant("shard-retry",
 			trace.Attr{Key: "shard", Val: int64(id)},
 			trace.Attr{Key: "attempt", Val: int64(attempt)})
@@ -647,6 +667,7 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
 	}
 	c.st.locked(func() { c.st.stats.Spawns++ })
+	c.met.spawn()
 
 	// Input shipper: job spec, partition chunks, go. A worker dying
 	// mid-ship surfaces as a write error here and as EOF on the event
@@ -706,8 +727,25 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 	}
 
 	kill := func() { _ = cmd.Process.Kill() }
-	stall := time.NewTimer(c.cfg.stallTimeout())
-	defer stall.Stop()
+	// Stall supervision: every frame stamps lastBeat, and a watchdog
+	// ticker both publishes the age of that stamp as the shard's
+	// heartbeat gauge and kills the worker once the age crosses the
+	// stall timeout. One clock serves observability and enforcement, so
+	// the gauge a scrape sees is exactly the quantity the supervisor
+	// acts on. Detection lags a true stall by at most one tick.
+	stallAfter := c.cfg.stallTimeout()
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	tickEvery := stallAfter / 4
+	if tickEvery > time.Second {
+		tickEvery = time.Second
+	}
+	if tickEvery < time.Millisecond {
+		tickEvery = time.Millisecond
+	}
+	watchdog := time.NewTicker(tickEvery)
+	defer watchdog.Stop()
+	defer c.met.heartbeat(id, 0) // no attempt in flight → age reads 0
 	var deadlineCh <-chan time.Time
 	if c.cfg.ShardDeadline > 0 {
 		dt := time.NewTimer(c.cfg.ShardDeadline)
@@ -729,13 +767,7 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 				continue
 			}
 			// Any frame is proof of life.
-			if !stall.Stop() {
-				select {
-				case <-stall.C:
-				default:
-				}
-			}
-			stall.Reset(c.cfg.stallTimeout())
+			lastBeat.Store(time.Now().UnixNano())
 			if loopErr != nil || killedBy != "" {
 				continue // draining after a verdict
 			}
@@ -758,9 +790,13 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 			case ev.t == FrameDone:
 				report = ev.report
 			}
-		case <-stall.C:
-			killedBy = fmt.Sprintf("stalled: no frame for %v", c.cfg.stallTimeout())
-			kill()
+		case <-watchdog.C:
+			age := time.Duration(time.Now().UnixNano() - lastBeat.Load())
+			c.met.heartbeat(id, age.Seconds())
+			if age >= stallAfter && loopErr == nil && killedBy == "" {
+				killedBy = fmt.Sprintf("stalled: no frame for %v", age.Round(time.Millisecond))
+				kill()
+			}
 		case <-deadlineCh:
 			killedBy = fmt.Sprintf("attempt exceeded shard deadline %v", c.cfg.ShardDeadline)
 			deadlineCh = nil

@@ -28,6 +28,7 @@ func coreJoin(R, S []geom.KPE, cfg core.Config, emit func(geom.Pair)) (core.Resu
 		PT:                cfg.PT,
 		Transfer:          cfg.Transfer,
 		Trace:             cfg.Trace,
+		Metrics:           cfg.Metrics,
 		Ctx:               cfg.Ctx,
 		Governor:          cfg.Governor,
 	}, emit)

@@ -1,0 +1,34 @@
+package shj
+
+import "spatialjoin/internal/metrics"
+
+// Metric names owned by package shj: hash-join redundancy accounting
+// as live process-lifetime counters.
+const (
+	// metReplicationCopies counts probe-side records written (≥ |S|
+	// due to replication into overlapping bucket extents).
+	metReplicationCopies = "shj.replication.copies"
+	// metOrphans counts S rectangles overlapping no bucket extent.
+	metOrphans = "shj.orphans"
+	// metOverflows counts bucket pairs joined over the memory budget.
+	metOverflows = "shj.overflows"
+	// metBucketsDone counts joinable bucket pairs completed.
+	metBucketsDone = "shj.buckets.done"
+)
+
+// publishMetrics adds one finished join's totals to the process-
+// lifetime counters; a no-op without a registry.
+func publishMetrics(m *metrics.Registry, st *Stats) {
+	if m == nil {
+		return
+	}
+	m.Counter(metReplicationCopies).Add(st.CopiesS)
+	m.Counter(metOrphans).Add(st.Orphans)
+	m.Counter(metOverflows).Add(int64(st.Overflows))
+}
+
+// bucketsDoneCounter resolves the live buckets-done counter (nil-safe
+// handle; nil without a registry).
+func bucketsDoneCounter(m *metrics.Registry) *metrics.Counter {
+	return m.Counter(metBucketsDone)
+}

@@ -23,6 +23,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/govern"
 	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/recfile"
 	"spatialjoin/internal/sched"
 	"spatialjoin/internal/sweep"
@@ -81,6 +82,13 @@ type Config struct {
 	// parallel workers claim beyond the join's own admission (one bucket
 	// pair's working set each).
 	Gov *govern.Governor
+	// Metrics, when non-nil, publishes live counters (replication
+	// copies, orphans, overflows, buckets completed) and feeds the
+	// per-pool scheduler series.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, receives record-weighted bucket
+	// completions for the percent-complete/ETA estimator.
+	Progress *metrics.Progress
 }
 
 func (c *Config) bufPages() int {
@@ -280,6 +288,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	t0, io0 = time.Now(), cfg.Disk.Stats()
 	sp = cfg.Trace.Child(PhaseJoin.String())
 	var units []*bucket
+	var unitWeight []float64
 	for _, b := range buckets {
 		// A bucket pair is an expensive unit, so poll immediately:
 		// cancellation latency is bounded by one pair, not 256.
@@ -307,7 +316,14 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			st.Overflows++
 		}
 		units = append(units, b)
+		unitWeight = append(unitWeight, float64(int64(b.nR)+nS))
 	}
+	// The joinable bucket pairs, record-weighted, are the planned cost.
+	total := 0.0
+	for _, w := range unitWeight {
+		total += w
+	}
+	cfg.Progress.SetTotal(total)
 	if err == nil {
 		workers := cfg.workers()
 		algs := make([]sweep.Algorithm, workers)
@@ -320,6 +336,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			emit(p)
 		})
 		recs := make([]int64, len(units))
+		bucketsDone := bucketsDoneCounter(cfg.Metrics)
 		err = sched.Run(len(units), sched.Options{
 			Workers: workers,
 			Name:    "bucket-worker",
@@ -327,6 +344,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			Cancel:  cfg.Cancel,
 			Gov:     cfg.Gov,
 			UnitMem: cfg.Memory,
+			Metrics: cfg.Metrics,
 		}, func(w, i int) error {
 			defer col.Done(i)
 			b := units[i]
@@ -342,6 +360,8 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 			algs[w].Join(rs, ss, func(r, s geom.KPE) {
 				col.Emit(i, geom.Pair{R: r.ID, S: s.ID})
 			})
+			bucketsDone.Inc()
+			cfg.Progress.Add(unitWeight[i])
 			return nil
 		})
 		// The span is not safe for concurrent AddRecords, so per-unit
@@ -367,6 +387,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		t.Count("shj.sweep.touches."+alg.Name(), st.Touches)
 		t.Count("shj.overflows", int64(st.Overflows))
 	}
+	publishMetrics(cfg.Metrics, &st)
 	return st, nil
 }
 
