@@ -66,7 +66,7 @@ echo "== chaos suite (fault-injection + cancellation + kill-a-shard sweeps) =="
 # the shard kill sweep in internal/chaos spawn real worker processes and
 # SIGKILL them at seeded points; -count=1 keeps the process-level chaos
 # uncached.
-go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/ ./internal/shard/ ./internal/metrics/
+go test -race -count=1 -timeout 10m ./internal/chaos/ ./internal/govern/ ./internal/core/ ./internal/diskio/ ./internal/shard/ ./internal/netfault/ ./internal/metrics/
 
 echo "== metrics endpoint smoke (/metrics exposition + progress) =="
 # A latency-slowed PBSM join scraped mid-flight over metrics.Handler:
@@ -98,5 +98,12 @@ echo "== sjbench shards smoke (multi-process invariance + kill recovery) =="
 # chaos point, and validates the emitted BENCH_shards.json, printing
 # "bench OK" on success.
 go run ./cmd/sjbench -exp shards -quick -bench-dir "$benchdir" | grep "bench OK"
+
+echo "== sjbench net smoke (transport overhead + connection fault recovery) =="
+# The quick net sweep runs every shard count over both transports (pipe
+# re-exec and resident TCP workers via -worker-listen), injects one
+# scripted connection fault per recovery scenario, and validates the
+# emitted BENCH_net.json, printing "bench OK" on success.
+go run ./cmd/sjbench -exp net -quick -bench-dir "$benchdir" | grep "bench OK"
 
 echo "ci.sh: all checks passed"

@@ -14,6 +14,11 @@
 // and BENCH_baseline.json artifacts to -bench-dir; -quick shrinks it to
 // a CI smoke.
 //
+// The net experiment compares pipe-spawned workers against resident TCP
+// workers (sjbench re-execs itself with -worker-listen to stand up the
+// fleet), injects scripted connection faults, and writes a
+// self-validated BENCH_net.json.
+//
 // The -la-scale and -cal-scale flags scale the synthetic dataset
 // cardinalities relative to Table 1 of the paper (the CAL_ST self-join J5
 // at full 1.9M-rectangle scale takes many minutes for the slowest
@@ -60,8 +65,25 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the 'parallel' and 'shards' experiments to a CI smoke (timings meaningless, structure and determinism checks intact)")
 	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' and 'shards' experiments")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (e.g. localhost:9090 or :0): /metrics Prometheus text, /metricsz JSONL; also embeds the final snapshot in BENCH_*.json")
+	workerListen := flag.String("worker-listen", "", "serve as a resident shard worker on this TCP address (host:port; :0 picks a free port) instead of running experiments; prints 'listening <addr>' once bound")
 	flag.Bool("shard-worker", false, "run as a shard worker process (frame protocol on stdin/stdout); handled before flag parsing")
 	flag.Parse()
+
+	if *workerListen != "" {
+		// Resident worker mode: the 'net' experiment re-execs this binary
+		// with -worker-listen and scans stdout for the announcement.
+		ln, err := net.Listen("tcp", *workerListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("listening %s\n", ln.Addr())
+		if err := shard.ServeWorker(ln); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: resident worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := bench.NewSuite(*laScale, *calScale, *seed)
 	if *metricsAddr != "" {
@@ -82,6 +104,7 @@ func main() {
 	var phasesRuns []bench.PhasesRun
 	var parallelRep *bench.ParallelReport
 	var shardRep *bench.ShardReport
+	var netRep *bench.NetReport
 	runners := map[string]func() *bench.Table{
 		"parallel": func() *bench.Table {
 			rep, t := bench.RunParallel(s, *quick)
@@ -94,6 +117,13 @@ func main() {
 			// os.Executable).
 			rep, t := bench.RunShards(s, *quick, nil, nil)
 			shardRep = rep
+			return t
+		},
+		"net": func() *bench.Table {
+			// nil commands: pipe workers re-exec this binary with
+			// -shard-worker, resident workers with -worker-listen.
+			rep, t := bench.RunNet(s, *quick, nil, nil, nil, nil)
+			netRep = rep
 			return t
 		},
 		"phases": func() *bench.Table {
@@ -128,7 +158,7 @@ func main() {
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
 		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases",
-		"parallel", "shards"}
+		"parallel", "shards", "net"}
 
 	var names []string
 	if *exp == "all" {
@@ -168,6 +198,13 @@ func main() {
 
 	if shardRep != nil {
 		if err := writeAndValidateShards(*benchDir, shardRep); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if netRep != nil {
+		if err := writeAndValidateNet(*benchDir, netRep); err != nil {
 			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -255,6 +292,35 @@ func writeAndValidateShards(dir string, rep *bench.ShardReport) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Printf("bench OK: %s (%d invariance cells, %d kill cells)\n", path, len(back.Cells), len(back.KillCells))
+	return nil
+}
+
+// writeAndValidateNet persists the network transport experiment as
+// BENCH_net.json, then proves the artifact is usable: re-read,
+// re-parsed and structurally validated — transport invariance hashes,
+// clean placement, and fault-recovery measurements intact.
+func writeAndValidateNet(dir string, rep *bench.NetReport) error {
+	path := filepath.Join(dir, "BENCH_net.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var back bench.NetReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return fmt.Errorf("%s does not re-parse: %w", path, err)
+	}
+	if err := back.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("bench OK: %s (%d pipe cells, %d tcp cells, %d fault cells)\n",
+		path, len(back.PipeCells), len(back.TCPCells), len(back.FaultCells))
 	return nil
 }
 

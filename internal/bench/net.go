@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/netfault"
+	"spatialjoin/internal/shard"
+)
+
+// NetFaults names the scripted connection faults of the recovery sweep,
+// in artifact order.
+var NetFaults = []string{"drop-at-dial", "reset-mid-ship", "reset-mid-pairs"}
+
+// NetCell is one measurement of the network transport experiment: a
+// transport-overhead cell (Fault == "") comparing pipe workers against
+// resident TCP workers at one shard count, or a fault-recovery cell
+// where one scripted connection fault was injected and the coordinator
+// had to reconnect or restart its way back to a byte-identical result.
+type NetCell struct {
+	Transport string `json:"transport"` // "pipe" or "tcp"
+	Shards    int    `json:"shards"`
+	Fault     string `json:"fault,omitempty"`
+
+	Results   int64  `json:"results"`
+	SetHash   uint64 `json:"set_hash"`
+	OrderHash uint64 `json:"order_hash"`
+
+	WallNS int64 `json:"wall_ns"`
+
+	// Coordinator-side placement: pipe cells spawn, tcp cells lease.
+	Spawns       int `json:"spawns"`
+	RemoteLeases int `json:"remote_leases"`
+	Degraded     int `json:"degraded"`
+	Kills        int `json:"kills"`
+	Restarts     int `json:"restarts"`
+
+	// Pool-side connection lifecycle, zero for pipe cells. ReconnectNS
+	// is the recovery latency the experiment exists to measure: how
+	// long a lease took when it succeeded only after a failure.
+	Dials       int   `json:"dials,omitempty"`
+	Evictions   int   `json:"evictions,omitempty"`
+	Reconnects  int   `json:"reconnects,omitempty"`
+	ReconnectNS int64 `json:"reconnect_ns,omitempty"`
+}
+
+// NetReport is the serialized experiment — the schema of BENCH_net.json.
+type NetReport struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+
+	Runtime RuntimeInfo        `json:"runtime"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	Records     int   `json:"records_per_input"`
+	MemoryBytes int64 `json:"memory_bytes"`
+
+	// The single-process ground truth every cell must hash-match.
+	BaselineResults   int64  `json:"baseline_results"`
+	BaselineSetHash   uint64 `json:"baseline_set_hash"`
+	BaselineOrderHash uint64 `json:"baseline_order_hash"`
+
+	Shards []int `json:"shards"`
+	// PipeCells and TCPCells are the fault-free transport-overhead
+	// sweep; FaultCells are the connection fault recovery scenarios.
+	PipeCells  []NetCell `json:"pipe_cells"`
+	TCPCells   []NetCell `json:"tcp_cells"`
+	FaultCells []NetCell `json:"fault_cells"`
+}
+
+// Validate checks a (possibly re-parsed) report for structural
+// completeness and the contracts the experiment exists to prove:
+// transport invariance (every cell, both transports, hash-matches the
+// single-process baseline), clean placement (pipe cells spawn and never
+// lease, tcp cells lease and never spawn or degrade), and measured
+// fault recovery (every fault cell injected its fault, paid for it in
+// evictions, and healed by reconnect or restart).
+func (r *NetReport) Validate() error {
+	if r.Runtime.GoVersion == "" {
+		return fmt.Errorf("bench: report carries no runtime stamp (re-generate with a current sjbench)")
+	}
+	if r.BaselineResults <= 0 {
+		return fmt.Errorf("bench: net report has an empty baseline")
+	}
+	if len(r.Shards) == 0 {
+		return fmt.Errorf("bench: net report has no shard sweep")
+	}
+	for _, kind := range []struct {
+		name  string
+		cells []NetCell
+	}{{"pipe", r.PipeCells}, {"tcp", r.TCPCells}} {
+		seen := make(map[int]bool)
+		for _, c := range kind.cells {
+			if c.Transport != kind.name {
+				return fmt.Errorf("bench: %s cell at %d shards claims transport %q", kind.name, c.Shards, c.Transport)
+			}
+			if c.Fault != "" {
+				return fmt.Errorf("bench: overhead cell at %d shards over %s carries fault %q", c.Shards, kind.name, c.Fault)
+			}
+			if seen[c.Shards] {
+				return fmt.Errorf("bench: duplicate %s cell at %d shards", kind.name, c.Shards)
+			}
+			seen[c.Shards] = true
+			if err := r.checkCell(c, kind.name); err != nil {
+				return err
+			}
+			if c.Kills != 0 || c.Restarts != 0 || c.Degraded != 0 {
+				return fmt.Errorf("bench: fault-free %s cell at %d shards reports faults: %+v", kind.name, c.Shards, c)
+			}
+		}
+		for _, n := range r.Shards {
+			if !seen[n] {
+				return fmt.Errorf("bench: missing %s cell at %d shards", kind.name, n)
+			}
+		}
+	}
+	for _, c := range r.PipeCells {
+		if c.Spawns < c.Shards || c.RemoteLeases != 0 {
+			return fmt.Errorf("bench: pipe cell at %d shards placed work remotely: %+v", c.Shards, c)
+		}
+	}
+	for _, c := range r.TCPCells {
+		if c.RemoteLeases < c.Shards || c.Spawns != 0 {
+			return fmt.Errorf("bench: tcp cell at %d shards fell back to local spawns: %+v", c.Shards, c)
+		}
+	}
+
+	faults := make(map[string]bool)
+	for _, c := range r.FaultCells {
+		if c.Fault == "" {
+			return fmt.Errorf("bench: fault cell without a fault name")
+		}
+		faults[c.Fault] = true
+		if c.Transport != "tcp" {
+			return fmt.Errorf("bench: fault cell %q ran over %q, want tcp", c.Fault, c.Transport)
+		}
+		if err := r.checkCell(c, "fault "+c.Fault); err != nil {
+			return err
+		}
+		if c.Evictions < 1 {
+			return fmt.Errorf("bench: fault cell %q injected a fault the pool never penalized: %+v", c.Fault, c)
+		}
+		if c.Degraded != 0 {
+			return fmt.Errorf("bench: a single connection fault degraded %d shards in cell %q", c.Degraded, c.Fault)
+		}
+		switch c.Fault {
+		case "drop-at-dial":
+			if c.Reconnects < 1 || c.ReconnectNS <= 0 {
+				return fmt.Errorf("bench: fault cell %q has no measured reconnect recovery: %+v", c.Fault, c)
+			}
+		default:
+			if c.Kills < 1 || c.Restarts < 1 {
+				return fmt.Errorf("bench: mid-stream fault cell %q neither killed nor restarted: %+v", c.Fault, c)
+			}
+		}
+	}
+	for _, f := range NetFaults {
+		if !faults[f] {
+			return fmt.Errorf("bench: fault %q not covered", f)
+		}
+	}
+	return nil
+}
+
+func (r *NetReport) checkCell(c NetCell, label string) error {
+	if c.WallNS <= 0 {
+		return fmt.Errorf("bench: %s cell at %d shards has non-positive wall time", label, c.Shards)
+	}
+	if c.Results != r.BaselineResults || c.SetHash != r.BaselineSetHash || c.OrderHash != r.BaselineOrderHash {
+		return fmt.Errorf("bench: %s cell at %d shards diverged from the single-process baseline: results %d vs %d, set %x vs %x, order %x vs %x",
+			label, c.Shards, c.Results, r.BaselineResults, c.SetHash, r.BaselineSetHash, c.OrderHash, r.BaselineOrderHash)
+	}
+	return nil
+}
+
+// RunNet measures the network shard transport: transport overhead
+// (pipe-spawned workers vs resident TCP workers at each shard count,
+// both hash-matching the single-process run) and connection fault
+// recovery (one scripted netfault per scenario — a dropped dial, a
+// write reset mid part-ship, a read reset mid pairs-stream — with the
+// pool's eviction/reconnect accounting in the artifact).
+//
+// workerCmd/workerEnv override the pipe worker command, listenArgv/
+// listenEnv the resident worker daemon; tests pass the helper-process
+// re-execs, the sjbench binary passes nil for both and re-execs itself
+// with -shard-worker / -worker-listen. quick shrinks the workload to a
+// CI smoke (cells and contracts intact, timings meaningless).
+func RunNet(s *Suite, quick bool, workerCmd, workerEnv, listenArgv, listenEnv []string) (*NetReport, *Table) {
+	n, frac := 12000, 0.06
+	if quick {
+		n, frac = 1500, 0.15
+	}
+	R := datagen.Uniform(s.Seed+81, n, 0.003)
+	S := datagen.Uniform(s.Seed+82, n, 0.003)
+	mem := MemFrac(R, S, frac)
+
+	var base pairHasher
+	baseRes, err := core.Join(R, S, core.Config{Memory: mem, Parallel: 1}, base.add)
+	if err != nil {
+		panic(err) // harness configs never fail
+	}
+
+	rep := &NetReport{
+		Experiment:        "net",
+		Quick:             quick,
+		Runtime:           CaptureRuntime(),
+		Records:           n,
+		MemoryBytes:       mem,
+		BaselineResults:   baseRes.Results,
+		BaselineSetHash:   base.set,
+		BaselineOrderHash: base.order,
+		Shards:            append([]int(nil), ShardCounts...),
+	}
+
+	if listenArgv == nil {
+		exe, eerr := os.Executable()
+		if eerr != nil {
+			panic(fmt.Sprintf("bench: resolving own executable for resident workers: %v", eerr))
+		}
+		listenArgv = []string{exe, "-worker-listen=127.0.0.1:0"}
+	}
+	// One resident fleet serves every tcp cell: workers are leased per
+	// shard and returned, so reuse across cells is exactly the daemon
+	// deployment the transport exists for.
+	fleet := make([]string, 0, maxShardCount())
+	for i := 0; i < cap(fleet); i++ {
+		addr, stop, serr := shard.SpawnResidentWorker(listenArgv, listenEnv)
+		if serr != nil {
+			panic(fmt.Sprintf("bench: spawning resident worker %d: %v", i, serr))
+		}
+		defer stop()
+		fleet = append(fleet, addr)
+	}
+
+	run := func(shards int, pool *shard.Pool, transport, fault string) NetCell {
+		cfg := shard.Config{
+			Shards:    shards,
+			Memory:    mem,
+			WorkerCmd: workerCmd,
+			WorkerEnv: workerEnv,
+			Pool:      pool,
+			Metrics:   s.Metrics,
+		}
+		var h pairHasher
+		t0 := time.Now()
+		res, jerr := shard.Join(R, S, cfg, h.add)
+		if jerr != nil {
+			panic(fmt.Sprintf("bench: %s join (%d shards, fault %q): %v", transport, shards, fault, jerr))
+		}
+		c := NetCell{
+			Transport:    transport,
+			Shards:       shards,
+			Fault:        fault,
+			Results:      res.Results,
+			SetHash:      h.set,
+			OrderHash:    h.order,
+			WallNS:       time.Since(t0).Nanoseconds(),
+			Spawns:       res.Stats.Spawns,
+			RemoteLeases: res.Stats.RemoteLeases,
+			Degraded:     res.Stats.Degraded,
+			Kills:        res.Stats.Kills,
+			Restarts:     res.Stats.Restarts,
+		}
+		if pool != nil {
+			st := pool.Stats()
+			c.Dials = st.Dials
+			c.Evictions = st.Evictions
+			c.Reconnects = st.Reconnects
+			c.ReconnectNS = st.ReconnectNS
+		}
+		return c
+	}
+	newPool := func(endpoints []string, pol *netfault.Policy) *shard.Pool {
+		pc := shard.PoolConfig{Endpoints: endpoints, Metrics: s.Metrics}
+		if pol != nil {
+			pc.Dial = pol.WrapDial(nil)
+		}
+		pool, perr := shard.NewPool(pc)
+		if perr != nil {
+			panic(fmt.Sprintf("bench: building worker pool: %v", perr))
+		}
+		return pool
+	}
+
+	for _, sc := range ShardCounts {
+		rep.PipeCells = append(rep.PipeCells, run(sc, nil, "pipe", ""))
+	}
+	for _, sc := range ShardCounts {
+		pool := newPool(fleet[:sc], nil)
+		rep.TCPCells = append(rep.TCPCells, run(sc, pool, "tcp", ""))
+		pool.Close()
+	}
+
+	// Fault scenarios run at two shards against two endpoints: the
+	// faulted conversation must recover while the sibling keeps
+	// streaming. Byte thresholds sit past the lease pings (a few dozen
+	// cumulative bytes) and inside the respective stream — the reply
+	// side is lean, the ship side is not.
+	faultCfg := map[string]netfault.Config{
+		"drop-at-dial":    {DropDialAt: 1},
+		"reset-mid-ship":  {ResetWriteAt: 4 << 10},
+		"reset-mid-pairs": {ResetReadAt: 512},
+	}
+	for _, f := range NetFaults {
+		pol := netfault.New(faultCfg[f])
+		pool := newPool(fleet[:2], pol)
+		cell := run(2, pool, "tcp", f)
+		pool.Close()
+		if pol.Stats().Total() < 1 {
+			panic(fmt.Sprintf("bench: fault cell %q injected nothing: %+v", f, pol.Stats()))
+		}
+		rep.FaultCells = append(rep.FaultCells, cell)
+	}
+	if s.Metrics != nil {
+		rep.Metrics = flattenMetrics(s.Metrics.Snapshot())
+	}
+
+	if err := rep.Validate(); err != nil {
+		panic(err)
+	}
+
+	tab := &Table{
+		Title: "Network transport — pipe vs resident TCP workers and connection fault recovery",
+		Note: fmt.Sprintf("uniform %d x %d rectangles, M = %.1f paper-MB; every cell's result sequence hash-matches the single-process run; fault cells inject one scripted connection fault and record the pool's eviction/reconnect accounting",
+			n, n, PaperMB(mem)),
+		Header: []string{"transport", "shards", "fault", "wall (s)", "spawns", "leases", "kills", "restarts", "evictions", "reconnect (ms)", "results"},
+	}
+	row := func(c NetCell) {
+		fault := c.Fault
+		if fault == "" {
+			fault = "-"
+		}
+		reconnect := "-"
+		if c.ReconnectNS > 0 {
+			reconnect = fmt.Sprintf("%.2f", float64(c.ReconnectNS)/1e6)
+		}
+		tab.AddRow(c.Transport, fmt.Sprintf("%d", c.Shards), fault,
+			fmt.Sprintf("%.3f", float64(c.WallNS)/1e9),
+			fmt.Sprintf("%d", c.Spawns), fmt.Sprintf("%d", c.RemoteLeases),
+			fmt.Sprintf("%d", c.Kills), fmt.Sprintf("%d", c.Restarts),
+			fmt.Sprintf("%d", c.Evictions), reconnect, fint(c.Results))
+	}
+	for _, c := range rep.PipeCells {
+		row(c)
+	}
+	for _, c := range rep.TCPCells {
+		row(c)
+	}
+	for _, c := range rep.FaultCells {
+		row(c)
+	}
+	return rep, tab
+}
+
+// maxShardCount is the fleet size every tcp cell can draw from.
+func maxShardCount() int {
+	m := 0
+	for _, n := range ShardCounts {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}

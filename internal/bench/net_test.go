@@ -1,0 +1,121 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spatialjoin/internal/bench"
+	"spatialjoin/internal/shard"
+)
+
+// TestRunNetQuick runs the quick experiment end to end — real pipe
+// worker processes and real resident TCP worker processes, both via
+// helper re-execs — and checks the report validates, live and after the
+// JSON round trip the checked-in artifact is consumed in.
+func TestRunNetQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cmd, env := shard.HelperWorkerCmd("TestShardWorkerHelper")
+	listenArgv, listenEnv := shard.HelperListenCmd("TestShardWorkerHelper")
+	s := bench.NewSuite(1, 0.15, 1)
+	rep, tab := bench.RunNet(s, true, cmd, env, listenArgv, listenEnv)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if tab == nil || len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	if want := 2*len(bench.ShardCounts) + len(bench.NetFaults); len(tab.Rows) != want {
+		t.Fatalf("%d table rows, want %d", len(tab.Rows), want)
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bench.NetReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("report does not survive the JSON round trip: %v", err)
+	}
+}
+
+// TestNetReportValidateRejects seeds defects a hand-edited or corrupted
+// artifact could carry.
+func TestNetReportValidateRejects(t *testing.T) {
+	good := func() *bench.NetReport {
+		r := &bench.NetReport{
+			Experiment: "net", Records: 10, MemoryBytes: 1 << 20,
+			Runtime:         bench.CaptureRuntime(),
+			BaselineResults: 5, BaselineSetHash: 0xabc, BaselineOrderHash: 0xdef,
+			Shards: []int{1, 2},
+		}
+		cell := func(transport string, shards int) bench.NetCell {
+			c := bench.NetCell{
+				Transport: transport, Shards: shards,
+				Results: 5, SetHash: 0xabc, OrderHash: 0xdef, WallNS: 100,
+			}
+			if transport == "pipe" {
+				c.Spawns = shards
+			} else {
+				c.RemoteLeases = shards
+				c.Dials = shards
+			}
+			return c
+		}
+		for _, n := range r.Shards {
+			r.PipeCells = append(r.PipeCells, cell("pipe", n))
+			r.TCPCells = append(r.TCPCells, cell("tcp", n))
+		}
+		for _, f := range bench.NetFaults {
+			c := cell("tcp", 2)
+			c.Fault = f
+			c.Evictions = 1
+			if f == "drop-at-dial" {
+				c.Reconnects = 1
+				c.ReconnectNS = 1000
+			} else {
+				c.Kills = 1
+				c.Restarts = 1
+			}
+			r.FaultCells = append(r.FaultCells, c)
+		}
+		return r
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("baseline fixture invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		break_ func(*bench.NetReport)
+	}{
+		{"no runtime stamp", func(r *bench.NetReport) { r.Runtime.GoVersion = "" }},
+		{"empty baseline", func(r *bench.NetReport) { r.BaselineResults = 0 }},
+		{"no shard sweep", func(r *bench.NetReport) { r.Shards = nil }},
+		{"missing tcp cell", func(r *bench.NetReport) { r.TCPCells = r.TCPCells[:1] }},
+		{"hash divergence", func(r *bench.NetReport) { r.TCPCells[0].OrderHash = 0xbad }},
+		{"pipe cell leased remotely", func(r *bench.NetReport) { r.PipeCells[0].RemoteLeases = 1 }},
+		{"tcp cell spawned locally", func(r *bench.NetReport) { r.TCPCells[0].Spawns = 1; r.TCPCells[0].RemoteLeases = 0 }},
+		{"fault-free cell with kills", func(r *bench.NetReport) { r.TCPCells[0].Kills = 1 }},
+		{"fault cell over pipe", func(r *bench.NetReport) { r.FaultCells[0].Transport = "pipe"; r.FaultCells[0].Spawns = 2 }},
+		{"fault cell without eviction", func(r *bench.NetReport) { r.FaultCells[0].Evictions = 0 }},
+		{"dial fault without reconnect", func(r *bench.NetReport) { r.FaultCells[0].Reconnects = 0 }},
+		{"reset fault without restart", func(r *bench.NetReport) { r.FaultCells[1].Restarts = 0 }},
+		{"fault cell degraded", func(r *bench.NetReport) { r.FaultCells[0].Degraded = 1 }},
+		{"missing fault scenario", func(r *bench.NetReport) { r.FaultCells = r.FaultCells[:2] }},
+		{"zero wall time", func(r *bench.NetReport) { r.PipeCells[0].WallNS = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := good()
+			tc.break_(r)
+			if err := r.Validate(); err == nil {
+				t.Fatalf("defect %q passed validation", tc.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,261 @@
+// Network chaos: the TCP shard transport under injected connection
+// faults — dials dropped, the part-ship stream reset mid-frame, the
+// pairs stream reset mid-frame — across pool sizes and seeds, with
+// in-process resident workers so the race detector watches both sides
+// of the protocol. The only acceptable outcome is the kill sweep's:
+// every injected fault ends in a completed join whose result sequence
+// is byte-identical to the single-process run, with zero orphaned temp
+// files, zero leaked goroutines, and pool stats that reconcile exactly
+// with the trace's evict/reconnect instants and the metric deltas.
+package chaos
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/metrics"
+	"spatialjoin/internal/netfault"
+	"spatialjoin/internal/shard"
+	"spatialjoin/internal/trace"
+)
+
+// residentWorkers serves n in-process resident workers on loopback
+// listeners; the listeners close with the test. In-process workers are
+// deliberate here: network chaos needs no SIGKILL (the fault IS the
+// connection), and sharing the process puts both protocol ends under
+// -race. ChaosSpec kills must never be combined with in-process
+// workers — the worker's self-SIGKILL would take the test down.
+func residentWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = ln.Close() })
+		go func() { _ = shard.ServeWorker(ln) }()
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestShardNetFaultSweep injects one scripted connection fault per cell
+// — a dropped dial, a write reset tearing the part-ship stream, a read
+// reset tearing the pairs stream — across pool sizes and seeds, and
+// requires full self-healing with reconciled accounting.
+func TestShardNetFaultSweep(t *testing.T) {
+	want := shardBaseline(t)
+	type faultCase struct {
+		name string
+		cfg  func(seed int) netfault.Config
+	}
+	faults := []faultCase{
+		{"drop-at-dial", func(seed int) netfault.Config {
+			return netfault.Config{Seed: int64(seed), DropDialAt: 1}
+		}},
+		{"reset-mid-ship", func(seed int) netfault.Config {
+			return netfault.Config{Seed: int64(seed), ResetWriteAt: int64(4<<10 + seed*2<<10)}
+		}},
+		{"reset-mid-pairs", func(seed int) netfault.Config {
+			// The coordinator's read side is lean — part seals, pairs,
+			// done reports — under 2 KiB per join, so the threshold sits
+			// in the low hundreds: past every lease ping (all shards
+			// lease up-front, concurrently) and inside the reply stream.
+			return netfault.Config{Seed: int64(seed), ResetReadAt: int64(512 + seed*256)}
+		}},
+	}
+	pools := []int{1, 2, 4}
+	seeds := []int{0, 1, 2}
+	if testing.Short() {
+		pools = []int{2}
+		seeds = []int{0}
+	}
+	R, S := dataset()
+	for _, fc := range faults {
+		for _, n := range pools {
+			for _, seed := range seeds {
+				fc, n, seed := fc, n, seed
+				t.Run(labelFor(n, fc.name, seed), func(t *testing.T) {
+					endpoints := residentWorkers(t, n)
+					before := runtime.NumGoroutine()
+					tmpRoot := t.TempDir()
+					pol := netfault.New(fc.cfg(seed))
+					reg := metrics.New()
+					rec := trace.New()
+					pool, err := shard.NewPool(shard.PoolConfig{
+						Endpoints: endpoints,
+						Dial:      pol.WrapDial(nil),
+						Metrics:   reg,
+						Trace:     rec,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer pool.Close()
+					cfg := shardChaosConfig(t, n, tmpRoot)
+					cfg.Pool = pool
+					cfg.Metrics = reg
+					cfg.Trace = rec
+
+					mBefore := reg.Snapshot()
+					var got []geom.Pair
+					res, err := shard.Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+					if err != nil {
+						t.Fatalf("join did not heal the injected %s fault: %v", fc.name, err)
+					}
+					assertSameSequence(t, fc.name, got, want)
+
+					if pol.Stats().Total() < 1 {
+						t.Fatalf("no fault was injected: %+v", pol.Stats())
+					}
+					st := pool.Stats()
+					if st.Evictions < 1 {
+						t.Fatalf("injected %s fault but the pool evicted nothing: %+v", fc.name, st)
+					}
+					if fc.name == "drop-at-dial" && (st.Reconnects < 1 || st.ReconnectNS <= 0) {
+						t.Fatalf("dropped dial but no reconnect measured: %+v", st)
+					}
+					if fc.name != "drop-at-dial" && (res.Stats.Kills < 1 || res.Stats.Restarts < 1) {
+						t.Fatalf("mid-stream reset must surface as a kill and restart: %+v", res.Stats)
+					}
+					if res.Stats.Degraded != 0 {
+						t.Fatalf("a single connection fault degraded %d shards", res.Stats.Degraded)
+					}
+
+					// Accounting must reconcile three ways: pool stats,
+					// trace instants, metric deltas.
+					delta := reg.Snapshot().Sub(mBefore)
+					if got, want := countInstants(rec, "net-evict"), st.Evictions; got != want {
+						t.Fatalf("trace records %d net-evict instants, pool says %d", got, want)
+					}
+					if got, want := delta.Value("shard.net.evictions"), float64(st.Evictions); got != want {
+						t.Fatalf("metric shard.net.evictions delta %.0f, pool says %.0f", got, want)
+					}
+					if got, want := delta.Value("shard.net.leases"), float64(st.Leases); got != want {
+						t.Fatalf("metric shard.net.leases delta %.0f, pool says %.0f", got, want)
+					}
+					if got, want := countInstants(rec, "net-reconnect"), st.Reconnects; got != want {
+						t.Fatalf("trace records %d net-reconnect instants, pool says %d", got, want)
+					}
+					if hv := delta.Hist("shard.net.reconnect.seconds"); int(hv.Count) != st.Reconnects {
+						t.Fatalf("reconnect histogram has %d observations, pool says %d", hv.Count, st.Reconnects)
+					}
+					if got, want := delta.Value("shard.kills"), float64(res.Stats.Kills); got != want {
+						t.Fatalf("metric shard.kills delta %.0f, stats say %.0f", got, want)
+					}
+
+					if res.Stats.WorkerLiveFiles != 0 {
+						t.Fatalf("workers leaked %d simulated-disk files", res.Stats.WorkerLiveFiles)
+					}
+					assertNoOrphans(t, fc.name, tmpRoot)
+					settleGoroutines(t, fc.name, before)
+				})
+			}
+		}
+	}
+}
+
+// TestShardNetDegradeToLocal is the ladder's second rung: a fleet that
+// refuses every connection must quarantine promptly and every shard must
+// degrade to a locally spawned worker — a slower join, never a failed
+// one, and no restart budget spent on the way down.
+func TestShardNetDegradeToLocal(t *testing.T) {
+	want := shardBaseline(t)
+	before := runtime.NumGoroutine()
+	tmpRoot := t.TempDir()
+	reg := metrics.New()
+	rec := trace.New()
+	cfg := shardChaosConfig(t, 2, tmpRoot)
+	cfg.Endpoints = []string{deadAddr(t)}
+	cfg.DialTimeout = 200 * time.Millisecond
+	cfg.QuarantineAfter = 1
+	cfg.Metrics = reg
+	cfg.Trace = rec
+
+	mBefore := reg.Snapshot()
+	var got []geom.Pair
+	R, S := dataset()
+	res, err := shard.Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join did not degrade around the dead fleet: %v", err)
+	}
+	assertSameSequence(t, "degrade", got, want)
+	if res.Stats.Degraded != res.Stats.Shards {
+		t.Fatalf("Degraded=%d, want all %d shards", res.Stats.Degraded, res.Stats.Shards)
+	}
+	if res.Stats.Restarts != 0 || res.Stats.Kills != 0 {
+		t.Fatalf("degradation consumed fault budget: %+v", res.Stats)
+	}
+	if got, want := countInstants(rec, "shard-degrade"), res.Stats.Degraded; got != want {
+		t.Fatalf("trace records %d shard-degrade instants, stats say %d", got, want)
+	}
+	delta := reg.Snapshot().Sub(mBefore)
+	if got, want := delta.Value("shard.degraded"), float64(res.Stats.Degraded); got != want {
+		t.Fatalf("metric shard.degraded delta %.0f, stats say %.0f", got, want)
+	}
+	if got := countInstants(rec, "net-quarantine"); got != 1 {
+		t.Fatalf("trace records %d net-quarantine instants, want 1", got)
+	}
+	assertNoOrphans(t, "degrade", tmpRoot)
+	settleGoroutines(t, "degrade", before)
+}
+
+// TestShardNetFullLadder walks all three rungs in one join: the fleet
+// is dead (degrade to local spawns), and chaos kills every local
+// attempt of one shard (absorb in-process). The sequence must still be
+// byte-identical.
+func TestShardNetFullLadder(t *testing.T) {
+	want := shardBaseline(t)
+	before := runtime.NumGoroutine()
+	tmpRoot := t.TempDir()
+	rec := trace.New()
+	cfg := shardChaosConfig(t, 2, tmpRoot)
+	cfg.Endpoints = []string{deadAddr(t)}
+	cfg.DialTimeout = 200 * time.Millisecond
+	cfg.QuarantineAfter = 1
+	cfg.MaxRestarts = 1
+	cfg.Trace = rec
+	var kills []shard.ChaosKill
+	for attempt := 1; attempt <= cfg.MaxRestarts+1; attempt++ {
+		kills = append(kills, shard.ChaosKill{
+			Shard: 0, Attempt: attempt,
+			Kill: shard.KillSpec{Point: shard.KillMidPairs, AfterParts: 1},
+		})
+	}
+	cfg.Chaos = &shard.ChaosSpec{Kills: kills}
+
+	var got []geom.Pair
+	R, S := dataset()
+	res, err := shard.Join(R, S, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join did not walk the full degradation ladder: %v", err)
+	}
+	assertSameSequence(t, "ladder", got, want)
+	if res.Stats.Degraded != 2 {
+		t.Fatalf("Degraded=%d, want both shards", res.Stats.Degraded)
+	}
+	if res.Stats.Absorbed != 1 {
+		t.Fatalf("Absorbed=%d, want 1: %+v", res.Stats.Absorbed, res.Stats)
+	}
+	if res.Stats.Kills != cfg.MaxRestarts+1 {
+		t.Fatalf("Kills=%d, want %d", res.Stats.Kills, cfg.MaxRestarts+1)
+	}
+	assertNoOrphans(t, "ladder", tmpRoot)
+	settleGoroutines(t, "ladder", before)
+}

@@ -98,6 +98,13 @@ type Config struct {
 	// the worker processes' private disks; I/O is aggregated in
 	// Result.IO instead.
 	Shards int
+	// ShardEndpoints lists resident worker addresses (host:port) for
+	// sharded execution: shards then run over the TCP transport against
+	// those workers (started with sjworkerd, or sjoin/sjbench
+	// -worker-listen), degrading to locally spawned processes — and
+	// finally to in-process absorption — when the fleet is unreachable.
+	// Requires Shards > 1; empty means local worker processes only.
+	ShardEndpoints []string
 
 	// S3JMode selects original or replicated S³J; default ModeReplicate
 	// (the paper's improvement). Ignored for PBSM.
@@ -292,6 +299,10 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		}
 		cfg.Ctx, cfg.Deadline = ctx, 0
 		return sharder(R, S, cfg, emit)
+	}
+	if len(cfg.ShardEndpoints) > 0 {
+		return Result{}, joinerr.Wrap("core", "config",
+			fmt.Errorf("ShardEndpoints requires Shards > 1, got Shards=%d", cfg.Shards))
 	}
 
 	// Admission comes first: a join that will queue or be rejected must

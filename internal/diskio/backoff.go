@@ -3,6 +3,7 @@ package diskio
 import (
 	"hash/fnv"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -73,6 +74,58 @@ func (b *Backoff) Delay(key string, attempt int) time.Duration {
 		d *= 1 - j*u
 	}
 	return time.Duration(d)
+}
+
+// KeyedBackoff tracks consecutive failures per key and derives each
+// key's next delay from the wrapped policy. It is the stateful
+// companion to the stateless Backoff: callers that retry many
+// independent identities (one file, one shard, one network endpoint)
+// record failures per key and reset a key on success, so a flapping
+// endpoint backs off on its own schedule without slowing its healthy
+// siblings. Safe for concurrent use; a nil *KeyedBackoff never delays.
+type KeyedBackoff struct {
+	mu       sync.Mutex
+	policy   *Backoff
+	attempts map[string]int
+}
+
+// NewKeyedBackoff wraps policy (which may itself be nil — a valid
+// "no delay" policy whose attempt counts are still tracked).
+func NewKeyedBackoff(policy *Backoff) *KeyedBackoff {
+	return &KeyedBackoff{policy: policy, attempts: make(map[string]int)}
+}
+
+// Fail records one failure of key and returns the pause before its
+// next attempt under the wrapped policy.
+func (kb *KeyedBackoff) Fail(key string) time.Duration {
+	if kb == nil {
+		return 0
+	}
+	kb.mu.Lock()
+	kb.attempts[key]++
+	n := kb.attempts[key]
+	kb.mu.Unlock()
+	return kb.policy.Delay(key, n)
+}
+
+// Attempts returns the consecutive-failure count of key.
+func (kb *KeyedBackoff) Attempts(key string) int {
+	if kb == nil {
+		return 0
+	}
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.attempts[key]
+}
+
+// Reset clears key's consecutive-failure count after a success.
+func (kb *KeyedBackoff) Reset(key string) {
+	if kb == nil {
+		return
+	}
+	kb.mu.Lock()
+	delete(kb.attempts, key)
+	kb.mu.Unlock()
 }
 
 // Sleep pauses for Delay(key, attempt), waking early when cancel

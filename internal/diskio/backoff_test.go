@@ -120,3 +120,52 @@ func TestDiskRetrySleep(t *testing.T) {
 		t.Fatalf("RetrySleep returned after %v, want the policy delay", el)
 	}
 }
+
+// TestKeyedBackoffIndependentKeys proves the per-key failure counters
+// grow and reset independently: one flapping key climbs the policy's
+// delay ladder while a healthy sibling stays at zero.
+func TestKeyedBackoffIndependentKeys(t *testing.T) {
+	kb := NewKeyedBackoff(&Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond, Factor: 2})
+	if d := kb.Fail("a"); d != time.Millisecond {
+		t.Fatalf("first failure of a: delay %v, want 1ms", d)
+	}
+	if d := kb.Fail("a"); d != 2*time.Millisecond {
+		t.Fatalf("second failure of a: delay %v, want 2ms", d)
+	}
+	if got := kb.Attempts("a"); got != 2 {
+		t.Fatalf("Attempts(a) = %d, want 2", got)
+	}
+	if got := kb.Attempts("b"); got != 0 {
+		t.Fatalf("Attempts(b) = %d, want 0 (keys must be independent)", got)
+	}
+	if d := kb.Fail("b"); d != time.Millisecond {
+		t.Fatalf("first failure of b: delay %v, want 1ms", d)
+	}
+	kb.Reset("a")
+	if got := kb.Attempts("a"); got != 0 {
+		t.Fatalf("Attempts(a) after Reset = %d, want 0", got)
+	}
+	if d := kb.Fail("a"); d != time.Millisecond {
+		t.Fatalf("failure of a after Reset: delay %v, want the base again", d)
+	}
+}
+
+// TestKeyedBackoffNilSafety: a nil tracker and a tracker over a nil
+// policy must both be usable and delay-free.
+func TestKeyedBackoffNilSafety(t *testing.T) {
+	var nilKB *KeyedBackoff
+	if d := nilKB.Fail("x"); d != 0 {
+		t.Fatalf("nil KeyedBackoff Fail = %v, want 0", d)
+	}
+	nilKB.Reset("x")
+	if got := nilKB.Attempts("x"); got != 0 {
+		t.Fatalf("nil KeyedBackoff Attempts = %d, want 0", got)
+	}
+	kb := NewKeyedBackoff(nil)
+	if d := kb.Fail("x"); d != 0 {
+		t.Fatalf("nil-policy Fail = %v, want 0", d)
+	}
+	if got := kb.Attempts("x"); got != 1 {
+		t.Fatalf("nil-policy Attempts = %d, want 1 (counting still works)", got)
+	}
+}

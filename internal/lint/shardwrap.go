@@ -7,9 +7,11 @@ import (
 
 // AnalyzerShardwrap enforces the process-boundary error contract of the
 // shard layer: an error surfacing from the frame protocol
-// (FrameReader.Next) or from worker process management (the
-// Wait/Start/Run family on an exec.Cmd-shaped type) must not cross a
-// function boundary bare. The coordinator's retry policy routes
+// (FrameReader.Next), from worker process management (the
+// Wait/Start/Run family on an exec.Cmd-shaped type), or from the
+// network boundary the TCP transport added (Read/Write/Close on a
+// Conn-shaped type, Accept/Close on a Listener, Dial/DialContext on a
+// Dialer) must not cross a function boundary bare. The coordinator's retry policy routes
 // failures by their joinerr Kind — a naked pipe or wait error would
 // fall outside the taxonomy and turn a retryable shard fault into an
 // unclassified abort.
@@ -33,9 +35,14 @@ var AnalyzerShardwrap = &Analyzer{
 // type name. Matching by type name (not import path) lets the fixture
 // packages declare stand-in types, and covers both os/exec.Cmd and any
 // future wrapper named Cmd.
+// Interface receivers (net.Conn, net.Listener) match the same way:
+// the method's receiver type is the named interface.
 var shardBoundaryMethods = map[string]map[string]bool{
 	"FrameReader": {"Next": true},
 	"Cmd":         {"Wait": true, "Run": true, "Start": true, "Output": true, "CombinedOutput": true},
+	"Conn":        {"Read": true, "Write": true, "Close": true},
+	"Listener":    {"Accept": true, "Close": true},
+	"Dialer":      {"Dial": true, "DialContext": true},
 }
 
 func runShardwrap(p *Pass) {

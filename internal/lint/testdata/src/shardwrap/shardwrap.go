@@ -56,3 +56,40 @@ func InGoroutine(fr *FrameReader) {
 	}
 	_ = report
 }
+
+// Conn stands in for net.Conn; interface receivers match by the same
+// type-name rule as struct receivers.
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+}
+
+// Listener stands in for net.Listener.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+}
+
+// ReadLeak leaks a connection read error bare.
+func ReadLeak(c Conn) error {
+	_, err := c.Read(nil)
+	if err != nil {
+		return err // want shardwrap
+	}
+	return nil
+}
+
+// CloseDirect returns the network close error with no classification.
+func CloseDirect(c Conn) error {
+	return c.Close() // want shardwrap
+}
+
+// AcceptLeak leaks the listener's accept error through the if-init
+// form.
+func AcceptLeak(l Listener) error {
+	if _, err := l.Accept(); err != nil {
+		return err // want shardwrap
+	}
+	return nil
+}

@@ -61,3 +61,38 @@ func NonBoundary(ok bool) error {
 	}
 	return err
 }
+
+// Conn stands in for net.Conn.
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+}
+
+// Listener stands in for net.Listener.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+}
+
+// ReadWrapped classifies the connection read error at the call site.
+func ReadWrapped(c Conn) error {
+	if _, err := c.Read(nil); err != nil {
+		return joinerr.WrapAs("shard", "conn", joinerr.KindShard, err)
+	}
+	return nil
+}
+
+// CloseDiscarded drops the close error on a teardown path; a discarded
+// error never crosses a boundary, so it is out of scope.
+func CloseDiscarded(c Conn) {
+	_ = c.Close()
+}
+
+// AcceptWrapped classifies the accept error before returning it.
+func AcceptWrapped(l Listener) error {
+	if _, err := l.Accept(); err != nil {
+		return joinerr.WrapAs("shard", "accept", joinerr.KindShard, err)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package netfault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestDropDialAt(t *testing.T) {
+	p := New(Config{DropDialAt: 2})
+	dials := 0
+	dial := p.WrapDial(func(ctx context.Context, addr string) (net.Conn, error) {
+		dials++
+		a, b := pipePair()
+		go func() { _ = b.Close() }()
+		return a, nil
+	})
+	if _, err := dial(context.Background(), "x"); err != nil {
+		t.Fatalf("dial 1: unexpected error %v", err)
+	}
+	_, err := dial(context.Background(), "x")
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Op != "dial" {
+		t.Fatalf("dial 2: want FaultError{dial}, got %v", err)
+	}
+	if _, err := dial(context.Background(), "x"); err != nil {
+		t.Fatalf("dial 3: unexpected error %v", err)
+	}
+	if dials != 2 {
+		t.Fatalf("inner dial count = %d, want 2 (dropped dial must not reach inner)", dials)
+	}
+	if st := p.Stats(); st.DialsDropped != 1 {
+		t.Fatalf("DialsDropped = %d, want 1", st.DialsDropped)
+	}
+}
+
+func TestScriptedReadResetTearsMidStream(t *testing.T) {
+	p := New(Config{ResetReadAt: 10})
+	a, b := pipePair()
+	fc := p.Conn(a)
+	defer b.Close()
+
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	go func() {
+		_, _ = b.Write(payload)
+	}()
+
+	buf := make([]byte, 64)
+	n, err := fc.Read(buf)
+	if err != nil {
+		t.Fatalf("first read: unexpected error %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("first read delivered %d bytes, want exactly 10 (the threshold)", n)
+	}
+	if _, err := fc.Read(buf); err == nil {
+		t.Fatal("second read: want injected reset, got nil")
+	} else {
+		var fe *FaultError
+		if !errors.As(err, &fe) || fe.Op != "read" {
+			t.Fatalf("second read: want FaultError{read}, got %v", err)
+		}
+	}
+	// The conn is latched dead: further reads keep failing.
+	if _, err := fc.Read(buf); err == nil {
+		t.Fatal("third read on dead conn: want error, got nil")
+	}
+	if st := p.Stats(); st.ReadResets != 1 {
+		t.Fatalf("ReadResets = %d, want 1", st.ReadResets)
+	}
+}
+
+func TestScriptedWriteResetPersistsPartial(t *testing.T) {
+	p := New(Config{ResetWriteAt: 7})
+	a, b := pipePair()
+	fc := p.Conn(a)
+
+	got := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(b)
+		got <- data
+	}()
+
+	n, err := fc.Write(bytes.Repeat([]byte{0xCD}, 32))
+	if err == nil {
+		t.Fatal("crossing write: want injected reset, got nil")
+	}
+	if n != 7 {
+		t.Fatalf("crossing write persisted %d bytes, want exactly 7", n)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Op != "write" {
+		t.Fatalf("crossing write: want FaultError{write}, got %v", err)
+	}
+	// The kill closed the underlying conn, so the reader saw EOF after
+	// exactly the partial prefix — the peer observes a torn stream.
+	select {
+	case data := <-got:
+		if len(data) != 7 {
+			t.Fatalf("peer received %d bytes, want 7", len(data))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read did not complete: underlying conn not closed on reset")
+	}
+	st := p.Stats()
+	if st.PartialWrites != 1 {
+		t.Fatalf("PartialWrites = %d, want 1", st.PartialWrites)
+	}
+}
+
+func TestRandomFaultsBoundedByBudget(t *testing.T) {
+	p := New(Config{Seed: 42, ResetReadRate: 1.0, MaxFaults: 3})
+	for i := 0; i < 10; i++ {
+		a, b := pipePair()
+		fc := p.Conn(a)
+		go func() { _, _ = b.Write([]byte("hello")); _ = b.Close() }()
+		buf := make([]byte, 8)
+		_, err := fc.Read(buf)
+		if i < 3 && err == nil {
+			t.Fatalf("conn %d: want injected reset while budget remains", i)
+		}
+		if i >= 3 && err != nil && !errors.Is(err, io.EOF) {
+			t.Fatalf("conn %d: budget exhausted but read failed: %v", i, err)
+		}
+		_ = fc.Close()
+	}
+	if st := p.Stats(); st.ReadResets != 3 {
+		t.Fatalf("ReadResets = %d, want 3 (MaxFaults bound)", st.ReadResets)
+	}
+}
+
+func TestDeterministicAcrossPolicies(t *testing.T) {
+	run := func() Stats {
+		p := New(Config{Seed: 7, ResetReadRate: 0.5, ResetWriteRate: 0.5, MaxFaults: 100})
+		for i := 0; i < 50; i++ {
+			p.onRead(16)
+			p.onWrite(16)
+		}
+		return p.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different fault sequences: %+v vs %+v", a, b)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	p := New(Config{Seed: 1, LatencyRate: 1.0, Latency: 20 * time.Millisecond})
+	a, b := pipePair()
+	fc := p.Conn(a)
+	go func() { _, _ = b.Write([]byte("x")) }()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("read returned in %v, want >= 20ms latency injection", d)
+	}
+	if st := p.Stats(); st.LatencySpikes == 0 {
+		t.Fatal("LatencySpikes = 0, want > 0")
+	}
+}

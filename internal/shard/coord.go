@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -62,6 +63,26 @@ type Config struct {
 	// TmpRoot hosts the per-run scratch directory; "" means the OS
 	// default temp dir.
 	TmpRoot string
+
+	// Endpoints lists resident worker addresses (host:port). When set,
+	// shards run over the TCP transport against those workers, falling
+	// back to locally spawned processes — and finally to in-process
+	// absorption — when the fleet is unreachable (DESIGN.md §14). Empty
+	// means the pipe transport only.
+	Endpoints []string
+	// Pool, when non-nil, supplies an existing resident worker pool
+	// (shared across joins) instead of building one from Endpoints. The
+	// join does NOT close a caller-supplied pool.
+	Pool *Pool
+	// Dial overrides the pool's dialer when the join builds its own pool
+	// from Endpoints — the netfault injection hook. nil means a plain
+	// net.Dialer.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// DialTimeout, LeaseTimeout and QuarantineAfter parameterize the
+	// implicit pool; zero values select the pool defaults (2s, 30s, 3).
+	DialTimeout     time.Duration
+	LeaseTimeout    time.Duration
+	QuarantineAfter int
 
 	// MaxRestarts bounds restarts per shard; past it the shard is
 	// absorbed into the coordinator process. Default 2. Negative means
@@ -138,6 +159,9 @@ type Stats struct {
 	Rederived int // partitions re-derived from source for retries/absorbs
 	Absorbed  int // shards absorbed into the coordinator after restart exhaustion
 
+	RemoteLeases int // attempts executed on leased resident workers
+	Degraded     int // shards that fell from the TCP transport to local spawns
+
 	Recoveries    int   // failures recovered from (restart or absorb)
 	RecoveryNS    int64 // total detection→first-progress latency
 	MaxRecoveryNS int64 // worst single recovery
@@ -169,6 +193,11 @@ type coordinator struct {
 	backoff *diskio.Backoff
 	met     *shardMetrics
 	st      *joinState
+
+	// The transport ladder: remote (when a pool is configured) is tried
+	// first, local is the fallback and the default.
+	remote *NetTransport
+	local  *ProcTransport
 
 	// Aggregates folded in under st.mu: worker reports plus absorb runs.
 	ioAgg  diskio.Stats
@@ -473,6 +502,27 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		met:     met,
 	}
 	c.st = st
+	c.local = &ProcTransport{Cmd: cfg.WorkerCmd, Env: cfg.WorkerEnv}
+	pool := cfg.Pool
+	if pool == nil && len(cfg.Endpoints) > 0 {
+		pool, err = NewPool(PoolConfig{
+			Endpoints:       cfg.Endpoints,
+			Dial:            cfg.Dial,
+			DialTimeout:     cfg.DialTimeout,
+			LeaseTimeout:    cfg.LeaseTimeout,
+			QuarantineAfter: cfg.QuarantineAfter,
+			Backoff:         cfg.Backoff,
+			Metrics:         cfg.Metrics,
+			Trace:           cfg.Trace,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		defer pool.Close()
+	}
+	if pool != nil {
+		c.remote = NewNetTransport(pool)
+	}
 
 	// One goroutine per shard; the first FATAL error cancels the rest.
 	// Shard-local failures never reach this level — they are retried or
@@ -524,10 +574,17 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	return res, nil
 }
 
-// runShard supervises one shard to completion: spawn, monitor, and on
-// failure discard unsealed work, re-derive, and restart with backoff —
-// or absorb the remainder locally once the restart budget is spent.
+// runShard supervises one shard to completion: open a worker link,
+// monitor it, and on failure discard unsealed work, re-derive, and
+// restart with backoff — or absorb the remainder locally once the
+// restart budget is spent. The execution ladder has three rungs: a
+// leased resident worker over TCP (when a pool is configured), a
+// locally spawned worker process, and finally in-process absorption.
+// Falling from the first rung to the second — the network transport
+// could not produce ANY usable link, so no worker ran — does not
+// consume a restart; every rung preserves the determinism contract.
 func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice int64) error {
+	remote := c.remote != nil
 	for attempt := 1; ; attempt++ {
 		remaining := c.st.unsealed(parts)
 		if len(remaining) == 0 && attempt > 1 {
@@ -541,10 +598,28 @@ func (c *coordinator) runShard(ctx context.Context, id int, parts []int, slice i
 			c.st.locked(func() { c.st.stats.Rederived += len(remaining) })
 			c.met.rederive(len(remaining))
 		}
-		err := c.runAttempt(ctx, id, attempt, remaining, slice)
+		var tr Transport = c.local
+		if remote {
+			tr = c.remote
+		}
+		err := c.runAttempt(ctx, tr, id, attempt, remaining, slice)
 		if err == nil {
 			c.st.locked(func() { c.st.recoverLocked(id) })
 			return nil
+		}
+		var connErr *ConnectError
+		if remote && !fatalKind(err) && errors.As(err, &connErr) {
+			// The fleet produced no link at all: no worker ran, nothing
+			// was shipped, nothing needs re-derivation. Degrade this
+			// shard to local spawns without consuming a restart.
+			c.st.locked(func() { c.st.stats.Degraded++ })
+			c.met.degrade()
+			c.rec.Instant("shard-degrade",
+				trace.Attr{Key: "shard", Val: int64(id)},
+				trace.Attr{Key: "endpoints", Val: int64(connErr.Endpoints)})
+			remote = false
+			attempt--
+			continue
 		}
 		c.st.noteFailure(id, remaining)
 		var wexit *WorkerExitError
@@ -608,10 +683,10 @@ type workerEvent struct {
 	err    error // protocol/read error; nil with t==0 never happens
 }
 
-// runAttempt executes one worker process for shard id over parts.
-// A nil return means the worker completed cleanly and all its
-// partitions sealed.
-func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []int, slice int64) error {
+// runAttempt executes one worker attempt for shard id over parts, on
+// whatever link the transport produces. A nil return means the worker
+// completed cleanly and all its partitions sealed.
+func (c *coordinator) runAttempt(ctx context.Context, tr Transport, id, attempt int, parts []int, slice int64) (retErr error) {
 	sp := c.root.Child("shard-attempt")
 	defer sp.End()
 	sp.SetAttr("shard", int64(id))
@@ -651,23 +726,19 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 		Kill:              c.cfg.Chaos.lookup(id, attempt),
 	}
 
-	cmd := exec.Command(c.cfg.WorkerCmd[0], c.cfg.WorkerCmd[1:]...)
-	cmd.Env = append(os.Environ(), c.cfg.WorkerEnv...)
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	stdin, err := cmd.StdinPipe()
+	link, err := tr.Open(ctx, id, attempt)
 	if err != nil {
-		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+		return err
 	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	// The verdict reaches the transport through Finish: a pool returns
+	// the endpoint of a clean attempt and penalizes a failed one.
+	defer func() { link.Finish(retErr != nil) }()
+	if link.Endpoint() == "" {
+		c.st.locked(func() { c.st.stats.Spawns++ })
+		c.met.spawn()
+	} else {
+		c.st.locked(func() { c.st.stats.RemoteLeases++ })
 	}
-	if err := cmd.Start(); err != nil {
-		return joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
-	}
-	c.st.locked(func() { c.st.stats.Spawns++ })
-	c.met.spawn()
 
 	// Input shipper: job spec, partition chunks, go. A worker dying
 	// mid-ship surfaces as a write error here and as EOF on the event
@@ -675,8 +746,8 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 	shipDone := make(chan struct{})
 	go func() {
 		defer close(shipDone)
-		defer stdin.Close()
-		_ = c.shipInput(NewFrameWriter(stdin), spec, rsl, ssl)
+		defer link.CloseSend()
+		_ = c.shipInput(link.Send(), spec, rsl, ssl)
 	}()
 
 	// Frame pump: decode on the reading goroutine (payload buffers are
@@ -684,7 +755,7 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 	events := make(chan workerEvent, 64)
 	go func() {
 		defer close(events)
-		fr := NewFrameReader(stdout)
+		fr := link.Recv()
 		for {
 			t, payload, rerr := fr.Next()
 			if rerr != nil {
@@ -726,7 +797,7 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 		allowed[p] = true
 	}
 
-	kill := func() { _ = cmd.Process.Kill() }
+	kill := link.Kill
 	// Stall supervision: every frame stamps lastBeat, and a watchdog
 	// ticker both publishes the age of that stamp as the shard's
 	// heartbeat gauge and kills the worker once the age crosses the
@@ -807,16 +878,30 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 		}
 	}
 	<-shipDone
-	waitErr := cmd.Wait()
+	waitErr := link.Wait()
 
 	switch {
 	case loopErr != nil:
+		if fatalKind(loopErr) {
+			return loopErr
+		}
+		// A protocol violation — torn frame, checksum mismatch, stream
+		// cut mid-frame, out-of-order frame — is the wire-level face of
+		// a dead or corrupted worker. Round-trip it through
+		// WorkerExitError so a mid-frame disconnect carries the same
+		// joinerr.Kind, the same kill accounting and the same retry
+		// policy as a worker process exit.
+		var perr *ProtocolError
+		if errors.As(loopErr, &perr) {
+			return joinerr.WrapAs("shard", "supervise", joinerr.KindShard,
+				c.exitError(link, id, attempt, waitErr, loopErr))
+		}
 		return loopErr
 	case failErr != nil:
 		return failErr
 	case killedBy != "":
 		return joinerr.WrapAs("shard", "supervise", joinerr.KindShard,
-			c.exitError(id, attempt, waitErr, errors.New(killedBy)))
+			c.exitError(link, id, attempt, waitErr, errors.New(killedBy)))
 	case report != nil && waitErr == nil:
 		missing := 0
 		for _, p := range parts {
@@ -834,20 +919,22 @@ func (c *coordinator) runAttempt(ctx context.Context, id, attempt int, parts []i
 		return nil
 	default:
 		cause := errors.New("worker exited before its done frame")
-		if s := bytes.TrimSpace(stderr.Bytes()); len(s) > 0 {
+		if s := bytes.TrimSpace(link.StderrTail()); len(s) > 0 {
 			if len(s) > 512 {
 				s = s[:512]
 			}
 			cause = fmt.Errorf("worker exited before its done frame; stderr: %s", s)
 		}
 		return joinerr.WrapAs("shard", "supervise", joinerr.KindShard,
-			c.exitError(id, attempt, waitErr, cause))
+			c.exitError(link, id, attempt, waitErr, cause))
 	}
 }
 
-// exitError builds the WorkerExitError carrying the process's status.
-func (c *coordinator) exitError(id, attempt int, waitErr, cause error) error {
-	we := &WorkerExitError{Shard: id, Attempt: attempt, ExitCode: -1, Err: cause}
+// exitError builds the WorkerExitError carrying the link's terminal
+// observation: the process exit status for a pipe link, the endpoint
+// address for a network link.
+func (c *coordinator) exitError(link Link, id, attempt int, waitErr, cause error) error {
+	we := &WorkerExitError{Shard: id, Attempt: attempt, Endpoint: link.Endpoint(), ExitCode: -1, Err: cause}
 	var ee *exec.ExitError
 	if errors.As(waitErr, &ee) {
 		we.ExitCode = ee.ExitCode()
@@ -857,7 +944,7 @@ func (c *coordinator) exitError(id, attempt int, waitErr, cause error) error {
 		}); ok && ws.Signaled() {
 			we.Signal = ws.Signal().String()
 		}
-	} else if waitErr == nil {
+	} else if waitErr == nil && we.Endpoint == "" {
 		we.ExitCode = 0
 	}
 	return we

@@ -63,6 +63,9 @@ const (
 	FrameBeat  FrameType = 6 // heartbeat
 	FrameDone  FrameType = 7 // JSON WorkerReport; clean shutdown
 	FrameFail  FrameType = 8 // JSON workerFailure; structured abort
+	// FramePing is the pool's pre-lease health check: a resident worker
+	// answers with a beat before any job is committed to the link.
+	FramePing FrameType = 9
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

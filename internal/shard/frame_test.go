@@ -2,9 +2,12 @@ package shard
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"net"
 	"testing"
+	"time"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/joinerr"
@@ -151,4 +154,138 @@ func TestWorkerFailureRoundTrip(t *testing.T) {
 			t.Fatalf("kind %v survived the wire as %v", kind, got)
 		}
 	}
+}
+
+// mangleStream writes a deliberately damaged frame stream into one end
+// of an in-memory connection and returns the readable end — the
+// transport-shaped seam the torn-frame tests read from. The writer side
+// closes when done, so a reader must terminate with io.EOF or a
+// ProtocolError; anything else (a hang, a panic, a decoded garbage
+// frame) is a bug.
+func mangleStream(t *testing.T, raw []byte) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		_, _ = server.Write(raw)
+	}()
+	return client
+}
+
+// drainFrames reads frames until the stream ends, enforcing the
+// torn-frame contract: every outcome is io.EOF or a retryable
+// ProtocolError, reached without hanging.
+func drainFrames(t *testing.T, conn net.Conn, wantProto bool) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer conn.Close()
+	fr := NewFrameReader(conn)
+	for {
+		_, _, err := fr.Next()
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			if wantProto {
+				t.Fatal("mangled stream drained cleanly, want ProtocolError")
+			}
+			return
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("mangled stream surfaced %v (%T), want ProtocolError", err, err)
+		}
+		return
+	}
+}
+
+func TestFrameManglingOverConn(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, w := range []struct {
+		t FrameType
+		p []byte
+	}{
+		{FrameJob, []byte(`{"shard":1,"attempt":1}`)},
+		{FramePairs, encodePairs(nil, 3, []geom.Pair{{R: 1, S: 2}, {R: 3, S: 4}})},
+		{FrameSeal, encodeSeal(3, 2)},
+	} {
+		if err := fw.Write(w.t, w.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+
+	cases := []struct {
+		name      string
+		mangle    func([]byte) []byte
+		wantProto bool
+	}{
+		{"intact", func(b []byte) []byte { return b }, false},
+		{"truncated-mid-payload", func(b []byte) []byte { return b[:len(b)-5] }, true},
+		{"truncated-mid-header", func(b []byte) []byte { return b[:len(b)-len(valid)+4] }, true},
+		{"payload-bit-flip", func(b []byte) []byte { b[frameHeaderSize+2] ^= 0x04; return b }, true},
+		{"type-bit-flip", func(b []byte) []byte { b[4] ^= 0x20; return b }, true},
+		{"crc-bit-flip", func(b []byte) []byte { b[6] ^= 0x80; return b }, true},
+		{"oversized-length-prefix", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[0:], uint32(maxFramePayload)+1)
+			return b
+		}, true},
+		{"length-stretched", func(b []byte) []byte {
+			// Claim one more payload byte than the stream holds: the
+			// reader must report truncation, not block for more input.
+			n := binary.LittleEndian.Uint32(b[0:])
+			binary.LittleEndian.PutUint32(b[0:], n+1)
+			return b[:frameHeaderSize+int(n)]
+		}, true},
+		{"garbage-prefix", func(b []byte) []byte {
+			return append([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05}, b...)
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.mangle(append([]byte(nil), valid...))
+			drainFrames(t, mangleStream(t, raw), tc.wantProto)
+		})
+	}
+}
+
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	_ = fw.Write(FrameJob, []byte(`{"shard":1}`))
+	_ = fw.Write(FramePairs, encodePairs(nil, 0, []geom.Pair{{R: 7, S: 9}}))
+	_ = fw.Write(FrameGo, nil)
+	valid := buf.Bytes()
+
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)-3]...))
+	flipped := append([]byte(nil), valid...)
+	flipped[frameHeaderSize+1] ^= 0x10
+	f.Add(flipped)
+	oversized := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(oversized, 0xffffffff)
+	f.Add(oversized)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		// A frame costs at least a header, so the stream bounds the loop;
+		// the explicit cap turns any looping bug into a failure instead
+		// of a timeout.
+		for i := 0; i <= len(data)/frameHeaderSize+1; i++ {
+			_, _, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				var pe *ProtocolError
+				if !errors.As(err, &pe) {
+					t.Fatalf("fuzzed stream surfaced %v (%T), want ProtocolError or io.EOF", err, err)
+				}
+				return
+			}
+		}
+		t.Fatalf("reader decoded more frames than the %d-byte stream can hold", len(data))
+	})
 }

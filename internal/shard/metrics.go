@@ -31,6 +31,27 @@ const (
 	// metRecoverySeconds is the failure-detection → first-subsequent-
 	// progress latency histogram, in seconds.
 	metRecoverySeconds = "shard.recovery.seconds"
+	// metDegraded counts shards that fell from remote TCP execution to
+	// locally spawned workers — rung two of the degradation ladder.
+	metDegraded = "shard.degraded"
+	// metNetDials counts connection attempts to resident workers.
+	metNetDials = "shard.net.dials"
+	// metNetDialFailures counts dials that returned an error.
+	metNetDialFailures = "shard.net.dial.failures"
+	// metNetPingFailures counts fresh connections that failed the
+	// ping/beat health check.
+	metNetPingFailures = "shard.net.ping.failures"
+	// metNetLeases counts healthy worker links handed out by the pool.
+	metNetLeases = "shard.net.leases"
+	// metNetEvictions counts failure records against endpoints (a
+	// failed connect or a failed job lease).
+	metNetEvictions = "shard.net.evictions"
+	// metNetQuarantined counts endpoints quarantined after repeated
+	// consecutive failures.
+	metNetQuarantined = "shard.net.quarantined"
+	// metNetReconnectSeconds is the latency histogram of leases that
+	// succeeded only after routing around at least one failure.
+	metNetReconnectSeconds = "shard.net.reconnect.seconds"
 )
 
 // shardMetrics is the coordinator's handle set; nil without a registry,
@@ -44,6 +65,15 @@ type shardMetrics struct {
 	seals     *metrics.Counter
 	beatAge   *metrics.FloatGaugeVec
 	recovery  *metrics.Histogram
+
+	degraded        *metrics.Counter
+	netDials        *metrics.Counter
+	netDialFailures *metrics.Counter
+	netPingFailures *metrics.Counter
+	netLeases       *metrics.Counter
+	netEvictions    *metrics.Counter
+	netQuarantined  *metrics.Counter
+	netReconnectH   *metrics.Histogram
 }
 
 // newShardMetrics resolves the handles, or nil without a registry.
@@ -60,6 +90,15 @@ func newShardMetrics(r *metrics.Registry) *shardMetrics {
 		seals:     r.Counter(metSeals),
 		beatAge:   r.FloatGaugeVec(metHeartbeatAge, "shard"),
 		recovery:  r.Histogram(metRecoverySeconds),
+
+		degraded:        r.Counter(metDegraded),
+		netDials:        r.Counter(metNetDials),
+		netDialFailures: r.Counter(metNetDialFailures),
+		netPingFailures: r.Counter(metNetPingFailures),
+		netLeases:       r.Counter(metNetLeases),
+		netEvictions:    r.Counter(metNetEvictions),
+		netQuarantined:  r.Counter(metNetQuarantined),
+		netReconnectH:   r.Histogram(metNetReconnectSeconds),
 	}
 }
 
@@ -114,5 +153,55 @@ func (sm *shardMetrics) heartbeat(id int, ageSeconds float64) {
 func (sm *shardMetrics) recovered(seconds float64) {
 	if sm != nil {
 		sm.recovery.Observe(seconds)
+	}
+}
+
+func (sm *shardMetrics) degrade() {
+	if sm != nil {
+		sm.degraded.Inc()
+	}
+}
+
+func (sm *shardMetrics) netDial() {
+	if sm != nil {
+		sm.netDials.Inc()
+	}
+}
+
+func (sm *shardMetrics) netDialFail() {
+	if sm != nil {
+		sm.netDialFailures.Inc()
+	}
+}
+
+func (sm *shardMetrics) netPingFail() {
+	if sm != nil {
+		sm.netPingFailures.Inc()
+	}
+}
+
+func (sm *shardMetrics) netLease() {
+	if sm != nil {
+		sm.netLeases.Inc()
+	}
+}
+
+func (sm *shardMetrics) netEvict() {
+	if sm != nil {
+		sm.netEvictions.Inc()
+	}
+}
+
+func (sm *shardMetrics) netQuarantine() {
+	if sm != nil {
+		sm.netQuarantined.Inc()
+	}
+}
+
+// netReconnect feeds one routed-around-failure lease into the latency
+// histogram.
+func (sm *shardMetrics) netReconnect(seconds float64) {
+	if sm != nil {
+		sm.netReconnectH.Observe(seconds)
 	}
 }

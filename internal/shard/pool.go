@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/joinerr"
+	"spatialjoin/internal/metrics"
+	"spatialjoin/internal/trace"
+)
+
+// PoolConfig parameterizes a resident worker pool.
+type PoolConfig struct {
+	// Endpoints lists the resident workers' TCP addresses. Required.
+	Endpoints []string
+	// Dial overrides the dialer — the netfault injection hook and the
+	// test seam. nil means a plain net.Dialer.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// DialTimeout bounds one dial; default 2s.
+	DialTimeout time.Duration
+	// PingTimeout bounds the health-check round trip on a fresh
+	// connection; default 1s.
+	PingTimeout time.Duration
+	// LeaseTimeout bounds one Lease call's total wait for a usable
+	// link (endpoints busy with other shards, or backing off); default
+	// 30s. Past it the pool reports a ConnectError and the caller
+	// degrades.
+	LeaseTimeout time.Duration
+	// QuarantineAfter is the consecutive-failure count that quarantines
+	// an endpoint (no further dials until the pool is rebuilt); default
+	// 3. Quarantine is what turns a dead host from a retry treadmill
+	// into a prompt degradation to local execution.
+	QuarantineAfter int
+	// Backoff paces redials per endpoint; nil means the coordinator's
+	// default policy. Each endpoint is its own backoff key, so one
+	// flapping host never slows its healthy siblings.
+	Backoff *diskio.Backoff
+	// Metrics publishes the pool's connection lifecycle counters and
+	// the reconnect latency histogram; nil disables.
+	Metrics *metrics.Registry
+	// Trace receives evict/quarantine/reconnect instants; nil disables.
+	Trace *trace.Recorder
+}
+
+// PoolStats counts the pool's connection lifecycle events; the chaos
+// suite reconciles them against trace instants and metric deltas.
+type PoolStats struct {
+	Dials        int // connection attempts
+	DialFailures int // dials that returned an error
+	PingFailures int // fresh connections that failed the health check
+	Leases       int // healthy links handed out
+	Evictions    int // failure records against endpoints (connect or job)
+	Quarantines  int // endpoints quarantined after repeated failures
+	Reconnects   int // leases that succeeded only after at least one failure
+	ReconnectNS  int64
+}
+
+// endpoint is one resident worker's pool-side state.
+type endpoint struct {
+	addr        string
+	busy        bool
+	quarantined bool
+	retryAt     time.Time // backoff gate after a failure
+}
+
+// Pool manages a fleet of resident workers: endpoints register at
+// construction, are health-checked with a ping/beat round trip on every
+// lease, leased to one shard attempt at a time, and penalized — backoff,
+// then quarantine — when a lease fails, instead of being respawned. The
+// pool owns bookkeeping only; worker processes are external (sjworkerd,
+// sjoin/sjbench -worker-listen) and connections belong to their leases.
+// Safe for concurrent use by every shard of every join sharing it.
+type Pool struct {
+	cfg PoolConfig
+	kb  *diskio.KeyedBackoff
+	met *shardMetrics
+	rec *trace.Recorder
+
+	mu     sync.Mutex
+	eps    []*endpoint
+	closed bool
+	stats  PoolStats
+}
+
+// NewPool builds a pool over the configured endpoints.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, joinerr.Wrap("shard", "pool", errors.New("pool has no endpoints"))
+	}
+	if cfg.Backoff == nil {
+		cfg.Backoff = (&Config{}).backoffPolicy()
+	}
+	p := &Pool{
+		cfg: cfg,
+		kb:  diskio.NewKeyedBackoff(cfg.Backoff),
+		met: newShardMetrics(cfg.Metrics),
+		rec: cfg.Trace,
+	}
+	for _, addr := range cfg.Endpoints {
+		p.eps = append(p.eps, &endpoint{addr: addr})
+	}
+	return p, nil
+}
+
+// Stats snapshots the lifecycle counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close marks the pool unusable; in-flight leases keep their
+// connections (they are owned by the leases), later Lease calls fail.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+func (p *Pool) dialTimeout() time.Duration {
+	if p.cfg.DialTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return p.cfg.DialTimeout
+}
+
+func (p *Pool) pingTimeout() time.Duration {
+	if p.cfg.PingTimeout <= 0 {
+		return time.Second
+	}
+	return p.cfg.PingTimeout
+}
+
+func (p *Pool) leaseTimeout() time.Duration {
+	if p.cfg.LeaseTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return p.cfg.LeaseTimeout
+}
+
+func (p *Pool) quarantineAfter() int {
+	if p.cfg.QuarantineAfter <= 0 {
+		return 3
+	}
+	return p.cfg.QuarantineAfter
+}
+
+// dialFunc resolves the dialer.
+func (p *Pool) dialFunc() func(ctx context.Context, addr string) (net.Conn, error) {
+	if p.cfg.Dial != nil {
+		return p.cfg.Dial
+	}
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, joinerr.WrapAs("shard", "dial", joinerr.KindShard, err)
+		}
+		return conn, nil
+	}
+}
+
+// Lease hands out a healthy, exclusively-held link to a resident
+// worker: pick an available endpoint, dial it under the dial deadline,
+// health-check it with a ping/beat round trip, and return the live
+// connection. Failures penalize the endpoint (per-endpoint backoff,
+// quarantine after repeated failures) and the search moves on; when no
+// endpoint can produce a link — all quarantined, or the lease wait
+// exceeds its timeout — the error is a *ConnectError, the degradation
+// signal. Context cancellation surfaces as the wrapped ctx error, never
+// as a ConnectError: a canceled join must propagate, not degrade.
+func (p *Pool) Lease(ctx context.Context) (*Lease, error) {
+	start := time.Now()
+	deadline := start.Add(p.leaseTimeout())
+	reconnected := false
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, joinerr.Wrap("shard", "lease", err)
+		}
+		if time.Now().After(deadline) {
+			p.mu.Lock()
+			n := len(p.eps)
+			p.mu.Unlock()
+			return nil, &ConnectError{Endpoints: n, Err: fmt.Errorf("lease wait exceeded %v", p.leaseTimeout())}
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, &ConnectError{Endpoints: len(p.eps), Err: errors.New("pool closed")}
+		}
+		ep := p.pickLocked()
+		allDead := p.allQuarantinedLocked()
+		n := len(p.eps)
+		p.mu.Unlock()
+		if allDead {
+			err := lastErr
+			if err == nil {
+				err = errors.New("all endpoints quarantined")
+			}
+			return nil, &ConnectError{Endpoints: n, Err: fmt.Errorf("all endpoints quarantined: %w", err)}
+		}
+		if ep == nil {
+			// Everything usable is busy or backing off: wait a slice
+			// and retry, bounded by the lease timeout.
+			select {
+			case <-ctx.Done():
+				return nil, joinerr.Wrap("shard", "lease", ctx.Err())
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		conn, fw, fr, err := p.connect(ctx, ep)
+		if err != nil {
+			lastErr = err
+			reconnected = true
+			p.fail(ep)
+			continue
+		}
+		p.mu.Lock()
+		p.stats.Leases++
+		if reconnected {
+			p.stats.Reconnects++
+			p.stats.ReconnectNS += time.Since(start).Nanoseconds()
+		}
+		p.mu.Unlock()
+		p.met.netLease()
+		if reconnected {
+			// The reconnect histogram measures how long the pool took
+			// to route around failures and produce a healthy link.
+			p.met.netReconnect(time.Since(start).Seconds())
+			p.rec.Instant("net-reconnect", trace.Attr{Key: "endpoint", Str: ep.addr})
+		}
+		return &Lease{pool: p, ep: ep, addr: ep.addr, conn: conn, fw: fw, fr: fr}, nil
+	}
+}
+
+// pickLocked claims the first available endpoint; caller holds p.mu.
+func (p *Pool) pickLocked() *endpoint {
+	now := time.Now()
+	for _, ep := range p.eps {
+		if ep.busy || ep.quarantined || now.Before(ep.retryAt) {
+			continue
+		}
+		ep.busy = true
+		return ep
+	}
+	return nil
+}
+
+// allQuarantinedLocked reports a fully dead fleet; caller holds p.mu.
+func (p *Pool) allQuarantinedLocked() bool {
+	for _, ep := range p.eps {
+		if !ep.quarantined {
+			return false
+		}
+	}
+	return true
+}
+
+// connect dials one endpoint and health-checks it: a ping frame out, a
+// beat frame back, both under the ping deadline. The frame reader and
+// writer are returned with the connection so the lease reuses them —
+// re-wrapping the conn would strand the reader's buffered bytes.
+func (p *Pool) connect(ctx context.Context, ep *endpoint) (net.Conn, *FrameWriter, *FrameReader, error) {
+	p.mu.Lock()
+	p.stats.Dials++
+	p.mu.Unlock()
+	p.met.netDial()
+	dctx, cancel := context.WithTimeout(ctx, p.dialTimeout())
+	defer cancel()
+	conn, err := p.dialFunc()(dctx, ep.addr)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.DialFailures++
+		p.mu.Unlock()
+		p.met.netDialFail()
+		return nil, nil, nil, joinerr.WrapAs("shard", "dial", joinerr.KindShard, err)
+	}
+	fw := NewFrameWriter(conn)
+	fr := NewFrameReader(conn)
+	_ = conn.SetDeadline(time.Now().Add(p.pingTimeout()))
+	pingErr := fw.Write(FramePing, nil)
+	if pingErr == nil {
+		t, _, rerr := fr.Next()
+		if rerr != nil {
+			pingErr = rerr
+		} else if t != FrameBeat {
+			pingErr = protoErrf("ping reply frame type %d, want beat", t)
+		}
+	}
+	if pingErr != nil {
+		_ = conn.Close()
+		p.mu.Lock()
+		p.stats.PingFailures++
+		p.mu.Unlock()
+		p.met.netPingFail()
+		return nil, nil, nil, joinerr.WrapAs("shard", "ping", joinerr.KindShard, pingErr)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, fw, fr, nil
+}
+
+// fail records one failure against an endpoint: release it, gate its
+// next dial behind the endpoint-keyed backoff, and quarantine it once
+// the consecutive-failure count crosses the threshold.
+func (p *Pool) fail(ep *endpoint) {
+	delay := p.kb.Fail(ep.addr)
+	quarantine := p.kb.Attempts(ep.addr) >= p.quarantineAfter()
+	p.mu.Lock()
+	ep.busy = false
+	ep.retryAt = time.Now().Add(delay)
+	p.stats.Evictions++
+	if quarantine && !ep.quarantined {
+		ep.quarantined = true
+		p.stats.Quarantines++
+	} else {
+		quarantine = false
+	}
+	p.mu.Unlock()
+	p.met.netEvict()
+	p.rec.Instant("net-evict", trace.Attr{Key: "endpoint", Str: ep.addr})
+	if quarantine {
+		p.met.netQuarantine()
+		p.rec.Instant("net-quarantine", trace.Attr{Key: "endpoint", Str: ep.addr})
+	}
+}
+
+// Lease is one exclusively-held, health-checked link to a resident
+// worker. The connection and its frame reader/writer belong to the
+// lease until Release.
+type Lease struct {
+	pool *Pool
+	ep   *endpoint
+	addr string
+	conn net.Conn
+	fw   *FrameWriter
+	fr   *FrameReader
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Release closes the connection and returns the endpoint: a clean
+// attempt resets the endpoint's failure streak, a failed one penalizes
+// it exactly like a connect failure (backoff, then quarantine) — the
+// "returned or evicted, never respawned" pool contract. Idempotent.
+func (l *Lease) Release(failed bool) {
+	l.mu.Lock()
+	done := l.released
+	l.released = true
+	l.mu.Unlock()
+	if done {
+		return
+	}
+	_ = l.conn.Close()
+	if failed {
+		l.pool.fail(l.ep)
+		return
+	}
+	l.pool.kb.Reset(l.addr)
+	l.pool.mu.Lock()
+	l.ep.busy = false
+	l.ep.retryAt = time.Time{}
+	l.pool.mu.Unlock()
+}

@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/joinerr"
+)
+
+// servePingWorker runs an in-process resident worker on a loopback
+// listener and returns its address; the listener closes with the test.
+func servePingWorker(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() { _ = ServeWorker(ln) }()
+	return ln.Addr().String()
+}
+
+// fastBackoff keeps pool tests quick: no sleeps worth noticing.
+func fastBackoff() *diskio.Backoff {
+	return &diskio.Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Factor: 2, Jitter: 0, Seed: 1}
+}
+
+func TestPoolLeaseHealthCheckAndRelease(t *testing.T) {
+	addr := servePingWorker(t)
+	p, err := NewPool(PoolConfig{Endpoints: []string{addr}, Backoff: fastBackoff()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	l, err := p.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if l.addr != addr {
+		t.Fatalf("lease addr %q, want %q", l.addr, addr)
+	}
+	// The health check already ran; the link must carry a fresh job
+	// conversation: ping again by hand and expect a beat on the SAME
+	// reader the lease carries (buffered bytes stay with the lease).
+	if err := l.fw.Write(FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	ty, _, err := l.fr.Next()
+	if err != nil || ty != FrameBeat {
+		t.Fatalf("manual ping got (%d, %v), want beat", ty, err)
+	}
+	l.Release(false)
+	l.Release(false) // idempotent
+
+	// A clean release returns the endpoint: the next lease succeeds.
+	l2, err := p.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("second Lease: %v", err)
+	}
+	l2.Release(false)
+
+	st := p.Stats()
+	if st.Leases != 2 || st.Dials != 2 || st.Evictions != 0 || st.Reconnects != 0 {
+		t.Fatalf("stats %+v, want 2 leases, 2 dials, no evictions", st)
+	}
+}
+
+func TestPoolQuarantinesDeadEndpoint(t *testing.T) {
+	// An address that refuses connections: bind, learn the port, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	p, err := NewPool(PoolConfig{
+		Endpoints:       []string{dead},
+		Backoff:         fastBackoff(),
+		DialTimeout:     200 * time.Millisecond,
+		QuarantineAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, err = p.Lease(context.Background())
+	var ce *ConnectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("dead fleet: err %v, want ConnectError", err)
+	}
+	if ce.Endpoints != 1 {
+		t.Fatalf("ConnectError.Endpoints=%d, want 1", ce.Endpoints)
+	}
+	st := p.Stats()
+	if st.Quarantines != 1 {
+		t.Fatalf("Quarantines=%d, want 1", st.Quarantines)
+	}
+	if st.Evictions < 3 || st.DialFailures < 3 {
+		t.Fatalf("stats %+v: want >=3 evictions and dial failures before quarantine", st)
+	}
+	if st.Leases != 0 {
+		t.Fatalf("leases %d from a dead fleet", st.Leases)
+	}
+}
+
+func TestPoolReconnectRoutesAroundFailure(t *testing.T) {
+	// First endpoint dead, second alive: the lease must succeed after
+	// penalizing the dead one, and count as a reconnect.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+	alive := servePingWorker(t)
+
+	p, err := NewPool(PoolConfig{
+		Endpoints:   []string{dead, alive},
+		Backoff:     fastBackoff(),
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	l, err := p.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if l.addr != alive {
+		t.Fatalf("leased %q, want the live endpoint %q", l.addr, alive)
+	}
+	l.Release(false)
+	st := p.Stats()
+	if st.Reconnects != 1 || st.ReconnectNS <= 0 {
+		t.Fatalf("stats %+v: want exactly one reconnect with latency recorded", st)
+	}
+	if st.Evictions < 1 {
+		t.Fatalf("stats %+v: the dead endpoint was never penalized", st)
+	}
+}
+
+func TestPoolLeaseCancelIsNotConnectError(t *testing.T) {
+	addr := servePingWorker(t)
+	p, err := NewPool(PoolConfig{Endpoints: []string{addr}, Backoff: fastBackoff()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = p.Lease(ctx)
+	var ce *ConnectError
+	if errors.As(err, &ce) {
+		t.Fatalf("canceled lease surfaced ConnectError %v: cancellation must propagate, not degrade", err)
+	}
+	if joinerr.KindOf(err) != joinerr.KindCanceled {
+		t.Fatalf("canceled lease kind %v, want KindCanceled", joinerr.KindOf(err))
+	}
+}
+
+func TestPoolLeaseTimeoutWhenBusy(t *testing.T) {
+	addr := servePingWorker(t)
+	p, err := NewPool(PoolConfig{
+		Endpoints:    []string{addr},
+		Backoff:      fastBackoff(),
+		LeaseTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l, err := p.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release(false)
+	// The only endpoint is held: a second lease must time out into the
+	// degradation signal instead of waiting forever.
+	_, err = p.Lease(context.Background())
+	var ce *ConnectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("busy fleet past the lease timeout: err %v, want ConnectError", err)
+	}
+}
+
+func TestPoolClosedLease(t *testing.T) {
+	addr := servePingWorker(t)
+	p, err := NewPool(PoolConfig{Endpoints: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	_, err = p.Lease(context.Background())
+	var ce *ConnectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("closed pool: err %v, want ConnectError", err)
+	}
+}
+
+func TestPoolFailedReleasePenalizes(t *testing.T) {
+	addr := servePingWorker(t)
+	p, err := NewPool(PoolConfig{
+		Endpoints:       []string{addr},
+		Backoff:         fastBackoff(),
+		QuarantineAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		l, lerr := p.Lease(context.Background())
+		if lerr != nil {
+			t.Fatalf("lease %d: %v", i, lerr)
+		}
+		l.Release(true)
+		// Wait out the endpoint's backoff gate so the next lease picks
+		// it again rather than timing out.
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := p.Stats()
+	if st.Evictions != 2 || st.Quarantines != 1 {
+		t.Fatalf("stats %+v: want 2 evictions quarantining the endpoint", st)
+	}
+	if _, err := p.Lease(context.Background()); err == nil {
+		t.Fatal("quarantined fleet still leases")
+	}
+}
+
+func TestNewPoolRequiresEndpoints(t *testing.T) {
+	if _, err := NewPool(PoolConfig{}); err == nil {
+		t.Fatal("empty endpoint list accepted")
+	}
+}

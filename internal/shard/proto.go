@@ -126,19 +126,27 @@ func (f workerFailure) toError() error {
 	}
 }
 
-// WorkerExitError reports a worker process that died without a clean
-// protocol shutdown — killed, crashed, or exited while frames were
-// still owed. It carries the exit status for the KindShard error chain.
+// WorkerExitError reports a worker that died without a clean protocol
+// shutdown — killed, crashed, disconnected mid-frame, or gone while
+// frames were still owed. It carries the exit status (local processes)
+// or the endpoint (remote workers) for the KindShard error chain; a
+// connection-level failure round-trips through it exactly like a
+// process exit, so the coordinator's kill accounting and retry policy
+// never distinguish the transports.
 type WorkerExitError struct {
 	Shard    int
 	Attempt  int
-	ExitCode int    // -1 when terminated by a signal
+	Endpoint string // remote worker address, "" for a local process
+	ExitCode int    // -1 when terminated by a signal or remote
 	Signal   string // signal name when killed, "" otherwise
 	Err      error  // the protocol or wait error observed
 }
 
 // Error implements error.
 func (e *WorkerExitError) Error() string {
+	if e.Endpoint != "" {
+		return fmt.Sprintf("shard %d attempt %d: remote worker %s failed: %v", e.Shard, e.Attempt, e.Endpoint, e.Err)
+	}
 	status := fmt.Sprintf("exit code %d", e.ExitCode)
 	if e.Signal != "" {
 		status = "signal " + e.Signal

@@ -18,6 +18,7 @@ func init() {
 func coreJoin(R, S []geom.KPE, cfg core.Config, emit func(geom.Pair)) (core.Result, error) {
 	res, err := Join(R, S, Config{
 		Shards:            cfg.Shards,
+		Endpoints:         cfg.ShardEndpoints,
 		Memory:            cfg.Memory,
 		Algorithm:         cfg.Algorithm,
 		TuneFactor:        cfg.PBSMTuneFactor,

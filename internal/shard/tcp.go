@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"spatialjoin/internal/joinerr"
+)
+
+// The TCP transport carries the exact frame protocol of the pipe
+// transport over a network connection to a resident worker: same CRC-32C
+// frames, same conversation, same heartbeats — only the byte channel
+// changes. One connection carries one job; the resident worker process
+// outlives the connection, which is the cost model's point: a lease is
+// a dial (microseconds) where a spawn is a fork/exec (milliseconds),
+// and the worker's warmed state survives between joins.
+
+// ConnectError reports that the network transport could not produce a
+// usable worker link: every endpoint is quarantined, dial-failing, or
+// the lease wait timed out. It marks a rung boundary on the degradation
+// ladder — the coordinator reacts by falling back to locally spawned
+// workers for the shard instead of consuming a restart, so an
+// unreachable worker fleet slows a join down rather than failing it.
+type ConnectError struct {
+	// Endpoints is the pool's configured endpoint count.
+	Endpoints int
+	// Err is the terminal observation (last dial error, "all endpoints
+	// quarantined", lease timeout).
+	Err error
+}
+
+// Error implements error.
+func (e *ConnectError) Error() string {
+	return fmt.Sprintf("shard: no usable worker endpoint (of %d): %v", e.Endpoints, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *ConnectError) Unwrap() error { return e.Err }
+
+// NetTransport leases resident workers from a Pool and speaks the frame
+// protocol over TCP.
+type NetTransport struct {
+	pool *Pool
+}
+
+// NewNetTransport wraps a pool. The transport does not own the pool —
+// callers sharing one pool across joins close it themselves.
+func NewNetTransport(pool *Pool) *NetTransport { return &NetTransport{pool: pool} }
+
+// Name implements Transport.
+func (t *NetTransport) Name() string { return "tcp" }
+
+// Open implements Transport: lease a healthy endpoint from the pool.
+func (t *NetTransport) Open(ctx context.Context, _, _ int) (Link, error) {
+	lease, err := t.pool.Lease(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &netLink{lease: lease}, nil
+}
+
+// netLink is one leased connection to a resident worker.
+type netLink struct {
+	lease *Lease
+}
+
+func (l *netLink) Send() *FrameWriter { return l.lease.fw }
+func (l *netLink) Recv() *FrameReader { return l.lease.fr }
+
+// CloseSend half-closes the write side when the connection supports it;
+// the go frame already bounds the worker's input, so this is advisory.
+func (l *netLink) CloseSend() {
+	if cw, ok := l.lease.conn.(interface{ CloseWrite() error }); ok {
+		_ = cw.CloseWrite()
+	}
+}
+
+// Kill closes the connection; the resident worker sees the stream tear
+// and abandons the conversation, while the process itself survives for
+// the next lease.
+func (l *netLink) Kill() { _ = l.lease.conn.Close() }
+
+// Wait implements Link. A connection has no exit status: a dead remote
+// worker is visible only as a torn or silent frame stream, which the
+// supervision loop already converts into a verdict.
+func (l *netLink) Wait() error { return nil }
+
+// Finish returns the lease; a failed attempt penalizes the endpoint.
+func (l *netLink) Finish(failed bool) { l.lease.Release(failed) }
+
+func (l *netLink) Endpoint() string   { return l.lease.addr }
+func (l *netLink) StderrTail() []byte { return nil }
+
+// ServeWorker turns the current process into a resident shard worker:
+// it accepts connections on ln and serves one job conversation per
+// connection, concurrently. A connection opens with either a ping
+// (health check — answered with a beat) or a job frame; when the
+// conversation ends — done, fail, or a torn stream — the connection is
+// closed and the worker awaits the next lease. The sjoin and sjbench
+// binaries expose this behind -worker-listen; sjworkerd is the
+// standalone daemon.
+//
+// ServeWorker returns nil when ln is closed, which is the shutdown
+// signal.
+func ServeWorker(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return joinerr.WrapAs("shard", "accept", joinerr.KindShard, err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			// Errors end the conversation; the structured part already
+			// went out as a fail frame where the link allowed it, and a
+			// resident worker must outlive any single bad conversation.
+			_ = runConversation(NewFrameReader(c), NewFrameWriter(c))
+		}(conn)
+	}
+}

@@ -1,0 +1,189 @@
+package shard_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/netfault"
+	"spatialjoin/internal/shard"
+)
+
+// residentWorkers serves n in-process resident workers on loopback
+// listeners and returns their addresses. In-process workers give the
+// race detector both sides of the protocol; they are torn down with the
+// test.
+func residentWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = ln.Close() })
+		go func() { _ = shard.ServeWorker(ln) }()
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func assertSamePairs(t *testing.T, label string, got, want []geom.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d is %+v, want %+v — emission order diverged", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardJoinOverTCPMatchesSerial(t *testing.T) {
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	for _, n := range []int{1, 2, 4} {
+		cfg := shardConfig(t, n)
+		cfg.Endpoints = residentWorkers(t, n)
+		var got []geom.Pair
+		res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatalf("shards=%d over tcp: %v", n, err)
+		}
+		assertSamePairs(t, "tcp", got, want)
+		if res.Stats.RemoteLeases < res.Stats.Shards {
+			t.Fatalf("shards=%d: %d remote leases for %d shards", n, res.Stats.RemoteLeases, res.Stats.Shards)
+		}
+		if res.Stats.Spawns != 0 || res.Stats.Degraded != 0 {
+			t.Fatalf("shards=%d: clean tcp run spawned %d local workers, degraded %d shards", n, res.Stats.Spawns, res.Stats.Degraded)
+		}
+		if res.Stats.Kills != 0 || res.Stats.Restarts != 0 || res.Stats.Absorbed != 0 {
+			t.Fatalf("shards=%d: unexpected fault stats %+v", n, res.Stats)
+		}
+	}
+}
+
+func TestShardJoinSharedPoolAcrossJoins(t *testing.T) {
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	pool, err := shard.NewPool(shard.PoolConfig{Endpoints: residentWorkers(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for round := 0; round < 2; round++ {
+		cfg := shardConfig(t, 2)
+		cfg.Pool = pool
+		var got []geom.Pair
+		if _, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) }); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertSamePairs(t, "shared pool", got, want)
+	}
+	// The pool survived both joins: the resident workers were leased and
+	// returned, never consumed.
+	if st := pool.Stats(); st.Leases < 4 || st.Quarantines != 0 {
+		t.Fatalf("pool stats %+v: want >=4 clean leases across two joins", st)
+	}
+}
+
+func TestShardJoinDegradesToLocalWorkers(t *testing.T) {
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	cfg := shardConfig(t, 2)
+	cfg.Endpoints = []string{deadAddr(t)}
+	cfg.DialTimeout = 200 * time.Millisecond
+	cfg.QuarantineAfter = 1
+	var got []geom.Pair
+	res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join with a dead fleet: %v", err)
+	}
+	assertSamePairs(t, "degraded", got, want)
+	if res.Stats.Degraded != res.Stats.Shards {
+		t.Fatalf("Degraded=%d, want every one of %d shards", res.Stats.Degraded, res.Stats.Shards)
+	}
+	if res.Stats.Spawns < res.Stats.Shards {
+		t.Fatalf("Spawns=%d after degradation, want >= %d", res.Stats.Spawns, res.Stats.Shards)
+	}
+	if res.Stats.RemoteLeases != 0 {
+		t.Fatalf("RemoteLeases=%d against a dead fleet", res.Stats.RemoteLeases)
+	}
+	// Degradation consumed no restarts: the ladder fell rungs, not
+	// retries.
+	if res.Stats.Restarts != 0 || res.Stats.Kills != 0 {
+		t.Fatalf("degradation burned fault budget: %+v", res.Stats)
+	}
+}
+
+func TestShardJoinTCPConnFaultRetries(t *testing.T) {
+	// One scripted mid-stream reset: the coordinator's read of the pairs
+	// stream tears mid-frame. The disconnect must round-trip like a
+	// worker exit — a kill, a restart, and an identical final sequence.
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	// 512 bytes: past every lease ping (9 bytes each, all at the start —
+	// shards launch concurrently) and safely inside the worker's reply
+	// stream, which totals well under 1 KiB per shard here.
+	pol := netfault.New(netfault.Config{ResetReadAt: 512, MaxFaults: 1})
+	cfg := shardConfig(t, 2)
+	cfg.Endpoints = residentWorkers(t, 2)
+	cfg.Dial = pol.WrapDial(nil)
+	var got []geom.Pair
+	res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join with injected reset: %v", err)
+	}
+	assertSamePairs(t, "conn fault", got, want)
+	if pol.Stats().ReadResets != 1 {
+		t.Fatalf("injected %d resets, want exactly 1", pol.Stats().ReadResets)
+	}
+	if res.Stats.Kills != 1 || res.Stats.Restarts != 1 {
+		t.Fatalf("stats %+v: a mid-frame disconnect must count as one kill and one restart, like a process exit", res.Stats)
+	}
+	if res.Stats.Degraded != 0 {
+		t.Fatalf("a single torn connection degraded %d shards; only ConnectError may degrade", res.Stats.Degraded)
+	}
+}
+
+func TestResidentWorkerProcess(t *testing.T) {
+	// The real thing, no shortcuts: a separate OS process serving the
+	// listen protocol (re-exec of this test binary through the helper),
+	// discovered through its "listening" announcement.
+	r, s := testData()
+	want := serialPairs(t, r, s)
+	argv, env := shard.HelperListenCmd("TestShardWorkerHelper")
+	addr, stop, err := shard.SpawnResidentWorker(argv, env)
+	if err != nil {
+		t.Fatalf("SpawnResidentWorker: %v", err)
+	}
+	defer stop()
+	cfg := shardConfig(t, 2)
+	cfg.Endpoints = []string{addr}
+	var got []geom.Pair
+	res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("join against resident worker process: %v", err)
+	}
+	assertSamePairs(t, "resident process", got, want)
+	if res.Stats.RemoteLeases < res.Stats.Shards || res.Stats.Spawns != 0 {
+		t.Fatalf("stats %+v: want all shards on the resident worker", res.Stats)
+	}
+	if res.Stats.WorkerLiveFiles != 0 {
+		t.Fatalf("resident worker leaked %d files", res.Stats.WorkerLiveFiles)
+	}
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"os/exec"
+
+	"spatialjoin/internal/joinerr"
+)
+
+// Link is one live frame conversation with a worker, whatever carries
+// it: a spawned process's stdin/stdout pipes or a TCP connection to a
+// resident worker. The coordinator's supervision loop is written
+// against this interface only — heartbeat watchdog, deadline, chaos and
+// verdict logic are identical on every transport, which is what makes
+// the determinism contract transport-independent.
+type Link interface {
+	// Send returns the frame writer toward the worker.
+	Send() *FrameWriter
+	// Recv returns the frame reader from the worker.
+	Recv() *FrameReader
+	// CloseSend signals end of coordinator→worker input after the job
+	// has been shipped. Best-effort: the protocol's go frame already
+	// marks the input boundary, so transports that cannot half-close
+	// may no-op.
+	CloseSend()
+	// Kill forcibly tears the link down: the process is killed, the
+	// connection closed. Idempotent.
+	Kill()
+	// Wait blocks until the worker side of the link has finished and
+	// returns the exit observation — a wrapped *exec.ExitError for a
+	// spawned process, nil for a network link (a connection has no exit
+	// status; its death is visible on the frame stream instead).
+	Wait() error
+	// Finish releases the link's transport resources. failed reports
+	// the attempt's verdict so a pool can penalize or evict the
+	// endpoint behind a failed link and reset a healthy one.
+	Finish(failed bool)
+	// Endpoint names the remote worker ("host:port"), or "" for a
+	// locally spawned process.
+	Endpoint() string
+	// StderrTail returns captured worker diagnostics, valid after Wait;
+	// nil when the transport has no side channel.
+	StderrTail() []byte
+}
+
+// Transport opens links to workers, one per shard attempt.
+type Transport interface {
+	// Open establishes a link for the given shard attempt. A transport
+	// that cannot currently produce ANY usable link returns a
+	// *ConnectError — the coordinator's signal to degrade to the next
+	// rung of the execution ladder instead of burning a restart.
+	Open(ctx context.Context, shard, attempt int) (Link, error)
+	// Name labels the transport in diagnostics ("pipe", "tcp").
+	Name() string
+}
+
+// ProcTransport spawns one local worker process per attempt and speaks
+// the frame protocol on its stdin/stdout — the original shard transport
+// lifted behind the Transport interface.
+type ProcTransport struct {
+	// Cmd is the worker argv; Env appends to the inherited environment.
+	Cmd []string
+	Env []string
+}
+
+// Name implements Transport.
+func (t *ProcTransport) Name() string { return "pipe" }
+
+// Open implements Transport: it spawns the worker process. ctx is
+// unused — a local spawn either succeeds immediately or fails.
+func (t *ProcTransport) Open(_ context.Context, _, _ int) (Link, error) {
+	cmd := exec.Command(t.Cmd[0], t.Cmd[1:]...)
+	cmd.Env = append(os.Environ(), t.Env...)
+	l := &procLink{cmd: cmd}
+	cmd.Stderr = &l.stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, joinerr.WrapAs("shard", "spawn", joinerr.KindShard, err)
+	}
+	l.stdin = stdin
+	l.fw = NewFrameWriter(stdin)
+	l.fr = NewFrameReader(stdout)
+	return l, nil
+}
+
+// procLink is the pipe transport's link: one spawned worker process.
+type procLink struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	fw     *FrameWriter
+	fr     *FrameReader
+	stderr bytes.Buffer
+}
+
+func (l *procLink) Send() *FrameWriter { return l.fw }
+func (l *procLink) Recv() *FrameReader { return l.fr }
+func (l *procLink) CloseSend()         { _ = l.stdin.Close() }
+func (l *procLink) Kill()              { _ = l.cmd.Process.Kill() }
+func (l *procLink) Finish(bool)        {}
+func (l *procLink) Endpoint() string   { return "" }
+
+// StderrTail returns the worker's captured stderr; exec's copier is
+// joined by Wait, so the buffer is stable once Wait returned.
+func (l *procLink) StderrTail() []byte { return l.stderr.Bytes() }
+
+// Wait reaps the worker process. The exit status stays reachable
+// through the wrapped chain (errors.As to *exec.ExitError).
+func (l *procLink) Wait() error {
+	err := l.cmd.Wait()
+	if err != nil {
+		return joinerr.WrapAs("shard", "wait", joinerr.KindShard, err)
+	}
+	return nil
+}

@@ -31,10 +31,15 @@ import (
 // process's exit status only — everything the coordinator needs is on
 // the pipe.
 func WorkerMain(in io.Reader, out io.Writer) error {
-	fr := NewFrameReader(in)
-	fw := NewFrameWriter(out)
+	return runConversation(NewFrameReader(in), NewFrameWriter(out))
+}
 
-	spec, rsl, ssl, err := workerReceive(fr)
+// runConversation serves one job conversation over an established frame
+// link — a process's pipes (WorkerMain) or one accepted connection of a
+// resident worker (ServeWorker). The protocol is byte-identical on both
+// transports.
+func runConversation(fr *FrameReader, fw *FrameWriter) error {
+	spec, rsl, ssl, err := workerReceive(fr, fw)
 	if err != nil {
 		// Best effort: the coordinator learns more from a fail frame
 		// than from a bare exit, but a torn pipe can defeat both.
@@ -84,18 +89,28 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 }
 
 // workerReceive reads the job spec and both relations' partition
-// slices, honoring the spawn kill point.
-func workerReceive(fr *FrameReader) (*JobSpec, map[int][]geom.KPE, map[int][]geom.KPE, error) {
-	t, payload, err := fr.Next()
-	if err != nil {
-		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
-	}
-	if t != FrameJob {
-		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("first frame is type %d, want job", t))
-	}
-	spec := &JobSpec{}
-	if err := unmarshalJSON(payload, spec); err != nil {
-		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+// slices, honoring the spawn kill point. Ping frames ahead of the job
+// are health checks from a pool lease; each is answered with a beat.
+func workerReceive(fr *FrameReader, fw *FrameWriter) (*JobSpec, map[int][]geom.KPE, map[int][]geom.KPE, error) {
+	var spec *JobSpec
+	for spec == nil {
+		t, payload, err := fr.Next()
+		if err != nil {
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+		}
+		switch t {
+		case FramePing:
+			if err := fw.Write(FrameBeat, nil); err != nil {
+				return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+			}
+		case FrameJob:
+			spec = &JobSpec{}
+			if err := unmarshalJSON(payload, spec); err != nil {
+				return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, err)
+			}
+		default:
+			return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("first frame is type %d, want job or ping", t))
+		}
 	}
 	if !spec.Grid.Valid() || spec.Memory <= 0 {
 		return nil, nil, nil, joinerr.WrapAs("shard", "worker", joinerr.KindShard, protoErrf("job spec invalid: grid %+v, memory %d", spec.Grid, spec.Memory))
