@@ -32,6 +32,19 @@ echo "== sjlint ./... =="
 # operands. See DESIGN.md §10.
 go run ./cmd/sjlint ./...
 
+echo "== sjlint concurrency contracts =="
+# The CFG/dataflow quartet on its own: guarded-by field annotations,
+# atomic/plain access mixes, the whole-module lock acquisition graph
+# (acyclic + documented orderings realized), and goroutine join/cancel
+# paths. Redundant with the full run above, but a failure here names
+# the contract layer directly. See DESIGN.md §15.
+go run ./cmd/sjlint -analyzers guardedby,atomicmix,lockorder,goexit ./...
+
+echo "== sjlint -lockgraph smoke =="
+# The DOT debug export must render the real acquisition graph with the
+# documented shard -> sched contract edge in it.
+go run ./cmd/sjlint -lockgraph ./... | grep -q 'joinState.mu" -> "spatialjoin/internal/sched.Collector.mu"'
+
 echo "== sjlint -json smoke =="
 # The JSON output mode must always re-parse, including the empty-report
 # case; -checkjson validates the document shape and exits non-zero on a

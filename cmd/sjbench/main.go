@@ -94,6 +94,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
 			os.Exit(1)
 		}
+		//lint:ignore goexit metrics HTTP daemon serves for the whole process lifetime and dies with it
 		go func() {
 			if serr := http.Serve(ln, metrics.Handler(reg)); serr != nil {
 				fmt.Fprintf(os.Stderr, "sjbench: metrics server: %v\n", serr)

@@ -1,14 +1,17 @@
-// Command sjlint runs the project's static-analysis suite: six
+// Command sjlint runs the project's static-analysis suite: the
 // type-accurate analyzers that enforce the join stack's cross-cutting
 // contracts (joinerr propagation, paired trace spans, govern
 // checkpoints, registry-managed temp files, exhaustive Kind switches,
-// chain-preserving %w wrapping).
+// chain-preserving %w wrapping) and its concurrency contracts
+// (guarded-by field annotations, atomic/plain access mixing, the
+// module-wide lock acquisition order, goroutine join/cancel paths).
 //
 // Usage:
 //
 //	sjlint [-json] [-analyzers a,b,...] [patterns...]
 //	sjlint -list
 //	sjlint -checkjson file.json   ("-" reads stdin)
+//	sjlint -lockgraph [patterns...]
 //
 // Patterns default to ./... and follow go-tool conventions: ./... walks
 // the module, dir/... walks a subtree, anything else names one package
@@ -37,6 +40,7 @@ func main() {
 		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		list      = flag.Bool("list", false, "list the registered analyzers and exit")
 		checkJSON = flag.String("checkjson", "", "validate that `file` is well-formed sjlint -json output and exit")
+		lockgraph = flag.Bool("lockgraph", false, "dump the lock acquisition graph as Graphviz DOT instead of findings")
 	)
 	flag.Parse()
 
@@ -67,6 +71,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *lockgraph {
+		// The graph is a lockorder byproduct; run just that analyzer.
+		var err error
+		selected, err = lint.ByName("lockorder")
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -86,6 +98,13 @@ func main() {
 		fatal(err)
 	}
 
+	if *lockgraph {
+		fmt.Print(driver.LockGraphDOT())
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
 			fatal(err)

@@ -153,11 +153,11 @@ type Governor struct {
 	maxMem   int64 // ≤0 = unlimited
 
 	mu      sync.Mutex
-	active  int
-	mem     int64
-	waiters []*waiter
-	stats   GovernorStats
-	met     *govMetrics // live-metrics handles (nil = detached)
+	active  int           // guarded by mu
+	mem     int64         // guarded by mu
+	waiters []*waiter     // guarded by mu
+	stats   GovernorStats // guarded by mu
+	met     *govMetrics   // guarded by mu; live-metrics handles (nil = detached)
 }
 
 // waiter is one queued Acquire. ready is closed (with the grant already
@@ -203,9 +203,9 @@ func (g *Governor) Stats() GovernorStats {
 	return st
 }
 
-// fits reports whether a mem-byte join could start right now. Caller
+// fitsLocked reports whether a mem-byte join could start right now. Caller
 // holds g.mu.
-func (g *Governor) fits(mem int64) bool {
+func (g *Governor) fitsLocked(mem int64) bool {
 	if g.maxJoins > 0 && g.active >= g.maxJoins {
 		return false
 	}
@@ -215,8 +215,8 @@ func (g *Governor) fits(mem int64) bool {
 	return true
 }
 
-// admit books a grant. Caller holds g.mu.
-func (g *Governor) admit(mem int64) {
+// admitLocked books a grant. Caller holds g.mu.
+func (g *Governor) admitLocked(mem int64) {
 	g.active++
 	g.mem += mem
 	g.stats.Admitted++
@@ -225,18 +225,18 @@ func (g *Governor) admit(mem int64) {
 	}
 }
 
-// wake admits queued requests from the head while they fit. Strict FIFO:
+// wakeLocked admits queued requests from the head while they fit. Strict FIFO:
 // the first waiter that does not fit blocks the ones behind it, so a
 // large join cannot be starved by a stream of small ones. Caller holds
 // g.mu.
-func (g *Governor) wake() {
-	for len(g.waiters) > 0 && g.fits(g.waiters[0].mem) {
+func (g *Governor) wakeLocked() {
+	for len(g.waiters) > 0 && g.fitsLocked(g.waiters[0].mem) {
 		w := g.waiters[0]
 		g.waiters = g.waiters[1:]
-		g.admit(w.mem)
+		g.admitLocked(w.mem)
 		close(w.ready)
 	}
-	g.syncGauges()
+	g.syncGaugesLocked()
 }
 
 // Acquire claims mem bytes and one join slot, queueing while the
@@ -259,9 +259,9 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrOverCapacity, mem, g.maxMem)
 	}
 	// Fast path: capacity available and nobody queued ahead of us.
-	if len(g.waiters) == 0 && g.fits(mem) {
-		g.admit(mem)
-		g.syncGauges()
+	if len(g.waiters) == 0 && g.fitsLocked(mem) {
+		g.admitLocked(mem)
+		g.syncGaugesLocked()
 		g.mu.Unlock()
 		return g.releaseFunc(mem), nil
 	}
@@ -271,7 +271,7 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 	if g.met != nil {
 		g.met.waited.Inc()
 	}
-	g.syncGauges()
+	g.syncGaugesLocked()
 	g.mu.Unlock()
 
 	var done <-chan struct{}
@@ -303,7 +303,7 @@ func (g *Governor) Acquire(ctx context.Context, mem int64) (release func(), err 
 			g.met.aborted.Inc()
 		}
 		// Our departure may unblock a smaller request queued behind us.
-		g.wake()
+		g.wakeLocked()
 		g.mu.Unlock()
 		return nil, ctx.Err()
 	}
@@ -343,7 +343,7 @@ func (g *Governor) TryAcquire(mem int64) (release func(), ok bool) {
 		g.met.wGrants.Inc()
 		g.met.wGranted.Add(mem)
 	}
-	g.syncGauges()
+	g.syncGaugesLocked()
 	return g.releaseMemFunc(mem), true
 }
 
@@ -355,7 +355,7 @@ func (g *Governor) releaseMemFunc(mem int64) func() {
 		once.Do(func() {
 			g.mu.Lock()
 			g.mem -= mem
-			g.wake()
+			g.wakeLocked()
 			g.mu.Unlock()
 		})
 	}
@@ -369,7 +369,7 @@ func (g *Governor) releaseFunc(mem int64) func() {
 			g.mu.Lock()
 			g.active--
 			g.mem -= mem
-			g.wake()
+			g.wakeLocked()
 			g.mu.Unlock()
 		})
 	}

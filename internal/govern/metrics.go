@@ -69,13 +69,13 @@ func (g *Governor) SetMetrics(r *metrics.Registry) {
 		wGranted:  r.Counter(metWorkerGrantedBytes),
 		wDenied:   r.Counter(metWorkerDeclinedBytes),
 	}
-	g.syncGauges()
+	g.syncGaugesLocked()
 }
 
-// syncGauges publishes the live admission state. Caller holds g.mu;
+// syncGaugesLocked publishes the live admission state. Caller holds g.mu;
 // the gauge stores themselves are atomic, so scrapes never block on
 // the governor lock.
-func (g *Governor) syncGauges() {
+func (g *Governor) syncGaugesLocked() {
 	if g.met == nil {
 		return
 	}

@@ -12,7 +12,7 @@ import (
 	"spatialjoin/internal/lint"
 )
 
-var analyzerNames = []string{"checkpoint", "joinwrap", "kindswitch", "metricname", "registry", "shardwrap", "spanend", "wrapverb"}
+var analyzerNames = []string{"atomicmix", "checkpoint", "goexit", "guardedby", "joinwrap", "kindswitch", "lockorder", "metricname", "registry", "shardwrap", "spanend", "wrapverb"}
 
 // runFixture loads one testdata fixture package with a fresh driver and
 // runs a single analyzer over it.

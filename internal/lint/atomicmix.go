@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAtomicmix flags mixed atomic/plain access: once any code in
+// the package passes a field's or variable's address to a sync/atomic
+// function, every plain read or write of that location elsewhere races
+// with the atomic ones (the compiler and CPU are free to tear,
+// reorder or cache the plain access). Struct fields match across all
+// instances of the type — "pkg.Type.field" is one location class, the
+// same way guardedby classifies locks. Typed atomics (atomic.Int64
+// and friends) cannot mix by construction and need no analysis.
+var AnalyzerAtomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a location accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicmix,
+}
+
+// atomicKey names one memory location: a *types.Var for package vars
+// and locals, a "pkg.Type.field" string for struct fields (any
+// instance).
+type atomicKey any
+
+func runAtomicmix(p *Pass) {
+	// Pass 1: collect every location whose address reaches sync/atomic,
+	// remembering the first atomic site for the report.
+	atomicAt := make(map[atomicKey]token.Pos)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				k := locationKey(p.Info, un.X)
+				if k == nil {
+					continue
+				}
+				if _, seen := atomicAt[k]; !seen {
+					atomicAt[k] = un.X.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: any other appearance of those locations is a plain access
+	// — except the &x operand of another atomic call.
+	for _, f := range p.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var k atomicKey
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				k = locationKey(p.Info, e)
+			case *ast.Ident:
+				// Only plain idents (not the Sel of a selector, not a
+				// declaration, not a composite-lit key).
+				if par, ok := pm[e].(*ast.SelectorExpr); ok && par.Sel == e {
+					return true
+				}
+				if _, isDef := p.Info.Defs[e]; isDef {
+					return true
+				}
+				if kv, ok := pm[e].(*ast.KeyValueExpr); ok && kv.Key == e {
+					return true
+				}
+				k = locationKey(p.Info, e)
+			default:
+				return true
+			}
+			if k == nil {
+				return true
+			}
+			first, ok := atomicAt[k]
+			if !ok {
+				return true
+			}
+			if isAtomicOperand(p.Info, pm, n) {
+				return true
+			}
+			firstLine := p.Fset.Position(first).Line
+			p.Reportf(n.Pos(),
+				"plain access to %s, which is accessed atomically (first at line %d); use sync/atomic for every access",
+				describeLocation(k), firstLine)
+			// Don't descend: the inner selector of st.x.y would
+			// re-report.
+			return false
+		})
+	}
+}
+
+// locationKey classifies an lvalue expression: struct fields collapse
+// to a per-type class, everything else is the variable object.
+func locationKey(info *types.Info, e ast.Expr) atomicKey {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named := namedType(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok {
+			return obj
+		}
+	case *ast.StarExpr:
+		return locationKey(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return locationKey(info, e.X)
+		}
+	}
+	return nil
+}
+
+func describeLocation(k atomicKey) string {
+	switch k := k.(type) {
+	case string:
+		return k
+	case *types.Var:
+		return k.Name()
+	}
+	return "location"
+}
+
+// isAtomicOperand reports whether n is the x of an &x operand handed
+// directly to a sync/atomic call — the one sanctioned appearance.
+func isAtomicOperand(info *types.Info, pm parentMap, n ast.Node) bool {
+	un, ok := pm[n].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	par := pm[un]
+	for {
+		if p, ok := par.(*ast.ParenExpr); ok {
+			par = pm[p]
+			continue
+		}
+		break
+	}
+	call, ok := par.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,351 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies and solves forward dataflow problems on them. It is
+// the foundation the concurrency analyzers (guardedby, lockorder,
+// goexit) share: the same stdlib-only constraint as the rest of the
+// lint framework applies, so the builder works directly on the AST
+// with no SSA form and no x/tools dependency.
+//
+// The graph is deliberately coarse where precision does not pay for
+// itself in this module:
+//
+//   - goto edges are approximated as jumps to the function exit, which
+//     is sound for must-analyses (facts are dropped, never invented);
+//   - labeled break/continue resolve to the labeled loop or switch;
+//   - panic calls and select{} terminate the block into the exit;
+//   - nested function literals are NOT traversed — a FuncLit is a
+//     value, and each literal's body gets its own graph.
+package cfg
+
+import "go/ast"
+
+// Block is one straight-line run of statements. Nodes holds the
+// statements (and, for branch heads, the init/condition expressions)
+// in execution order; Succs are the possible successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body: a single synthetic Entry and
+// Exit with every block reachable-or-not in between. Blocks appear in
+// creation order, which is deterministic for a given AST.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches the exit.
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// loopFrame records where break and continue jump inside one loop or
+// switch; Label is set for labeled statements so "break L" resolves.
+type loopFrame struct {
+	label string
+	brk   *Block // break target; nil only for frames without one
+	cont  *Block // continue target; nil for switch/select frames
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block
+	loops []loopFrame
+	// nextCase is the following case clause's block during switch
+	// construction, the fallthrough target.
+	nextCase *Block
+	// pendingLabel carries a label down to the loop/switch it names.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// dead replaces the current block with a fresh, unreached one; used
+// after return/break/continue so trailing statements do not leak facts.
+func (b *builder) dead() { b.cur = b.newBlock() }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frame pushes a break/continue frame for the duration of fn.
+func (b *builder) frame(f loopFrame, fn func()) {
+	b.loops = append(b.loops, f)
+	fn()
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// findFrame resolves a break (wantCont=false) or continue target,
+// optionally by label.
+func (b *builder) findFrame(label string, wantCont bool) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantCont && f.cont == nil {
+			continue
+		}
+		if wantCont {
+			return f.cont
+		}
+		return f.brk
+	}
+	return nil
+}
+
+// takeLabel consumes the pending label for the loop/switch statement
+// that owns it.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Attach the label to the statement it names; for labeled
+		// loops/switches the frame picks it up, for anything else a
+		// labeled goto target is approximated by the goto handling.
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(head, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.frame(loopFrame{label: label, brk: after, cont: post}, func() {
+			b.stmtList(s.Body.List)
+		})
+		b.edge(b.cur, post)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s)
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.frame(loopFrame{label: label, brk: after, cont: head}, func() {
+			b.stmtList(s.Body.List)
+		})
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.caseSwitch(s.Init, s.Tag, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		b.caseSwitch(s.Init, nil, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		b.takeLabel()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			b.edge(b.cur, b.g.Exit)
+			b.dead()
+			return
+		}
+		head := b.cur
+		after := b.newBlock()
+		b.frame(loopFrame{brk: after}, func() {
+			for _, clause := range s.Body.List {
+				cc := clause.(*ast.CommClause)
+				blk := b.newBlock()
+				b.edge(head, blk)
+				if cc.Comm != nil {
+					blk.Nodes = append(blk.Nodes, cc.Comm)
+				}
+				b.cur = blk
+				b.stmtList(cc.Body)
+				b.edge(b.cur, after)
+			}
+		})
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findFrame(label, false); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.dead()
+		case "continue":
+			if t := b.findFrame(label, true); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.dead()
+		case "goto":
+			// Approximate: drop all facts by routing to the exit.
+			b.edge(b.cur, b.g.Exit)
+			b.dead()
+		case "fallthrough":
+			if b.nextCase != nil {
+				b.edge(b.cur, b.nextCase)
+			}
+			b.dead()
+		}
+
+	default:
+		// Plain statements: decls, assignments, sends, incdec, expr
+		// statements, go and defer. A panic() terminates the block.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanic(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.dead()
+		}
+	}
+}
+
+// caseSwitch builds both expression and type switches. assign is the
+// TypeSwitchStmt's assign statement, recorded as a head node.
+func (b *builder) caseSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, assign ast.Stmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frame(loopFrame{label: label, brk: after}, func() {
+		for i, cc := range clauses {
+			b.cur = blocks[i]
+			savedNext := b.nextCase
+			if i+1 < len(blocks) {
+				b.nextCase = blocks[i+1]
+			} else {
+				b.nextCase = nil
+			}
+			b.stmtList(cc.Body)
+			b.nextCase = savedNext
+			b.edge(b.cur, after)
+		}
+	})
+	b.cur = after
+}
+
+// isPanic reports whether s is a direct panic(...) call. Purely
+// syntactic — shadowing panic is its own crime.
+func isPanic(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,385 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// mustSet is a toy must-analysis over calls lock("x") / unlock("x"):
+// the fact is the set of names locked on every path. nil means
+// "unreached" (the bottom / identity fact).
+type mustSet struct{}
+
+type fact map[string]bool
+
+func (mustSet) Bottom() fact { return nil }
+func (mustSet) Entry() fact  { return fact{} }
+
+func (mustSet) Transfer(n ast.Node, f fact) fact {
+	if f == nil {
+		return nil
+	}
+	out := f
+	cloned := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		name, _ := strconv.Unquote(lit.Value)
+		if !cloned {
+			cp := make(fact, len(out))
+			for k := range out {
+				cp[k] = true
+			}
+			out, cloned = cp, true
+		}
+		switch id.Name {
+		case "lock":
+			out[name] = true
+		case "unlock":
+			delete(out, name)
+		}
+		return true
+	})
+	return out
+}
+
+func (mustSet) Meet(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(fact)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (mustSet) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveOn builds the graph for src and solves the toy lattice over it;
+// assertions then find nodes by AST shape via findCall.
+func solveOn(t *testing.T, src string) (*Graph, map[*Block]fact) {
+	t.Helper()
+	body := parseBody(t, src)
+	g := New(body)
+	return g, Solve[fact](g, mustSet{})
+}
+
+// findCall locates the block containing a call to name, and the fact in
+// force just before that call.
+func findCall(g *Graph, in map[*Block]fact, name string) (fact, bool) {
+	for _, blk := range g.Blocks {
+		f := in[blk]
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return f, true
+			}
+			f = (mustSet{}).Transfer(n, f)
+		}
+	}
+	return nil, false
+}
+
+func TestBranchMeetIsIntersection(t *testing.T) {
+	g, in := solveOn(t, `
+		lock("a")
+		if cond {
+			lock("b")
+		} else {
+			lock("c")
+		}
+		probe()
+	`)
+	f, ok := findCall(g, in, "probe")
+	if !ok {
+		t.Fatal("probe not found")
+	}
+	if !f["a"] || f["b"] || f["c"] {
+		t.Fatalf("after branch want {a}, got %v", f)
+	}
+}
+
+func TestOneArmedIfDropsFact(t *testing.T) {
+	g, in := solveOn(t, `
+		if cond {
+			lock("a")
+		}
+		probe()
+	`)
+	f, _ := findCall(g, in, "probe")
+	if f["a"] {
+		t.Fatalf("fact from one-armed if must not survive the merge: %v", f)
+	}
+}
+
+func TestLoopBodyKeepsOuterFact(t *testing.T) {
+	g, in := solveOn(t, `
+		lock("a")
+		for i := 0; i < n; i++ {
+			probe()
+			lock("b")
+			unlock("b")
+		}
+		after()
+	`)
+	f, _ := findCall(g, in, "probe")
+	if !f["a"] || f["b"] {
+		t.Fatalf("loop body: want {a}, got %v", f)
+	}
+	fa, _ := findCall(g, in, "after")
+	if !fa["a"] {
+		t.Fatalf("after loop: want {a}, got %v", fa)
+	}
+}
+
+func TestLockInLoopBodyNotHeldAtHead(t *testing.T) {
+	g, in := solveOn(t, `
+		for {
+			probe()
+			lock("a")
+			unlock("a")
+		}
+	`)
+	f, _ := findCall(g, in, "probe")
+	if f["a"] {
+		t.Fatalf("head of loop must meet away body-only lock: %v", f)
+	}
+}
+
+func TestReturnPathDoesNotLeak(t *testing.T) {
+	g, in := solveOn(t, `
+		if cond {
+			lock("a")
+			cleanup()
+			return
+		}
+		probe()
+	`)
+	f, _ := findCall(g, in, "probe")
+	if f["a"] {
+		t.Fatalf("lock on a returning path leaked past the return: %v", f)
+	}
+	fc, _ := findCall(g, in, "cleanup")
+	if !fc["a"] {
+		t.Fatalf("want {a} before cleanup, got %v", fc)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g, in := solveOn(t, `
+		switch x {
+		case 1:
+			lock("a")
+			fallthrough
+		case 2:
+			probe()
+		default:
+			other()
+		}
+	`)
+	// probe is reachable both from the switch head (no lock) and via
+	// fallthrough (lock held) — must-intersection drops it.
+	f, _ := findCall(g, in, "probe")
+	if f == nil {
+		t.Fatal("case 2 should be reachable")
+	}
+	if f["a"] {
+		t.Fatalf("fallthrough-only fact must not be a must-fact: %v", f)
+	}
+}
+
+func TestSelectClausesMerge(t *testing.T) {
+	g, in := solveOn(t, `
+		lock("a")
+		select {
+		case <-ch1:
+			work()
+		case <-ch2:
+			unlock("a")
+		}
+		probe()
+	`)
+	fw, _ := findCall(g, in, "work")
+	if !fw["a"] {
+		t.Fatalf("select clause should inherit {a}, got %v", fw)
+	}
+	f, _ := findCall(g, in, "probe")
+	if f["a"] {
+		t.Fatalf("unlock in one clause must clear the must-fact: %v", f)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	body := parseBody(t, `
+		work()
+		return
+		probe()
+	`)
+	g := New(body)
+	reach := Reachable(g, g.Entry)
+	var probeBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+						probeBlk = blk
+					}
+				}
+				return true
+			})
+		}
+	}
+	if probeBlk == nil {
+		t.Fatal("probe block not built")
+	}
+	if reach[probeBlk] {
+		t.Fatal("statement after return must be unreachable from entry")
+	}
+}
+
+func TestReachableAfterGo(t *testing.T) {
+	body := parseBody(t, `
+		before()
+		go fn()
+		if cond {
+			return
+		}
+		after()
+	`)
+	g := New(body)
+	var goBlk, beforeBlk, afterBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.GoStmt); ok {
+				goBlk = blk
+			}
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "before":
+							beforeBlk = blk
+						case "after":
+							afterBlk = blk
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if goBlk == nil || beforeBlk == nil || afterBlk == nil {
+		t.Fatal("blocks not found")
+	}
+	reach := Reachable(g, goBlk)
+	if !reach[afterBlk] {
+		t.Fatal("after() should be reachable from the go statement")
+	}
+	if beforeBlk != goBlk && reach[beforeBlk] {
+		t.Fatal("before() must not be reachable from the go statement")
+	}
+}
+
+func TestBlockOfFindsInnerNode(t *testing.T) {
+	body := parseBody(t, `
+		x := 1
+		if cond {
+			y := inner(x)
+			_ = y
+		}
+	`)
+	g := New(body)
+	var innerCall ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+				innerCall = call
+			}
+		}
+		return true
+	})
+	blk := BlockOf(g, innerCall)
+	if blk == nil {
+		t.Fatal("BlockOf returned nil for a node inside a recorded stmt")
+	}
+	found := false
+	for _, n := range blk.Nodes {
+		if n.Pos() <= innerCall.Pos() && innerCall.End() <= n.End() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BlockOf returned a block that does not contain the node")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, in := solveOn(t, `
+	outer:
+		for {
+			lock("a")
+			for {
+				if cond {
+					break outer
+				}
+			}
+		}
+		probe()
+	`)
+	f, ok := findCall(g, in, "probe")
+	if !ok {
+		t.Fatal("probe must be reachable via the labeled break")
+	}
+	if !f["a"] {
+		t.Fatalf("labeled break exits with the outer loop's fact: %v", f)
+	}
+}

@@ -1,0 +1,91 @@
+package cfg
+
+import "go/ast"
+
+// Lattice drives Solve. F is the fact type flowing along edges.
+//
+// Bottom is the fact of an edge that has not been reached yet — the
+// identity of Meet (for a must-analysis: "everything holds"; for a
+// may-analysis: "nothing holds"). Entry is the fact at function entry.
+// Transfer folds one CFG node (a statement or branch-head expression)
+// into a fact; it must not mutate its input. Meet joins two incoming
+// edge facts; Equal ends the fixpoint iteration.
+type Lattice[F any] interface {
+	Bottom() F
+	Entry() F
+	Transfer(n ast.Node, f F) F
+	Meet(a, b F) F
+	Equal(a, b F) bool
+}
+
+// Solve runs a forward dataflow analysis over g and returns the fact at
+// the START of every block. Analyzers that need per-node facts replay
+// Transfer over a block's Nodes starting from its in-fact.
+//
+// Round-robin iteration in block order: function bodies here are tiny
+// (tens of blocks), so a worklist would be overhead, not speed.
+func Solve[F any](g *Graph, l Lattice[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		in[blk] = l.Bottom()
+	}
+	in[g.Entry] = l.Entry()
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			out := in[blk]
+			for _, n := range blk.Nodes {
+				out = l.Transfer(n, out)
+			}
+			for _, succ := range blk.Succs {
+				merged := l.Meet(in[succ], out)
+				if !l.Equal(merged, in[succ]) {
+					in[succ] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Reachable returns the set of blocks reachable from `from`, including
+// `from` itself. The goexit analyzer uses it to ask whether a join site
+// (wg.Wait, a channel receive) can still execute after a go statement.
+func Reachable(g *Graph, from *Block) map[*Block]bool {
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, succ := range blk.Succs {
+			if !seen[succ] {
+				seen[succ] = true
+				stack = append(stack, succ)
+			}
+		}
+	}
+	return seen
+}
+
+// BlockOf returns the block whose Nodes contain n (by containment, not
+// identity): the block holding the smallest node whose source range
+// covers n. Returns nil when n is not inside any recorded node — e.g.
+// inside a nested FuncLit launched from a recorded statement.
+func BlockOf(g *Graph, n ast.Node) *Block {
+	var best *Block
+	var bestSize int
+	for _, blk := range g.Blocks {
+		for _, node := range blk.Nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				size := int(node.End() - node.Pos())
+				if best == nil || size < bestSize {
+					best = blk
+					bestSize = size
+				}
+			}
+		}
+	}
+	return best
+}

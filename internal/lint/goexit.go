@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spatialjoin/internal/lint/cfg"
+)
+
+// AnalyzerGoexit requires every `go` launch site to have a join or
+// cancel path tying the goroutine's lifetime to something: a
+// WaitGroup the launcher (or anyone in the package) Waits on, a
+// channel handoff (the body sends/closes a channel someone receives,
+// or receives a channel someone closes/sends), or context
+// cancellation (the body selects on ctx.Done()). A goroutine with
+// none of these outlives every caller silently — the leak class the
+// shard coordinator's watchdog exists to avoid.
+//
+// Evidence in the same function as the launch must be reachable from
+// the go statement (a wg.Wait that only runs *before* the launch
+// joins nothing); evidence elsewhere in the package — a channel field
+// received in another method, as with the core Iterator's pairs
+// channel — is accepted positionally, since cross-function ordering
+// is beyond a CFG. Genuine process-lifetime daemons carry a reasoned
+// //lint:ignore.
+var AnalyzerGoexit = &Analyzer{
+	Name: "goexit",
+	Doc:  "every go statement needs a reachable join or cancel path",
+	Run:  runGoexit,
+}
+
+// chanEvidence is one occurrence relevant to goroutine lifetime: the
+// node (for position/reachability) keyed by the channel or WaitGroup
+// location it concerns.
+type chanEvidence struct {
+	key  atomicKey // *types.Var or "pkg.Type.field" (same scheme as atomicmix)
+	node ast.Node
+}
+
+// goEvidence is the package-wide evidence index.
+type goEvidence struct {
+	waits     []chanEvidence // (&wg).Wait()
+	recvs     []chanEvidence // <-ch, range ch, case <-ch
+	sendClose []chanEvidence // ch <- v, close(ch)
+}
+
+func runGoexit(p *Pass) {
+	ev := collectGoEvidence(p)
+	for _, f := range p.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, pm, gs, ev)
+			return true
+		})
+	}
+}
+
+// collectGoEvidence indexes every Wait call, channel receive and
+// channel send/close in the package.
+func collectGoEvidence(p *Pass) *goEvidence {
+	ev := &goEvidence{}
+	add := func(list *[]chanEvidence, key atomicKey, n ast.Node) {
+		if key != nil {
+			*list = append(*list, chanEvidence{key: key, node: n})
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Wait" && isWaitGroup(p.Info, sel.X) {
+					add(&ev.waits, locationKey(p.Info, sel.X), n)
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+					p.Info.Uses[id] == types.Universe.Lookup("close") && len(n.Args) == 1 {
+					add(&ev.sendClose, locationKey(p.Info, n.Args[0]), n)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					add(&ev.recvs, locationKey(p.Info, n.X), n)
+				}
+			case *ast.SendStmt:
+				add(&ev.sendClose, locationKey(p.Info, n.Chan), n)
+			case *ast.RangeStmt:
+				if isChan(p.Info, n.X) {
+					add(&ev.recvs, locationKey(p.Info, n.X), n)
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+func isWaitGroup(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isNamed(tv.Type, "sync", "WaitGroup")
+}
+
+func isChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isCh := tv.Type.Underlying().(*types.Chan)
+	return isCh
+}
+
+// checkGoStmt decides whether one launch site has a lifetime path.
+func checkGoStmt(p *Pass, pm parentMap, gs *ast.GoStmt, ev *goEvidence) {
+	body, params := goBody(p, gs)
+	if body == nil {
+		p.Reportf(gs.Pos(),
+			"cannot find the goroutine body to prove a join or cancel path; launch a literal or a package function, or add a reasoned //lint:ignore")
+		return
+	}
+
+	// The reachability frame: the innermost function enclosing the go
+	// statement, and the set of blocks reachable from the launch.
+	encl := pm.enclosingFunc(gs)
+	var enclBody *ast.BlockStmt
+	switch e := encl.(type) {
+	case *ast.FuncDecl:
+		enclBody = e.Body
+	case *ast.FuncLit:
+		enclBody = e.Body
+	}
+	var reach map[*cfg.Block]bool
+	var g *cfg.Graph
+	if enclBody != nil {
+		g = cfg.New(enclBody)
+		if blk := cfg.BlockOf(g, gs); blk != nil {
+			reach = cfg.Reachable(g, blk)
+		}
+	}
+	// usable reports whether an evidence node can still run once the
+	// goroutine exists: outside the launching function it is accepted
+	// as-is, inside it must be reachable from the go statement.
+	usable := func(n ast.Node) bool {
+		if n.Pos() >= gs.Pos() && n.End() <= gs.End() {
+			return false // the goroutine's own body proves nothing
+		}
+		if enclBody == nil || n.Pos() < enclBody.Pos() || n.End() > enclBody.End() {
+			return true
+		}
+		if g == nil || reach == nil {
+			return true
+		}
+		blk := cfg.BlockOf(g, n)
+		if blk == nil {
+			return true // inside a nested literal of the same function
+		}
+		return reach[blk]
+	}
+
+	// Scan the goroutine body (nested literals included — they are part
+	// of the same lifetime) for the three path shapes.
+	doneKeys := map[atomicKey]bool{}
+	sendKeys := map[atomicKey]bool{}
+	recvKeys := map[atomicKey]bool{}
+	ctxCancel := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" && isWaitGroup(p.Info, sel.X) {
+					if k := locationKey(p.Info, sel.X); k != nil {
+						doneKeys[k] = true
+					}
+				}
+				if sel.Sel.Name == "Done" && isContext(p.Info, sel.X) {
+					ctxCancel = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" &&
+				p.Info.Uses[id] == types.Universe.Lookup("close") && len(n.Args) == 1 {
+				if k := locationKey(p.Info, n.Args[0]); k != nil {
+					sendKeys[k] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if k := locationKey(p.Info, n.X); k != nil {
+					recvKeys[k] = true
+				}
+			}
+		case *ast.SendStmt:
+			if k := locationKey(p.Info, n.Chan); k != nil {
+				sendKeys[k] = true
+			}
+		case *ast.RangeStmt:
+			if isChan(p.Info, n.X) {
+				if k := locationKey(p.Info, n.X); k != nil {
+					recvKeys[k] = true
+				}
+			}
+		}
+		return true
+	})
+
+	if ctxCancel {
+		return // the body watches ctx.Done(): cancellation bounds it
+	}
+	// For `go named(args...)` the body's keys are the callee's params;
+	// translate them to the caller's argument locations so close(stop)
+	// at the launch site matches <-stop inside the callee.
+	if len(params) > 0 {
+		doneKeys = translateParamKeys(p, doneKeys, params, gs.Call.Args)
+		sendKeys = translateParamKeys(p, sendKeys, params, gs.Call.Args)
+		recvKeys = translateParamKeys(p, recvKeys, params, gs.Call.Args)
+	}
+	// Join paths must still be ahead of the launch site.
+	for _, w := range ev.waits {
+		if doneKeys[w.key] && usable(w.node) {
+			return
+		}
+	}
+	for _, r := range ev.recvs {
+		if sendKeys[r.key] && usable(r.node) {
+			return
+		}
+	}
+	// A cancel signal (close/send on a channel the body receives) may
+	// pre-date the launch — sched.Run hands workers a channel that is
+	// closed before any goroutine starts — so position is not checked.
+	for _, s := range ev.sendClose {
+		if recvKeys[s.key] {
+			if s.node.Pos() < gs.Pos() || s.node.End() > gs.End() {
+				return
+			}
+		}
+	}
+	p.Reportf(gs.Pos(),
+		"goroutine has no reachable join or cancel path: no WaitGroup.Wait, channel handoff or ctx.Done() ties its lifetime to the caller")
+}
+
+func isContext(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isNamed(tv.Type, "context", "Context")
+}
+
+// goBody resolves the body the launched goroutine runs: a literal's
+// own body, or the declaration of a same-package named function (whose
+// parameter objects are returned for key translation).
+func goBody(p *Pass, gs *ast.GoStmt) (*ast.BlockStmt, []*types.Var) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, nil
+	}
+	fn := calleeFunc(p.Info, gs.Call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() != p.Pkg {
+		return nil, nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Info.Defs[fd.Name] == fn {
+				sig := fn.Type().(*types.Signature)
+				var params []*types.Var
+				for i := 0; i < sig.Params().Len(); i++ {
+					params = append(params, sig.Params().At(i))
+				}
+				return fd.Body, params
+			}
+		}
+	}
+	return nil, nil
+}
+
+// translateParamKeys rewrites callee-parameter keys into the launch
+// site's argument locations, positionally.
+func translateParamKeys(p *Pass, keys map[atomicKey]bool, params []*types.Var, args []ast.Expr) map[atomicKey]bool {
+	out := make(map[atomicKey]bool, len(keys))
+	for k := range keys {
+		mapped := k
+		for i, par := range params {
+			if k == atomicKey(par) && i < len(args) {
+				if ak := locationKey(p.Info, args[i]); ak != nil {
+					mapped = ak
+				}
+			}
+		}
+		out[mapped] = true
+	}
+	return out
+}

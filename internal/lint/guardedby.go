@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGuardedby enforces `// guarded by mu` field annotations: an
+// annotated field may only be read while the lock set (computed by the
+// CFG-based must-analysis in lockset.go) holds the sibling mutex the
+// annotation names, and only written while it is held in write mode.
+//
+// The analysis understands the module's lock-passing conventions —
+// methods named *Locked enter with the receiver's mutexes held, and a
+// literal passed to x.locked(func(){...}) runs under x's mutexes — and
+// `defer mu.Unlock()`, which keeps the lock held to function exit.
+// Matching is by canonical expression ("st.mu" guards "st.bufs",
+// "c.st.mu" guards "c.st.bufs"), so aliasing through assignments or
+// function results is not tracked: annotate fields that are only
+// reached through a stable selector chain, which is every field this
+// module annotates.
+//
+// A `//lint:ignore guardedby <reason>` on the field *declaration*
+// suppresses all findings about that field — the justification lives
+// where the contract does.
+var AnalyzerGuardedby = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by mu` must be accessed with mu held",
+	Run:  runGuardedby,
+}
+
+func runGuardedby(p *Pass) {
+	guards := collectGuards(p, true)
+	if len(guards) == 0 {
+		return
+	}
+	for _, u := range functionUnits(p) {
+		u.replay(func(n ast.Node, cur lockFact) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			spec, ok := guards[fld]
+			if !ok {
+				return
+			}
+			if p.IgnoredAt(spec.fieldPos, p.Analyzer.Name) {
+				return
+			}
+			write := isWriteAccess(u.pm, sel)
+			base := canonExpr(sel.X)
+			if base == "" {
+				p.Reportf(sel.Sel.Pos(),
+					"cannot prove %s.%s is guarded: access path is not a plain selector chain, so the lock set cannot match %s",
+					spec.owner, fld.Name(), spec.guard)
+				return
+			}
+			want := base + "." + spec.guard
+			h, held := cur[want]
+			switch {
+			case !held:
+				p.Reportf(sel.Sel.Pos(),
+					"%s.%s is guarded by %s but accessed without holding %s",
+					spec.owner, fld.Name(), spec.guard, want)
+			case write && h.mode&lockW == 0:
+				p.Reportf(sel.Sel.Pos(),
+					"%s.%s is written while %s is only read-locked; writes need %s.Lock()",
+					spec.owner, fld.Name(), want, want)
+			}
+		})
+	}
+}
+
+// isWriteAccess reports whether sel is (part of) an lvalue being
+// assigned, incremented, or having its address taken. The climb
+// follows wrapper expressions so `st.bufs[p] = x` and
+// `st.stats.Shards++` both count as writes of the annotated field.
+func isWriteAccess(pm parentMap, sel ast.Expr) bool {
+	cur := ast.Node(sel)
+	for {
+		parent := pm[cur]
+		switch par := parent.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.ParenExpr, *ast.StarExpr:
+			cur = parent
+		case *ast.UnaryExpr:
+			if par.Op == token.AND {
+				return true
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range par.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return par.X == cur
+		default:
+			return false
+		}
+	}
+}

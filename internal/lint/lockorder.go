@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockorder builds the whole-module lock acquisition graph:
+// an edge A → B means some execution path acquires lock class B while
+// holding class A, either directly (B.Lock() under A) or through a
+// module-internal call chain that may acquire B. Per-package runs
+// collect direct acquisitions and call summaries; the Finish phase
+// closes the call graph, reports every edge that participates in a
+// cycle (the static signature of an ABBA deadlock), and checks the
+// module's documented orderings — joinState.mu before the collector's
+// mutex — still hold as real edges.
+//
+// Calls through function values are invisible to the graph; that is
+// why the collector's sink contract says "the sink must take no
+// locks" — the analyzer cannot see into it, so the contract keeps the
+// blind spot safe by construction.
+var AnalyzerLockorder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "the module-wide lock acquisition graph must stay acyclic",
+	Run:    runLockorder,
+	Finish: finishLockorder,
+}
+
+// lockOrderContracts are the orderings the module documents in prose;
+// each is verified to exist as an edge (and, via the cycle check, to
+// never be reversed) whenever both classes appear in the analyzed
+// packages.
+var lockOrderContracts = []struct{ from, to string }{
+	// coord.go: "Lock order: st.mu before the collector's internal
+	// mutex (seal calls Emit/Done while holding st.mu)".
+	{"spatialjoin/internal/shard.joinState.mu", "spatialjoin/internal/sched.Collector.mu"},
+}
+
+const lockorderKey = "lockorder"
+
+// loEdge is one acquisition-order edge with its witness site.
+type loEdge struct {
+	pos token.Pos
+	via string // callee name for call-induced edges, "" for direct
+}
+
+// loCall is one module-internal call made while holding locks.
+type loCall struct {
+	caller, callee string
+	held           []string
+	pos            token.Pos
+}
+
+// loState is the cross-package accumulator (Pass.Shared).
+type loState struct {
+	// direct[fn] = lock classes fn itself acquires.
+	direct map[string]map[string]bool
+	// calls made with a non-empty held set or needed for propagation.
+	calls []loCall
+	// seen[class] = first acquisition site, for contract reports.
+	seen map[string]token.Pos
+	// directEdges from same-function nesting.
+	directEdges map[[2]string]loEdge
+	// edges is the closed graph, built by Finish (kept for DOT export).
+	edges map[[2]string]loEdge
+}
+
+func loStateOf(p *Pass) *loState {
+	return p.Shared(lockorderKey, func() any {
+		return &loState{
+			direct:      make(map[string]map[string]bool),
+			seen:        make(map[string]token.Pos),
+			directEdges: make(map[[2]string]loEdge),
+		}
+	}).(*loState)
+}
+
+func runLockorder(p *Pass) {
+	st := loStateOf(p)
+	for _, u := range functionUnits(p) {
+		u := u
+		u.replay(func(n ast.Node, cur lockFact) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			// Defer and go change when (and under which locks) the call
+			// actually runs; record those with an empty held set.
+			held := cur.classes()
+			if underDeferOrGo(u.pm, call) {
+				held = nil
+			}
+			if op, isLock := u.lockOpOf(call); isLock {
+				if !op.acquire || op.canon == "" {
+					return
+				}
+				if _, ok := st.seen[op.class]; !ok {
+					st.seen[op.class] = op.pos
+				}
+				if u.fullName != "" {
+					acq := st.direct[u.fullName]
+					if acq == nil {
+						acq = make(map[string]bool)
+						st.direct[u.fullName] = acq
+					}
+					acq[op.class] = true
+				}
+				for _, h := range held {
+					if h == op.class {
+						continue // re-entrant same-class: the cycle check would
+						// flag every recursive helper; left to guardedby/vet
+					}
+					k := [2]string{h, op.class}
+					if _, ok := st.directEdges[k]; !ok {
+						st.directEdges[k] = loEdge{pos: op.pos}
+					}
+				}
+				return
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil ||
+				!strings.HasPrefix(fn.Pkg().Path(), p.driver.modPath) {
+				return
+			}
+			st.calls = append(st.calls, loCall{
+				caller: u.fullName,
+				callee: fn.FullName(),
+				held:   held,
+				pos:    call.Pos(),
+			})
+		})
+	}
+}
+
+// underDeferOrGo reports whether the call is the argument of a defer
+// or go statement (directly or through the deferred call chain's
+// Fun), meaning it does not execute under the caller's current locks.
+func underDeferOrGo(pm parentMap, n ast.Node) bool {
+	for cur := pm[n]; cur != nil; cur = pm[cur] {
+		switch cur.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return true
+		case *ast.BlockStmt, *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func finishLockorder(p *Pass) {
+	st := loStateOf(p)
+
+	// Close the call graph: may[fn] = every class fn can transitively
+	// acquire through module-internal calls.
+	callees := make(map[string][]string)
+	for _, c := range st.calls {
+		if c.caller != "" {
+			callees[c.caller] = append(callees[c.caller], c.callee)
+		}
+	}
+	may := make(map[string]map[string]bool)
+	for fn, acq := range st.direct {
+		m := make(map[string]bool)
+		for c := range acq {
+			m[c] = true
+		}
+		may[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, outs := range callees {
+			m := may[fn]
+			if m == nil {
+				m = make(map[string]bool)
+				may[fn] = m
+			}
+			for _, callee := range outs {
+				for c := range may[callee] {
+					if !m[c] {
+						m[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the edge set: direct nesting plus call-induced edges.
+	edges := make(map[[2]string]loEdge, len(st.directEdges))
+	for k, e := range st.directEdges {
+		edges[k] = e
+	}
+	for _, c := range st.calls {
+		if len(c.held) == 0 {
+			continue
+		}
+		for acq := range may[c.callee] {
+			for _, h := range c.held {
+				if h == acq {
+					continue
+				}
+				k := [2]string{h, acq}
+				if old, ok := edges[k]; !ok || c.pos < old.pos {
+					edges[k] = loEdge{pos: c.pos, via: c.callee}
+				}
+			}
+		}
+	}
+	st.edges = edges
+
+	// Cycle report: an edge u→v is part of a cycle iff v reaches u.
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if !reaches(adj, k[1], k[0]) {
+			continue
+		}
+		e := edges[k]
+		detail := ""
+		if e.via != "" {
+			detail = fmt.Sprintf(" (via call to %s)", e.via)
+		}
+		p.Reportf(e.pos,
+			"lock order cycle: %s is acquired%s while holding %s, but another path acquires %s while holding %s",
+			k[1], detail, k[0], k[0], k[1])
+	}
+
+	// Contract check: every documented ordering with both ends present
+	// must exist as an edge.
+	for _, c := range lockOrderContracts {
+		fromPos, fromSeen := st.seen[c.from]
+		_, toSeen := st.seen[c.to]
+		if !fromSeen || !toSeen {
+			continue
+		}
+		if _, ok := edges[[2]string{c.from, c.to}]; !ok {
+			p.Reportf(fromPos,
+				"documented lock order %s -> %s is not realized by any acquisition path; restore the ordering or update the contract table in lockorder.go",
+				c.from, c.to)
+		}
+	}
+}
+
+// reaches reports whether `to` is reachable from `from` in the edge
+// adjacency (zero-length paths do not count, so a self-edge u→u is
+// found via the explicit edge, not vacuously).
+func reaches(adj map[string][]string, from, to string) bool {
+	seen := make(map[string]bool)
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, adj[cur]...)
+	}
+	return false
+}
+
+// LockGraphDOT renders the acquisition graph accumulated by the last
+// Run as Graphviz DOT, one edge per ordered pair with its witness
+// site; empty graph when lockorder did not run.
+func (d *Driver) LockGraphDOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph lockorder {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	if st, ok := d.shared[lockorderKey].(*loState); ok && st.edges != nil {
+		var keys [][2]string
+		for k := range st.edges {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			e := st.edges[k]
+			pos := d.Fset.Position(e.pos)
+			label := fmt.Sprintf("%s:%d", d.relPath(pos.Filename), pos.Line)
+			if e.via != "" {
+				// \n is DOT's in-label line break; %q would double the
+				// backslash, so quote by hand (classes and paths carry
+				// no quotes of their own).
+				label += "\\nvia " + e.via
+			}
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"%s\"];\n", k[0], k[1], label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"spatialjoin/internal/lint/cfg"
+)
+
+// This file holds the lock-set machinery shared by the concurrency
+// analyzers (guardedby, lockorder): recognizing sync.Mutex/RWMutex
+// operations, canonicalizing lock expressions, parsing `// guarded by
+// mu` field annotations, and enumerating the function units (decls and
+// literals, with their entry lock seeds) a package contributes.
+
+// lockMode distinguishes reader and writer holds of an RWMutex; a
+// plain Mutex is always held in write mode.
+type lockMode uint8
+
+const (
+	lockR lockMode = 1 << iota
+	lockW
+)
+
+// heldLock is one entry of a lock set: the lock's whole-module class
+// (for ordering) plus the mode it is held in.
+type heldLock struct {
+	class string
+	mode  lockMode
+}
+
+// lockFact is the must-held lock set keyed by canonical expression
+// ("st.mu", "c.st.mu"). A nil fact means "unreached" — the bottom of
+// the must-lattice, where every lock is vacuously held.
+type lockFact map[string]heldLock
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// classes returns the held lock classes, sorted for determinism.
+func (f lockFact) classes() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, h := range f {
+		if !seen[h.class] {
+			seen[h.class] = true
+			out = append(out, h.class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonExpr renders a pure identifier/selector chain ("st", "c.st.mu")
+// or "" for anything with calls, indexing or other computation in it.
+func canonExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := canonExpr(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return canonExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return canonExpr(e.X)
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) (mutex, rw bool) {
+	if isNamed(t, "sync", "Mutex") {
+		return true, false
+	}
+	if isNamed(t, "sync", "RWMutex") {
+		return true, true
+	}
+	return false, false
+}
+
+// lockOp is one Lock/Unlock/RLock/RUnlock call.
+type lockOp struct {
+	canon   string // canonical mutex expression, "" if unrepresentable
+	class   string // whole-module lock class
+	mode    lockMode
+	acquire bool
+	pos     token.Pos
+}
+
+func applyLockOp(f lockFact, op lockOp) lockFact {
+	if f == nil || op.canon == "" {
+		return f
+	}
+	out := f.clone()
+	if op.acquire {
+		h := out[op.canon]
+		h.class = op.class
+		h.mode |= op.mode
+		out[op.canon] = h
+	} else {
+		h, ok := out[op.canon]
+		if ok {
+			h.mode &^= op.mode
+			if h.mode == 0 {
+				delete(out, op.canon)
+			} else {
+				out[op.canon] = h
+			}
+		}
+	}
+	return out
+}
+
+// funcUnit is one analyzable function body: a declaration or a
+// literal, with the lock set its callers guarantee on entry.
+type funcUnit struct {
+	pass *Pass
+	pm   parentMap
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+	// name labels local lock classes ("Join" for a decl, "Join.func"
+	// for a literal inside Join).
+	name string
+	// fullName is the types.Func full name for lockorder call-graph
+	// summaries; "" for literals, which have no callable name.
+	fullName string
+	seed     lockFact
+}
+
+// lockOpOf resolves n as a mutex operation in this unit, classifying
+// the lock by declaring struct field, package variable or local.
+func (u *funcUnit) lockOpOf(n ast.Node) (lockOp, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var mode lockMode
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock":
+		mode, acquire = lockW, true
+	case "Unlock":
+		mode, acquire = lockW, false
+	case "RLock":
+		mode, acquire = lockR, true
+	case "RUnlock":
+		mode, acquire = lockR, false
+	default:
+		return lockOp{}, false
+	}
+	info := u.pass.Info
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return lockOp{}, false
+	}
+	if m, _ := isMutexType(tv.Type); !m {
+		return lockOp{}, false
+	}
+	return lockOp{
+		canon:   canonExpr(sel.X),
+		class:   u.lockClass(sel.X),
+		mode:    mode,
+		acquire: acquire,
+		pos:     call.Pos(),
+	}, true
+}
+
+// lockClass names the lock expr's whole-module equivalence class:
+// struct fields collapse to "pkg.Type.field" across all instances,
+// package vars to "pkg.var", locals to "pkg.Func.var".
+func (u *funcUnit) lockClass(e ast.Expr) string {
+	info := u.pass.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named := namedType(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		// Package-qualified var (pkg.Mu): falls through to the Sel ident.
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			return obj.Pkg().Path() + "." + u.name + "." + obj.Name()
+		}
+	case *ast.StarExpr:
+		return u.lockClass(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return u.lockClass(e.X)
+		}
+	}
+	return u.pass.Pkg.Path() + "." + u.name + ".<anon>"
+}
+
+// lockWalk traverses n in source order — skipping nested function
+// literals, which are their own units — invoking visit with the fact
+// in force before each node and applying lock operations as they
+// execute. Operations under a defer are not applied: `defer
+// mu.Unlock()` means the lock stays held to function exit, which is
+// exactly what not applying the release models. Returns the fact
+// after n.
+func (u *funcUnit) lockWalk(n ast.Node, cur lockFact, visit func(ast.Node, lockFact)) lockFact {
+	deferDepth := 0
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := top.(*ast.DeferStmt); ok {
+				deferDepth--
+			}
+			return false
+		}
+		if fl, ok := x.(*ast.FuncLit); ok && fl != n {
+			return false
+		}
+		if _, ok := x.(*ast.DeferStmt); ok {
+			deferDepth++
+		}
+		stack = append(stack, x)
+		if visit != nil {
+			visit(x, cur)
+		}
+		if deferDepth == 0 {
+			if op, ok := u.lockOpOf(x); ok {
+				cur = applyLockOp(cur, op)
+			}
+		}
+		return true
+	})
+	return cur
+}
+
+// lockLattice adapts a unit's lock tracking to the cfg solver.
+type lockLattice struct{ u *funcUnit }
+
+func (l lockLattice) Bottom() lockFact { return nil }
+func (l lockLattice) Entry() lockFact  { return l.u.seed.clone() }
+func (l lockLattice) Transfer(n ast.Node, f lockFact) lockFact {
+	if f == nil {
+		return nil
+	}
+	return l.u.lockWalk(n, f, nil)
+}
+func (l lockLattice) Meet(a, b lockFact) lockFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(lockFact)
+	for k, ha := range a {
+		if hb, ok := b[k]; ok {
+			m := ha.mode & hb.mode
+			if m != 0 {
+				out[k] = heldLock{class: ha.class, mode: m}
+			}
+		}
+	}
+	return out
+}
+func (l lockLattice) Equal(a, b lockFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, ha := range a {
+		if hb, ok := b[k]; !ok || ha != hb {
+			return false
+		}
+	}
+	return true
+}
+
+// replay solves the unit's lock dataflow and re-walks every block,
+// calling visit with the fact in force before each node. Blocks whose
+// in-fact is nil are unreachable and skipped.
+func (u *funcUnit) replay(visit func(ast.Node, lockFact)) {
+	g := cfg.New(u.body)
+	in := cfg.Solve[lockFact](g, lockLattice{u})
+	for _, blk := range g.Blocks {
+		f := in[blk]
+		if f == nil {
+			continue
+		}
+		for _, node := range blk.Nodes {
+			f = u.lockWalk(node, f, visit)
+		}
+	}
+}
+
+// functionUnits enumerates the package's analyzable bodies. Entry
+// seeds encode the module's two lock-passing conventions:
+//
+//   - a method whose name ends in "Locked" is entered with every mutex
+//     field of its receiver held (the caller locked it);
+//   - a function literal passed to a method named "locked" (or ending
+//     in "Locked") runs with the callee receiver's mutex fields held —
+//     the joinState.locked(func(){...}) wrapper pattern.
+func functionUnits(p *Pass) []*funcUnit {
+	var units []*funcUnit
+	for _, f := range p.Files {
+		pm := buildParents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			u := &funcUnit{pass: p, pm: pm, node: fd, body: fd.Body, name: fd.Name.Name}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				u.fullName = fn.FullName()
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil {
+				u.seed = receiverSeed(p, fd.Recv)
+			}
+			units = append(units, u)
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				lu := &funcUnit{
+					pass: p, pm: pm, node: lit, body: lit.Body,
+					name: fd.Name.Name + ".func",
+				}
+				lu.seed = lockedWrapperSeed(p, pm, lit)
+				units = append(units, lu)
+				return true
+			})
+		}
+	}
+	return units
+}
+
+// receiverSeed returns the entry lock set of a *Locked method: every
+// mutex field of the receiver struct, held in write mode, keyed by the
+// receiver name.
+func receiverSeed(p *Pass, recv *ast.FieldList) lockFact {
+	if len(recv.List) == 0 || len(recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := recv.List[0].Names[0].Name
+	obj, ok := p.Info.Defs[recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return mutexFieldSeed(obj.Type(), name)
+}
+
+// lockedWrapperSeed detects the `x.locked(func(){...})` pattern: a
+// literal passed directly to a method named "locked"/"*Locked" on a
+// value whose struct type has mutex fields runs with those fields
+// held, keyed by the canonical callee receiver expression.
+func lockedWrapperSeed(p *Pass, pm parentMap, lit *ast.FuncLit) lockFact {
+	call, ok := pm[lit].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "locked" && !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return nil
+	}
+	isArg := false
+	for _, a := range call.Args {
+		if a == lit {
+			isArg = true
+		}
+	}
+	if !isArg {
+		return nil
+	}
+	base := canonExpr(sel.X)
+	if base == "" {
+		return nil
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return mutexFieldSeed(tv.Type, base)
+}
+
+// mutexFieldSeed builds the held set {base.m: W} for every mutex field
+// m of the struct beneath t.
+func mutexFieldSeed(t types.Type, base string) lockFact {
+	named := namedType(t)
+	if named == nil {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var seed lockFact
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if m, _ := isMutexType(fld.Type()); !m {
+			continue
+		}
+		if seed == nil {
+			seed = make(lockFact)
+		}
+		class := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fld.Name()
+		seed[base+"."+fld.Name()] = heldLock{class: class, mode: lockW | lockR}
+	}
+	return seed
+}
+
+// guardRE extracts the lock name from a `// guarded by mu` field
+// comment (trailing punctuation tolerated, prose prefix allowed).
+var guardRE = regexp.MustCompile(`\bguarded by (\w+)\b`)
+
+// guardSpec is one annotated field: the mutex field that guards it.
+type guardSpec struct {
+	guard    string // sibling mutex field name
+	rw       bool   // guard is an RWMutex
+	owner    string // declaring type or "struct" for anonymous types
+	fieldPos token.Pos
+}
+
+// collectGuards parses every `// guarded by mu` annotation in the
+// package into a map from the annotated field object to its spec.
+// With report set, annotations whose named guard is missing or not a
+// mutex are reported; callers that only want the map pass false so a
+// bad annotation is diagnosed exactly once.
+func collectGuards(p *Pass, report bool) map[*types.Var]guardSpec {
+	guards := make(map[*types.Var]guardSpec)
+	for _, f := range p.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			owner := "struct"
+			if ts, ok := pm[st].(*ast.TypeSpec); ok {
+				owner = ts.Name.Name
+			}
+			for _, fld := range st.Fields.List {
+				guard, ok := fieldGuardName(fld)
+				if !ok {
+					continue
+				}
+				gf := findField(st, guard)
+				if gf == nil {
+					if report {
+						p.Reportf(fld.Pos(),
+							"field is annotated \"guarded by %s\" but %s has no field %s",
+							guard, owner, guard)
+					}
+					continue
+				}
+				var gfType types.Type
+				if len(gf.Names) > 0 {
+					if obj, ok := p.Info.Defs[gf.Names[0]].(*types.Var); ok {
+						gfType = obj.Type()
+					}
+				}
+				m, rw := isMutexType(gfType)
+				if !m {
+					if report {
+						p.Reportf(fld.Pos(),
+							"field is annotated \"guarded by %s\" but %s.%s is not a sync.Mutex or sync.RWMutex",
+							guard, owner, guard)
+					}
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+						guards[obj] = guardSpec{
+							guard: guard, rw: rw, owner: owner, fieldPos: name.Pos(),
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldGuardName extracts the guard annotation from a struct field's
+// line or doc comment.
+func fieldGuardName(fld *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Comment, fld.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// findField returns the struct field named name, or nil.
+func findField(st *ast.StructType, name string) *ast.Field {
+	for _, fld := range st.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return fld
+			}
+		}
+	}
+	return nil
+}

@@ -41,10 +41,13 @@ func (d *Driver) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	ignores := make(map[string]map[int]map[string]bool) // file -> line -> analyzer
+	// The suppression index lives on the driver so analyzers can consult
+	// it mid-run (Pass.IgnoredAt) for findings anchored to a declaration
+	// rather than to the reported line.
+	d.ignores = make(map[string]map[int]map[string]bool) // file -> line -> analyzer
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			d.collectIgnores(f, known, ignores)
+			d.collectIgnores(f, known, d.ignores)
 		}
 	}
 
@@ -60,14 +63,42 @@ func (d *Driver) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			})
 		}
 	}
+	// Whole-module phase: analyzers that accumulate cross-package facts
+	// (the lock acquisition graph) report their findings here, after the
+	// last package. Their diagnostics flow through the same suppression,
+	// sort and dedupe below — ordering stays deterministic regardless of
+	// which phase produced a finding.
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(&Pass{Analyzer: a, Fset: d.Fset, driver: d})
+		}
+	}
 
 	var out []Diagnostic
 	for _, diag := range d.diags {
-		if suppressed(ignores, diag) {
+		if suppressed(d.ignores, diag) {
 			continue
 		}
 		out = append(out, diag)
 	}
+	sortDiags(out)
+	// Dedupe: the same package can be loaded once per pattern set, and
+	// two analyzers never share a name, so equal adjacent entries are
+	// genuine duplicates.
+	dedup := out[:0]
+	for i, diag := range out {
+		if i == 0 || diag != out[i-1] {
+			dedup = append(dedup, diag)
+		}
+	}
+	return dedup, nil
+}
+
+// sortDiags orders diagnostics by (file, line, col, analyzer, message)
+// — the one total order every output path (text, -json, golden tests)
+// relies on. Map iteration anywhere upstream (package maps, the shared
+// lock graph) must never leak into output order.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -84,16 +115,6 @@ func (d *Driver) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		}
 		return a.Message < b.Message
 	})
-	// Dedupe: the same package can be loaded once per pattern set, and
-	// two analyzers never share a name, so equal adjacent entries are
-	// genuine duplicates.
-	dedup := out[:0]
-	for i, diag := range out {
-		if i == 0 || diag != out[i-1] {
-			dedup = append(dedup, diag)
-		}
-	}
-	return dedup, nil
 }
 
 func (d *Driver) report(diag Diagnostic) { d.diags = append(d.diags, diag) }

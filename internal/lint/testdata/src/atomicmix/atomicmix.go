@@ -1,0 +1,52 @@
+// Package atomfix is an atomicmix fixture: locations touched by
+// sync/atomic somewhere and accessed plainly elsewhere.
+package atomfix
+
+import "sync/atomic"
+
+type ctr struct {
+	n     int64
+	plain int
+}
+
+// inc establishes n as an atomic location.
+func (c *ctr) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// badRead mixes a plain load into the atomic protocol.
+func (c *ctr) badRead() int64 {
+	return c.n // want atomicmix
+}
+
+// badWrite tears right through the atomic adds.
+func (c *ctr) badWrite() {
+	c.n = 0 // want atomicmix
+}
+
+// otherInstance shows the class is per-field, not per-object.
+func otherInstance(a, b *ctr) int64 {
+	atomic.AddInt64(&a.n, 1)
+	return b.n // want atomicmix
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func badPkgRead() int64 {
+	return hits // want atomicmix
+}
+
+// okLoad goes through sync/atomic like every access must.
+func okLoad() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+// okPlain never meets sync/atomic, so plain access is fine.
+func okPlain(c *ctr) int {
+	c.plain++
+	return c.plain
+}

@@ -1,0 +1,49 @@
+// Package atomfix keeps every atomically-established location inside
+// sync/atomic, and uses typed atomics where possible. atomicmix must
+// stay silent.
+package atomfix
+
+import "sync/atomic"
+
+type ctr struct {
+	n     int64
+	typed atomic.Int64
+	plain int
+}
+
+func (c *ctr) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *ctr) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *ctr) swap(v int64) int64 {
+	return atomic.SwapInt64(&c.n, v)
+}
+
+// typed atomics cannot mix: there is no plain access to forget.
+func (c *ctr) incTyped() {
+	c.typed.Add(1)
+}
+
+func (c *ctr) readTyped() int64 {
+	return c.typed.Load()
+}
+
+// plain is plain everywhere.
+func (c *ctr) bump() int {
+	c.plain++
+	return c.plain
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func readHits() int64 {
+	return atomic.LoadInt64(&hits)
+}

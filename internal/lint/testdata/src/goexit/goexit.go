@@ -1,0 +1,45 @@
+// Package goexitfix is a goexit fixture: goroutines launched with no
+// join or cancel path, including the subtle case where the only
+// wg.Wait sits before the launch and can never run after it.
+package goexitfix
+
+import "sync"
+
+func work() {}
+
+// bare leaks: nothing ever learns whether the goroutine finished.
+func bare() {
+	go func() { // want goexit
+		work()
+	}()
+}
+
+// waitBefore has a Wait, but only on a path that precedes the launch —
+// unreachable from the go statement, so it joins nothing.
+func waitBefore(warm bool) {
+	var wg sync.WaitGroup
+	if warm {
+		wg.Wait()
+		return
+	}
+	wg.Add(1)
+	go func() { // want goexit
+		defer wg.Done()
+		work()
+	}()
+}
+
+// opaque launches a function value whose body the analyzer cannot
+// see.
+func opaque(f func()) {
+	go f() // want goexit
+}
+
+// sendNoRecv sends on a channel nobody in the package receives.
+var blackhole = make(chan int, 1)
+
+func sendNoRecv() {
+	go func() { // want goexit
+		blackhole <- 1
+	}()
+}

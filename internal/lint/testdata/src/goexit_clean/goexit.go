@@ -1,0 +1,103 @@
+// Package goexitfix holds only goroutines whose lifetime is tied to
+// something: a WaitGroup joined after the launch, a channel handoff, a
+// stop channel closed by the caller, or context cancellation. goexit
+// must stay silent.
+package goexitfix
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// joined is the canonical wg pattern.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// handoff blocks on the result channel, joining by receive.
+func handoff() int {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}
+
+// stopChannel: the body receives a channel the caller closes, the
+// cancel-path shape (the close may even precede the launch, as with
+// sched.Run's pre-filled job channel).
+func stopChannel() func() {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+		work()
+	}()
+	return func() { close(stop) }
+}
+
+// preClosed closes before launching; range over the closed channel
+// terminates immediately.
+func preClosed(n int) {
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range jobs {
+			work()
+		}
+	}()
+	<-done
+}
+
+// ctxBound exits when the context is canceled.
+func ctxBound(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// namedLaunch runs a package function; its stop parameter maps back to
+// the caller's channel, which the caller closes.
+func namedLaunch() func() {
+	stop := make(chan struct{})
+	go pump(stop)
+	return func() { close(stop) }
+}
+
+func pump(stop chan struct{}) {
+	<-stop
+}
+
+// fieldChannel mirrors the core Iterator: the producer closes a field
+// channel another method receives.
+type iter struct {
+	pairs chan int
+}
+
+func (it *iter) start() {
+	go func() {
+		defer close(it.pairs)
+		it.pairs <- 1
+	}()
+}
+
+func (it *iter) next() (int, bool) {
+	v, ok := <-it.pairs
+	return v, ok
+}

@@ -1,0 +1,92 @@
+// Package guardfix is a guardedby fixture: annotated fields accessed
+// without their guard on at least one path.
+package guardfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	n int            // guarded by mu
+	m map[string]int // guarded by mu
+	r int            // guarded by rw
+
+	ghost int // guarded by missing // want guardedby
+	fake  int // guarded by n // want guardedby
+}
+
+var theBox = &box{}
+
+func get() *box { return theBox }
+
+// badRead touches n with no lock at all.
+func badRead(b *box) int {
+	return b.n // want guardedby
+}
+
+// badWrite stores with no lock at all.
+func badWrite(b *box) {
+	b.n = 1 // want guardedby
+}
+
+// partial holds mu on only one branch, so the merged lock set after
+// the if is empty.
+func partial(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.n++ // want guardedby
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+// rlockWrite writes under a read lock.
+func rlockWrite(b *box) {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.r = 2 // want guardedby
+}
+
+// unlockTooEarly releases before the second store.
+func unlockTooEarly(b *box) {
+	b.mu.Lock()
+	b.m["k"] = 1
+	b.mu.Unlock()
+	b.m["k"] = 2 // want guardedby
+}
+
+// viaCall reaches the field through a call, which the canonical-chain
+// matcher cannot tie to any lock.
+func viaCall() int {
+	theBox.mu.Lock()
+	defer theBox.mu.Unlock()
+	return get().n // want guardedby
+}
+
+// loopLock locks only inside the loop body; the access after the loop
+// runs with the zero-iteration path's empty set.
+func loopLock(b *box, xs []int) {
+	for range xs {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+	b.n++ // want guardedby
+}
+
+// journal carries a field-level suppression: the declaration-site
+// //lint:ignore silences every finding derived from the field, so the
+// unlocked write below must NOT be reported (no want marker).
+type journal struct {
+	mu sync.Mutex
+	//lint:ignore guardedby fixture: the constructor owns the journal before it escapes
+	n int // guarded by mu
+}
+
+func newJournal() *journal {
+	j := &journal{}
+	j.n = 1
+	return j
+}

@@ -1,0 +1,93 @@
+// Package guardfix holds only correct guarded-field access patterns:
+// explicit lock/unlock, defer, RLock reads, *Locked-suffix methods and
+// the locked(func(){...}) wrapper. guardedby must stay silent.
+package guardfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	n int            // guarded by mu
+	m map[string]int // guarded by mu
+	r int            // guarded by rw
+}
+
+type owner struct {
+	b *box
+}
+
+// okDefer is the canonical defer pattern: the lock is held to exit.
+func okDefer(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// okExplicit brackets the accesses tightly.
+func okExplicit(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.m["k"] = b.n
+	b.mu.Unlock()
+}
+
+// okRead reads under the read lock; okWrite writes under the write
+// lock.
+func okRead(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.r
+}
+
+func okWrite(b *box) {
+	b.rw.Lock()
+	b.r = 7
+	b.rw.Unlock()
+}
+
+// addLocked relies on the *Locked convention: the caller holds mu.
+func (b *box) addLocked(d int) {
+	b.n += d
+}
+
+// locked is the wrapper: literals passed to it run under mu.
+func (b *box) locked(f func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f()
+}
+
+// okWrapper accesses only inside the wrapped literal.
+func okWrapper(b *box) {
+	b.locked(func() {
+		b.n++
+	})
+}
+
+// okCaller pairs the convention: lock, then call the Locked helper.
+func okCaller(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addLocked(2)
+}
+
+// okChain accesses through a two-level selector chain; the lock set
+// matches on the full canonical path.
+func (o *owner) okChain() {
+	o.b.mu.Lock()
+	o.b.n++
+	o.b.mu.Unlock()
+}
+
+// okBranches locks on both arms, so the merge keeps the guard.
+func okBranches(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	b.n++
+	b.mu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package lockfix is a lockorder fixture: two functions acquire the
+// same pair of lock classes in opposite orders — the static signature
+// of an ABBA deadlock. Both edges of the cycle are reported at their
+// witness acquisition sites.
+package lockfix
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+}
+
+type b struct {
+	mu sync.Mutex
+}
+
+// abForward takes a.mu then b.mu.
+func abForward(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want lockorder
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// baReversed takes the same pair the other way around.
+func baReversed(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock() // want lockorder
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// viaCall reproduces the forward edge interprocedurally: lockB may
+// acquire b.mu, and it is called while a.mu is held. The edge dedupes
+// onto abForward's earlier witness, so no extra finding appears here.
+func viaCall(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lockB(y)
+}
+
+func lockB(y *b) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}

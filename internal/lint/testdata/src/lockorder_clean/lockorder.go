@@ -1,0 +1,38 @@
+// Package lockfix acquires its two lock classes in one consistent
+// order everywhere, directly and through calls. lockorder must stay
+// silent: the acquisition graph is a -> b with no back edge.
+package lockfix
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+}
+
+type b struct {
+	mu sync.Mutex
+}
+
+func abDirect(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func abViaCall(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lockB(y)
+}
+
+func lockB(y *b) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// bAlone acquires b.mu with nothing held: no edge at all.
+func bAlone(y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}

@@ -359,7 +359,7 @@ type instrument struct {
 type vec struct {
 	labelKey string
 	mu       sync.Mutex
-	children map[string]*instrument
+	children map[string]*instrument // guarded by mu
 	make     func() *instrument
 }
 
@@ -379,7 +379,7 @@ func (v *vec) child(label string) *instrument {
 // nil handles) and safe for concurrent use otherwise.
 type Registry struct {
 	mu    sync.Mutex
-	names map[string]*instrument
+	names map[string]*instrument // guarded by mu
 }
 
 // New returns an empty Registry.

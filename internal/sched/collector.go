@@ -19,9 +19,9 @@ import (
 type Collector struct {
 	mu   sync.Mutex
 	sink func(geom.Pair)
-	buf  [][]geom.Pair
-	done []bool
-	head int // first unit not yet finished; its pairs stream directly
+	buf  [][]geom.Pair // guarded by mu
+	done []bool        // guarded by mu
+	head int           // guarded by mu; first unit not yet finished; its pairs stream directly
 }
 
 // NewCollector creates a collector over n units delivering to sink.

@@ -198,10 +198,6 @@ type coordinator struct {
 	// first, local is the fallback and the default.
 	remote *NetTransport
 	local  *ProcTransport
-
-	// Aggregates folded in under st.mu: worker reports plus absorb runs.
-	ioAgg  diskio.Stats
-	cpuAgg time.Duration
 }
 
 // joinState is the shared, mutex-guarded merge state: per-partition
@@ -212,12 +208,16 @@ type coordinator struct {
 type joinState struct {
 	mu      sync.Mutex
 	col     *sched.Collector
-	bufs    map[int][]geom.Pair
-	sealed  []bool
-	stats   Stats
+	bufs    map[int][]geom.Pair // guarded by mu
+	sealed  []bool              // guarded by mu
+	stats   Stats               // guarded by mu
 	met     *shardMetrics
-	pending map[int]time.Time // shard → failure detection time
-	results int64             // written only inside the collector sink
+	pending map[int]time.Time // guarded by mu; shard → failure detection time
+	// Aggregates folded in from worker reports and absorb runs.
+	ioAgg  diskio.Stats  // guarded by mu
+	cpuAgg time.Duration // guarded by mu
+	//lint:ignore guardedby incremented only inside the collector sink, which Emit/Done invoke with st.mu held
+	results int64 // guarded by mu; written only inside the collector sink
 }
 
 func (st *joinState) locked(f func()) {
@@ -325,7 +325,7 @@ func (st *joinState) unsealed(parts []int) []int {
 type manifest struct {
 	mu   sync.Mutex
 	root string
-	dirs map[string]bool
+	dirs map[string]bool // guarded by mu
 }
 
 func (m *manifest) add(dir string) {
@@ -477,6 +477,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	st := &joinState{
 		bufs:    make(map[int][]geom.Pair),
 		sealed:  make([]bool, gs.Parts),
+		stats:   Stats{Shards: len(assignment), Partitions: gs.Parts},
 		met:     met,
 		pending: make(map[int]time.Time),
 	}
@@ -484,8 +485,6 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		st.results++
 		emit(p)
 	})
-	st.stats.Shards = len(assignment)
-	st.stats.Partitions = gs.Parts
 	root.SetAttr("shards", int64(len(assignment)))
 	root.SetAttr("partitions", int64(gs.Parts))
 
@@ -553,24 +552,35 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		root.Count("shard.aborted", 1)
 		return Result{}, firstErr
 	}
-	for p := 0; p < gs.Parts; p++ {
-		if !st.sealed[p] {
-			return Result{}, joinerr.WrapAs("shard", "merge", joinerr.KindShard,
-				fmt.Errorf("internal: partition %d never sealed", p))
+	// The workers are joined, but the guarded-field contract is uniform:
+	// read the merge state under st.mu like every other reader.
+	var (
+		res          Result
+		unsealedPart = -1
+	)
+	st.locked(func() {
+		for p := 0; p < gs.Parts; p++ {
+			if !st.sealed[p] {
+				unsealedPart = p
+				return
+			}
 		}
+		res = Result{Results: st.results, Stats: st.stats}
+		res.IO = st.ioAgg
+		res.CPU = st.cpuAgg
+	})
+	if unsealedPart >= 0 {
+		return Result{}, joinerr.WrapAs("shard", "merge", joinerr.KindShard,
+			fmt.Errorf("internal: partition %d never sealed", unsealedPart))
 	}
-
-	res := Result{Results: st.results, Stats: st.stats}
-	res.IO = c.ioAgg
-	res.CPU = c.cpuAgg
 	nominal := diskio.NewDisk(cfg.PageSize, cfg.PT, cfg.Transfer)
 	res.IOTime = nominal.CostTime(res.IO.CostUnits)
 	res.Total = res.CPU + res.IOTime
-	root.Count("shard.spawns", int64(st.stats.Spawns))
-	root.Count("shard.kills", int64(st.stats.Kills))
-	root.Count("shard.restarts", int64(st.stats.Restarts))
-	root.Count("shard.absorbed", int64(st.stats.Absorbed))
-	root.Count("shard.rederived", int64(st.stats.Rederived))
+	root.Count("shard.spawns", int64(res.Stats.Spawns))
+	root.Count("shard.kills", int64(res.Stats.Kills))
+	root.Count("shard.restarts", int64(res.Stats.Restarts))
+	root.Count("shard.absorbed", int64(res.Stats.Absorbed))
+	root.Count("shard.rederived", int64(res.Stats.Rederived))
 	return res, nil
 }
 
@@ -993,8 +1003,8 @@ func (c *coordinator) shipInput(fw *FrameWriter, spec *JobSpec, rsl, ssl map[int
 func (c *coordinator) applyReport(r *WorkerReport) {
 	c.st.mu.Lock()
 	defer c.st.mu.Unlock()
-	c.ioAgg.Add(r.IO)
-	c.cpuAgg += time.Duration(r.CPUNanos)
+	c.st.ioAgg.Add(r.IO)
+	c.st.cpuAgg += time.Duration(r.CPUNanos)
 	c.st.stats.WorkerLiveFiles += r.LiveFiles
 }
 
@@ -1049,8 +1059,8 @@ func (c *coordinator) absorb(id int, parts []int) error {
 	}
 	ex.Close()
 	c.st.mu.Lock()
-	c.ioAgg.Add(disk.Stats())
-	c.cpuAgg += time.Since(start)
+	c.st.ioAgg.Add(disk.Stats())
+	c.st.cpuAgg += time.Since(start)
 	c.st.stats.WorkerLiveFiles += disk.NumFiles()
 	c.st.mu.Unlock()
 	return nil

@@ -83,8 +83,8 @@ type Pool struct {
 
 	mu     sync.Mutex
 	eps    []*endpoint
-	closed bool
-	stats  PoolStats
+	closed bool      // guarded by mu
+	stats  PoolStats // guarded by mu
 }
 
 // NewPool builds a pool over the configured endpoints.
@@ -343,7 +343,7 @@ type Lease struct {
 	fr   *FrameReader
 
 	mu       sync.Mutex
-	released bool
+	released bool // guarded by mu
 }
 
 // Release closes the connection and returns the endpoint: a clean

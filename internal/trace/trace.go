@@ -137,14 +137,14 @@ func (h *Histogram) observe(v float64) {
 // on a nil receiver (no-ops) and safe for concurrent use otherwise.
 type Recorder struct {
 	mu       sync.Mutex
-	epoch    time.Time
-	ioFn     func() IOStats
-	spans    []SpanData
-	counters map[string]int64
-	corder   []string
-	hists    map[string]*Histogram
-	horder   []string
-	nextID   int64
+	epoch    time.Time             // immutable after New
+	ioFn     func() IOStats        // guarded by mu
+	spans    []SpanData            // guarded by mu
+	counters map[string]int64      // guarded by mu
+	corder   []string              // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	horder   []string              // guarded by mu
+	nextID   int64                 // guarded by mu
 }
 
 // New returns an empty Recorder whose epoch is now.
