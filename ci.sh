@@ -112,6 +112,21 @@ echo "== sjbench shards smoke (multi-process invariance + kill recovery) =="
 # "bench OK" on success.
 go run ./cmd/sjbench -exp shards -quick -bench-dir "$benchdir" | grep "bench OK"
 
+echo "== sjbench dup3 smoke (three-way duplicate-method agreement) =="
+# The quick dup3 sweep runs the sort phase, the Reference Point Method
+# and TLSP secondary classes on the same replication-heavy input,
+# asserts identical result sets, TLSP emission-order invariance across
+# workers, and a strictly positive class-skip ratio, then validates the
+# emitted BENCH_dup.json, printing "bench OK" on success.
+go run ./cmd/sjbench -exp dup3 -quick -bench-dir "$benchdir" | grep "bench OK"
+
+echo "== TLSP chaos twin (class test under fault injection) =="
+# The dup-axis agreement inside the fault harness: byte-identical TLSP
+# vs RPM result hashes at every worker count, clean and faulty disks
+# alike. Redundant with the -race ./... run above, but a failure here
+# names the TLSP contract directly.
+go test -race -count=1 -timeout 10m -run 'TestTLSPMatchesRPMUnderChaos|TestChaosSweep/pbsm-tlsp' ./internal/chaos/
+
 echo "== sjbench net smoke (transport overhead + connection fault recovery) =="
 # The quick net sweep runs every shard count over both transports (pipe
 # re-exec and resident TCP workers via -worker-listen), injects one

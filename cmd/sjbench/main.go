@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	sjbench [-format table|csv] [-exp all|table1|table2|table3|fig3|fig4|fig5|fig6|fig11|fig12|fig13|fig14|parallel|...]
+//	sjbench [-format table|csv] [-exp all|table1|table2|table3|fig3|fig4|fig5|fig6|fig11|fig12|fig13|fig14|dup3|parallel|...]
 //	        [-la-scale 1.0] [-cal-scale 0.15] [-seed 1] [-maxp 10]
-//	        [-quick] [-bench-dir .]
+//	        [-dup rpm|sort|tlsp] [-quick] [-bench-dir .]
+//
+// The dup3 experiment sweeps the duplicate-method axis (original sort
+// phase, Reference Point Method, TLSP secondary classes) and writes a
+// self-validated BENCH_dup.json; -dup selects the PBSM duplicate method
+// of the instrumented 'phases' run and rejects unknown values.
 //
 // The parallel experiment sweeps worker counts over the
 // scheduler-driven phases and writes self-validated BENCH_parallel.json
@@ -38,6 +43,7 @@ import (
 
 	"spatialjoin/internal/bench"
 	"spatialjoin/internal/metrics"
+	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/shard"
 )
 
@@ -62,12 +68,19 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the instrumented 'phases' PBSM run and self-validate it")
 	phasesN := flag.Int("phases-n", 10000, "per-relation cardinality of the 'phases' experiment")
-	quick := flag.Bool("quick", false, "shrink the 'parallel' and 'shards' experiments to a CI smoke (timings meaningless, structure and determinism checks intact)")
+	dupFlag := flag.String("dup", "rpm", "PBSM duplicate removal of the 'phases' experiment: rpm, sort or tlsp")
+	quick := flag.Bool("quick", false, "shrink the 'parallel', 'shards' and 'dup3' experiments to a CI smoke (timings meaningless, structure and determinism checks intact)")
 	benchDir := flag.String("bench-dir", ".", "directory for the BENCH_*.json artifacts of the 'parallel' and 'shards' experiments")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (e.g. localhost:9090 or :0): /metrics Prometheus text, /metricsz JSONL; also embeds the final snapshot in BENCH_*.json")
 	workerListen := flag.String("worker-listen", "", "serve as a resident shard worker on this TCP address (host:port; :0 picks a free port) instead of running experiments; prints 'listening <addr>' once bound")
 	flag.Bool("shard-worker", false, "run as a shard worker process (frame protocol on stdin/stdout); handled before flag parsing")
 	flag.Parse()
+
+	dupMethod, err := pbsm.ParseDupMethod(*dupFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sjbench: -dup: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *workerListen != "" {
 		// Resident worker mode: the 'net' experiment re-execs this binary
@@ -106,6 +119,7 @@ func main() {
 	var parallelRep *bench.ParallelReport
 	var shardRep *bench.ShardReport
 	var netRep *bench.NetReport
+	var dupRep *bench.DupReport
 	runners := map[string]func() *bench.Table{
 		"parallel": func() *bench.Table {
 			rep, t := bench.RunParallel(s, *quick)
@@ -128,8 +142,13 @@ func main() {
 			return t
 		},
 		"phases": func() *bench.Table {
-			runs, t := bench.RunPhases(s, *phasesN)
+			runs, t := bench.RunPhases(s, *phasesN, dupMethod)
 			phasesRuns = runs
+			return t
+		},
+		"dup3": func() *bench.Table {
+			rep, t := bench.RunDup3(s, *quick)
+			dupRep = rep
 			return t
 		},
 		"table1":     func() *bench.Table { _, t := bench.RunTable1(s); return t },
@@ -159,7 +178,7 @@ func main() {
 		"fig11", "fig12", "table3", "fig13", "fig14",
 		"abl-tiles", "abl-tune", "abl-curve", "abl-depth", "abl-levels",
 		"methods", "methods-j5", "robustness", "faults", "cancel", "plancheck", "phases",
-		"parallel", "shards", "net"}
+		"dup3", "parallel", "shards", "net"}
 
 	var names []string
 	if *exp == "all" {
@@ -206,6 +225,13 @@ func main() {
 
 	if netRep != nil {
 		if err := writeAndValidateNet(*benchDir, netRep); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if dupRep != nil {
+		if err := writeAndValidateDup(*benchDir, dupRep); err != nil {
 			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -322,6 +348,41 @@ func writeAndValidateNet(dir string, rep *bench.NetReport) error {
 	}
 	fmt.Printf("bench OK: %s (%d pipe cells, %d tcp cells, %d fault cells)\n",
 		path, len(back.PipeCells), len(back.TCPCells), len(back.FaultCells))
+	return nil
+}
+
+// writeAndValidateDup persists the dup3 experiment as BENCH_dup.json,
+// then proves the artifact is usable: re-read, re-parsed and
+// structurally validated — all three duplicate methods present and
+// agreeing on the result set, TLSP order worker-invariant, and the
+// class-skip ratio strictly positive.
+func writeAndValidateDup(dir string, rep *bench.DupReport) error {
+	path := filepath.Join(dir, "BENCH_dup.json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var back bench.DupReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return fmt.Errorf("%s does not re-parse: %w", path, err)
+	}
+	if err := back.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var tlsp bench.DupCell
+	for _, c := range back.Cells {
+		if c.Method == "tlsp" && c.Workers == 1 {
+			tlsp = c
+		}
+	}
+	fmt.Printf("bench OK: %s (%d cells, skip ratio %.3f)\n", path, len(back.Cells), tlsp.SkipRatio)
 	return nil
 }
 

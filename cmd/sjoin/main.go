@@ -7,7 +7,7 @@
 //
 //	sjoin [-r la_rr] [-s la_st] [-rfile data.tsv] [-sfile data.tsv]
 //	      [-n 20000] [-p 1] [-seed 1]
-//	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort]
+//	      [-method pbsm|s3j|sssj|shj] [-alg list|trie|nested] [-dup rpm|sort|tlsp]
 //	      [-mode replicate|original] [-mem 2.5] [-parallel 1] [-shards 1]
 //	      [-plan] [-v] [-timeout 0] [-trace out.json] [-stats] [-pprof addr]
 //	      [-progress] [-metrics-addr addr]
@@ -142,7 +142,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	method := flag.String("method", "pbsm", "join method: pbsm, s3j, sssj or shj")
 	alg := flag.String("alg", "", "internal algorithm: list, trie or nested (default per method)")
-	dup := flag.String("dup", "rpm", "PBSM duplicate removal: rpm or sort")
+	dup := flag.String("dup", "rpm", "PBSM duplicate removal: rpm, sort or tlsp")
 	mode := flag.String("mode", "replicate", "S3J mode: replicate or original")
 	memMB := flag.Float64("mem", 2.5, "memory budget in paper MB (20-byte KPEs)")
 	parallel := flag.Int("parallel", 1, "concurrent partition-pair joins (PBSM only)")
@@ -221,7 +221,7 @@ func main() {
 
 	cfg := core.Config{
 		Method:       core.Method(*method),
-		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of 40-byte KPEs
+		Memory:       int64(*memMB * (1 << 20) * geom.KPESize / 20), // paper MB -> bytes of KPESize-byte KPEs
 		Algorithm:    sweep.Kind(*alg),
 		PBSMParallel: *parallel,
 		Shards:       *shards,
@@ -237,14 +237,11 @@ func main() {
 	if *traceOut != "" || *stats {
 		cfg.Trace = trace.New()
 	}
-	switch *dup {
-	case "rpm":
-		cfg.PBSMDup = pbsm.DupRPM
-	case "sort":
-		cfg.PBSMDup = pbsm.DupSort
-	default:
-		fail(fmt.Errorf("unknown -dup %q", *dup))
+	pd, err := pbsm.ParseDupMethod(*dup)
+	if err != nil {
+		fail(fmt.Errorf("-dup: %w", err))
 	}
+	cfg.PBSMDup = pd
 	switch *mode {
 	case "replicate":
 		cfg.S3JMode = s3j.ModeReplicate

@@ -225,9 +225,10 @@ func TestMemFracFloor(t *testing.T) {
 }
 
 func TestPaperMB(t *testing.T) {
-	// 1 MiB of 40-byte KPEs = 0.5 paper MB (20-byte KPEs).
-	if got := PaperMB(1 << 20); got != 0.5 {
-		t.Fatalf("PaperMB(1MiB) = %g, want 0.5", got)
+	// 1 MiB of 41-byte KPEs holds the KPE count 20/41 MiB of 20-byte
+	// paper KPEs would.
+	if got := PaperMB(1 << 20); got != 20.0/41.0 {
+		t.Fatalf("PaperMB(1MiB) = %g, want %g", got, 20.0/41.0)
 	}
 }
 

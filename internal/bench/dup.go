@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/diskio"
+	"spatialjoin/internal/pbsm"
+)
+
+// dupTLSPWorkers is the worker sweep of the dup3 experiment's TLSP
+// cells: TLSP rides the same scheduler as RPM, so its emission order
+// must be worker-count invariant too — the property the shard layer
+// leans on when it accepts TLSP partition output as duplicate-free.
+var dupTLSPWorkers = []int{1, 2, 4}
+
+// DupCell is one duplicate-method measurement of the dup3 experiment.
+// The hashes carry the correctness contract into the artifact: SetHash
+// equal across methods ⇔ all three strategies produced the same result
+// multiset; OrderHash equal across TLSP worker counts ⇔ the class test
+// preserved the scheduler's deterministic emission sequence.
+type DupCell struct {
+	Method  string `json:"method"`
+	Workers int    `json:"workers"`
+	Results int64  `json:"results"`
+
+	SetHash   uint64 `json:"set_hash"`
+	OrderHash uint64 `json:"order_hash"`
+
+	IOUnits       float64 `json:"io_units"`
+	CPUNS         int64   `json:"cpu_ns"`
+	FirstResultIO float64 `json:"first_result_io_units"`
+
+	// RawResults is the candidate count of the join phase — under RPM
+	// every one of them paid a reference-point test. TLSPSkipped is the
+	// slice of those candidates the TLSP class test rejected with two
+	// bit operations; TLSPRefTests the residual (repartitioned) ones
+	// that still needed a reference point. SkipRatio =
+	// TLSPSkipped / RawResults, zero for sort and rpm.
+	RawResults   int64   `json:"raw_results"`
+	TLSPSkipped  int64   `json:"tlsp_skipped,omitempty"`
+	TLSPRefTests int64   `json:"tlsp_ref_tests,omitempty"`
+	SkipRatio    float64 `json:"skip_ratio,omitempty"`
+}
+
+// DupReport is the schema of BENCH_dup.json: the three-way comparison
+// along the duplicate-method axis (original sort phase, Reference Point
+// Method, TLSP secondary classes) on identical inputs.
+type DupReport struct {
+	Experiment string      `json:"experiment"`
+	Quick      bool        `json:"quick"`
+	Runtime    RuntimeInfo `json:"runtime"`
+
+	Records     int   `json:"records_per_input"`
+	MemoryBytes int64 `json:"memory_bytes"`
+
+	TLSPWorkers []int     `json:"tlsp_workers"`
+	Cells       []DupCell `json:"cells"`
+}
+
+// dupMethodNames are the serial cells Validate requires, in sweep order.
+var dupMethodNames = []string{"sort", "rpm", "tlsp"}
+
+// Validate checks a (possibly re-parsed) report for the experiment's
+// claims: every method cell present exactly once, all methods agreeing
+// on the result multiset, TLSP's emission order invariant across its
+// worker sweep, and the class test actually earning its keep — a
+// strictly positive skip ratio.
+func (r *DupReport) Validate() error {
+	if r.Runtime.GoVersion == "" {
+		return fmt.Errorf("bench: report carries no runtime stamp (re-generate with a current sjbench)")
+	}
+	seen := make(map[string]DupCell)
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("%s/%d", c.Method, c.Workers)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("bench: duplicate cell %s", key)
+		}
+		seen[key] = c
+	}
+	var base DupCell
+	for i, m := range dupMethodNames {
+		c, ok := seen[m+"/1"]
+		if !ok {
+			return fmt.Errorf("bench: missing cell %s/1", m)
+		}
+		if c.Results <= 0 {
+			return fmt.Errorf("bench: cell %s/1 has no results", m)
+		}
+		if i == 0 {
+			base = c
+			continue
+		}
+		if c.Results != base.Results || c.SetHash != base.SetHash {
+			return fmt.Errorf("bench: %s result set diverges from %s (%d vs %d results, set %x vs %x)",
+				m, base.Method, c.Results, base.Results, c.SetHash, base.SetHash)
+		}
+	}
+	tlsp := seen["tlsp/1"]
+	if tlsp.TLSPSkipped <= 0 || tlsp.SkipRatio <= 0 {
+		return fmt.Errorf("bench: TLSP class test never skipped a candidate (skipped %d, ratio %g) — replication coverage lost",
+			tlsp.TLSPSkipped, tlsp.SkipRatio)
+	}
+	for _, w := range r.TLSPWorkers {
+		c, ok := seen[fmt.Sprintf("tlsp/%d", w)]
+		if !ok {
+			return fmt.Errorf("bench: missing cell tlsp/%d", w)
+		}
+		if c.Results != tlsp.Results || c.SetHash != tlsp.SetHash || c.OrderHash != tlsp.OrderHash {
+			return fmt.Errorf("bench: TLSP emission diverges between 1 and %d workers (order %x vs %x)",
+				w, tlsp.OrderHash, c.OrderHash)
+		}
+	}
+	return nil
+}
+
+// RunDup3 regenerates the duplicate-method comparison as a three-way
+// sweep: the original PBSM sort phase, the paper's Reference Point
+// Method, and TLSP secondary classes, all on the same replication-heavy
+// input. Every cell's result stream is hashed; the report's Validate
+// proves from the artifact alone that the three strategies agree on the
+// result set, that TLSP's order survives parallelism, and that the
+// class test skipped a strictly positive share of the raw candidates.
+// quick shrinks the workload to a CI smoke.
+func RunDup3(s *Suite, quick bool) (*DupReport, *Table) {
+	// Rectangle sizes are chosen replication-heavy: duplicate handling
+	// only has work to do when rectangles straddle tile boundaries.
+	n, size, frac := 12000, 0.01, 0.10
+	if quick {
+		n, size, frac = 1500, 0.03, 0.08
+	}
+	R := datagen.Uniform(s.Seed+61, n, size)
+	S := datagen.Uniform(s.Seed+62, n, size)
+	mem := MemFrac(R, S, frac)
+
+	rep := &DupReport{
+		Experiment:  "dup3",
+		Quick:       quick,
+		Runtime:     CaptureRuntime(),
+		Records:     n,
+		MemoryBytes: mem,
+		TLSPWorkers: append([]int(nil), dupTLSPWorkers...),
+	}
+
+	run := func(name string, dup pbsm.DupMethod, workers int) DupCell {
+		cfg := core.Config{
+			Method:   core.PBSM,
+			Disk:     diskio.NewDisk(0, 0, s.transfer()),
+			Memory:   mem,
+			PBSMDup:  dup,
+			Parallel: workers,
+			Metrics:  s.Metrics,
+		}
+		var h pairHasher
+		t0 := time.Now()
+		res, err := core.Join(R, S, cfg, h.add)
+		if err != nil {
+			panic(err) // harness configs never fail
+		}
+		st := res.PBSMStats
+		c := DupCell{
+			Method:        name,
+			Workers:       workers,
+			Results:       res.Results,
+			SetHash:       h.set,
+			OrderHash:     h.order,
+			IOUnits:       st.TotalIO().CostUnits,
+			CPUNS:         time.Since(t0).Nanoseconds(),
+			FirstResultIO: st.FirstResultIO,
+			RawResults:    st.RawResults,
+			TLSPSkipped:   st.TLSPSkipped,
+			TLSPRefTests:  st.TLSPRefTests,
+		}
+		if st.RawResults > 0 {
+			c.SkipRatio = float64(st.TLSPSkipped) / float64(st.RawResults)
+		}
+		return c
+	}
+
+	for _, m := range dupMethodNames {
+		var dup pbsm.DupMethod
+		switch m {
+		case "sort":
+			dup = pbsm.DupSort
+		case "rpm":
+			dup = pbsm.DupRPM
+		case "tlsp":
+			dup = pbsm.DupTLSP
+		}
+		if m == "tlsp" {
+			for _, w := range dupTLSPWorkers {
+				rep.Cells = append(rep.Cells, run(m, dup, w))
+			}
+			continue
+		}
+		rep.Cells = append(rep.Cells, run(m, dup, 1))
+	}
+	if err := rep.Validate(); err != nil {
+		panic(err) // the run itself violated its contract; fail loudly
+	}
+
+	tab := &Table{
+		Title: "Duplicate-method axis — sort phase vs RPM vs TLSP classes",
+		Note: fmt.Sprintf("uniform %d x %d rectangles, M = %.2f paper-MB; identical result sets asserted, TLSP order asserted across workers %v",
+			n, n, PaperMB(mem), dupTLSPWorkers),
+		Header: []string{"dup", "workers", "results", "raw", "I/O units", "first-result I/O", "CPU (s)", "skipped", "ref tests", "skip ratio"},
+	}
+	for _, c := range rep.Cells {
+		tab.AddRow(c.Method, fmt.Sprintf("%d", c.Workers), fint(c.Results), fint(c.RawResults),
+			fmt.Sprintf("%.0f", c.IOUnits), fmt.Sprintf("%.0f", c.FirstResultIO),
+			fmt.Sprintf("%.3f", float64(c.CPUNS)/1e9),
+			fint(c.TLSPSkipped), fint(c.TLSPRefTests), fmt.Sprintf("%.3f", c.SkipRatio))
+	}
+	return rep, tab
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunDup3Quick exercises the dup3 experiment at CI scale: all three
+// duplicate methods present, sets agreeing (RunDup3 panics on any
+// divergence), a strictly positive skip ratio, and a report that
+// survives a JSON round trip with Validate still passing.
+func TestRunDup3Quick(t *testing.T) {
+	rep, tab := RunDup3(testSuite(), true)
+	if !rep.Quick {
+		t.Fatal("quick flag not recorded")
+	}
+	if got, want := len(rep.Cells), len(dupMethodNames)-1+len(dupTLSPWorkers); got != want {
+		t.Fatalf("got %d cells, want %d", got, want)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	for _, c := range rep.Cells {
+		if c.Method == "tlsp" && c.Workers == 1 && c.SkipRatio <= 0 {
+			t.Fatalf("TLSP skip ratio must be strictly positive, got %g", c.SkipRatio)
+		}
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DupReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	for _, m := range dupMethodNames {
+		if !strings.Contains(buf.String(), m) {
+			t.Fatalf("printed table missing %s", m)
+		}
+	}
+}
+
+// TestDupReportValidateRejects covers the failure arms of Validate on
+// hand-built reports.
+func TestDupReportValidateRejects(t *testing.T) {
+	cell := func(m string, w int, res int64, set, order uint64, skipped int64, ratio float64) DupCell {
+		return DupCell{Method: m, Workers: w, Results: res, SetHash: set, OrderHash: order,
+			TLSPSkipped: skipped, SkipRatio: ratio}
+	}
+	good := &DupReport{Runtime: CaptureRuntime(), TLSPWorkers: []int{1, 2}}
+	good.Cells = []DupCell{
+		cell("sort", 1, 10, 7, 1, 0, 0),
+		cell("rpm", 1, 10, 7, 2, 0, 0),
+		cell("tlsp", 1, 10, 7, 9, 3, 0.1),
+		cell("tlsp", 2, 10, 7, 9, 3, 0.1),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good report rejected: %v", err)
+	}
+
+	unstamped := &DupReport{TLSPWorkers: []int{1}, Cells: good.Cells}
+	if err := unstamped.Validate(); err == nil || !strings.Contains(err.Error(), "runtime stamp") {
+		t.Fatalf("missing runtime stamp not detected: %v", err)
+	}
+
+	missing := &DupReport{Runtime: CaptureRuntime(), TLSPWorkers: []int{1}, Cells: good.Cells[:2]}
+	if err := missing.Validate(); err == nil || !strings.Contains(err.Error(), "missing cell") {
+		t.Fatalf("missing tlsp cell not detected: %v", err)
+	}
+
+	diverged := &DupReport{Runtime: CaptureRuntime(), TLSPWorkers: []int{1}}
+	diverged.Cells = append([]DupCell(nil), good.Cells[:3]...)
+	diverged.Cells[1].SetHash = 8
+	if err := diverged.Validate(); err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("set divergence not detected: %v", err)
+	}
+
+	noskip := &DupReport{Runtime: CaptureRuntime(), TLSPWorkers: []int{1}}
+	noskip.Cells = append([]DupCell(nil), good.Cells[:3]...)
+	noskip.Cells[2].TLSPSkipped, noskip.Cells[2].SkipRatio = 0, 0
+	if err := noskip.Validate(); err == nil || !strings.Contains(err.Error(), "never skipped") {
+		t.Fatalf("zero skip ratio not detected: %v", err)
+	}
+
+	orderDiv := &DupReport{Runtime: CaptureRuntime(), TLSPWorkers: []int{1, 2}}
+	orderDiv.Cells = append([]DupCell(nil), good.Cells...)
+	orderDiv.Cells[3].OrderHash = 11
+	if err := orderDiv.Validate(); err == nil || !strings.Contains(err.Error(), "emission diverges") {
+		t.Fatalf("order divergence not detected: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/s3j"
 	"spatialjoin/internal/trace"
 )
@@ -23,8 +24,10 @@ type PhasesRun struct {
 // relations with a trace recorder attached and reports, per join, the
 // wall time and I/O of every top-level phase span — the observability
 // counterpart of Table 3's analytic I/O-pass accounting. n < 1 selects
-// 10,000 (the acceptance scale).
-func RunPhases(s *Suite, n int) ([]PhasesRun, *Table) {
+// 10,000 (the acceptance scale). dup selects the PBSM run's duplicate
+// method (sjbench -dup), so the phase tree of any point on the dup axis
+// can be inspected.
+func RunPhases(s *Suite, n int, dup pbsm.DupMethod) ([]PhasesRun, *Table) {
 	if n < 1 {
 		n = 10000
 	}
@@ -39,7 +42,7 @@ func RunPhases(s *Suite, n int) ([]PhasesRun, *Table) {
 	cfgs := []core.Config{
 		// Parallel: 1 keeps the span trees serial-shaped (one activation
 		// per phase, no worker child spans).
-		{Method: core.PBSM, Memory: mem, Transfer: s.transfer(), Parallel: 1},
+		{Method: core.PBSM, Memory: mem, PBSMDup: dup, Transfer: s.transfer(), Parallel: 1},
 		{Method: core.S3J, Memory: mem, S3JMode: s3j.ModeReplicate, Transfer: s.transfer(), Parallel: 1},
 	}
 	for i := range runs {

@@ -291,7 +291,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 		}
 		if cfg.PBSMDup == pbsm.DupSort {
 			return Result{}, joinerr.Wrap("core", "config",
-				fmt.Errorf("Shards=%d is incompatible with DupSort: sharded merge relies on the Reference Point Method's duplicate-free partition output", cfg.Shards))
+				fmt.Errorf("Shards=%d is incompatible with DupSort: sharded merge relies on duplicate-free-by-construction partition output (DupRPM or DupTLSP)", cfg.Shards))
 		}
 		if sharder == nil {
 			return Result{}, joinerr.Wrap("core", "config",

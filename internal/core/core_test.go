@@ -66,7 +66,7 @@ func checkJoin(t *testing.T, R, S []geom.KPE, cfg Config) Result {
 func configsUnderTest(memory int64) []Config {
 	var cfgs []Config
 	for _, alg := range []sweep.Kind{sweep.NestedLoopsKind, sweep.ListKind, sweep.TrieKind} {
-		for _, dup := range []pbsm.DupMethod{pbsm.DupRPM, pbsm.DupSort} {
+		for _, dup := range []pbsm.DupMethod{pbsm.DupRPM, pbsm.DupSort, pbsm.DupTLSP} {
 			cfgs = append(cfgs, Config{Method: PBSM, Memory: memory, Algorithm: alg, PBSMDup: dup})
 		}
 		for _, mode := range []s3j.Mode{s3j.ModeOriginal, s3j.ModeReplicate} {

@@ -86,9 +86,10 @@ func TestSelectivityMatchesDefinition(t *testing.T) {
 }
 
 func TestPartitionCountFormula(t *testing.T) {
-	// 2000 KPEs × 40 B = 80 KB; 20 KB memory; t = 1.25 → ceil(5) = 5.
-	if p := PartitionCount(1000, 1000, 20<<10, 1.25); p != 5 {
-		t.Fatalf("P = %d, want 5", p)
+	// 2000 KPEs × 41 B = 82000 B; 20 KiB memory; t = 1.25 →
+	// ceil(1.25 × 82000 / 20480) = ceil(5.004…) = 6.
+	if p := PartitionCount(1000, 1000, 20<<10, 1.25); p != 6 {
+		t.Fatalf("P = %d, want 6", p)
 	}
 	if p := PartitionCount(10, 10, 1<<30, 1.25); p != 1 {
 		t.Fatalf("tiny input must give P=1, got %d", p)

@@ -13,12 +13,21 @@ import (
 type KPE struct {
 	ID   uint64
 	Rect Rect
+	// Class is the copy's secondary class under two-layer space-oriented
+	// partitioning (TLSP, internal/pbsm): two bits recording whether the
+	// tile a replicated copy was written to also contains the rectangle's
+	// reference corner (upper-left, the RefPoint corner of §3.2.1), per
+	// axis. It is a property of a COPY, not of the object — the
+	// partitioner assigns it per destination — and it travels with the
+	// copy through partition files and shard frames. Zero outside TLSP
+	// joins.
+	Class uint8
 }
 
-// KPESize is the serialized size of a KPE in bytes: an 8-byte identifier
-// followed by four 8-byte float64 coordinates. Memory budgets and PBSM's
-// partition-count formula (1) are expressed in these units.
-const KPESize = 8 + 4*8
+// KPESize is the serialized size of a KPE in bytes: an 8-byte identifier,
+// four 8-byte float64 coordinates, and one class byte. Memory budgets and
+// PBSM's partition-count formula (1) are expressed in these units.
+const KPESize = 8 + 4*8 + 1
 
 // EncodeKPE serializes k into buf, which must be at least KPESize bytes,
 // and returns the number of bytes written.
@@ -29,6 +38,7 @@ func EncodeKPE(buf []byte, k KPE) int {
 	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(k.Rect.YL))
 	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(k.Rect.XH))
 	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(k.Rect.YH))
+	buf[40] = k.Class
 	return KPESize
 }
 
@@ -44,6 +54,7 @@ func DecodeKPE(buf []byte) KPE {
 			XH: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
 			YH: math.Float64frombits(binary.LittleEndian.Uint64(buf[32:])),
 		},
+		Class: buf[40],
 	}
 }
 

@@ -11,7 +11,7 @@ func TestKPERoundTrip(t *testing.T) {
 	cfg := &quick.Config{
 		MaxCount: 1000,
 		Values: func(vals []reflect.Value, rng *rand.Rand) {
-			vals[0] = reflect.ValueOf(KPE{ID: rng.Uint64(), Rect: genRect(rng)})
+			vals[0] = reflect.ValueOf(KPE{ID: rng.Uint64(), Rect: genRect(rng), Class: uint8(rng.Intn(256))})
 		},
 	}
 	f := func(k KPE) bool {
@@ -73,7 +73,7 @@ func TestPairLessLexicographic(t *testing.T) {
 func TestKPESizeMatchesEncoding(t *testing.T) {
 	// The memory model (formula (1) of the paper) relies on this size.
 	var buf [KPESize]byte
-	if n := EncodeKPE(buf[:], KPE{}); n != 40 {
-		t.Fatalf("KPESize = %d, want 40", n)
+	if n := EncodeKPE(buf[:], KPE{}); n != 41 {
+		t.Fatalf("KPESize = %d, want 41", n)
 	}
 }

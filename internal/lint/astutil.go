@@ -15,6 +15,7 @@ const (
 	pathJoinerr = "spatialjoin/internal/joinerr"
 	pathDiskio  = "spatialjoin/internal/diskio"
 	pathMetrics = "spatialjoin/internal/metrics"
+	pathPBSM    = "spatialjoin/internal/pbsm"
 )
 
 // parentMap records the immediate parent of every node in a file, the

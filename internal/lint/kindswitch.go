@@ -7,14 +7,24 @@ import (
 	"strings"
 )
 
-// AnalyzerKindswitch flags switches over joinerr.Kind that neither
-// cover every Kind constant nor carry a default clause. The taxonomy is
+// enumSwitchTypes lists the module's closed enums: named types whose
+// package-level constants enumerate every legal value, so a switch that
+// misses one and has no default silently misroutes it. joinerr.Kind is
 // how embedders route outcomes (retry I/O failures, surface
-// cancellations, back off on admission rejects); a silent fall-through
-// on a newly added Kind would misroute it.
+// cancellations, back off on admission rejects); pbsm.DupMethod is the
+// duplicate-handling axis (rpm/sort/tlsp), where a fall-through would
+// silently drop a method's dedup entirely.
+var enumSwitchTypes = []struct{ pkgPath, name string }{
+	{pathJoinerr, "Kind"},
+	{pathPBSM, "DupMethod"},
+}
+
+// AnalyzerKindswitch flags switches over the module's closed enum types
+// (joinerr.Kind, pbsm.DupMethod) that neither cover every constant nor
+// carry a default clause.
 var AnalyzerKindswitch = &Analyzer{
 	Name: "kindswitch",
-	Doc:  "switches over joinerr.Kind must be exhaustive or carry a default clause",
+	Doc:  "switches over closed enum types (joinerr.Kind, pbsm.DupMethod) must be exhaustive or carry a default clause",
 	Run:  runKindswitch,
 }
 
@@ -26,19 +36,24 @@ func runKindswitch(p *Pass) {
 				return true
 			}
 			tv, ok := p.Info.Types[sw.Tag]
-			if !ok || !isNamed(tv.Type, pathJoinerr, "Kind") {
+			if !ok {
 				return true
 			}
-			checkKindSwitch(p, sw, namedType(tv.Type))
+			for _, et := range enumSwitchTypes {
+				if isNamed(tv.Type, et.pkgPath, et.name) {
+					checkKindSwitch(p, sw, namedType(tv.Type))
+					break
+				}
+			}
 			return true
 		})
 	}
 }
 
 func checkKindSwitch(p *Pass, sw *ast.SwitchStmt, kind *types.Named) {
-	// The universe: every package-level constant of type Kind declared
-	// in joinerr itself, resolved from the type-checked package so a
-	// new Kind constant widens the requirement automatically.
+	// The universe: every package-level constant of the enum type
+	// declared in its own package, resolved from the type-checked
+	// package so a new constant widens the requirement automatically.
 	want := make(map[string]string) // constant exact value -> name
 	scope := kind.Obj().Pkg().Scope()
 	for _, name := range scope.Names() {
@@ -72,6 +87,6 @@ func checkKindSwitch(p *Pass, sw *ast.SwitchStmt, kind *types.Named) {
 	}
 	sort.Strings(missing)
 	p.Reportf(sw.Pos(),
-		"switch over joinerr.Kind is not exhaustive and has no default: missing %s",
-		strings.Join(missing, ", "))
+		"switch over %s.%s is not exhaustive and has no default: missing %s",
+		kind.Obj().Pkg().Name(), kind.Obj().Name(), strings.Join(missing, ", "))
 }

@@ -1,0 +1,28 @@
+// dupswitch_clean is the clean DupMethod twin: one exhaustive switch
+// and one that routes unknown methods through a default clause.
+package kindfix
+
+import "spatialjoin/internal/pbsm"
+
+// DedupAll covers every DupMethod constant explicitly.
+func DedupAll(d pbsm.DupMethod) string {
+	switch d {
+	case pbsm.DupRPM:
+		return "reference point"
+	case pbsm.DupSort:
+		return "sort phase"
+	case pbsm.DupTLSP:
+		return "secondary classes"
+	}
+	return "unreachable"
+}
+
+// DedupDefault fails loudly on unknown methods.
+func DedupDefault(d pbsm.DupMethod) string {
+	switch d {
+	case pbsm.DupRPM, pbsm.DupTLSP:
+		return "duplicate-free by construction"
+	default:
+		return "reject"
+	}
+}

@@ -10,6 +10,10 @@ import "spatialjoin/internal/geom"
 type grid struct {
 	nx, ny int
 	parts  int
+	// tlsp marks a two-layer space-oriented partitioning grid (tlsp.go):
+	// tiles map 1:1 to partitions (identity instead of the multiplicative
+	// hash) and every copy carries a secondary class.
+	tlsp bool
 }
 
 // newGrid builds a tiling with at least tiles cells, shaped as square as
@@ -47,8 +51,12 @@ func (g *grid) tileOf(p geom.Point) int {
 
 // partOf maps a tile id to its partition via a multiplicative hash
 // (Fibonacci hashing), the mechanism [PD 96] suggests for balancing
-// partitions when NT > P.
+// partitions when NT > P. A TLSP grid has no second layer of hashing:
+// tiles are partitions.
 func (g *grid) partOf(tile int) int {
+	if g.tlsp {
+		return tile
+	}
 	h := uint64(tile) * 0x9E3779B97F4A7C15
 	return int(h % uint64(g.parts))
 }

@@ -196,3 +196,141 @@ func TestEveryPointHasExactlyOneOwner(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBoundaryAgreementRPM pins the classic seam: a reference point
+// landing EXACTLY on a shared tile edge (coordinates hitting i/nx with
+// no rounding slack, plus the far boundary at 1.0). The partitioner
+// (tileRange) and the duplicate test (gridRegion.contains) must place
+// such a point consistently: exactly one partition's region contains
+// it, and that partition received copies of any rectangle pair whose
+// reference point it is.
+func TestBoundaryAgreementRPM(t *testing.T) {
+	g := newGrid(16, 5) // 4×4 tiles hashed onto 5 partitions
+	edgeXs := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	edgeYs := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	stamp := make([]int, g.parts)
+	gen := 0
+	for _, ex := range edgeXs {
+		for _, ey := range edgeYs {
+			// Build a rectangle pair whose RefPoint is exactly (ex, ey):
+			// r supplies the max left edge, s supplies the min top edge.
+			r := geom.NewRect(ex, maxf(ey-0.3, 0), minf(ex+0.3, 1), 1)
+			s := geom.NewRect(maxf(ex-0.3, 0), maxf(ey-0.3, 0), minf(ex+0.3, 1), ey)
+			x := geom.RefPoint(r, s)
+			if x.X != ex || x.Y != ey {
+				t.Fatalf("setup: RefPoint = %v, want (%g, %g)", x, ex, ey)
+			}
+			owners := 0
+			for part := 0; part < g.parts; part++ {
+				if !(gridRegion{g, part}).contains(x) {
+					continue
+				}
+				owners++
+				// The owning partition must hold copies of BOTH rects,
+				// or the pair the reference point credits to it could
+				// never be produced there.
+				for _, rect := range []geom.Rect{r, s} {
+					for i := range stamp {
+						stamp[i] = -1
+					}
+					gen++
+					found := false
+					for _, p := range g.partitionsOf(rect, nil, stamp, gen) {
+						if p == part {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("refpoint (%g,%g): owner %d lacks a copy of %v",
+							ex, ey, part, rect)
+					}
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("refpoint exactly on edge (%g,%g) owned by %d partitions, want 1", ex, ey, owners)
+			}
+		}
+	}
+}
+
+// TestBoundaryAgreementTLSP is the same seam for TLSP's half-open tile
+// extents: rectangles whose reference corner (xl, yh) sits exactly on a
+// shared edge — including the far-boundary clamp at 1.0 — must get
+// class A on exactly one copy, in the tile clampIdx assigns the corner
+// to, and a pair whose reference point is exactly on an edge must be
+// emitted by exactly one tile under the class-AND test.
+func TestBoundaryAgreementTLSP(t *testing.T) {
+	g := newTLSPGrid(16) // 4×4, tiles are partitions
+	edges := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	for _, ex := range edges {
+		for _, ey := range edges {
+			r := geom.NewRect(ex, maxf(ey-0.6, 0), minf(ex+0.6, 1), ey)
+			cornerTile := clampIdx(ey, g.ny)*g.nx + clampIdx(ex, g.nx)
+			classA := 0
+			for _, d := range g.copiesOf(r, nil, nil, 0) {
+				if d.class != 0 {
+					continue
+				}
+				classA++
+				if d.part != cornerTile {
+					t.Fatalf("corner (%g,%g): class A copy in tile %d, clampIdx says %d",
+						ex, ey, d.part, cornerTile)
+				}
+			}
+			if classA != 1 {
+				t.Fatalf("corner exactly on edge (%g,%g): %d class-A copies, want 1", ex, ey, classA)
+			}
+		}
+	}
+	// Pair-level agreement: reference points exactly on shared edges.
+	for _, ex := range edges {
+		for _, ey := range edges {
+			r := geom.NewRect(ex, maxf(ey-0.3, 0), minf(ex+0.3, 1), 1)
+			s := geom.NewRect(maxf(ex-0.3, 0), maxf(ey-0.3, 0), minf(ex+0.3, 1), ey)
+			x := geom.RefPoint(r, s)
+			refTile := g.tileOf(x)
+			emitted := 0
+			for tile := 0; tile < g.parts; tile++ {
+				var cr, cs uint8
+				okR, okS := false, false
+				for _, d := range g.copiesOf(r, nil, nil, 0) {
+					if d.part == tile {
+						cr, okR = d.class, true
+					}
+				}
+				for _, d := range g.copiesOf(s, nil, nil, 0) {
+					if d.part == tile {
+						cs, okS = d.class, true
+					}
+				}
+				if !okR || !okS {
+					continue
+				}
+				if cr&cs == 0 {
+					emitted++
+					if tile != refTile {
+						t.Fatalf("refpoint (%g,%g): class test emits in tile %d, RefPoint tile is %d",
+							ex, ey, tile, refTile)
+					}
+				}
+			}
+			if emitted != 1 {
+				t.Fatalf("refpoint exactly on edge (%g,%g): emitted by %d tiles, want 1", ex, ey, emitted)
+			}
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -3,7 +3,6 @@ package pbsm
 import (
 	"spatialjoin/internal/diskio"
 	"spatialjoin/internal/iocost"
-	"spatialjoin/internal/metrics"
 	"spatialjoin/internal/recfile"
 )
 
@@ -17,8 +16,12 @@ const (
 	// duplicate-elimination strategy.
 	metDupSuppressed = "pbsm.dup.suppressed"
 	// metRPMTests counts reference-point tests (one per raw result
-	// under DupRPM).
+	// under DupRPM), bumped live from the join loop.
 	metRPMTests = "pbsm.rpm.tests"
+	// metTLSPSkipped counts candidates rejected by the TLSP class test
+	// alone (no reference point computed), bumped live from the join
+	// loop.
+	metTLSPSkipped = "pbsm.tlsp.pairs.skipped"
 	// metReplicationCopies counts KPE copies written by partitioning.
 	metReplicationCopies = "pbsm.replication.copies"
 	// metHealed counts partition pairs re-derived after checksum
@@ -28,23 +31,28 @@ const (
 	metRepartitions = "pbsm.repartitions"
 )
 
-// pairsDoneCounter resolves the live pairs-done counter (nil without a
-// registry; the handle is nil-safe).
-func (j *joiner) pairsDoneCounter() *metrics.Counter {
-	return j.cfg.Metrics.Counter(metPairsDone)
+// resolveCounters resolves the joiner's live counter handles once up
+// front (nil without a registry; the handles are nil-safe, so the join
+// loop increments them unconditionally). pbsm.rpm.tests and
+// pbsm.tlsp.pairs.skipped are per-result counters published from the
+// join loop itself, so a mid-flight /metrics scrape sees them advance
+// with the join instead of reading 0 until the end.
+func (j *joiner) resolveCounters() {
+	j.pairsDone = j.cfg.Metrics.Counter(metPairsDone)
+	j.rpmTests = j.cfg.Metrics.Counter(metRPMTests)
+	j.tlspSkipped = j.cfg.Metrics.Counter(metTLSPSkipped)
 }
 
-// publishMetrics adds this join's redundancy/duplicate totals to the
-// process-lifetime counters; a no-op without a registry.
+// publishMetrics adds this join's remaining redundancy/duplicate totals
+// to the process-lifetime counters; a no-op without a registry. The
+// per-result counters (RPM tests, TLSP skips) are NOT published here —
+// they were already bumped incrementally from the join loop.
 func (j *joiner) publishMetrics() {
 	m := j.cfg.Metrics
 	if m == nil {
 		return
 	}
 	m.Counter(metDupSuppressed).Add(j.stats.RawResults - j.stats.Results)
-	if j.cfg.Dup == DupRPM {
-		m.Counter(metRPMTests).Add(j.stats.RawResults)
-	}
 	m.Counter(metReplicationCopies).Add(j.stats.CopiesR + j.stats.CopiesS)
 	m.Counter(metHealed).Add(int64(j.stats.Healed))
 	m.Counter(metRepartitions).Add(int64(j.stats.Repartitions))

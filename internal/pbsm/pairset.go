@@ -28,36 +28,52 @@ import (
 // GridSpec is a serializable description of the top-level PBSM grid: it
 // crosses the coordinator/worker process boundary in a job frame and
 // fully reconstructs the grid (tile geometry and tile→partition
-// hashing) on the other side.
+// hashing, or the TLSP identity mapping) on the other side.
 type GridSpec struct {
 	NX    int `json:"nx"`
 	NY    int `json:"ny"`
 	Parts int `json:"parts"`
+	// TLSP marks a two-layer space-oriented partitioning grid: tiles map
+	// 1:1 to partitions and every copy carries a secondary class
+	// (tlsp.go). Must agree with the executing Config.Dup.
+	TLSP bool `json:"tlsp,omitempty"`
 }
 
 // PlanGrid computes the top-level grid for joining nr+ns records under
 // cfg's memory budget — formula (1) with the tuning factor, exactly as
 // a single-process Join would. Parts == 1 means everything fits in
 // memory and no grid is used (the whole space is one partition).
-// Only cfg.Memory, TuneFactor and TilesPerPartition are consulted;
+// Only cfg.Memory, TuneFactor, TilesPerPartition and Dup are consulted;
 // cfg.Memory must be positive.
 func PlanGrid(nr, ns int, cfg Config) GridSpec {
 	p := int(math.Ceil(cfg.tune() * float64(int64(nr+ns)*geom.KPESize) / float64(cfg.Memory)))
 	if p < 1 {
 		p = 1
 	}
+	tlsp := cfg.Dup == DupTLSP
 	if p == 1 {
-		return GridSpec{NX: 1, NY: 1, Parts: 1}
+		return GridSpec{NX: 1, NY: 1, Parts: 1, TLSP: tlsp}
 	}
-	g := newGrid(p*cfg.tilesPerPart(), p)
-	return GridSpec{NX: g.nx, NY: g.ny, Parts: g.parts}
+	var g *grid
+	if tlsp {
+		g = newTLSPGrid(p)
+	} else {
+		g = newGrid(p*cfg.tilesPerPart(), p)
+	}
+	return GridSpec{NX: g.nx, NY: g.ny, Parts: g.parts, TLSP: tlsp}
 }
 
 // grid reconstructs the in-memory grid. Only meaningful for Parts > 1.
-func (s GridSpec) grid() *grid { return &grid{nx: s.NX, ny: s.NY, parts: s.Parts} }
+func (s GridSpec) grid() *grid {
+	return &grid{nx: s.NX, ny: s.NY, parts: s.Parts, tlsp: s.TLSP}
+}
 
-// Valid reports whether the spec describes a usable grid.
+// Valid reports whether the spec describes a usable grid. A TLSP grid
+// additionally requires the 1:1 tile/partition mapping.
 func (s GridSpec) Valid() bool {
+	if s.TLSP && s.NX*s.NY != s.Parts {
+		return false
+	}
 	return s.Parts >= 1 && s.NX >= 1 && s.NY >= 1 && s.NX*s.NY >= s.Parts
 }
 
@@ -88,16 +104,18 @@ func PartitionSlices(ks []geom.KPE, gs GridSpec, parts []int, chk *govern.Check)
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	scratch := make([]int, 0, 8)
+	scratch := make([]copyDest, 0, 8)
 	st := chk.Stride()
 	for idx := range ks {
 		if err := st.Point(); err != nil {
 			return nil, joinerr.Wrap("pbsm", "partition", err)
 		}
-		scratch = g.partitionsOf(ks[idx].Rect, scratch[:0], stamp, idx)
-		for _, pi := range scratch {
-			if slice, ok := out[pi]; ok {
-				out[pi] = append(slice, ks[idx])
+		scratch = g.copiesOf(ks[idx].Rect, scratch[:0], stamp, idx)
+		for _, d := range scratch {
+			if slice, ok := out[d.part]; ok {
+				k := ks[idx]
+				k.Class = d.class
+				out[d.part] = append(slice, k)
 			}
 		}
 	}
@@ -119,15 +137,15 @@ func PartitionCounts(ks []geom.KPE, gs GridSpec, chk *govern.Check) ([]int64, er
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	scratch := make([]int, 0, 8)
+	scratch := make([]copyDest, 0, 8)
 	st := chk.Stride()
 	for idx := range ks {
 		if err := st.Point(); err != nil {
 			return nil, joinerr.Wrap("pbsm", "partition", err)
 		}
-		scratch = g.partitionsOf(ks[idx].Rect, scratch[:0], stamp, idx)
-		for _, pi := range scratch {
-			counts[pi]++
+		scratch = g.copiesOf(ks[idx].Rect, scratch[:0], stamp, idx)
+		for _, d := range scratch {
+			counts[d.part]++
 		}
 	}
 	return counts, nil
@@ -141,9 +159,11 @@ func PartitionCounts(ks []geom.KPE, gs GridSpec, chk *govern.Check) ([]int64, er
 // tuning as the planning run, so each pair emits exactly the sequence
 // the single-process join would emit for it.
 //
-// Only Dup == DupRPM is supported: RPM makes each pair's output
-// globally duplicate-free on its own, which is what allows pairs to be
-// executed by different processes without a cross-pair dedup phase.
+// Only the duplicate-free-by-construction methods are supported — DupRPM
+// and DupTLSP both make each pair's output globally duplicate-free on
+// its own, which is what allows pairs to be executed by different
+// processes without a cross-pair dedup phase; DupSort would need exactly
+// that phase and is rejected.
 // A PairExec is not safe for concurrent use; one goroutine runs pairs
 // sequentially.
 type PairExec struct {
@@ -154,7 +174,8 @@ type PairExec struct {
 
 // NewPairExec validates cfg against gs and prepares an executor.
 // cfg.Disk and a positive cfg.Memory are required; cfg.Dup must be
-// DupRPM (the default).
+// DupRPM (the default) or DupTLSP, matching the TLSP-ness of the
+// planned grid.
 func NewPairExec(cfg Config, gs GridSpec) (*PairExec, error) {
 	if cfg.Disk == nil {
 		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Disk is required"))
@@ -162,16 +183,24 @@ func NewPairExec(cfg Config, gs GridSpec) (*PairExec, error) {
 	if cfg.Memory <= 0 {
 		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
-	if cfg.Dup != DupRPM {
-		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("pair-subset execution requires the Reference Point Method (DupRPM), got %v", cfg.Dup))
+	switch cfg.Dup {
+	case DupRPM, DupTLSP:
+	case DupSort:
+		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("pair-subset execution requires a duplicate-free-by-construction method (DupRPM or DupTLSP), got %v", cfg.Dup))
+	default:
+		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("unknown Config.Dup %v (valid: %v, %v, %v)", cfg.Dup, DupRPM, DupSort, DupTLSP))
 	}
 	if !gs.Valid() {
 		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("invalid grid spec %+v", gs))
+	}
+	if gs.TLSP != (cfg.Dup == DupTLSP) {
+		return nil, joinerr.Wrap("pbsm", "config", fmt.Errorf("grid spec TLSP=%v does not match Config.Dup %v", gs.TLSP, cfg.Dup))
 	}
 	e := &PairExec{
 		j:  &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm), reg: cfg.Disk.NewRegistry()},
 		gs: gs,
 	}
+	e.j.resolveCounters()
 	e.j.stats.P = gs.Parts
 	if gs.Parts > 1 {
 		e.g = gs.grid()
@@ -204,7 +233,16 @@ func (e *PairExec) RunPair(part int, rs, ss []geom.KPE, sink func(geom.Pair)) er
 		pt.sp.AddRecords(int64(len(rs) + len(ss)))
 		crs := append([]geom.KPE(nil), rs...)
 		css := append([]geom.KPE(nil), ss...)
-		err := j.joinLoaded(j.alg, counted, crs, css, wholeSpace{}, wholeSpace{})
+		var err error
+		if j.cfg.Dup == DupTLSP {
+			// Unreplicated inputs never got a class; see run's P == 1 path.
+			if err = clearClasses(crs, j.cfg.Cancel); err == nil {
+				err = clearClasses(css, j.cfg.Cancel)
+			}
+		}
+		if err == nil {
+			err = j.joinLoaded(j.alg, counted, crs, css, wholeSpace{}, wholeSpace{})
+		}
 		pt.end()
 		return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
 	}
@@ -231,7 +269,13 @@ func (e *PairExec) RunPair(part int, rs, ss []geom.KPE, sink func(geom.Pair)) er
 		remove()
 		return joinerr.Wrap("pbsm", PhasePartition.String(), errS)
 	}
-	reg := gridRegion{g: e.g, part: part}
+	// Same region convention as processTopPair: RPM tests reference
+	// points against the partition's tile set; TLSP's top-level dedup is
+	// the class test, so the region chain starts empty.
+	var reg region = gridRegion{g: e.g, part: part}
+	if j.cfg.Dup == DupTLSP {
+		reg = wholeSpace{}
+	}
 	err := j.processPair(j.alg, counted, fr, fs, reg, reg, 0)
 	remove()
 	// In-process healing re-derives from base inputs this executor does

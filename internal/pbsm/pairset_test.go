@@ -18,7 +18,7 @@ func TestPairExecMatchesJoin(t *testing.T) {
 	R := datagen.Uniform(71, 1200, 0.004)
 	S := datagen.Uniform(72, 1200, 0.004)
 	// Small memory forces several partitions and some repartitioning.
-	for _, memory := range []int64{6 << 10, 48 << 10, 4 << 20} {
+	for _, memory := range []int64{5 << 10, 48 << 10, 4 << 20} {
 		serialDisk := diskio.NewDisk(4096, 20, time.Microsecond)
 		var want []geom.Pair
 		wantStats, err := Join(R, S, Config{Disk: serialDisk, Memory: memory}, func(p geom.Pair) {
@@ -73,8 +73,8 @@ func TestPairExecMatchesJoin(t *testing.T) {
 		if st.Results != int64(len(want)) {
 			t.Errorf("memory %d: Stats.Results = %d, want %d", memory, st.Results, len(want))
 		}
-		if memory == 6<<10 && wantStats.Repartitions == 0 {
-			t.Error("6KiB case never repartitioned; the test lost its recursion coverage")
+		if memory == 5<<10 && wantStats.Repartitions == 0 {
+			t.Error("5KiB case never repartitioned; the test lost its recursion coverage")
 		}
 	}
 }

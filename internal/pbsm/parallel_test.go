@@ -11,7 +11,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	R := datagen.LARR(1, 3000).KPEs
 	S := datagen.LAST(2, 3000).KPEs
 	for _, workers := range []int{2, 4, 8} {
-		for _, dup := range []DupMethod{DupRPM, DupSort} {
+		for _, dup := range []DupMethod{DupRPM, DupSort, DupTLSP} {
 			seq, _ := run(t, R, S, Config{Memory: 16 << 10, Dup: dup})
 			par, st := run(t, R, S, Config{Memory: 16 << 10, Dup: dup, Parallel: workers})
 			sortPairs(seq)

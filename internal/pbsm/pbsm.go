@@ -16,8 +16,12 @@
 //     recursively split with finer grids.
 //  3. Join — each partition pair is loaded and joined in memory.
 //  4. Duplicate removal — either the original external sort of the result
-//     pairs (DupSort), or free of any extra phase with the Reference
-//     Point Method (DupRPM), which tests each produced pair on-line.
+//     pairs (DupSort), free of any extra phase with the Reference Point
+//     Method (DupRPM), which tests each produced pair on-line, or free by
+//     construction with two-layer space-oriented partitioning (DupTLSP),
+//     which tags every replicated copy with a secondary class so that
+//     most candidate pairs are ruled out without any geometric test
+//     (tlsp.go).
 package pbsm
 
 import (
@@ -52,14 +56,43 @@ const (
 	// results are written to disk, sorted externally, and deduplicated in
 	// a final blocking phase.
 	DupSort
+	// DupTLSP is two-layer space-oriented partitioning (tlsp.go): each
+	// replicated copy carries a secondary class (A/B/C/D by which
+	// overlapped tile holds the rectangle's bottom-left corner), and the
+	// join emits a candidate only when the two classes share no set bit —
+	// duplicate-free by construction, with the reference-point test
+	// needed only on repartitioned residual pairs.
+	DupTLSP
 )
 
-// String names the method.
+// String names the method. Unknown values are named dup(N) rather than
+// silently masquerading as a real method in stats, traces and bench
+// artifacts.
 func (d DupMethod) String() string {
-	if d == DupSort {
+	switch d {
+	case DupRPM:
+		return "rpm"
+	case DupSort:
 		return "sort"
+	case DupTLSP:
+		return "tlsp"
 	}
-	return "rpm"
+	return fmt.Sprintf("dup(%d)", int(d))
+}
+
+// ParseDupMethod maps a flag value to a DupMethod. Unknown strings are
+// an error naming the valid methods — a typo must never silently select
+// a different duplicate-handling semantics.
+func ParseDupMethod(s string) (DupMethod, error) {
+	switch s {
+	case "rpm":
+		return DupRPM, nil
+	case "sort":
+		return DupSort, nil
+	case "tlsp":
+		return DupTLSP, nil
+	}
+	return 0, joinerr.Wrap("pbsm", "config", fmt.Errorf("unknown duplicate method %q (valid: rpm, sort, tlsp)", s))
 }
 
 // Phase indexes the per-phase statistics.
@@ -214,6 +247,14 @@ type Stats struct {
 	Tests           int64 // candidate tests of the internal algorithm
 	Touches         int64 // status node touches of the internal algorithm
 
+	// TLSPSkipped counts candidates rejected by the TLSP class test
+	// alone — each one a duplicate suppressed without computing a
+	// reference point. TLSPRefTests counts the residual candidates that
+	// still needed the reference-point test (only repartitioned pairs
+	// have any). Both are zero unless Dup == DupTLSP.
+	TLSPSkipped  int64
+	TLSPRefTests int64
+
 	PhaseIO  [numPhases]diskio.Stats
 	PhaseCPU [numPhases]time.Duration
 
@@ -261,8 +302,14 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 	if cfg.Memory <= 0 {
 		return Stats{}, joinerr.Wrap("pbsm", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
+	switch cfg.Dup {
+	case DupRPM, DupSort, DupTLSP:
+	default:
+		return Stats{}, joinerr.Wrap("pbsm", "config",
+			fmt.Errorf("unknown Config.Dup %v (valid: %v, %v, %v)", cfg.Dup, DupRPM, DupSort, DupTLSP))
+	}
 	j := &joiner{cfg: cfg, alg: sweep.New(cfg.Algorithm), reg: cfg.Disk.NewRegistry()}
-	j.pairsDone = j.pairsDoneCounter()
+	j.resolveCounters()
 	// One sweep covers every exit path — success, failure, cancellation —
 	// so no partition, repartition, spool or sort file outlives the join.
 	defer j.reg.Sweep()
@@ -278,6 +325,13 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Stats, error) {
 		t.Count("pbsm.dup.suppressed", j.stats.RawResults-j.stats.Results)
 		if cfg.Dup == DupRPM {
 			t.Count("pbsm.rpm.tests", j.stats.RawResults)
+		}
+		if cfg.Dup == DupTLSP {
+			// The TLSP savings: candidates rejected by the class test
+			// alone versus the residual ones that still paid a
+			// reference-point test.
+			t.Count("pbsm.tlsp.pairs.skipped", j.stats.TLSPSkipped)
+			t.Count("pbsm.tlsp.ref.tests", j.stats.TLSPRefTests)
 		}
 		t.Count("pbsm.replication.copies", j.stats.CopiesR+j.stats.CopiesS)
 		t.Count("pbsm.sweep.tests", j.stats.Tests)
@@ -315,9 +369,14 @@ type joiner struct {
 
 	// pairCost holds each top pair's planned iocost.PairCost (progress
 	// weights; nil without a Progress), read-only once the join phase
-	// starts. pairsDone is the live pairs counter handle (nil-safe).
-	pairCost  []float64
-	pairsDone *metrics.Counter
+	// starts. pairsDone, rpmTests and tlspSkipped are live counter
+	// handles resolved once up front (nil-safe, see resolveCounters);
+	// the latter two are bumped from the join loop so mid-flight
+	// /metrics scrapes see them move instead of jumping at join end.
+	pairCost    []float64
+	pairsDone   *metrics.Counter
+	rpmTests    *metrics.Counter
+	tlspSkipped *metrics.Counter
 }
 
 // healableError tags a corruption error that was detected before the
@@ -429,7 +488,17 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		pt.sp.AddRecords(int64(len(R) + len(S)))
 		rs := append([]geom.KPE(nil), R...)
 		ss := append([]geom.KPE(nil), S...)
-		err := j.joinLoaded(j.alg, j.deliver, rs, ss, wholeSpace{}, wholeSpace{})
+		var err error
+		if j.cfg.Dup == DupTLSP {
+			// No replication happened, so no copy ever got a class;
+			// whatever the caller left in Class must not veto results.
+			if err = clearClasses(rs, j.cfg.Cancel); err == nil {
+				err = clearClasses(ss, j.cfg.Cancel)
+			}
+		}
+		if err == nil {
+			err = j.joinLoaded(j.alg, j.deliver, rs, ss, wholeSpace{}, wholeSpace{})
+		}
 		pt.end()
 		if err != nil {
 			return joinerr.Wrap("pbsm", PhaseJoin.String(), err)
@@ -437,7 +506,16 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 		j.pairsDone.Inc()
 		j.cfg.Progress.Add(1)
 	} else {
-		g := newGrid(p*j.cfg.tilesPerPart(), p)
+		var g *grid
+		if j.cfg.Dup == DupTLSP {
+			// TLSP: tiles are partitions, and the count may round up past
+			// formula (1)'s p to fill the rectangle of tiles.
+			g = newTLSPGrid(p)
+			p = g.parts
+			j.stats.P = p
+		} else {
+			g = newGrid(p*j.cfg.tilesPerPart(), p)
+		}
 		j.stats.NT = g.nx * g.ny
 		j.baseR, j.baseS, j.grid = R, S, g
 
@@ -547,7 +625,14 @@ func (j *joiner) run(R, S []geom.KPE, emit func(geom.Pair)) error {
 // unit: it touches only slot i of the shared file slices, and its stats
 // mutations go through bump.
 func (j *joiner) processTopPair(alg sweep.Algorithm, sink func(geom.Pair), filesR, filesS []*diskio.File, i int, g *grid) error {
-	reg := gridRegion{g: g, part: i}
+	// Under RPM the pair's region is the partition's tile set, consulted
+	// per raw result. Under TLSP the top-level dedup is the class test —
+	// the region chain starts empty and only repartitioning adds inner
+	// regions for the residual reference-point test.
+	var reg region = gridRegion{g: g, part: i}
+	if j.cfg.Dup == DupTLSP {
+		reg = wholeSpace{}
+	}
 	err := j.processPair(alg, sink, filesR[i], filesS[i], reg, reg, 0)
 	var he *healableError
 	if err == nil || !errors.As(err, &he) {
@@ -594,19 +679,21 @@ func (j *joiner) rederive(ks []geom.KPE, g *grid, part int) (*diskio.File, error
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	parts := make([]int, 0, 8)
+	dests := make([]copyDest, 0, 8)
 	chk := j.cfg.Cancel.Stride()
 	for idx := range ks {
 		if err := chk.Point(); err != nil {
 			j.reg.Remove(f)
 			return nil, err
 		}
-		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
-		for _, pi := range parts {
-			if pi != part {
+		dests = g.copiesOf(ks[idx].Rect, dests[:0], stamp, idx)
+		for _, d := range dests {
+			if d.part != part {
 				continue
 			}
-			if err := w.Write(ks[idx]); err != nil {
+			k := ks[idx]
+			k.Class = d.class
+			if err := w.Write(k); err != nil {
 				j.reg.Remove(f)
 				return nil, err
 			}
@@ -679,16 +766,18 @@ func (j *joiner) partitionInput(ks []geom.KPE, g *grid) ([]*diskio.File, int64, 
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	parts := make([]int, 0, 8)
+	dests := make([]copyDest, 0, 8)
 	var copies int64
 	chk := j.cfg.Cancel.Stride()
 	for idx := range ks {
 		if err := chk.Point(); err != nil {
 			return files, copies, err
 		}
-		parts = g.partitionsOf(ks[idx].Rect, parts[:0], stamp, idx)
-		for _, pi := range parts {
-			if err := writers[pi].Write(ks[idx]); err != nil {
+		dests = g.copiesOf(ks[idx].Rect, dests[:0], stamp, idx)
+		for _, d := range dests {
+			k := ks[idx]
+			k.Class = d.class
+			if err := writers[d.part].Write(k); err != nil {
 				return files, copies, err
 			}
 			copies++
@@ -767,6 +856,16 @@ func (j *joiner) processPair(alg sweep.Algorithm, sink func(geom.Pair), fr, fs *
 func (j *joiner) joinLoaded(alg sweep.Algorithm, sink func(geom.Pair), rs, ss []geom.KPE, regR, regS region) error {
 	var werr error
 	par := j.par
+	// Under TLSP the class test is the whole top-level duplicate story;
+	// a reference-point test is owed only when repartitioning wrapped
+	// inner regions around the pair (the class says nothing about which
+	// sub-partition may report). wholeSpace on both sides means depth 0.
+	needRef := false
+	if j.cfg.Dup == DupTLSP {
+		_, rWhole := regR.(wholeSpace)
+		_, sWhole := regS.(wholeSpace)
+		needRef = !rWhole || !sWhole
+	}
 	alg.Join(rs, ss, func(r, s geom.KPE) {
 		if par {
 			j.mu.Lock()
@@ -775,12 +874,29 @@ func (j *joiner) joinLoaded(alg sweep.Algorithm, sink func(geom.Pair), rs, ss []
 		switch j.cfg.Dup {
 		case DupRPM:
 			x := geom.RefPoint(r.Rect, s.Rect)
+			j.rpmTests.Inc()
 			if regR.contains(x) && regS.contains(x) {
 				sink(geom.Pair{R: r.ID, S: s.ID})
 			}
 		case DupSort:
 			if werr == nil {
 				werr = j.dupWriter.Write(geom.Pair{R: r.ID, S: s.ID})
+			}
+		case DupTLSP:
+			if r.Class&s.Class != 0 {
+				// Another tile holds both corners' max: this copy pair
+				// provably duplicates that tile's result. Rejected by
+				// two bit operations, no reference point computed.
+				j.stats.TLSPSkipped++
+				j.tlspSkipped.Inc()
+			} else if needRef {
+				j.stats.TLSPRefTests++
+				x := geom.RefPoint(r.Rect, s.Rect)
+				if regR.contains(x) && regS.contains(x) {
+					sink(geom.Pair{R: r.ID, S: s.ID})
+				}
+			} else {
+				sink(geom.Pair{R: r.ID, S: s.ID})
 			}
 		}
 		if par {

@@ -3,6 +3,7 @@ package pbsm
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -65,6 +66,13 @@ func TestConfigErrors(t *testing.T) {
 	if _, err := Join(nil, nil, Config{Disk: newDisk()}, nil); err == nil {
 		t.Error("zero memory must error")
 	}
+	// An unknown Dup value must fail validation up front, never silently
+	// run RPM.
+	if _, err := Join(nil, nil, Config{Disk: newDisk(), Memory: 1 << 20, Dup: DupMethod(9)}, nil); err == nil {
+		t.Error("unknown Dup must error")
+	} else if !strings.Contains(err.Error(), "dup(9)") {
+		t.Errorf("unknown-Dup error must name the value, got %q", err)
+	}
 }
 
 func TestRPMMatchesSortExactly(t *testing.T) {
@@ -125,10 +133,11 @@ func TestPipelining(t *testing.T) {
 func TestFormulaOnePartitionCount(t *testing.T) {
 	R := datagen.Uniform(9, 1000, 0.01)
 	S := datagen.Uniform(10, 1000, 0.01)
-	// 2000 KPEs × 40 B = 80 KB; memory 20 KB; t = 1.25 → P = ceil(5) = 5.
+	// 2000 KPEs × 41 B = 82000 B; memory 20 KiB; t = 1.25 →
+	// P = ceil(1.25 × 82000 / 20480) = ceil(5.004…) = 6.
 	_, st := run(t, R, S, Config{Memory: 20 << 10, TuneFactor: 1.25})
-	if st.P != 5 {
-		t.Fatalf("P = %d, want 5", st.P)
+	if st.P != 6 {
+		t.Fatalf("P = %d, want 6", st.P)
 	}
 	if st.NT < st.P {
 		t.Fatalf("NT (%d) must be at least P (%d)", st.NT, st.P)
@@ -303,8 +312,32 @@ func TestRPMExactlyOnceProperty(t *testing.T) {
 }
 
 func TestDupMethodString(t *testing.T) {
-	if DupRPM.String() != "rpm" || DupSort.String() != "sort" {
+	if DupRPM.String() != "rpm" || DupSort.String() != "sort" || DupTLSP.String() != "tlsp" {
 		t.Fatal("dup method names changed")
+	}
+	// An out-of-range method must NOT masquerade as a real one in stats,
+	// traces or bench artifacts.
+	if got := DupMethod(7).String(); got != "dup(7)" {
+		t.Fatalf("unknown method stringified as %q, want dup(7)", got)
+	}
+	if got := DupMethod(-1).String(); got != "dup(-1)" {
+		t.Fatalf("unknown method stringified as %q, want dup(-1)", got)
+	}
+}
+
+func TestParseDupMethod(t *testing.T) {
+	for s, want := range map[string]DupMethod{"rpm": DupRPM, "sort": DupSort, "tlsp": DupTLSP} {
+		got, err := ParseDupMethod(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseDupMethod(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "rmp", "RPM", "tslp", "none"} {
+		if _, err := ParseDupMethod(s); err == nil {
+			t.Fatalf("ParseDupMethod(%q) must error", s)
+		} else if !strings.Contains(err.Error(), "rpm, sort, tlsp") {
+			t.Fatalf("ParseDupMethod(%q) error must list the valid methods, got %q", s, err)
+		}
 	}
 }
 

@@ -39,6 +39,12 @@ type Config struct {
 	Memory int64
 	// Algorithm selects the internal plane-sweep; default list sweep.
 	Algorithm sweep.Kind
+	// Dup selects PBSM's duplicate-elimination strategy; default DupRPM.
+	// Only the duplicate-free-by-construction methods are shardable:
+	// DupRPM and DupTLSP both make every top-level partition pair's
+	// output globally duplicate-free on its own, so per-pair sequences
+	// merge without a cross-shard dedup phase. DupSort is rejected.
+	Dup pbsm.DupMethod
 	// TuneFactor, TilesPerPartition, BufPages, MaxRecurse mirror the
 	// pbsm.Config knobs and must match the values a single-process run
 	// would use for the determinism contract to hold.
@@ -152,6 +158,13 @@ func (c *ChaosSpec) lookup(shard, attempt int) *KillSpec {
 type Stats struct {
 	Shards     int // worker processes planned
 	Partitions int // top-level partitions
+
+	// Seals counts partition seal events. Exactly one seal per
+	// partition is the invariant that lets a duplicate-free-by-
+	// construction method (DupRPM, DupTLSP) shard at all: the merge
+	// concatenates sealed buffers without any cross-partition dedup, so
+	// Join cross-checks Seals == Partitions before reporting success.
+	Seals int
 
 	Spawns    int // worker processes started (restarts included)
 	Kills     int // attempts that ended with a dead worker process
@@ -268,6 +281,7 @@ func (st *joinState) sealLocked(part, shard int) {
 	}
 	delete(st.bufs, part)
 	st.sealed[part] = true
+	st.stats.Seals++
 	st.col.Done(part)
 	st.met.seal()
 	st.recoverLocked(shard)
@@ -410,6 +424,15 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	if cfg.Memory <= 0 {
 		return Result{}, joinerr.Wrap("shard", "config", fmt.Errorf("Config.Memory must be positive, got %d", cfg.Memory))
 	}
+	switch cfg.Dup {
+	case pbsm.DupRPM, pbsm.DupTLSP:
+	case pbsm.DupSort:
+		return Result{}, joinerr.Wrap("shard", "config",
+			fmt.Errorf("sharded execution requires a duplicate-free-by-construction method (DupRPM or DupTLSP), got %v", cfg.Dup))
+	default:
+		return Result{}, joinerr.Wrap("shard", "config",
+			fmt.Errorf("unknown Config.Dup %v (valid: %v, %v, %v)", cfg.Dup, pbsm.DupRPM, pbsm.DupSort, pbsm.DupTLSP))
+	}
 	workerCmd, err := cfg.workerCmd()
 	if err != nil {
 		return Result{}, joinerr.Wrap("shard", "config", fmt.Errorf("resolving worker command: %w", err))
@@ -438,7 +461,7 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	root := rec.Begin("shard:join")
 	defer root.End()
 
-	pcfg := pbsm.Config{Memory: cfg.Memory, TuneFactor: cfg.TuneFactor, TilesPerPartition: cfg.TilesPerPartition}
+	pcfg := pbsm.Config{Memory: cfg.Memory, Dup: cfg.Dup, TuneFactor: cfg.TuneFactor, TilesPerPartition: cfg.TilesPerPartition}
 	gs := pbsm.PlanGrid(len(R), len(S), pcfg)
 
 	countsR, err := pbsm.PartitionCounts(R, gs, chk)
@@ -572,6 +595,11 @@ func Join(R, S []geom.KPE, cfg Config, emit func(geom.Pair)) (Result, error) {
 	if unsealedPart >= 0 {
 		return Result{}, joinerr.WrapAs("shard", "merge", joinerr.KindShard,
 			fmt.Errorf("internal: partition %d never sealed", unsealedPart))
+	}
+	if res.Stats.Seals != res.Stats.Partitions {
+		return Result{}, joinerr.WrapAs("shard", "merge", joinerr.KindShard,
+			fmt.Errorf("internal: %d seal events for %d partitions — duplicate-free merge invariant violated",
+				res.Stats.Seals, res.Stats.Partitions))
 	}
 	nominal := diskio.NewDisk(cfg.PageSize, cfg.PT, cfg.Transfer)
 	res.IOTime = nominal.CostTime(res.IO.CostUnits)
@@ -723,6 +751,7 @@ func (c *coordinator) runAttempt(ctx context.Context, tr Transport, id, attempt 
 		Grid:              c.gs,
 		Memory:            c.cfg.Memory,
 		MemSlice:          slice,
+		Dup:               int(c.cfg.Dup),
 		Algorithm:         c.cfg.Algorithm,
 		TuneFactor:        c.cfg.TuneFactor,
 		TilesPerPartition: c.cfg.TilesPerPartition,
@@ -1032,7 +1061,7 @@ func (c *coordinator) absorb(id int, parts []int) error {
 		Disk:              disk,
 		Memory:            c.cfg.Memory,
 		Algorithm:         c.cfg.Algorithm,
-		Dup:               pbsm.DupRPM,
+		Dup:               c.cfg.Dup,
 		TuneFactor:        c.cfg.TuneFactor,
 		TilesPerPartition: c.cfg.TilesPerPartition,
 		BufPages:          c.cfg.BufPages,

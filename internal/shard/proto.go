@@ -28,6 +28,11 @@ type JobSpec struct {
 	Grid     pbsm.GridSpec `json:"grid"`
 	Memory   int64         `json:"memory"`
 	MemSlice int64         `json:"mem_slice"`
+	// Dup is the duplicate-elimination method (int form of
+	// pbsm.DupMethod); zero is DupRPM, so legacy frames decode
+	// unchanged. The worker validates it against the shardable set and
+	// against Grid.TLSP.
+	Dup int `json:"dup,omitempty"`
 
 	Algorithm         sweep.Kind `json:"algorithm,omitempty"`
 	TuneFactor        float64    `json:"tune_factor,omitempty"`

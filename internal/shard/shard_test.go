@@ -7,6 +7,7 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pbsm"
 	"spatialjoin/internal/shard"
 	"spatialjoin/internal/trace"
 )
@@ -140,5 +141,61 @@ func TestShardJoinConfigErrors(t *testing.T) {
 	r, s := testData()
 	if _, err := shard.Join(r, s, shard.Config{}, func(geom.Pair) {}); err == nil {
 		t.Fatal("zero Memory accepted")
+	}
+}
+
+// TestShardJoinTLSP pins the property that admits TLSP to sharded
+// execution: its partition output is globally duplicate-free by
+// construction, so a sharded TLSP join reproduces the single-process
+// TLSP join exactly — set AND emission order — at every shard count,
+// with exactly one seal per partition.
+func TestShardJoinTLSP(t *testing.T) {
+	r, s := testData()
+	want, _, err := core.Collect(r, s, core.Config{
+		Memory: testMemory, Parallel: 1, PBSMDup: pbsm.DupTLSP,
+	})
+	if err != nil {
+		t.Fatalf("serial TLSP join: %v", err)
+	}
+	rpm := serialPairs(t, r, s)
+	if len(want) != len(rpm) {
+		t.Fatalf("test setup: TLSP found %d pairs, RPM %d", len(want), len(rpm))
+	}
+	for _, n := range []int{1, 2, 4} {
+		cfg := shardConfig(t, n)
+		cfg.Dup = pbsm.DupTLSP
+		var got []geom.Pair
+		res, err := shard.Join(r, s, cfg, func(p geom.Pair) { got = append(got, p) })
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d results, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: result %d is %+v, want %+v — emission order diverged",
+					n, i, got[i], want[i])
+			}
+		}
+		if res.Stats.Seals != res.Stats.Partitions {
+			t.Fatalf("shards=%d: %d seals for %d partitions", n, res.Stats.Seals, res.Stats.Partitions)
+		}
+	}
+}
+
+// TestShardJoinRejectsDupSort pins the fail-loud arm of the dup axis at
+// the shard layer itself (core's own rejection is tested separately):
+// sort-based dedup cannot shard, and unknown methods are refused.
+func TestShardJoinRejectsDupSort(t *testing.T) {
+	r, s := testData()
+	cfg := shardConfig(t, 2)
+	cfg.Dup = pbsm.DupSort
+	if _, err := shard.Join(r, s, cfg, func(geom.Pair) {}); err == nil {
+		t.Fatal("shard.Join accepted DupSort")
+	}
+	cfg.Dup = pbsm.DupMethod(9)
+	if _, err := shard.Join(r, s, cfg, func(geom.Pair) {}); err == nil {
+		t.Fatal("shard.Join accepted an unknown DupMethod")
 	}
 }

@@ -183,7 +183,7 @@ func workerRun(spec *JobSpec, rsl, ssl map[int][]geom.KPE, fw *FrameWriter) (*Wo
 		Disk:              disk,
 		Memory:            spec.Memory,
 		Algorithm:         spec.Algorithm,
-		Dup:               pbsm.DupRPM,
+		Dup:               pbsm.DupMethod(spec.Dup),
 		TuneFactor:        spec.TuneFactor,
 		TilesPerPartition: spec.TilesPerPartition,
 		BufPages:          spec.BufPages,

@@ -78,11 +78,15 @@ func TestMetricsDisabledOverheadBudget(t *testing.T) {
 	// Site bound: each disk request passes one gate load (2× for slack),
 	// each retry one more, each top-level partition pair a handful of
 	// nil-handle calls (pairDone, progress, scheduler bookkeeping; 8 is
-	// generous), plus a constant for the per-join sites (join counters,
-	// progress init, publishMetrics, governor/shard probes).
+	// generous), each raw join-phase result one live dup counter
+	// (pbsm.rpm.tests or pbsm.tlsp.pairs.skipped are incremented from
+	// the join loop; 2× for slack), plus a constant for the per-join
+	// sites (join counters, progress init, publishMetrics,
+	// governor/shard probes).
 	sites := 2*(res.IO.ReadRequests+res.IO.WriteRequests) +
 		res.IO.Retries +
 		8*int64(res.PBSMStats.P) +
+		2*res.PBSMStats.RawResults +
 		64
 	cost := perOp * time.Duration(sites)
 	budget := elapsed * 1 / 100
